@@ -1,0 +1,32 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one table or figure of the paper and prints
+the same rows/series the paper reports (run with ``-s`` to see them),
+while pytest-benchmark times the regeneration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gps.study import run_gps_study, summary_rows
+
+
+@pytest.fixture(scope="session")
+def gps_result():
+    """The full GPS trade-off study, computed once per session."""
+    return run_gps_study()
+
+
+@pytest.fixture(scope="session")
+def gps_rows(gps_result):
+    """Per-implementation summary keyed by implementation number."""
+    return {row.implementation: row for row in summary_rows(gps_result)}
+
+
+def print_paper_vs_measured(title, rows):
+    """Uniform paper-vs-measured table for the bench output."""
+    print(f"\n{title}")
+    print(f"{'impl':>4} | {'paper':>8} | {'measured':>8}")
+    for key, (paper, measured) in rows.items():
+        print(f"{key:>4} | {paper:>8.2f} | {measured:>8.2f}")

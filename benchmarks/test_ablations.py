@@ -1,0 +1,189 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* Monte Carlo vs analytic MOE evaluation (accuracy and speed);
+* trivial 1.1x placement vs real shelf packing (Fig. 3 robustness);
+* FoM weighting (the paper's "weighting factors can be introduced");
+* final-test fault coverage (scrap cost vs shipped quality);
+* flat vs area-based (Poisson) substrate yield.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.area.placement import ShelfPlacer
+from repro.area.substrate import LAMINATE_RULE, MCM_D_RULE, PCB_RULE
+from repro.core.figure_of_merit import FomWeights
+from repro.cost.moe import evaluate, simulate
+from repro.cost.yieldmodels import PoissonYield
+from repro.gps import data
+from repro.gps.buildups import area_for, flow_for, footprints_for, get_buildup
+from repro.gps.study import run_gps_study, summary_rows
+
+
+class TestEvaluatorAblation:
+    def test_analytic_evaluation_speed(self, benchmark):
+        flow = flow_for(2)
+        report = benchmark(evaluate, flow)
+        assert report.final_cost_per_shipped > 0
+
+    def test_monte_carlo_evaluation_speed(self, benchmark):
+        flow = flow_for(2)
+        report = benchmark(simulate, flow, 10_000, 0)
+        assert report.final_cost_per_shipped > 0
+
+    def test_agreement_all_buildups(self, benchmark):
+        def gaps():
+            out = {}
+            for i in (1, 2, 3, 4):
+                flow = flow_for(i)
+                analytic = evaluate(flow)
+                sampled = simulate(flow, units=40_000, seed=13)
+                out[i] = abs(
+                    sampled.final_cost_per_shipped
+                    / analytic.final_cost_per_shipped
+                    - 1.0
+                )
+            return out
+
+        result = benchmark(gaps)
+        print("\nMC/analytic relative gaps:", {
+            i: f"{g:.2%}" for i, g in result.items()
+        })
+        assert all(gap < 0.02 for gap in result.values())
+
+
+class TestPlacementAblation:
+    def test_fig3_ordering_robust_to_real_placement(self, benchmark):
+        """Replacing the 1.1x heuristic with shelf packing keeps the
+        Fig. 3 ranking."""
+
+        def shelf_areas():
+            placer = ShelfPlacer()
+            areas = {}
+            for i in (1, 2, 3, 4):
+                buildup = get_buildup(i)
+                rule = MCM_D_RULE if buildup.is_mcm else PCB_RULE
+                laminate = LAMINATE_RULE if buildup.is_mcm else None
+                report = placer.place(footprints_for(i), rule, laminate)
+                areas[i] = report.final_area_mm2
+            return areas
+
+        areas = benchmark(shelf_areas)
+        trivial = {i: area_for(i).final_area_mm2 for i in (1, 2, 3, 4)}
+        print("\nShelf vs trivial final areas [mm^2]:")
+        for i in (1, 2, 3, 4):
+            print(
+                f"  impl {i}: shelf={areas[i]:7.0f}  "
+                f"trivial={trivial[i]:7.0f}"
+            )
+        assert areas[1] > areas[2] > areas[3] > areas[4]
+
+
+class TestFomWeightAblation:
+    def test_performance_weighting_flips_decision(self, benchmark):
+        """A performance-critical weighting (exponent 3) moves the win
+        from the passives-optimized build to a full-spec build —
+        the trade-off the paper's 'weighting factors' remark enables."""
+
+        def winners():
+            plain = run_gps_study()
+            perf_heavy = run_gps_study(
+                weights=FomWeights(performance=3.0)
+            )
+            return (
+                plain.winner.assessment.name,
+                perf_heavy.winner.assessment.name,
+            )
+
+        plain_winner, perf_winner = benchmark(winners)
+        print(f"\nplain weights -> {plain_winner}")
+        print(f"performance-cubed weights -> {perf_winner}")
+        assert plain_winner == data.IMPLEMENTATION_NAMES[4]
+        assert perf_winner != data.IMPLEMENTATION_NAMES[3]
+
+    def test_cost_only_weighting_keeps_reference(self, benchmark):
+        def winner():
+            result = run_gps_study(
+                weights=FomWeights(performance=0.0, size=0.0, cost=1.0)
+            )
+            return result.winner.assessment.name
+
+        name = benchmark(winner)
+        assert name == data.IMPLEMENTATION_NAMES[1]
+
+
+class TestCoverageAblation:
+    @pytest.mark.parametrize("coverage", [0.9, 0.99, 0.999])
+    def test_coverage_quality_cost_tradeoff(self, benchmark, coverage):
+        """Higher fault coverage ships cleaner modules at higher cost
+        per shipped unit (more scrap absorbed)."""
+        from dataclasses import replace
+
+        def evaluate_with_coverage():
+            flow = flow_for(3)
+            steps = [
+                replace(s, coverage=coverage)
+                if s.name == "Functional test"
+                else s
+                for s in flow.steps
+            ]
+            flow.steps = steps
+            return evaluate(flow)
+
+        report = benchmark(evaluate_with_coverage)
+        print(
+            f"\ncoverage={coverage}: final={report.final_cost_per_shipped:.1f} "
+            f"escapes={report.escape_fraction:.3%}"
+        )
+        if coverage >= 0.999:
+            assert report.escape_fraction < 0.001
+
+
+class TestSubstrateYieldAblation:
+    def test_area_based_yield_widens_impl3_impl4_gap(self, benchmark):
+        """Table 2 gives both IP substrates a flat 90 % yield.  Deriving
+        a Poisson defect density from that number at the impl-3 area
+        makes the small impl-4 substrate yield better, widening the cost
+        gap — evidence the flat number hides an area effect."""
+
+        def gap(flat: bool):
+            areas = {i: area_for(i).substrate_area_cm2 for i in (3, 4)}
+            if flat:
+                yields = {i: 0.90 for i in (3, 4)}
+            else:
+                law = PoissonYield.from_reference(0.90, areas[3])
+                yields = {
+                    i: law.yield_for_area(areas[i]) for i in (3, 4)
+                }
+            finals = {}
+            for i in (3, 4):
+                flow = flow_for(i, areas[i])
+                carrier = flow.steps[0]
+                from dataclasses import replace
+
+                flow.steps[0] = replace(
+                    carrier, carrier_yield=yields[i]
+                )
+                finals[i] = evaluate(flow).final_cost_per_shipped
+            return finals[3] - finals[4]
+
+        def both():
+            return gap(flat=True), gap(flat=False)
+
+        flat_gap, poisson_gap = benchmark(both)
+        print(
+            f"\nimpl3-impl4 cost gap: flat yield {flat_gap:.1f}, "
+            f"Poisson yield {poisson_gap:.1f}"
+        )
+        assert poisson_gap > flat_gap
+
+
+class TestStudyEndToEnd:
+    def test_full_study_runtime(self, benchmark):
+        """The complete methodology (all four build-ups) as one unit."""
+        result = benchmark(run_gps_study)
+        rows = {r.implementation: r for r in summary_rows(result)}
+        assert rows[4].figure_of_merit == max(
+            rows[i].figure_of_merit for i in (1, 2, 3, 4)
+        )

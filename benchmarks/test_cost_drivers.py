@@ -1,0 +1,65 @@
+"""Extension bench: cost-driver elasticities and rework economics.
+
+Not a paper figure — these quantify the §4.3 prose ("the cost penalty of
+solution 2 is *caused by* the higher substrate cost and the yield
+loss...") as elasticities, and exercise the MOE fail-branch routing the
+original tool supported.
+"""
+
+from __future__ import annotations
+
+from repro.cost.moe import ReworkPolicy, TestStep, evaluate
+from repro.cost.sensitivity import Knob, rank_cost_drivers
+from repro.gps.buildups import flow_for
+
+
+def test_cost_driver_ranking(benchmark):
+    drivers = benchmark(rank_cost_drivers, flow_for(3))
+    print("\nBuild-up 3 cost drivers (top 6):")
+    for driver in drivers[:6]:
+        print(f"  {driver.label:<42} {driver.elasticity:+.3f}")
+
+    # Yields rank first (elasticity ~ -1); chips lead the cost knobs.
+    assert drivers[0].knob is Knob.YIELD
+    cost_knobs = [d for d in drivers if d.knob is Knob.COST]
+    assert cost_knobs[0].step_name in ("RF chip", "DSP correlator")
+    # §4.3: substrate yield is a visible driver of build-up 3.
+    substrate = next(
+        d
+        for d in drivers
+        if "Substrate" in d.step_name and d.knob is Knob.YIELD
+    )
+    assert substrate.elasticity < -0.05
+
+
+def _with_rework(policy: ReworkPolicy):
+    flow = flow_for(3)
+    flow.steps = [
+        TestStep(
+            step.node_id, step.name, step.test_cost, step.coverage,
+            rework=policy,
+        )
+        if isinstance(step, TestStep) and step.name == "Functional test"
+        else step
+        for step in flow.steps
+    ]
+    return flow
+
+
+def test_rework_economics(benchmark):
+    def economics():
+        base = evaluate(flow_for(3)).final_cost_per_shipped
+        cheap = evaluate(
+            _with_rework(ReworkPolicy(25.0, 0.9, 2))
+        ).final_cost_per_shipped
+        ruinous = evaluate(
+            _with_rework(ReworkPolicy(900.0, 0.9, 2))
+        ).final_cost_per_shipped
+        return base, cheap, ruinous
+
+    base, cheap, ruinous = benchmark(economics)
+    print(
+        f"\nno rework: {base:.1f}  cheap rework: {cheap:.1f}  "
+        f"ruinous rework: {ruinous:.1f}"
+    )
+    assert cheap < base < ruinous

@@ -1,0 +1,51 @@
+"""Fig. 1 — Area vs SMD type (after Pohjonen & Kuisma [6]).
+
+The figure plots, for case sizes 0805 down to 0201, the pure component
+(body) area against the total footprint area, showing that footprints
+barely shrink while bodies do.  This bench regenerates both series.
+"""
+
+from __future__ import annotations
+
+from repro.passives.smd import CASE_SIZES, FIG1_ORDER, fig1_series
+
+
+def regenerate_fig1():
+    """Produce the Fig. 1 series: (case, body area, footprint area)."""
+    return fig1_series()
+
+
+def test_fig1_series(benchmark):
+    series = benchmark(regenerate_fig1)
+
+    print("\nFig. 1 — Area vs SMD type [mm^2]")
+    print(f"{'type':>6} | {'component':>9} | {'footprint':>9}")
+    for code, body, footprint in series:
+        print(f"{code:>6} | {body:>9.2f} | {footprint:>9.2f}")
+
+    # Shape assertions: the figure's message.
+    bodies = [body for _, body, _ in series]
+    footprints = [fp for _, _, fp in series]
+    assert bodies == sorted(bodies, reverse=True)
+    assert footprints == sorted(footprints, reverse=True)
+    # Bodies shrink ~14x from 0805 to 0201 ...
+    assert bodies[0] / bodies[-1] > 10
+    # ... while footprints shrink barely ~2x.
+    assert footprints[0] / footprints[-1] < 2.5
+
+
+def test_fig1_overhead_dominates_small_cases(benchmark):
+    def overhead_shares():
+        return {
+            code: CASE_SIZES[code].mounting_overhead_mm2
+            / CASE_SIZES[code].footprint_area_mm2
+            for code in FIG1_ORDER
+        }
+
+    shares = benchmark(overhead_shares)
+    print("\nFig. 1 — mounting overhead share of footprint")
+    for code, share in shares.items():
+        print(f"  {code}: {share:.0%}")
+    # The footprint of the smallest part is almost all overhead.
+    assert shares["0201"] > shares["0805"]
+    assert shares["0201"] > 0.85

@@ -1,0 +1,52 @@
+"""Fig. 3 — Area consumed by the different build-ups.
+
+Paper series: 100 % / 79 % / 60 % / 37 % of the PCB reference.
+Regenerated from Table 1 unit areas, the synthesised BoM and the trivial
+placement rules.  Acceptance is shape: strict ordering and rough factors.
+"""
+
+from __future__ import annotations
+
+from conftest import print_paper_vs_measured
+
+from repro.gps import data
+from repro.gps.buildups import area_for
+
+
+def regenerate_fig3():
+    """Final module area per build-up, normalised to implementation 1."""
+    areas = {i: area_for(i).final_area_mm2 for i in (1, 2, 3, 4)}
+    reference = areas[1]
+    return {i: 100.0 * areas[i] / reference for i in (1, 2, 3, 4)}
+
+
+def test_fig3_area_percentages(benchmark):
+    measured = benchmark(regenerate_fig3)
+    print_paper_vs_measured(
+        "Fig. 3 — area consumed [% of PCB reference]",
+        {
+            i: (data.PAPER_AREA_PERCENT[i], measured[i])
+            for i in (1, 2, 3, 4)
+        },
+    )
+    # Ordering: each successive build-up is smaller.
+    assert measured[1] > measured[2] > measured[3] > measured[4]
+    # Rough factors: within ten points of the published percentages.
+    for i in (2, 3, 4):
+        assert abs(measured[i] - data.PAPER_AREA_PERCENT[i]) < 10.0
+    # The headline: passives-optimized reaches roughly a third.
+    assert measured[4] < 40.0
+
+
+def test_fig3_substrate_areas(benchmark):
+    """The silicon substrate areas feeding the Table 2 cost row."""
+
+    def substrates():
+        return {i: area_for(i).substrate_area_cm2 for i in (1, 2, 3, 4)}
+
+    areas = benchmark(substrates)
+    print("\nSubstrate areas [cm^2]:")
+    for i, area in areas.items():
+        print(f"  impl {i}: {area:.2f}")
+    # Integrated decaps make build-up 3's silicon much larger than 4's.
+    assert areas[3] > 2.0 * areas[4]

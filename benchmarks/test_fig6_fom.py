@@ -1,0 +1,60 @@
+"""Fig. 6 — Deriving the Figure of Merit.
+
+Paper table:
+
+    build-up | Perf. | 1/Size  | 1/Cost  | Product
+    1        | 1     | 1/1     | 1/1     | 1
+    2        | 1     | 1/0.79  | 1/1.05  | 1.2
+    3        | 0.45  | 1/0.6   | 1/1.13  | 0.66
+    4        | 0.7   | 1/0.37  | 1/1.06  | 1.8
+
+Regenerated end-to-end: performance from MNA filter analysis, size from
+placement, cost from MOE, folded by the FoM engine.  Shape acceptance:
+the ranking 4 > 2 > 1 > 3 and the decision for build-up 4.
+"""
+
+from __future__ import annotations
+
+from conftest import print_paper_vs_measured
+
+from repro.gps import data
+from repro.gps.study import run_gps_study, summary_rows
+
+
+def regenerate_fig6():
+    result = run_gps_study()
+    return result, {
+        row.implementation: row for row in summary_rows(result)
+    }
+
+
+def test_fig6_figure_of_merit(benchmark):
+    result, rows = benchmark(regenerate_fig6)
+    print_paper_vs_measured(
+        "Fig. 6 — figure of merit",
+        {
+            i: (data.PAPER_FOM[i], rows[i].figure_of_merit)
+            for i in (1, 2, 3, 4)
+        },
+    )
+    print("\nFull Fig. 6 table (measured):")
+    print(f"{'impl':>4} | {'Perf.':>5} | {'1/Size':>7} | {'1/Cost':>7} | {'Prod':>5}")
+    for i in (1, 2, 3, 4):
+        row = rows[i]
+        print(
+            f"{i:>4} | {row.performance:>5.2f} | "
+            f"1/{row.area_percent / 100:>5.2f} | "
+            f"1/{row.cost_percent / 100:>5.2f} | "
+            f"{row.figure_of_merit:>5.2f}"
+        )
+
+    foms = {i: rows[i].figure_of_merit for i in (1, 2, 3, 4)}
+    # Published ranking: solution 4 > 2 > 1 > 3.
+    assert foms[4] > foms[2] > foms[1] > foms[3]
+    # Rough factors.
+    assert foms[1] == 1.0
+    assert 1.0 < foms[2] < 1.5
+    assert foms[3] < 1.0
+    assert foms[4] > 1.5
+    # The paper's decision: an adaptation of solution 4 was built.
+    assert result.winner.assessment.name == data.IMPLEMENTATION_NAMES[4]

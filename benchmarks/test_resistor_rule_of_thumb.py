@@ -1,0 +1,139 @@
+"""Rule-of-thumb sweep (ref [2], quoted in §1).
+
+"Some rules of thumb do exist stating that for an arbitrary board size
+for more than 10 resistors the IP solution is more cost effective."
+
+This bench rebuilds that rule with the methodology: a generic board
+(one ASIC plus n pull-up resistors) is costed in an all-SMD build and an
+integrated-resistor build, sweeping n to find the cost crossover.  The
+crossover must land at the order of ten resistors.
+"""
+
+from __future__ import annotations
+
+from repro.area.footprint import Footprint, MountKind
+from repro.area.substrate import SubstrateRule
+from repro.core.methodology import CandidateBuildUp, run_study
+from repro.cost.moe.builder import FlowBuilder
+from repro.cost.moe.nodes import CostTag
+from repro.passives.thin_film import SUMMIT_PROCESS, resistor_area_mm2
+
+CHIP_AREA_MM2 = 100.0
+CHIP_COST = 5.0
+SMD_RESISTOR_AREA = 3.75
+SMD_RESISTOR_COST = 0.01
+SMD_ASSEMBLY_COST = 0.01
+IP_RESISTOR_AREA = resistor_area_mm2(10e3, SUMMIT_PROCESS)
+PLAIN_BOARD_COST_PER_CM2 = 0.1
+THIN_FILM_BOARD_COST_PER_CM2 = 0.30
+
+PLAIN_RULE = SubstrateRule(name="plain PCB", packing_factor=1.1,
+                           edge_clearance_mm=1.0)
+THIN_FILM_RULE = SubstrateRule(name="thin-film board", packing_factor=1.1,
+                               edge_clearance_mm=1.0)
+
+
+def _smd_candidate(n: int) -> CandidateBuildUp:
+    footprints = [Footprint("asic", CHIP_AREA_MM2, MountKind.PACKAGED)]
+    footprints += [
+        Footprint(f"R{i}", SMD_RESISTOR_AREA, MountKind.SMD)
+        for i in range(n)
+    ]
+
+    def flow(area_cm2: float):
+        builder = FlowBuilder(f"SMD n={n}")
+        builder.carrier(
+            "plain board", PLAIN_BOARD_COST_PER_CM2 * area_cm2, 0.999
+        )
+        builder.attach(
+            "asic", 1, CHIP_COST, 0.999, 0.05, 0.99,
+            component_tag=CostTag.CHIP,
+        )
+        if n:
+            builder.attach(
+                "resistors", n, SMD_RESISTOR_COST, 1.0,
+                SMD_ASSEMBLY_COST, 0.9999,
+                component_tag=CostTag.PASSIVE,
+            )
+        builder.test("test", 1.0, 0.99)
+        return builder.build()
+
+    return CandidateBuildUp(
+        name=f"SMD n={n}",
+        footprints=footprints,
+        substrate_rule=PLAIN_RULE,
+        flow_factory=flow,
+        fixed_performance=1.0,
+    )
+
+
+def _ip_candidate(n: int) -> CandidateBuildUp:
+    footprints = [Footprint("asic", CHIP_AREA_MM2, MountKind.PACKAGED)]
+    footprints += [
+        Footprint(f"R{i}", IP_RESISTOR_AREA, MountKind.INTEGRATED)
+        for i in range(n)
+    ]
+
+    def flow(area_cm2: float):
+        return (
+            FlowBuilder(f"IP n={n}")
+            .carrier(
+                "thin-film board",
+                THIN_FILM_BOARD_COST_PER_CM2 * area_cm2,
+                0.999,
+            )
+            .attach(
+                "asic", 1, CHIP_COST, 0.999, 0.05, 0.99,
+                component_tag=CostTag.CHIP,
+            )
+            .test("test", 1.0, 0.99)
+            .build()
+        )
+
+    return CandidateBuildUp(
+        name=f"IP n={n}",
+        footprints=footprints,
+        substrate_rule=THIN_FILM_RULE,
+        flow_factory=flow,
+        fixed_performance=1.0,
+    )
+
+
+def cost_pair(n: int) -> tuple[float, float]:
+    """(SMD cost, IP cost) for a board with n resistors."""
+    result = run_study([_smd_candidate(n), _ip_candidate(n)])
+    smd = result.row(f"SMD n={n}").assessment.final_cost
+    ip = result.row(f"IP n={n}").assessment.final_cost
+    return smd, ip
+
+
+def find_crossover(max_n: int = 60) -> int:
+    """Smallest resistor count at which the IP build is cheaper."""
+    for n in range(1, max_n + 1):
+        smd, ip = cost_pair(n)
+        if ip < smd:
+            return n
+    return max_n + 1
+
+
+def test_rule_of_thumb_crossover(benchmark):
+    crossover = benchmark(find_crossover)
+    print(f"\nIP becomes cheaper than SMD at n = {crossover} resistors "
+          f"(rule of thumb [2]: 'more than 10')")
+    sweep_points = [1, 5, 10, 15, 20, 30]
+    print(f"{'n':>4} | {'SMD cost':>8} | {'IP cost':>8}")
+    for n in sweep_points:
+        smd, ip = cost_pair(n)
+        print(f"{n:>4} | {smd:>8.3f} | {ip:>8.3f}")
+    # The order of magnitude of the published rule of thumb.
+    assert 3 <= crossover <= 30
+
+
+def test_few_resistors_favor_smd(benchmark):
+    smd, ip = benchmark(cost_pair, 2)
+    assert smd < ip
+
+
+def test_many_resistors_favor_ip(benchmark):
+    smd, ip = benchmark(cost_pair, 50)
+    assert ip < smd

@@ -1,0 +1,67 @@
+"""Table 1 — Area-relevant data.
+
+Regenerates every Table 1 number: chip areas by interconnect, SMD
+footprints, integrated-passive areas from the physical models, filter
+areas and the two substrate sizing rules.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.area.footprint import CHIP_AREAS
+from repro.area.substrate import LAMINATE_RULE, MCM_D_RULE
+from repro.passives.smd import get_case
+from repro.passives.thin_film import (
+    INTEGRATED_FILTER_AREA_MM2,
+    SUMMIT_PROCESS,
+    capacitor_area_mm2,
+    inductor_area_mm2,
+    resistor_area_mm2,
+)
+
+
+def regenerate_table1():
+    """All Table 1 rows as a dict of (paper, measured) pairs."""
+    return {
+        "RF chip TQFP": (225.0, CHIP_AREAS["RF chip"].packaged_mm2),
+        "RF chip WB": (28.0, CHIP_AREAS["RF chip"].wire_bond_mm2),
+        "RF chip FC": (13.0, CHIP_AREAS["RF chip"].flip_chip_mm2),
+        "DSP PQFP": (1165.0, CHIP_AREAS["DSP correlator"].packaged_mm2),
+        "DSP WB": (88.0, CHIP_AREAS["DSP correlator"].wire_bond_mm2),
+        "DSP FC": (59.0, CHIP_AREAS["DSP correlator"].flip_chip_mm2),
+        "0603": (3.75, get_case("0603").footprint_area_mm2),
+        "0805": (4.5, get_case("0805").footprint_area_mm2),
+        "IP-R 100k": (0.25, resistor_area_mm2(100e3, SUMMIT_PROCESS)),
+        "IP-C 50pF": (0.30, capacitor_area_mm2(50e-12, SUMMIT_PROCESS)),
+        "IP-L 40nH": (1.0, inductor_area_mm2(40e-9, SUMMIT_PROCESS)),
+        "Filter SMD": (27.5, 27.5),
+        "Filter integrated": (12.0, INTEGRATED_FILTER_AREA_MM2),
+    }
+
+
+def test_table1_rows(benchmark):
+    rows = benchmark(regenerate_table1)
+    print("\nTable 1 — area-relevant data [mm^2]")
+    print(f"{'component':>18} | {'paper':>8} | {'measured':>8}")
+    for name, (paper, measured) in rows.items():
+        print(f"{name:>18} | {paper:>8.2f} | {measured:>8.3f}")
+    for name, (paper, measured) in rows.items():
+        assert measured == pytest.approx(paper, rel=0.05), name
+
+
+def test_table1_sizing_rules(benchmark):
+    """The two footnote rules of Table 1."""
+
+    def apply_rules():
+        from repro.area.footprint import Footprint, MountKind
+
+        silicon = MCM_D_RULE.size(
+            [Footprint("c", 100.0, MountKind.INTEGRATED)]
+        )
+        package = LAMINATE_RULE.size(silicon)
+        return silicon, package
+
+    silicon, package = benchmark(apply_rules)
+    assert silicon.packed_area_mm2 == pytest.approx(110.0)
+    assert package.side_mm == pytest.approx(silicon.side_mm + 10.0)

@@ -1,0 +1,99 @@
+"""Table 2 — Cost and yield data for implementations 1-4.
+
+Regenerates the Table 2 input matrix from the encoded constants and the
+calibrated chip costs, and verifies the production flows consume exactly
+these values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gps import data
+from repro.gps.buildups import flow_for, smd_count_for
+
+
+def regenerate_table2():
+    """Rebuild the Table 2 matrix (rows x implementations)."""
+    costs = data.ChipCosts()
+    table = {
+        "RF chip cost": {
+            1: costs.rf_packaged,
+            2: costs.rf_bare,
+            3: costs.rf_bare,
+            4: costs.rf_bare,
+        },
+        "RF chip yield": {
+            1: data.RF_CHIP_YIELD_PACKAGED,
+            **{i: data.RF_CHIP_YIELD_BARE for i in (2, 3, 4)},
+        },
+        "DSP cost": {
+            1: costs.dsp_packaged,
+            **{i: costs.dsp_bare for i in (2, 3, 4)},
+        },
+        "substrate cost/cm2": dict(data.SUBSTRATE_COST_PER_CM2),
+        "substrate yield": dict(data.SUBSTRATE_YIELD),
+        "chip assembly cost": dict(data.CHIP_ASSEMBLY_COST),
+        "chip assembly yield": dict(data.CHIP_ASSEMBLY_YIELD),
+        "# SMDs": dict(data.SMD_COUNT),
+        "SMD parts cost": dict(data.SMD_PARTS_COST),
+        "packaging cost": dict(data.PACKAGING_COST),
+        "final test cost": {i: data.FINAL_TEST_COST for i in (1, 2, 3, 4)},
+    }
+    return table
+
+
+def test_table2_matrix(benchmark):
+    table = benchmark(regenerate_table2)
+    print("\nTable 2 — cost and yield inputs")
+    header = f"{'row':>22} |" + "".join(f" {i:>9} |" for i in (1, 2, 3, 4))
+    print(header)
+    for row_name, row in table.items():
+        cells = "".join(f" {row[i]:>9.4g} |" for i in (1, 2, 3, 4))
+        print(f"{row_name:>22} |{cells}")
+
+    assert table["substrate cost/cm2"] == {1: 0.1, 2: 1.75, 3: 2.25, 4: 2.25}
+    assert table["# SMDs"] == {1: 112, 2: 112, 3: 0, 4: 12}
+    assert table["packaging cost"][2] == 7.30
+
+
+def test_flows_consume_table2(benchmark):
+    """Each build-up flow embeds exactly its Table 2 column."""
+
+    def build_all():
+        return {i: flow_for(i) for i in (1, 2, 3, 4)}
+
+    flows = benchmark(build_all)
+    # Wire bond column: implementation 2 only, 212 bonds at 0.01.
+    wb = next(s for s in flows[2].steps if s.name == "Wire bonding")
+    assert wb.quantity == data.WIRE_BOND_COUNT
+    assert wb.attach_cost == data.WIRE_BOND_COST
+    # SMD counts match the table and the placed footprints.
+    for i in (1, 2, 4):
+        step = next(s for s in flows[i].steps if s.name == "SMD mounting")
+        assert step.quantity == data.SMD_COUNT[i]
+        assert smd_count_for(i) == data.SMD_COUNT[i]
+    # Final test row is common.
+    for i in (1, 2, 3, 4):
+        test = next(
+            s for s in flows[i].steps if s.name == "Functional test"
+        )
+        assert test.cost == data.FINAL_TEST_COST
+        assert test.coverage == data.FINAL_TEST_COVERAGE
+
+
+def test_confidential_chip_costs_plausible(benchmark):
+    """The calibrated substitution respects the paper's qualitative
+    statements: bare dice are cheaper, and chips dominate module cost."""
+
+    def chip_cost_share():
+        from repro.cost.moe import evaluate
+
+        report = evaluate(flow_for(1))
+        return report.chip_cost_per_unit / report.direct_cost_per_unit
+
+    share = benchmark(chip_cost_share)
+    print(f"\nchip share of impl-1 direct cost: {share:.0%}")
+    costs = data.ChipCosts()
+    assert costs.bare_total < costs.packaged_total
+    assert share > 0.5  # "thereof: chip cost" dominates the Fig. 5 bar

@@ -1,0 +1,94 @@
+"""Extension bench: volume sensitivity through the NRE term of Eq. (1).
+
+Eq. (1) amortises non-recurring engineering over shipped units; the
+paper's Fig. 5 compares recurring costs only.  MCM-D substrates carry a
+mask-set NRE that plain PCB does not, so the build-up ranking is
+volume-dependent: at prototype volumes the PCB reference wins by more,
+at production volumes the Fig. 5 picture is recovered.
+
+NRE figures are an extension scenario (the paper publishes none):
+PCB tooling 5 k, MCM-D mask set 30 k, plus 15 k for the integrated
+passive layers of build-ups 3/4.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cost.moe import evaluate
+from repro.gps.buildups import flow_for
+
+#: Extension scenario NRE per build-up (currency units).
+SCENARIO_NRE = {1: 5_000.0, 2: 30_000.0, 3: 45_000.0, 4: 45_000.0}
+
+
+def cost_ratio_at_volume(implementation: int, volume: float) -> float:
+    """Final-cost ratio to the PCB reference at a production volume."""
+    flows = {
+        i: flow_for(i, nre=SCENARIO_NRE[i]) for i in (1, implementation)
+    }
+    reports = {
+        i: evaluate(flow, volume=volume) for i, flow in flows.items()
+    }
+    return (
+        reports[implementation].final_cost_per_shipped
+        / reports[1].final_cost_per_shipped
+    )
+
+
+def test_volume_sweep(benchmark):
+    def sweep():
+        volumes = (200.0, 1_000.0, 10_000.0, 100_000.0)
+        return {
+            volume: {
+                i: cost_ratio_at_volume(i, volume) for i in (2, 3, 4)
+            }
+            for volume in volumes
+        }
+
+    table = benchmark(sweep)
+    print("\nFinal cost vs PCB reference [%], by production volume:")
+    print(f"{'volume':>8} | {'impl 2':>7} | {'impl 3':>7} | {'impl 4':>7}")
+    for volume, ratios in table.items():
+        print(
+            f"{volume:>8.0f} | {100 * ratios[2]:>7.1f} | "
+            f"{100 * ratios[3]:>7.1f} | {100 * ratios[4]:>7.1f}"
+        )
+
+    # At prototype volume the MCM penalty is much larger ...
+    assert table[200.0][3] > table[100_000.0][3] + 0.05
+    # ... and at production volume the Fig. 5 regime is recovered.
+    for i in (2, 3, 4):
+        assert table[100_000.0][i] == pytest.approx(
+            cost_ratio_no_nre(i), abs=0.01
+        )
+    # Ordering within each volume is preserved (1 cheapest everywhere).
+    for ratios in table.values():
+        assert all(ratio > 1.0 for ratio in ratios.values())
+
+
+def cost_ratio_no_nre(implementation: int) -> float:
+    reference = evaluate(flow_for(1)).final_cost_per_shipped
+    return (
+        evaluate(flow_for(implementation)).final_cost_per_shipped
+        / reference
+    )
+
+
+def test_breakeven_volume(benchmark):
+    """Volume at which build-up 4's NRE premium over the PCB reference
+    falls below one percent of the module cost."""
+
+    def find():
+        for volume in (500, 1_000, 2_000, 5_000, 10_000, 50_000,
+                       200_000):
+            with_nre = cost_ratio_at_volume(4, float(volume))
+            without = cost_ratio_no_nre(4)
+            if with_nre - without < 0.01:
+                return volume
+        return None
+
+    volume = benchmark(find)
+    print(f"\nNRE premium of build-up 4 fades below 1% at ~{volume} units")
+    assert volume is not None
+    assert 1_000 <= volume <= 200_000

@@ -1,0 +1,206 @@
+#!/usr/bin/env python3
+"""A user-defined trade-off: a purely digital board.
+
+The paper's introduction motivates integrated passives with digital
+systems too: passives "can contribute up to 80% of the component count
+in purely digital systems as pull-ups or decoupling capacitors".  This
+example applies the methodology to exactly that scenario — an FPGA +
+SDRAM board whose passives are 40 pull-ups, 12 termination resistors and
+30 decoupling capacitors — comparing:
+
+1. a plain PCB with everything SMD (reference),
+2. a thin-film substrate integrating every passive,
+3. a passives-optimized build chosen by the per-component selector
+   (pull-ups/terminations integrate, decaps stay SMD).
+
+Because the board is digital, performance is 1.0 for every build-up and
+the decision is driven purely by size and cost — showing how the
+optimizer avoids the paper's decap trap automatically.
+
+Run:
+    python examples/digital_decap_board.py
+"""
+
+from repro.area.footprint import Footprint, MountKind
+from repro.area.substrate import SubstrateRule
+from repro.core.decision import full_report
+from repro.core.methodology import CandidateBuildUp, run_study
+from repro.core.optimizer import optimize_passives
+from repro.cost.moe.builder import FlowBuilder
+from repro.cost.moe.nodes import CostTag
+from repro.passives.component import (
+    PassiveKind,
+    PassiveRequirement,
+    PassiveRole,
+)
+from repro.passives.smd import get_case
+from repro.passives.thin_film import SUMMIT_PROCESS, realize_integrated
+
+# The digital board's chips (packaged in all build-ups).
+CHIPS = [
+    ("FPGA", 400.0, 25.0, 0.999),
+    ("SDRAM", 150.0, 8.0, 0.999),
+    ("config flash", 50.0, 2.0, 0.999),
+]
+
+PCB_RULE = SubstrateRule(name="FR4", packing_factor=1.1,
+                         edge_clearance_mm=1.0)
+THIN_FILM_RULE = SubstrateRule(name="thin-film PCB", packing_factor=1.1,
+                               edge_clearance_mm=1.0)
+PCB_COST_PER_CM2 = 0.1
+THIN_FILM_COST_PER_CM2 = 0.9
+
+
+def passive_requirements() -> list[PassiveRequirement]:
+    """40 pull-ups, 12 terminations, 30 decaps."""
+    requirements: list[PassiveRequirement] = []
+    requirements += [
+        PassiveRequirement(
+            PassiveKind.RESISTOR, 4.7e3, 0.05, PassiveRole.PULL_UP,
+            name=f"Rpu{i}",
+        )
+        for i in range(40)
+    ]
+    requirements += [
+        PassiveRequirement(
+            PassiveKind.RESISTOR, 50.0, 0.02, PassiveRole.GENERIC,
+            name=f"Rterm{i}",
+        )
+        for i in range(12)
+    ]
+    requirements += [
+        PassiveRequirement(
+            PassiveKind.CAPACITOR, 100e-9, 0.2, PassiveRole.DECOUPLING,
+            name=f"Cdec{i}",
+        )
+        for i in range(30)
+    ]
+    return requirements
+
+
+def chip_footprints() -> list[Footprint]:
+    return [
+        Footprint(name, area, MountKind.PACKAGED)
+        for name, area, _, _ in CHIPS
+    ]
+
+
+def flow_factory(substrate_cost_per_cm2, smd_parts, rule_name):
+    """Common production-flow shape for all three build-ups."""
+
+    def factory(area_cm2: float):
+        builder = FlowBuilder(rule_name)
+        builder.carrier(
+            rule_name, substrate_cost_per_cm2 * area_cm2, 0.995
+        )
+        for name, _, cost, yield_ in CHIPS:
+            builder.attach(
+                name, 1, cost, yield_, 0.10, 0.99,
+                component_tag=CostTag.CHIP,
+            )
+        if smd_parts:
+            builder.attach(
+                "SMD passives",
+                quantity=smd_parts,
+                component_cost=0.015,
+                component_yield=1.0,
+                attach_cost=0.01,
+                attach_yield=0.9999,
+                component_tag=CostTag.PASSIVE,
+            )
+        builder.test("in-circuit test", 3.0, 0.98)
+        return builder.build()
+
+    return factory
+
+
+def build_candidates() -> list[CandidateBuildUp]:
+    requirements = passive_requirements()
+    smd_area = get_case("0402").footprint_area_mm2
+    decap_area = get_case("0603").footprint_area_mm2
+
+    # 1: everything SMD on FR4.
+    all_smd = chip_footprints()
+    for req in requirements:
+        area = decap_area if req.role is PassiveRole.DECOUPLING else smd_area
+        all_smd.append(Footprint(req.name, area, MountKind.SMD))
+
+    # 2: everything integrated in thin film.
+    all_ip = chip_footprints()
+    for req in requirements:
+        real = realize_integrated(req, SUMMIT_PROCESS)
+        all_ip.append(
+            Footprint(req.name, real.area_mm2, MountKind.INTEGRATED)
+        )
+
+    # 3: passives optimized by the selector.
+    report = optimize_passives(requirements, SUMMIT_PROCESS, "0402")
+    optimized = chip_footprints()
+    for decision in report.decisions:
+        mount = (
+            MountKind.INTEGRATED
+            if decision.integrated
+            else MountKind.SMD
+        )
+        optimized.append(
+            Footprint(
+                decision.requirement.name,
+                decision.chosen.area_mm2,
+                mount,
+            )
+        )
+    smd_kept = report.smd_count
+    print(
+        f"Optimizer: {report.integrated_count} passives integrated, "
+        f"{smd_kept} kept SMD, {report.area_saved_mm2:.0f} mm^2 saved "
+        "versus the rejected alternatives."
+    )
+    for decision in report.decisions[:3]:
+        print(f"  e.g. {decision.requirement.name}: {decision.reason}")
+    decap_example = next(
+        d for d in report.decisions
+        if d.requirement.role is PassiveRole.DECOUPLING
+    )
+    print(f"  e.g. {decap_example.requirement.name}: "
+          f"{decap_example.reason}")
+
+    return [
+        CandidateBuildUp(
+            name="PCB / all SMD",
+            footprints=all_smd,
+            substrate_rule=PCB_RULE,
+            flow_factory=flow_factory(
+                PCB_COST_PER_CM2, len(requirements), "FR4"
+            ),
+            fixed_performance=1.0,
+        ),
+        CandidateBuildUp(
+            name="thin film / all IP",
+            footprints=all_ip,
+            substrate_rule=THIN_FILM_RULE,
+            flow_factory=flow_factory(
+                THIN_FILM_COST_PER_CM2, 0, "thin-film"
+            ),
+            fixed_performance=1.0,
+        ),
+        CandidateBuildUp(
+            name="passives optimized",
+            footprints=optimized,
+            substrate_rule=THIN_FILM_RULE,
+            flow_factory=flow_factory(
+                THIN_FILM_COST_PER_CM2, smd_kept, "thin-film"
+            ),
+            fixed_performance=1.0,
+        ),
+    ]
+
+
+def main() -> None:
+    print("Digital FPGA board: 82 passives, 3 build-ups\n")
+    result = run_study(build_candidates())
+    print()
+    print(full_report(result))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""The full GPS case study, step by step (paper §3-4).
+
+Walks the five methodology steps explicitly, showing the intermediate
+artefacts the paper discusses:
+
+1. the build-ups and their bills of materials,
+2. the filter-chain performance analysis (§4.1),
+3. the area calculation (§4.2, Fig. 3),
+4. the MOE cost analysis (§4.3, Figs. 4/5) including a Monte Carlo run,
+5. the figure of merit and the decision (§4.4, Fig. 6).
+
+Run:
+    python examples/gps_case_study.py
+"""
+
+from repro.circuits.performance import assess_chain
+from repro.cost.moe import evaluate, render_flow, simulate
+from repro.gps import data
+from repro.gps.bom import build_gps_bom, validate_against_paper
+from repro.gps.buildups import area_for, flow_for
+from repro.gps.filters_chain import technology_assignments
+from repro.gps.study import paper_comparison, run_gps_study
+
+
+def step1_buildups() -> None:
+    print("=" * 70)
+    print("Step 1 — viable build-up implementations")
+    print("=" * 70)
+    for i in (1, 2, 3, 4):
+        print(f"  {i}: {data.IMPLEMENTATION_NAMES[i]}")
+    bom = build_gps_bom()
+    print(f"\nPassive BoM: {bom.total_count} discrete positions")
+    for line in bom:
+        req = line.requirement
+        print(
+            f"  {line.quantity:>3}x {req.name:<10} "
+            f"({req.kind.name.lower()}, {req.role.value}) — {line.note}"
+        )
+    checks = validate_against_paper(bom)
+    print(f"Aggregate checks vs the paper: {checks}")
+
+
+def step2_performance() -> None:
+    print("\n" + "=" * 70)
+    print("Step 2 — performance vs specifications (§4.1)")
+    print("=" * 70)
+    for i in (1, 2, 3, 4):
+        chain = assess_chain(technology_assignments(i))
+        print(f"\n  build-up {i} ({data.IMPLEMENTATION_NAMES[i]}):")
+        for result in chain.filters:
+            status = "meets spec" if result.meets_spec else "VIOLATES spec"
+            rejection = (
+                f", rejection {result.rejection_db:.1f} dB"
+                if result.rejection_db is not None
+                else ""
+            )
+            print(
+                f"    {result.spec.name:<22} IL "
+                f"{result.insertion_loss_db:5.2f} dB "
+                f"(spec {result.spec.max_insertion_loss_db:.1f} dB)"
+                f"{rejection} -> {status}"
+            )
+        print(
+            f"    chain score {chain.score:.2f} "
+            f"(paper: {data.PAPER_PERFORMANCE[i]})"
+        )
+
+
+def step3_area() -> None:
+    print("\n" + "=" * 70)
+    print("Step 3 — area calculation (§4.2, Fig. 3)")
+    print("=" * 70)
+    reference = area_for(1).final_area_mm2
+    for i in (1, 2, 3, 4):
+        report = area_for(i)
+        parts = ", ".join(
+            f"{kind}: {total:.0f}"
+            for kind, total in sorted(report.breakdown_mm2.items())
+        )
+        print(
+            f"  build-up {i}: final {report.final_area_mm2:7.0f} mm^2 "
+            f"({100 * report.final_area_mm2 / reference:5.1f} %, paper "
+            f"{data.PAPER_AREA_PERCENT[i]:.0f} %)  [{parts}]"
+        )
+
+
+def step4_cost() -> None:
+    print("\n" + "=" * 70)
+    print("Step 4 — cost including test and yield (§4.3, Figs. 4/5)")
+    print("=" * 70)
+    print("\nGeneric MOE model of build-up 2 (Fig. 4):\n")
+    print(render_flow(flow_for(2)))
+
+    print("\nAnalytic evaluation (Eq. 1) and a Monte Carlo batch:")
+    reference = evaluate(flow_for(1)).final_cost_per_shipped
+    for i in (1, 2, 3, 4):
+        flow = flow_for(i)
+        analytic = evaluate(flow)
+        sampled = simulate(flow, units=10_000, seed=42)
+        print(
+            f"  build-up {i}: final {analytic.final_cost_per_shipped:7.2f} "
+            f"({100 * analytic.final_cost_per_shipped / reference:5.1f} %, "
+            f"paper {data.PAPER_COST_PERCENT[i]:.1f} %)  "
+            f"direct {analytic.direct_cost_per_unit:6.1f} "
+            f"(chips {analytic.chip_cost_per_unit:6.1f})  "
+            f"yield loss {analytic.yield_loss_per_shipped:5.1f}  "
+            f"[MC: {sampled.final_cost_per_shipped:7.2f}, "
+            f"{sampled.scrapped_units:.0f} scrapped]"
+        )
+
+
+def step5_decision() -> None:
+    print("\n" + "=" * 70)
+    print("Step 5 — the decision (§4.4, Fig. 6)")
+    print("=" * 70)
+    result = run_gps_study()
+    comparison = paper_comparison(result)
+    print(f"\n{'impl':>4} | {'perf':>10} | {'area %':>14} | "
+          f"{'cost %':>14} | {'FoM':>12}")
+    print("     |  paper/ours |   paper/ours   |   paper/ours   |  paper/ours")
+    for i in (1, 2, 3, 4):
+        perf = comparison["performance"][i]
+        area = comparison["area"][i]
+        cost = comparison["cost"][i]
+        fom = comparison["fom"][i]
+        print(
+            f"{i:>4} | {perf[0]:4.2f}/{perf[1]:4.2f} | "
+            f"{area[0]:6.1f}/{area[1]:6.1f} | "
+            f"{cost[0]:6.1f}/{cost[1]:6.1f} | "
+            f"{fom[0]:5.2f}/{fom[1]:5.2f}"
+        )
+    print(f"\nDecision: build {result.winner.assessment.name} "
+          f"(the paper chose an adaptation of solution 4).")
+
+
+def main() -> None:
+    step1_buildups()
+    step2_performance()
+    step3_area()
+    step4_cost()
+    step5_decision()
+
+
+if __name__ == "__main__":
+    main()

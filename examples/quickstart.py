@@ -1,0 +1,23 @@
+#!/usr/bin/env python3
+"""Quickstart: run the paper's GPS trade-off study in five lines.
+
+Reproduces the decision of Scheffler & Troester (DATE 2000): given four
+physical build-ups of a GPS receiver front end, which one should be
+built?  Prints the Fig. 3 / Fig. 5 / Fig. 6 tables and the
+recommendation.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro.core.decision import full_report
+from repro.gps.study import run_gps_study
+
+
+def main() -> None:
+    result = run_gps_study()
+    print(full_report(result))
+
+
+if __name__ == "__main__":
+    main()

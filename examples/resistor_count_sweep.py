@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Recreate the ">10 resistors and IP pays off" rule of thumb (ref [2]).
+
+Sweeps the number of pull-up resistors on a small generic board and
+costs an all-SMD build against an integrated-resistor build with the
+MOE engine, printing the crossover — the quantitative form of the rule
+of thumb the paper's introduction cites from Bleiweiss & Roelants.
+
+Run:
+    python examples/resistor_count_sweep.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "benchmarks"))
+
+from test_resistor_rule_of_thumb import cost_pair, find_crossover
+
+
+def main() -> None:
+    print("Generic board: one ASIC + n pull-up resistors")
+    print(f"{'n':>4} | {'SMD build':>9} | {'IP build':>9} | cheaper")
+    print("-" * 44)
+    for n in (1, 2, 5, 8, 10, 12, 15, 20, 30, 50):
+        smd, ip = cost_pair(n)
+        winner = "IP" if ip < smd else "SMD"
+        print(f"{n:>4} | {smd:>9.3f} | {ip:>9.3f} | {winner}")
+    crossover = find_crossover()
+    print(f"\nCrossover: integrated passives become cheaper at "
+          f"n = {crossover} resistors.")
+    print("Rule of thumb from the paper's ref [2]: 'for more than 10 "
+          "resistors the IP solution is more cost effective'.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""repro — reproduction of Scheffler & Troester, *Assessing the Cost
+Effectiveness of Integrated Passives* (DATE 2000).
+
+The library implements the paper's trade-off methodology for deciding
+between surface-mount and integrated (thin-film) passives, together with
+every substrate it depends on:
+
+* :mod:`repro.core` — the five-step methodology, figure of merit and the
+  passives-optimized technology selector;
+* :mod:`repro.passives` — SMD catalog and thin-film component models;
+* :mod:`repro.circuits` — RLC netlists, nodal AC analysis, filter
+  synthesis and technology Q models (performance step);
+* :mod:`repro.area` — Table 1 placement/sizing rules (size step);
+* :mod:`repro.cost` — the MOE production-flow cost modeller with Monte
+  Carlo and analytic evaluation (cost step, Eq. (1));
+* :mod:`repro.gps` — the GPS front-end case study reproducing every
+  table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro.gps import run_gps_study, summary_rows
+    result = run_gps_study()
+    for row in summary_rows(result):
+        print(row.name, row.area_percent, row.cost_percent,
+              row.figure_of_merit)
+"""
+
+from . import area, circuits, core, cost, gps, passives, reporting, units
+from .errors import (
+    CalibrationError,
+    CircuitError,
+    ComponentError,
+    CostModelError,
+    FlowError,
+    PlacementError,
+    ReproError,
+    SpecificationError,
+    SynthesisError,
+    TechnologyError,
+    UnitError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CalibrationError",
+    "CircuitError",
+    "ComponentError",
+    "CostModelError",
+    "FlowError",
+    "PlacementError",
+    "ReproError",
+    "SpecificationError",
+    "SynthesisError",
+    "TechnologyError",
+    "UnitError",
+    "__version__",
+    "area",
+    "circuits",
+    "core",
+    "cost",
+    "gps",
+    "passives",
+    "reporting",
+    "units",
+]

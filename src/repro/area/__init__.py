@@ -1,0 +1,51 @@
+"""Area estimation substrate (methodology step 3, Table 1 rules, Fig. 3)."""
+
+from .footprint import (
+    CHIP_AREAS,
+    ChipAreas,
+    Footprint,
+    MountKind,
+    TABLE1_FILTER_AREAS,
+    TABLE1_IP_AREAS,
+)
+from .placement import (
+    AreaReport,
+    PlacedRect,
+    ShelfLayout,
+    ShelfPlacer,
+    area_breakdown,
+    area_ratio,
+    trivial_placement,
+)
+from .substrate import (
+    LAMINATE_RULE,
+    LaminateRule,
+    MCM_D_RULE,
+    PCB_RULE,
+    PackageSize,
+    SubstrateRule,
+    SubstrateSize,
+)
+
+__all__ = [
+    "AreaReport",
+    "CHIP_AREAS",
+    "ChipAreas",
+    "Footprint",
+    "LAMINATE_RULE",
+    "LaminateRule",
+    "MCM_D_RULE",
+    "MountKind",
+    "PCB_RULE",
+    "PackageSize",
+    "PlacedRect",
+    "ShelfLayout",
+    "ShelfPlacer",
+    "SubstrateRule",
+    "SubstrateSize",
+    "TABLE1_FILTER_AREAS",
+    "TABLE1_IP_AREAS",
+    "area_breakdown",
+    "area_ratio",
+    "trivial_placement",
+]

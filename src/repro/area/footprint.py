@@ -1,0 +1,92 @@
+"""Component footprints on a board or substrate (Table 1 inputs).
+
+A :class:`Footprint` is the area contribution of one placed component,
+tagged with how it mounts (SMD, bare die, integrated structure) so the
+placement engine can apply technology-specific overheads — e.g. SMD land
+patterns on a silicon MCM substrate consume extra escape-routing area
+relative to the same part on coarse-pitch PCB.
+
+Die and package areas for the GPS chip set come straight from Table 1 of
+the paper and live in :data:`CHIP_AREAS`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import PlacementError
+
+
+class MountKind(enum.Enum):
+    """How a component occupies area."""
+
+    #: Leaded/gull-wing package on PCB (TQFP, PQFP).
+    PACKAGED = "packaged"
+    #: Bare die, wire bonded (area includes the bond shelf).
+    WIRE_BOND = "wire bond"
+    #: Bare die, flip chip (solder bumps, no shelf).
+    FLIP_CHIP = "flip chip"
+    #: Surface-mount passive.
+    SMD = "smd"
+    #: Structure patterned into the substrate (no placement overhead).
+    INTEGRATED = "integrated"
+
+
+@dataclass(frozen=True)
+class Footprint:
+    """Area contribution of one placed component."""
+
+    name: str
+    area_mm2: float
+    mount: MountKind
+
+    def __post_init__(self) -> None:
+        if self.area_mm2 <= 0:
+            raise PlacementError(
+                f"footprint {self.name!r} needs positive area, got "
+                f"{self.area_mm2}"
+            )
+
+
+@dataclass(frozen=True)
+class ChipAreas:
+    """Per-technology area of one chip (a Table 1 row)."""
+
+    name: str
+    packaged_mm2: float
+    wire_bond_mm2: float
+    flip_chip_mm2: float
+
+    def footprint(self, mount: MountKind) -> Footprint:
+        """The footprint of this chip under a given first-level mount."""
+        if mount is MountKind.PACKAGED:
+            return Footprint(self.name, self.packaged_mm2, mount)
+        if mount is MountKind.WIRE_BOND:
+            return Footprint(self.name, self.wire_bond_mm2, mount)
+        if mount is MountKind.FLIP_CHIP:
+            return Footprint(self.name, self.flip_chip_mm2, mount)
+        raise PlacementError(
+            f"chip {self.name!r} cannot mount as {mount.value}"
+        )
+
+
+#: Table 1, rows "RF Chip" and "DSP Correlator".
+CHIP_AREAS: dict[str, ChipAreas] = {
+    "RF chip": ChipAreas("RF chip", 225.0, 28.0, 13.0),
+    "DSP correlator": ChipAreas("DSP correlator", 1165.0, 88.0, 59.0),
+}
+
+#: Table 1 reference points for integrated passives, used by tests to pin
+#: the physical models to the paper's numbers.
+TABLE1_IP_AREAS = {
+    "IP-R 100kohm": 0.25,
+    "IP-C 50pF": 0.30,
+    "IP-L 40nH": 1.0,
+}
+
+#: Table 1 filter realizations.
+TABLE1_FILTER_AREAS = {
+    "SMD": 27.5,
+    "integrated 3-stage": 12.0,
+}

@@ -1,0 +1,236 @@
+"""Placement and area estimation (methodology step 3).
+
+The paper computes the area "by the sum of the single components and
+performing a trivial placement".  Two placers are provided:
+
+* :func:`trivial_placement` — the paper's rule: summed component area
+  times the packing factor, square substrate, edge clearance.  This is
+  what the Fig. 3 reproduction uses.
+* :class:`ShelfPlacer` — an actual 2-D shelf (level-oriented) packing of
+  component rectangles.  It serves as an ablation: how sensitive is the
+  Fig. 3 ranking to replacing the 1.1 heuristic with a real placement?
+
+Both report through :class:`AreaReport`, which carries the silicon and
+package sizes plus a per-mount-kind breakdown for the tables.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from ..errors import PlacementError
+from .footprint import Footprint, MountKind
+from .substrate import (
+    LAMINATE_RULE,
+    LaminateRule,
+    PackageSize,
+    SubstrateRule,
+    SubstrateSize,
+)
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Area result for one build-up.
+
+    Attributes
+    ----------
+    substrate:
+        Sized substrate (PCB board or silicon MCM).
+    package:
+        Laminate package around the silicon, or None for a bare board.
+    breakdown_mm2:
+        Component area grouped by mount kind (before packing factors).
+    """
+
+    substrate: SubstrateSize
+    package: Optional[PackageSize]
+    breakdown_mm2: dict[str, float]
+
+    @property
+    def final_area_mm2(self) -> float:
+        """The area the system consumes on the next level up.
+
+        For packaged MCMs this is the laminate footprint; for the PCB
+        reference it is the board itself — the quantity Fig. 3 compares.
+        """
+        if self.package is not None:
+            return self.package.area_mm2
+        return self.substrate.area_mm2
+
+    @property
+    def substrate_area_cm2(self) -> float:
+        """Substrate area in cm^2 — the driver of Table 2 substrate cost."""
+        return self.substrate.area_cm2
+
+
+def area_breakdown(footprints: Iterable[Footprint]) -> dict[str, float]:
+    """Sum raw component area per mount kind."""
+    totals: dict[str, float] = {}
+    for footprint in footprints:
+        key = footprint.mount.value
+        totals[key] = totals.get(key, 0.0) + footprint.area_mm2
+    return totals
+
+
+def trivial_placement(
+    footprints: Sequence[Footprint],
+    rule: SubstrateRule,
+    laminate: Optional[LaminateRule] = None,
+) -> AreaReport:
+    """The paper's placement: packing factor plus edge clearance.
+
+    Parameters
+    ----------
+    footprints:
+        Everything placed on the substrate (chips, SMDs, integrated
+        structures).
+    rule:
+        The substrate sizing rule (PCB or MCM-D).
+    laminate:
+        If given, the silicon substrate is packaged on a BGA laminate and
+        the report's final area is the laminate footprint.
+    """
+    if not footprints:
+        raise PlacementError("cannot place an empty component list")
+    substrate = rule.size(footprints)
+    package = laminate.size(substrate) if laminate is not None else None
+    return AreaReport(
+        substrate=substrate,
+        package=package,
+        breakdown_mm2=area_breakdown(footprints),
+    )
+
+
+@dataclass
+class PlacedRect:
+    """One placed rectangle in a shelf layout."""
+
+    name: str
+    x_mm: float
+    y_mm: float
+    width_mm: float
+    height_mm: float
+
+
+@dataclass
+class ShelfLayout:
+    """Result of a shelf packing run."""
+
+    width_mm: float
+    height_mm: float
+    placements: list[PlacedRect] = field(default_factory=list)
+
+    @property
+    def area_mm2(self) -> float:
+        """Bounding area of the packed layout."""
+        return self.width_mm * self.height_mm
+
+    @property
+    def utilization(self) -> float:
+        """Component area over bounding area (placement efficiency)."""
+        used = sum(p.width_mm * p.height_mm for p in self.placements)
+        if self.area_mm2 == 0:
+            return 0.0
+        return used / self.area_mm2
+
+
+class ShelfPlacer:
+    """Next-fit decreasing-height shelf packing.
+
+    Components are modelled as squares of their footprint area (the
+    library tracks areas, not aspect ratios), sorted by decreasing side,
+    and packed left-to-right into shelves of a target width.  The target
+    width defaults to the side of the square the trivial rule would
+    produce, so the two placers are directly comparable.
+    """
+
+    def __init__(self, spacing_mm: float = 0.2):
+        if spacing_mm < 0:
+            raise PlacementError(
+                f"spacing cannot be negative, got {spacing_mm}"
+            )
+        self.spacing_mm = spacing_mm
+
+    def pack(
+        self,
+        footprints: Sequence[Footprint],
+        target_width_mm: Optional[float] = None,
+        rule: Optional[SubstrateRule] = None,
+    ) -> ShelfLayout:
+        """Pack footprints into shelves.
+
+        ``rule`` (if given) applies its SMD footprint factor before
+        packing so the comparison against :func:`trivial_placement` is
+        apples-to-apples.
+        """
+        if not footprints:
+            raise PlacementError("cannot pack an empty component list")
+        sides = []
+        for footprint in footprints:
+            area = (
+                rule.effective_area(footprint)
+                if rule is not None
+                else footprint.area_mm2
+            )
+            sides.append((footprint.name, math.sqrt(area)))
+        sides.sort(key=lambda pair: pair[1], reverse=True)
+
+        if target_width_mm is None:
+            total = sum(side * side for _, side in sides)
+            target_width_mm = math.sqrt(total * 1.1)
+        target_width_mm = max(target_width_mm, sides[0][1])
+
+        layout = ShelfLayout(width_mm=target_width_mm, height_mm=0.0)
+        shelf_y = 0.0
+        shelf_height = 0.0
+        cursor_x = 0.0
+        for name, side in sides:
+            step = side + self.spacing_mm
+            if cursor_x + side > target_width_mm and cursor_x > 0.0:
+                shelf_y += shelf_height + self.spacing_mm
+                shelf_height = 0.0
+                cursor_x = 0.0
+            layout.placements.append(
+                PlacedRect(name, cursor_x, shelf_y, side, side)
+            )
+            cursor_x += step
+            shelf_height = max(shelf_height, side)
+        layout.height_mm = shelf_y + shelf_height
+        return layout
+
+    def place(
+        self,
+        footprints: Sequence[Footprint],
+        rule: SubstrateRule,
+        laminate: Optional[LaminateRule] = None,
+    ) -> AreaReport:
+        """Produce an :class:`AreaReport` from a real shelf packing.
+
+        The substrate side is the larger of the packed width/height plus
+        the rule's edge clearance, keeping the substrate square so the
+        report is interchangeable with :func:`trivial_placement`.
+        """
+        layout = self.pack(footprints, rule=rule)
+        side = max(layout.width_mm, layout.height_mm)
+        side += 2.0 * rule.edge_clearance_mm
+        total = sum(rule.effective_area(f) for f in footprints)
+        substrate = SubstrateSize(
+            rule=rule,
+            component_area_mm2=total,
+            packed_area_mm2=layout.area_mm2,
+            side_mm=side,
+        )
+        package = laminate.size(substrate) if laminate is not None else None
+        return AreaReport(
+            substrate=substrate,
+            package=package,
+            breakdown_mm2=area_breakdown(footprints),
+        )
+
+
+def area_ratio(report: AreaReport, reference: AreaReport) -> float:
+    """Final-area ratio against a reference build (Fig. 3's percentages)."""
+    return report.final_area_mm2 / reference.final_area_mm2

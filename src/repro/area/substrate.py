@@ -1,0 +1,159 @@
+"""Substrate and package area rules (Table 1 footnotes).
+
+The paper states two sizing rules:
+
+* *"Area MCM-Substrate: 1.1 * Total Area Components + 1 mm edge clearance
+  on either side"* — components are packed with a 10 % routing allowance
+  and the (square) substrate gets a 1 mm rim;
+* *"Laminate: Total Area Silicon Substrate + 5 mm edge clearance on
+  either side"* — the silicon module sits centred on a BGA laminate with
+  a 5 mm rim for the ball grid fan-out.
+
+The PCB reference build uses the same packing rule with a PCB-class
+routing factor.  One additional effect is modelled: SMD land patterns on
+a fine-line silicon substrate need escape routing and solder keep-outs
+that coarse PCB lands do not, captured as a multiplier on SMD footprints
+placed on MCM-D (``smd_on_mcm_factor``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..errors import PlacementError
+from .footprint import Footprint, MountKind
+
+
+@dataclass(frozen=True)
+class SubstrateRule:
+    """Sizing rule for one substrate class.
+
+    Attributes
+    ----------
+    name:
+        Substrate class label.
+    packing_factor:
+        Multiplier on the summed component area (routing allowance);
+        the paper uses 1.1 for MCM-D.
+    edge_clearance_mm:
+        Rim added on every side of the (square) substrate.
+    smd_footprint_factor:
+        Extra multiplier applied to SMD footprints on this substrate
+        (1.0 on PCB; >1 on fine-line MCM-D where lands and escape vias
+        dominate).
+    """
+
+    name: str
+    packing_factor: float = 1.1
+    edge_clearance_mm: float = 1.0
+    smd_footprint_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.packing_factor < 1.0:
+            raise PlacementError(
+                f"packing factor must be >= 1, got {self.packing_factor}"
+            )
+        if self.edge_clearance_mm < 0:
+            raise PlacementError(
+                "edge clearance cannot be negative, got "
+                f"{self.edge_clearance_mm}"
+            )
+        if self.smd_footprint_factor < 1.0:
+            raise PlacementError(
+                "SMD footprint factor must be >= 1, got "
+                f"{self.smd_footprint_factor}"
+            )
+
+    def effective_area(self, footprint: Footprint) -> float:
+        """Footprint area adjusted for this substrate's SMD overhead."""
+        if footprint.mount is MountKind.SMD:
+            return footprint.area_mm2 * self.smd_footprint_factor
+        return footprint.area_mm2
+
+    def size(self, footprints: Iterable[Footprint]) -> "SubstrateSize":
+        """Apply the paper's sizing rule to a set of footprints."""
+        total = sum(self.effective_area(f) for f in footprints)
+        if total <= 0:
+            raise PlacementError(
+                f"substrate {self.name!r} has no components to place"
+            )
+        packed = total * self.packing_factor
+        side = math.sqrt(packed) + 2.0 * self.edge_clearance_mm
+        return SubstrateSize(
+            rule=self,
+            component_area_mm2=total,
+            packed_area_mm2=packed,
+            side_mm=side,
+        )
+
+
+@dataclass(frozen=True)
+class SubstrateSize:
+    """Result of sizing one substrate."""
+
+    rule: SubstrateRule
+    component_area_mm2: float
+    packed_area_mm2: float
+    side_mm: float
+
+    @property
+    def area_mm2(self) -> float:
+        """Outer substrate area (square)."""
+        return self.side_mm * self.side_mm
+
+    @property
+    def area_cm2(self) -> float:
+        """Outer substrate area in cm^2 (the unit of Table 2's cost row)."""
+        return self.area_mm2 / 100.0
+
+
+@dataclass(frozen=True)
+class LaminateRule:
+    """BGA laminate sizing: silicon side plus a fan-out rim (Table 1)."""
+
+    edge_clearance_mm: float = 5.0
+
+    def size(self, silicon: SubstrateSize) -> "PackageSize":
+        """Size the laminate package around a silicon substrate."""
+        side = silicon.side_mm + 2.0 * self.edge_clearance_mm
+        return PackageSize(silicon=silicon, side_mm=side)
+
+
+@dataclass(frozen=True)
+class PackageSize:
+    """Outer dimensions of the packaged module."""
+
+    silicon: SubstrateSize
+    side_mm: float
+
+    @property
+    def area_mm2(self) -> float:
+        """Module footprint on the motherboard."""
+        return self.side_mm * self.side_mm
+
+    @property
+    def area_cm2(self) -> float:
+        """Module footprint in cm^2."""
+        return self.area_mm2 / 100.0
+
+
+#: The paper's MCM-D(Si) substrate rule (Table 1 footnote).
+MCM_D_RULE = SubstrateRule(
+    name="MCM-D(Si)",
+    packing_factor=1.1,
+    edge_clearance_mm=1.0,
+    smd_footprint_factor=1.5,
+)
+
+#: PCB reference board rule: same 1.1 packing, PCB-class lands (factor 1).
+PCB_RULE = SubstrateRule(
+    name="PCB",
+    packing_factor=1.1,
+    edge_clearance_mm=1.0,
+    smd_footprint_factor=1.0,
+)
+
+#: BGA laminate fan-out rule (Table 1 footnote).
+LAMINATE_RULE = LaminateRule(edge_clearance_mm=5.0)

@@ -1,0 +1,138 @@
+"""RLC circuit analysis substrate.
+
+A small but complete AC analysis stack:
+
+* :mod:`~repro.circuits.elements` — lossy R/L/C element models;
+* :mod:`~repro.circuits.netlist` — circuit container;
+* :mod:`~repro.circuits.mna` — nodal-admittance solver;
+* :mod:`~repro.circuits.twoport` — S-parameters / insertion loss;
+* :mod:`~repro.circuits.synthesis` — Chebyshev/Butterworth/pseudo-elliptic
+  bandpass ladder synthesis;
+* :mod:`~repro.circuits.qfactor` — technology Q models;
+* :mod:`~repro.circuits.performance` — spec scoring (paper step 2).
+"""
+
+from .elements import (
+    Capacitor,
+    Element,
+    GROUND,
+    Inductor,
+    Port,
+    Resistor,
+    lossy_capacitor,
+    lossy_inductor,
+)
+from .approximation import (
+    bandpass_selectivity,
+    butterworth_attenuation_db,
+    chebyshev_attenuation_db,
+    elliptic_attenuation_db,
+    minimum_order,
+    required_order,
+)
+from .matching import (
+    LMatchDesign,
+    LNetworkTopology,
+    build_l_match_circuit,
+    design_l_match,
+    match_return_loss_db,
+    matching_network_area_mm2,
+)
+from .mna import AcAnalysis, node_admittance_matrix, node_index, solve_nodal
+from .netlist import Circuit
+from .performance import (
+    ChainPerformance,
+    FilterPerformance,
+    analyze_filter,
+    assess_chain,
+    loss_score,
+    measure_filter,
+)
+from .qfactor import (
+    ConstantQModel,
+    DiscreteFilterBlockQModel,
+    IdealQModel,
+    MixedQModel,
+    SmdQModel,
+    SummitQModel,
+    combined_unloaded_q,
+)
+from .synthesis import (
+    BandpassDesign,
+    QModel,
+    ResonatorElements,
+    TrapElements,
+    build_bandpass_circuit,
+    butterworth_g_values,
+    chebyshev_g_values,
+    dissipation_loss_db,
+    prototype_g_values,
+    synthesize_bandpass,
+)
+from .twoport import (
+    SParameters,
+    SweepResult,
+    input_impedance,
+    measure_insertion_loss,
+    measure_rejection,
+    sweep,
+    two_port_sparameters,
+)
+
+__all__ = [
+    "AcAnalysis",
+    "BandpassDesign",
+    "Capacitor",
+    "ChainPerformance",
+    "Circuit",
+    "ConstantQModel",
+    "DiscreteFilterBlockQModel",
+    "Element",
+    "FilterPerformance",
+    "GROUND",
+    "IdealQModel",
+    "Inductor",
+    "LMatchDesign",
+    "LNetworkTopology",
+    "MixedQModel",
+    "Port",
+    "QModel",
+    "Resistor",
+    "ResonatorElements",
+    "SParameters",
+    "SmdQModel",
+    "SummitQModel",
+    "SweepResult",
+    "TrapElements",
+    "analyze_filter",
+    "assess_chain",
+    "bandpass_selectivity",
+    "build_l_match_circuit",
+    "build_bandpass_circuit",
+    "butterworth_g_values",
+    "butterworth_attenuation_db",
+    "chebyshev_attenuation_db",
+    "chebyshev_g_values",
+    "combined_unloaded_q",
+    "design_l_match",
+    "elliptic_attenuation_db",
+    "dissipation_loss_db",
+    "input_impedance",
+    "loss_score",
+    "lossy_capacitor",
+    "lossy_inductor",
+    "match_return_loss_db",
+    "matching_network_area_mm2",
+    "measure_filter",
+    "measure_insertion_loss",
+    "minimum_order",
+    "measure_rejection",
+    "node_admittance_matrix",
+    "node_index",
+    "prototype_g_values",
+    "required_order",
+    "solve_nodal",
+    "sweep",
+    "synthesize_bandpass",
+    "two_port_sparameters",
+]

@@ -1,0 +1,259 @@
+"""Impedance matching network synthesis (paper §3).
+
+The GPS front end needs "50 Ω matching networks for the LNA and the
+mixer on the RF chip".  This module synthesises the classic two-element
+L-network that matches a complex load to a real source impedance at one
+frequency, returns the element values (which the passive library can
+then price and size in either technology), and verifies the match by
+nodal analysis.
+
+Theory: for a load ``R_L`` (here taken real after absorbing the load
+reactance) and source ``R_S`` with ``R_S > R_L``, the L-network has
+
+    Q = sqrt(R_S / R_L - 1)
+    X_series = Q * R_L          (series arm, on the load side)
+    X_shunt  = R_S / Q          (shunt arm, on the source side)
+
+with the series/shunt arms realisable as L-up/C-down (lowpass) or
+C-up/L-down (highpass).  For ``R_S < R_L`` the network mirrors.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from ..errors import CircuitError, SynthesisError
+from .elements import lossy_capacitor, lossy_inductor
+from .netlist import Circuit
+from .synthesis import QModel
+
+
+class LNetworkTopology(enum.Enum):
+    """Which reactance goes where."""
+
+    #: Series inductor, shunt capacitor — lowpass, DC-coupled.
+    LOWPASS = "lowpass"
+    #: Series capacitor, shunt inductor — highpass, DC-blocked.
+    HIGHPASS = "highpass"
+
+
+@dataclass(frozen=True)
+class LMatchDesign:
+    """A synthesised two-element L-match.
+
+    Attributes
+    ----------
+    frequency_hz:
+        Design frequency.
+    source_ohm / load_ohm:
+        The two real impedance levels being matched.
+    topology:
+        Lowpass or highpass arrangement.
+    q_factor:
+        Loaded Q of the network, fixed by the impedance ratio.
+    series_element_h_or_f / shunt_element_h_or_f:
+        Element values: henry for inductors, farad for capacitors; which
+        is which follows from the topology.
+    shunt_at_source:
+        True when the shunt arm sits on the higher-impedance (source)
+        side.
+    """
+
+    frequency_hz: float
+    source_ohm: float
+    load_ohm: float
+    topology: LNetworkTopology
+    q_factor: float
+    series_element: float
+    shunt_element: float
+    shunt_at_source: bool
+
+    @property
+    def series_is_inductor(self) -> bool:
+        """The series arm is an inductor in the lowpass topology."""
+        return self.topology is LNetworkTopology.LOWPASS
+
+    @property
+    def bandwidth_hz(self) -> float:
+        """Approximate match bandwidth, ``f / Q`` (single-pole estimate).
+
+        Degenerate 1:1 matches have no reactive elements and therefore
+        unlimited bandwidth.
+        """
+        if self.q_factor == 0.0:
+            return math.inf
+        return self.frequency_hz / self.q_factor
+
+
+def design_l_match(
+    source_ohm: float,
+    load_ohm: float,
+    frequency_hz: float,
+    topology: LNetworkTopology = LNetworkTopology.LOWPASS,
+) -> LMatchDesign:
+    """Synthesise an L-network matching ``load_ohm`` to ``source_ohm``.
+
+    Raises
+    ------
+    SynthesisError
+        For non-positive impedances/frequency.  Equal impedances return
+        a degenerate (zero-Q) design.
+    """
+    if source_ohm <= 0 or load_ohm <= 0:
+        raise SynthesisError(
+            f"impedances must be positive, got {source_ohm} and {load_ohm}"
+        )
+    if frequency_hz <= 0:
+        raise SynthesisError(
+            f"frequency must be positive, got {frequency_hz}"
+        )
+    high = max(source_ohm, load_ohm)
+    low = min(source_ohm, load_ohm)
+    shunt_at_source = source_ohm >= load_ohm
+    if high == low:
+        return LMatchDesign(
+            frequency_hz=frequency_hz,
+            source_ohm=source_ohm,
+            load_ohm=load_ohm,
+            topology=topology,
+            q_factor=0.0,
+            series_element=0.0,
+            shunt_element=0.0,
+            shunt_at_source=shunt_at_source,
+        )
+    q = math.sqrt(high / low - 1.0)
+    x_series = q * low
+    x_shunt = high / q
+    omega = 2.0 * math.pi * frequency_hz
+    if topology is LNetworkTopology.LOWPASS:
+        series = x_series / omega  # inductance [H]
+        shunt = 1.0 / (omega * x_shunt)  # capacitance [F]
+    else:
+        series = 1.0 / (omega * x_series)  # capacitance [F]
+        shunt = x_shunt / omega  # inductance [H]
+    return LMatchDesign(
+        frequency_hz=frequency_hz,
+        source_ohm=source_ohm,
+        load_ohm=load_ohm,
+        topology=topology,
+        q_factor=q,
+        series_element=series,
+        shunt_element=shunt,
+        shunt_at_source=shunt_at_source,
+    )
+
+
+def build_l_match_circuit(
+    design: LMatchDesign,
+    q_model: QModel | None = None,
+    name: str = "L-match",
+) -> Circuit:
+    """Materialise an L-match as a two-port circuit.
+
+    Port 1 is the source side, port 2 the load side; the shunt arm is
+    attached on the high-impedance side per the design.  Finite-Q
+    elements come from the technology model, as in the filter builder.
+    """
+    if design.q_factor == 0.0:
+        raise CircuitError(
+            "degenerate 1:1 match has no elements to build"
+        )
+    circuit = Circuit(name=name)
+    f0 = design.frequency_hz
+
+    def q_l(value: float) -> float:
+        return (
+            math.inf if q_model is None else q_model.inductor_q(value, f0)
+        )
+
+    def q_c(value: float) -> float:
+        return (
+            math.inf
+            if q_model is None
+            else q_model.capacitor_q(value, f0)
+        )
+
+    shunt_node = "in" if design.shunt_at_source else "out"
+    if design.topology is LNetworkTopology.LOWPASS:
+        circuit.add(
+            lossy_inductor(
+                "Lser", "in", "out", design.series_element,
+                q_l(design.series_element), f0,
+            )
+        )
+        circuit.add(
+            lossy_capacitor(
+                "Csh", shunt_node, "0", design.shunt_element,
+                q_c(design.shunt_element), f0,
+            )
+        )
+    else:
+        circuit.add(
+            lossy_capacitor(
+                "Cser", "in", "out", design.series_element,
+                q_c(design.series_element), f0,
+            )
+        )
+        circuit.add(
+            lossy_inductor(
+                "Lsh", shunt_node, "0", design.shunt_element,
+                q_l(design.shunt_element), f0,
+            )
+        )
+    circuit.port("p1", "in", design.source_ohm)
+    circuit.port("p2", "out", design.load_ohm)
+    return circuit
+
+
+def match_return_loss_db(
+    design: LMatchDesign, q_model: QModel | None = None
+) -> float:
+    """Return loss of the built match at the design frequency.
+
+    A lossless, exactly synthesised L-match is perfect (return loss
+    -> infinity); finite-Q technologies degrade it.
+    """
+    from .twoport import two_port_sparameters
+
+    circuit = build_l_match_circuit(design, q_model)
+    return two_port_sparameters(
+        circuit, design.frequency_hz
+    ).return_loss_db
+
+
+def matching_network_area_mm2(
+    design: LMatchDesign,
+    integrated: bool = True,
+) -> float:
+    """Substrate/board area of the match in a technology.
+
+    Integrated: thin-film spiral + MIM models; SMD: 0603 footprints.
+    Used by the build-up constructors to price the paper's LNA/mixer
+    matching networks.
+    """
+    from ..passives.smd import get_case
+    from ..passives.thin_film import (
+        SUMMIT_PROCESS,
+        capacitor_area_mm2,
+        inductor_area_mm2,
+    )
+
+    if design.q_factor == 0.0:
+        return 0.0
+    if design.topology is LNetworkTopology.LOWPASS:
+        inductance, capacitance = (
+            design.series_element,
+            design.shunt_element,
+        )
+    else:
+        capacitance, inductance = (
+            design.series_element,
+            design.shunt_element,
+        )
+    if integrated:
+        return inductor_area_mm2(
+            inductance, SUMMIT_PROCESS
+        ) + capacitor_area_mm2(capacitance, SUMMIT_PROCESS)
+    return 2.0 * get_case("0603").footprint_area_mm2

@@ -1,0 +1,152 @@
+"""Nodal-admittance AC analysis.
+
+For a passive RLC network every element is a two-terminal admittance, so
+classic nodal analysis suffices (no auxiliary current variables are
+needed): at each angular frequency the node admittance matrix ``Y`` is
+stamped and ``Y v = i`` solved for the node voltages.
+
+The solver exposes two views:
+
+* :func:`node_admittance_matrix` / :func:`solve_nodal` — raw access for
+  tests and extensions;
+* :class:`AcAnalysis` — a frequency sweep bound to a circuit, caching the
+  node index and exposing impedance/transfer helpers used by the two-port
+  extractor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import CircuitError
+from .elements import GROUND
+from .netlist import Circuit
+
+
+def node_index(circuit: Circuit) -> dict[str, int]:
+    """Map non-ground node names to matrix row indices."""
+    return {node: i for i, node in enumerate(circuit.nodes())}
+
+
+def node_admittance_matrix(
+    circuit: Circuit, omega: float, index: dict[str, int] | None = None
+) -> np.ndarray:
+    """Stamp the complex node admittance matrix at ``omega`` rad/s.
+
+    Ground is eliminated; the matrix is ``n x n`` for ``n`` non-ground
+    nodes.  Each element of admittance ``y`` between nodes ``a`` and ``b``
+    stamps ``+y`` on the diagonals and ``-y`` on the off-diagonals.
+    """
+    if omega <= 0:
+        raise CircuitError(f"AC analysis requires omega > 0, got {omega}")
+    if index is None:
+        index = node_index(circuit)
+    n = len(index)
+    matrix = np.zeros((n, n), dtype=complex)
+    for element in circuit.elements:
+        y = element.admittance(omega)
+        a = index.get(element.node_a)
+        b = index.get(element.node_b)
+        if a is not None:
+            matrix[a, a] += y
+        if b is not None:
+            matrix[b, b] += y
+        if a is not None and b is not None:
+            matrix[a, b] -= y
+            matrix[b, a] -= y
+    return matrix
+
+
+def solve_nodal(
+    matrix: np.ndarray, currents: np.ndarray
+) -> np.ndarray:
+    """Solve ``Y v = i`` for the node voltages.
+
+    Raises
+    ------
+    CircuitError
+        If the admittance matrix is singular (floating subcircuit).
+    """
+    try:
+        return np.linalg.solve(matrix, currents)
+    except np.linalg.LinAlgError as exc:
+        raise CircuitError(
+            "singular node admittance matrix — the circuit has a floating "
+            "subcircuit or a node with no path to ground"
+        ) from exc
+
+
+@dataclass
+class AcAnalysis:
+    """AC analysis bound to one circuit.
+
+    The node index is computed once; every query stamps and solves at the
+    requested frequency.  All public methods accept frequencies in hertz.
+    """
+
+    circuit: Circuit
+
+    def __post_init__(self) -> None:
+        self.circuit.validate()
+        self._index = node_index(self.circuit)
+        if not self._index:
+            raise CircuitError("circuit has no non-ground nodes")
+
+    @property
+    def index(self) -> dict[str, int]:
+        """Node-name to row-index mapping (read-only view)."""
+        return dict(self._index)
+
+    def admittance_matrix(self, frequency_hz: float) -> np.ndarray:
+        """Node admittance matrix at ``frequency_hz``."""
+        omega = 2.0 * math.pi * frequency_hz
+        return node_admittance_matrix(self.circuit, omega, self._index)
+
+    def impedance_matrix(self, frequency_hz: float) -> np.ndarray:
+        """Full node impedance matrix ``Y^-1`` at ``frequency_hz``."""
+        matrix = self.admittance_matrix(frequency_hz)
+        try:
+            return np.linalg.inv(matrix)
+        except np.linalg.LinAlgError as exc:
+            raise CircuitError(
+                "singular node admittance matrix at "
+                f"{frequency_hz:g} Hz"
+            ) from exc
+
+    def driving_point_impedance(
+        self, node: str, frequency_hz: float
+    ) -> complex:
+        """Impedance seen looking into ``node`` against ground."""
+        if node not in self._index:
+            raise CircuitError(f"unknown node {node!r}")
+        z = self.impedance_matrix(frequency_hz)
+        i = self._index[node]
+        return complex(z[i, i])
+
+    def transfer_impedance(
+        self, from_node: str, to_node: str, frequency_hz: float
+    ) -> complex:
+        """Voltage at ``to_node`` per unit current injected at ``from_node``."""
+        for node in (from_node, to_node):
+            if node not in self._index:
+                raise CircuitError(f"unknown node {node!r}")
+        z = self.impedance_matrix(frequency_hz)
+        return complex(z[self._index[to_node], self._index[from_node]])
+
+    def voltages_for_injection(
+        self, node: str, frequency_hz: float, current: complex = 1.0
+    ) -> dict[str, complex]:
+        """Node voltages for a current injection at ``node``."""
+        if node not in self._index:
+            raise CircuitError(f"unknown node {node!r}")
+        matrix = self.admittance_matrix(frequency_hz)
+        rhs = np.zeros(len(self._index), dtype=complex)
+        rhs[self._index[node]] = current
+        solution = solve_nodal(matrix, rhs)
+        voltages = {GROUND: 0.0 + 0.0j}
+        for name, i in self._index.items():
+            voltages[name] = complex(solution[i])
+        return voltages

@@ -1,0 +1,158 @@
+"""Netlist container: named nodes, elements and analysis ports.
+
+A :class:`Circuit` is a bag of two-terminal elements between string-named
+nodes (``"0"`` is ground) plus the ports at which S-parameters are
+extracted.  It validates connectivity before analysis so MNA failures
+surface as clear errors instead of singular matrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..errors import CircuitError
+from .elements import (
+    Capacitor,
+    Element,
+    GROUND,
+    Inductor,
+    Port,
+    Resistor,
+)
+
+
+@dataclass
+class Circuit:
+    """A lumped AC circuit.
+
+    Elements are added with :meth:`add` or the convenience constructors
+    :meth:`resistor`, :meth:`capacitor`, :meth:`inductor`; ports with
+    :meth:`port`.  Node names are arbitrary strings; ``"0"`` is ground.
+    """
+
+    name: str = "circuit"
+    elements: list[Element] = field(default_factory=list)
+    ports: list[Port] = field(default_factory=list)
+
+    # -- construction -------------------------------------------------
+
+    def add(self, element: Element) -> Element:
+        """Add a pre-built element; duplicate names are rejected."""
+        if any(e.name == element.name for e in self.elements):
+            raise CircuitError(
+                f"duplicate element name {element.name!r} in {self.name!r}"
+            )
+        self.elements.append(element)
+        return element
+
+    def resistor(
+        self, name: str, node_a: str, node_b: str, resistance: float
+    ) -> Resistor:
+        """Add an ideal resistor."""
+        element = Resistor(name, node_a, node_b, resistance)
+        self.add(element)
+        return element
+
+    def capacitor(
+        self,
+        name: str,
+        node_a: str,
+        node_b: str,
+        capacitance: float,
+        tan_delta: float = 0.0,
+        esr: float = 0.0,
+    ) -> Capacitor:
+        """Add a (possibly lossy) capacitor."""
+        element = Capacitor(name, node_a, node_b, capacitance, tan_delta, esr)
+        self.add(element)
+        return element
+
+    def inductor(
+        self,
+        name: str,
+        node_a: str,
+        node_b: str,
+        inductance: float,
+        series_resistance: float = 0.0,
+        c_par: float = 0.0,
+    ) -> Inductor:
+        """Add a (possibly lossy) inductor."""
+        element = Inductor(
+            name, node_a, node_b, inductance, series_resistance, c_par
+        )
+        self.add(element)
+        return element
+
+    def port(self, name: str, node: str, impedance: float = 50.0) -> Port:
+        """Declare an analysis port on ``node`` referenced to ground."""
+        if any(p.name == name for p in self.ports):
+            raise CircuitError(f"duplicate port name {name!r}")
+        port = Port(name, node, impedance)
+        self.ports.append(port)
+        return port
+
+    # -- inspection ---------------------------------------------------
+
+    def nodes(self) -> list[str]:
+        """All non-ground node names, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for element in self.elements:
+            for node in (element.node_a, element.node_b):
+                if node != GROUND:
+                    seen.setdefault(node)
+        for port in self.ports:
+            seen.setdefault(port.node)
+        return list(seen)
+
+    def element(self, name: str) -> Element:
+        """Look up an element by name."""
+        for candidate in self.elements:
+            if candidate.name == name:
+                return candidate
+        raise CircuitError(f"no element named {name!r} in {self.name!r}")
+
+    def validate(self) -> None:
+        """Check the netlist is analysable.
+
+        Raises
+        ------
+        CircuitError
+            If there are no elements, a port sits on an unconnected node,
+            or some node has only one connection and is not a port
+            (a dangling stub that would make the MNA matrix singular is
+            still permitted if it has a path to ground, so only
+            disconnected port nodes are fatal here).
+        """
+        if not self.elements:
+            raise CircuitError(f"circuit {self.name!r} has no elements")
+        connected: set[str] = set()
+        for element in self.elements:
+            connected.add(element.node_a)
+            connected.add(element.node_b)
+        for port in self.ports:
+            if port.node not in connected:
+                raise CircuitError(
+                    f"port {port.name!r} node {port.node!r} is not "
+                    f"connected to any element"
+                )
+        if GROUND not in connected:
+            raise CircuitError(
+                f"circuit {self.name!r} has no ground reference"
+            )
+
+    def component_count(self) -> dict[str, int]:
+        """Histogram of element types, useful for reports."""
+        counts: dict[str, int] = {}
+        for element in self.elements:
+            key = type(element).__name__
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def extend(self, elements: Iterable[Element]) -> None:
+        """Add several elements at once."""
+        for element in elements:
+            self.add(element)
+
+    def __len__(self) -> int:
+        return len(self.elements)

@@ -1,0 +1,188 @@
+"""Technology Q-factor models (paper §2 and §4.1).
+
+The performance ranking in the paper hinges on one physical fact: *"The
+quality factor of SUMMIT passives is quite good in the 1-2 GHz range but
+decreases with frequency, leading to excessive insertion losses at the IF
+frequency (175 MHz)"*.  These models encode that behaviour:
+
+* :class:`SummitQModel` — thin-film spiral inductors.  Conductor loss
+  gives ``Q_cond = omega L / R_s`` (rising with frequency); substrate loss
+  gives ``Q_sub ~ 1/f`` (falling).  Their parallel combination peaks in
+  the low-GHz range, exactly the SUMMIT behaviour [3].  MIM capacitors are
+  loss-tangent limited (flat Q).
+* :class:`SmdQModel` — surface-mount parts.  Multilayer chip inductors
+  have moderate, broadly flat mid-band Q; NP0 ceramic capacitors are
+  nearly lossless at these frequencies.
+* :class:`DiscreteFilterBlockQModel` — effective resonator Q of a bought
+  SMD filter block (tuned, screened parts), high enough to meet spec.
+* :class:`IdealQModel` — lossless reference for unit tests.
+
+All models implement the :class:`~repro.circuits.synthesis.QModel`
+protocol.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import CircuitError
+from ..passives.thin_film import SUMMIT_PROCESS, ThinFilmProcess, design_spiral_inductor
+
+
+@dataclass(frozen=True)
+class IdealQModel:
+    """Lossless components (infinite Q); the unit-test reference."""
+
+    def inductor_q(self, inductance_h: float, frequency_hz: float) -> float:
+        del inductance_h, frequency_hz
+        return math.inf
+
+    def capacitor_q(self, capacitance_f: float, frequency_hz: float) -> float:
+        del capacitance_f, frequency_hz
+        return math.inf
+
+
+@dataclass(frozen=True)
+class ConstantQModel:
+    """Fixed Q values, useful for ablations and textbook cross-checks."""
+
+    inductor_q_value: float
+    capacitor_q_value: float
+
+    def inductor_q(self, inductance_h: float, frequency_hz: float) -> float:
+        del inductance_h, frequency_hz
+        return self.inductor_q_value
+
+    def capacitor_q(self, capacitance_f: float, frequency_hz: float) -> float:
+        del capacitance_f, frequency_hz
+        return self.capacitor_q_value
+
+
+@dataclass(frozen=True)
+class SummitQModel:
+    """Q model of the SUMMIT thin-film process.
+
+    Inductor Q combines two mechanisms:
+
+    * conductor loss — the spiral is synthesised for the requested value
+      by :func:`~repro.passives.thin_film.design_spiral_inductor`, whose
+      geometry fixes the series resistance, so ``Q_cond = omega L / R_s``
+      grows linearly with frequency and shrinks for large (long-wound)
+      inductors;
+    * substrate (eddy/dielectric) loss — modelled as
+      ``Q_sub = q_sub_ref * (f_ref / f)``, falling with frequency.
+
+    The parallel combination ``1/Q = 1/Q_cond + 1/Q_sub`` peaks in the
+    1-2 GHz range for nanohenry values — the published SUMMIT behaviour —
+    and collapses to single digits at the 175 MHz IF for the ~100 nH
+    values an IF filter needs.
+
+    Capacitor Q is the inverse loss tangent of the MIM stack.
+    """
+
+    process: ThinFilmProcess = SUMMIT_PROCESS
+    q_sub_ref: float = 200.0
+    f_sub_ref_hz: float = 1.0e9
+    cap_tan_delta: float = 0.005
+
+    def inductor_q(self, inductance_h: float, frequency_hz: float) -> float:
+        if frequency_hz <= 0:
+            raise CircuitError(
+                f"frequency must be positive, got {frequency_hz}"
+            )
+        design = design_spiral_inductor(inductance_h, self.process)
+        q_cond = design.q_factor(frequency_hz)
+        q_sub = self.q_sub_ref * self.f_sub_ref_hz / frequency_hz
+        return 1.0 / (1.0 / q_cond + 1.0 / q_sub)
+
+    def capacitor_q(self, capacitance_f: float, frequency_hz: float) -> float:
+        del capacitance_f, frequency_hz
+        return 1.0 / self.cap_tan_delta
+
+
+@dataclass(frozen=True)
+class SmdQModel:
+    """Q model of surface-mount passives.
+
+    Multilayer ceramic chip inductors (0603-class) have a mid-band
+    unloaded Q of order 10-20 that is only weakly frequency dependent in
+    the VHF/UHF range; wirewound parts reach 30-50.  NP0 capacitors are
+    modelled at Q = 500.  The default ``inductor_q_value = 12`` is a
+    multilayer 0603 part at the 175 MHz IF — the technology the paper's
+    "passives optimized" build falls back to for IF inductors.
+    """
+
+    inductor_q_value: float = 12.0
+    capacitor_q_value: float = 500.0
+
+    def inductor_q(self, inductance_h: float, frequency_hz: float) -> float:
+        del inductance_h, frequency_hz
+        return self.inductor_q_value
+
+    def capacitor_q(self, capacitance_f: float, frequency_hz: float) -> float:
+        del capacitance_f, frequency_hz
+        return self.capacitor_q_value
+
+
+@dataclass(frozen=True)
+class DiscreteFilterBlockQModel:
+    """Effective resonator Q of a discrete (bought) SMD filter block.
+
+    Dedicated filter modules use screened, tuned resonators; an effective
+    unloaded Q of 100 makes them meet the paper's specs with margin, which
+    is why build-ups 1 and 2 score a performance of 1.0.
+    """
+
+    resonator_q: float = 100.0
+
+    def inductor_q(self, inductance_h: float, frequency_hz: float) -> float:
+        del inductance_h, frequency_hz
+        return self.resonator_q
+
+    def capacitor_q(self, capacitance_f: float, frequency_hz: float) -> float:
+        del capacitance_f, frequency_hz
+        return self.resonator_q * 5.0
+
+
+@dataclass(frozen=True)
+class MixedQModel:
+    """Per-element-kind technology mix (the "passives optimized" case).
+
+    Build-up 4 realises IF-filter inductors as SMD parts (integrated
+    spirals would be too lossy at 175 MHz) while keeping capacitors and
+    resistors integrated.  This model delegates inductors to one model and
+    capacitors to another.
+    """
+
+    inductor_model: object = field(default_factory=SmdQModel)
+    capacitor_model: object = field(default_factory=SummitQModel)
+
+    def inductor_q(self, inductance_h: float, frequency_hz: float) -> float:
+        return self.inductor_model.inductor_q(inductance_h, frequency_hz)
+
+    def capacitor_q(self, capacitance_f: float, frequency_hz: float) -> float:
+        return self.capacitor_model.capacitor_q(capacitance_f, frequency_hz)
+
+
+def combined_unloaded_q(
+    q_model,
+    inductance_h: float,
+    capacitance_f: float,
+    frequency_hz: float,
+) -> float:
+    """Effective resonator Q: ``1/Q = 1/Q_L + 1/Q_C``.
+
+    This is the ``Qu`` that enters the classical dissipation-loss formula
+    for a resonator built from the given L and C.
+    """
+    q_l = q_model.inductor_q(inductance_h, frequency_hz)
+    q_c = q_model.capacitor_q(capacitance_f, frequency_hz)
+    inverse = 0.0
+    if math.isfinite(q_l) and q_l > 0:
+        inverse += 1.0 / q_l
+    if math.isfinite(q_c) and q_c > 0:
+        inverse += 1.0 / q_c
+    if inverse == 0.0:
+        return math.inf
+    return 1.0 / inverse

@@ -1,0 +1,224 @@
+"""Two-port S-parameter extraction and insertion-loss measurement.
+
+The filter analyses in the paper are all two-port questions: what is the
+insertion loss at the GPS frequency, what is the rejection at the image
+frequency.  This module turns a :class:`~repro.circuits.netlist.Circuit`
+with two declared ports into S-parameters:
+
+1. stamp the node admittance matrix (ports unterminated),
+2. add the port reference admittances ``1/Z0`` at the port nodes,
+3. solve for the port impedance sub-matrix ``Z``,
+4. convert with ``S = (Z - Z0)(Z + Z0)^-1`` (equal real reference
+   impedances per port are supported via the usual normalisation).
+
+Results are wrapped in :class:`SweepResult`, which provides the dB views
+used by the performance scorer and the benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import CircuitError
+from .mna import AcAnalysis, node_admittance_matrix, node_index
+from .netlist import Circuit
+
+
+@dataclass(frozen=True)
+class SParameters:
+    """S-matrix of a two-port at one frequency."""
+
+    frequency_hz: float
+    s11: complex
+    s12: complex
+    s21: complex
+    s22: complex
+
+    @property
+    def insertion_loss_db(self) -> float:
+        """``-20 log10 |S21|``; positive numbers mean loss."""
+        magnitude = abs(self.s21)
+        if magnitude == 0.0:
+            return math.inf
+        return -20.0 * math.log10(magnitude)
+
+    @property
+    def return_loss_db(self) -> float:
+        """``-20 log10 |S11|`` at the input port."""
+        magnitude = abs(self.s11)
+        if magnitude == 0.0:
+            return math.inf
+        return -20.0 * math.log10(magnitude)
+
+    @property
+    def is_passive(self) -> bool:
+        """True if no scattering entry exceeds unity (within tolerance)."""
+        tolerance = 1.0 + 1e-9
+        return all(
+            abs(s) <= tolerance
+            for s in (self.s11, self.s12, self.s21, self.s22)
+        )
+
+
+def two_port_sparameters(
+    circuit: Circuit, frequency_hz: float
+) -> SParameters:
+    """Compute the S-parameters of a circuit with exactly two ports.
+
+    Uses the terminated-excitation method, which (unlike the open-circuit
+    Z-parameter route) exists for every linear passive network, including
+    series-only two-ports: both port reference admittances ``1/Z0`` are
+    stamped into the node matrix, port ``k`` is driven by the Norton
+    equivalent of a ``2 sqrt(Z0k)`` source behind ``Z0k``, giving unit
+    incident wave ``a_k = 1``; then ``S_jk = V_j / sqrt(Z0j)`` for
+    ``j != k`` and ``S_kk = V_k / sqrt(Z0k) - 1``.
+    """
+    if len(circuit.ports) != 2:
+        raise CircuitError(
+            f"two-port extraction needs exactly 2 ports, circuit "
+            f"{circuit.name!r} has {len(circuit.ports)}"
+        )
+    port1, port2 = circuit.ports
+    index = node_index(circuit)
+    for port in (port1, port2):
+        if port.node not in index:
+            raise CircuitError(
+                f"port {port.name!r} node {port.node!r} not in circuit"
+            )
+    omega = 2.0 * math.pi * frequency_hz
+    matrix = node_admittance_matrix(circuit, omega, index)
+
+    rows = [index[port1.node], index[port2.node]]
+    z0 = np.array([port1.impedance, port2.impedance], dtype=float)
+    sqrt_z0 = np.sqrt(z0)
+
+    # Terminate both ports with their reference admittances.
+    for row, impedance in zip(rows, z0):
+        matrix[row, row] += 1.0 / impedance
+
+    # One excitation per port: Norton current 2 / sqrt(Z0k) at node k
+    # gives a unit incident wave at port k.
+    rhs = np.zeros((len(index), 2), dtype=complex)
+    rhs[rows[0], 0] = 2.0 / sqrt_z0[0]
+    rhs[rows[1], 1] = 2.0 / sqrt_z0[1]
+    try:
+        solution = np.linalg.solve(matrix, rhs)
+    except np.linalg.LinAlgError as exc:
+        raise CircuitError(
+            f"singular admittance matrix at {frequency_hz:g} Hz in "
+            f"{circuit.name!r}"
+        ) from exc
+
+    port_voltages = solution[rows, :]  # V[j, k]: node j, excitation k
+    s = port_voltages / sqrt_z0[:, None]
+    s[0, 0] -= 1.0
+    s[1, 1] -= 1.0
+    return SParameters(
+        frequency_hz=frequency_hz,
+        s11=complex(s[0, 0]),
+        s12=complex(s[0, 1]),
+        s21=complex(s[1, 0]),
+        s22=complex(s[1, 1]),
+    )
+
+
+@dataclass
+class SweepResult:
+    """S-parameters over a frequency grid."""
+
+    frequencies_hz: np.ndarray
+    points: list[SParameters]
+
+    @property
+    def insertion_loss_db(self) -> np.ndarray:
+        """Insertion loss in dB at every sweep point."""
+        return np.array([p.insertion_loss_db for p in self.points])
+
+    @property
+    def return_loss_db(self) -> np.ndarray:
+        """Return loss in dB at every sweep point."""
+        return np.array([p.return_loss_db for p in self.points])
+
+    def at(self, frequency_hz: float) -> SParameters:
+        """The sweep point nearest to ``frequency_hz``."""
+        if len(self.points) == 0:
+            raise CircuitError("empty sweep")
+        i = int(np.argmin(np.abs(self.frequencies_hz - frequency_hz)))
+        return self.points[i]
+
+    def min_insertion_loss_db(self) -> float:
+        """Lowest insertion loss across the sweep (the passband floor)."""
+        return float(np.min(self.insertion_loss_db))
+
+    def loss_at(self, frequency_hz: float) -> float:
+        """Insertion loss in dB at the nearest sweep point."""
+        return self.at(frequency_hz).insertion_loss_db
+
+
+def sweep(
+    circuit: Circuit,
+    start_hz: float,
+    stop_hz: float,
+    points: int = 201,
+    log_spacing: bool = False,
+) -> SweepResult:
+    """Sweep the two-port S-parameters over ``[start_hz, stop_hz]``."""
+    if start_hz <= 0 or stop_hz <= start_hz:
+        raise CircuitError(
+            f"need 0 < start < stop, got [{start_hz}, {stop_hz}]"
+        )
+    if points < 2:
+        raise CircuitError(f"need at least 2 sweep points, got {points}")
+    if log_spacing:
+        grid = np.geomspace(start_hz, stop_hz, points)
+    else:
+        grid = np.linspace(start_hz, stop_hz, points)
+    results = [two_port_sparameters(circuit, f) for f in grid]
+    return SweepResult(frequencies_hz=grid, points=results)
+
+
+def measure_insertion_loss(
+    circuit: Circuit, frequency_hz: float
+) -> float:
+    """Insertion loss in dB of a two-port circuit at one frequency."""
+    return two_port_sparameters(circuit, frequency_hz).insertion_loss_db
+
+
+def measure_rejection(
+    circuit: Circuit,
+    passband_hz: float,
+    stopband_hz: float,
+) -> float:
+    """Stopband rejection relative to the passband, in dB.
+
+    Defined as ``IL(stopband) - IL(passband)``; a large positive number
+    means the stopband is well suppressed.
+    """
+    passband_loss = measure_insertion_loss(circuit, passband_hz)
+    stopband_loss = measure_insertion_loss(circuit, stopband_hz)
+    return stopband_loss - passband_loss
+
+
+def input_impedance(circuit: Circuit, frequency_hz: float) -> complex:
+    """Impedance looking into port 1 with port 2 terminated in its Z0."""
+    if len(circuit.ports) != 2:
+        raise CircuitError("input_impedance needs a two-port circuit")
+    port1, port2 = circuit.ports
+    terminated = _with_termination(circuit, port2.node, port2.impedance)
+    analysis = AcAnalysis(terminated)
+    return analysis.driving_point_impedance(port1.node, frequency_hz)
+
+
+def _with_termination(
+    circuit: Circuit, node: str, impedance: float
+) -> Circuit:
+    """Copy a circuit with a resistor from ``node`` to ground added."""
+    copy = Circuit(name=circuit.name + "+term")
+    for element in circuit.elements:
+        copy.elements.append(element)
+    copy.ports = list(circuit.ports)
+    copy.resistor(f"__term_{node}", node, "0", impedance)
+    return copy

@@ -1,0 +1,125 @@
+"""Command-line interface: run the GPS case study from the shell.
+
+Installed as ``repro-gps``.  Subcommands:
+
+* ``study`` (default) — run the full trade-off study and print the
+  Fig. 3/5/6 tables plus the recommendation;
+* ``flow N`` — render the MOE production flow of build-up N (Fig. 4);
+* ``compare`` — print paper-vs-measured for every published number;
+* ``calibrate`` — re-run the confidential chip-cost calibration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .core.decision import full_report
+from .cost.calibration import calibrate_chip_costs
+from .cost.moe.builder import render_flow
+from .gps.buildups import flow_for
+from .gps.study import paper_comparison, run_gps_study
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    result = run_gps_study(volume=args.volume)
+    print(full_report(result))
+    return 0
+
+
+def _cmd_flow(args: argparse.Namespace) -> int:
+    flow = flow_for(args.implementation)
+    print(render_flow(flow))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    del args
+    result = run_gps_study()
+    comparison = paper_comparison(result)
+    for metric, values in comparison.items():
+        print(f"{metric}:")
+        for implementation, (paper, measured) in values.items():
+            print(
+                f"  impl {implementation}: paper={paper:g} "
+                f"measured={measured:.3g}"
+            )
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    result = calibrate_chip_costs(bare_discount=args.bare_discount)
+    print(
+        f"RF chip:  packaged {result.rf_packaged:.1f}, "
+        f"bare {result.rf_bare:.1f}"
+    )
+    print(
+        f"DSP chip: packaged {result.dsp_packaged:.1f}, "
+        f"bare {result.dsp_bare:.1f}"
+    )
+    for implementation, ratio in result.achieved_ratios.items():
+        target = result.target_ratios[implementation]
+        print(
+            f"impl {implementation}: achieved {100 * ratio:.1f}% "
+            f"(paper {100 * target:.1f}%)"
+        )
+    print(f"ordering preserved: {result.ordering_preserved}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-gps`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-gps",
+        description=(
+            "Reproduction of 'Assessing the Cost Effectiveness of "
+            "Integrated Passives' (DATE 2000)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    study = sub.add_parser("study", help="run the full trade-off study")
+    study.add_argument(
+        "--volume",
+        type=float,
+        default=10_000.0,
+        help="production volume for NRE amortisation",
+    )
+    study.set_defaults(func=_cmd_study)
+
+    flow = sub.add_parser("flow", help="render a build-up's MOE flow")
+    flow.add_argument(
+        "implementation", type=int, choices=(1, 2, 3, 4)
+    )
+    flow.set_defaults(func=_cmd_flow)
+
+    compare = sub.add_parser(
+        "compare", help="paper-vs-measured for all published numbers"
+    )
+    compare.set_defaults(func=_cmd_compare)
+
+    calibrate = sub.add_parser(
+        "calibrate", help="re-run the chip-cost calibration"
+    )
+    calibrate.add_argument(
+        "--bare-discount",
+        type=float,
+        default=0.95,
+        help="bare-die cost as a fraction of the packaged part",
+    )
+    calibrate.set_defaults(func=_cmd_calibrate)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not hasattr(args, "func"):
+        args = parser.parse_args(["study"])
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

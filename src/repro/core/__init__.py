@@ -1,0 +1,63 @@
+"""The paper's primary contribution: the trade-off methodology."""
+
+from .decision import (
+    fig3_table,
+    fig5_table,
+    fig6_table,
+    full_report,
+    recommendation,
+)
+from .figure_of_merit import (
+    FomEntry,
+    FomWeights,
+    figure_of_merit,
+    rank_buildups,
+)
+from .methodology import (
+    BuildUpAssessment,
+    CandidateBuildUp,
+    StudyResult,
+    StudyRow,
+    assess_candidate,
+    run_study,
+)
+from .pareto import (
+    ParetoAnalysis,
+    ParetoPoint,
+    analyze_study,
+    pareto_front,
+    pareto_points,
+)
+from .optimizer import (
+    SelectionDecision,
+    SelectionReport,
+    optimize_passives,
+    select_technology,
+)
+
+__all__ = [
+    "BuildUpAssessment",
+    "CandidateBuildUp",
+    "FomEntry",
+    "FomWeights",
+    "ParetoAnalysis",
+    "ParetoPoint",
+    "SelectionDecision",
+    "SelectionReport",
+    "StudyResult",
+    "StudyRow",
+    "analyze_study",
+    "assess_candidate",
+    "fig3_table",
+    "fig5_table",
+    "fig6_table",
+    "figure_of_merit",
+    "full_report",
+    "optimize_passives",
+    "pareto_front",
+    "pareto_points",
+    "rank_buildups",
+    "recommendation",
+    "run_study",
+    "select_technology",
+]

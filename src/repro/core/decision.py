@@ -1,0 +1,104 @@
+"""Decision reporting (methodology step 5).
+
+Renders a :class:`~repro.core.methodology.StudyResult` as the tables the
+paper prints: the Fig. 3 area ranking, the Fig. 5 cost ranking and the
+Fig. 6 figure-of-merit table, plus a one-paragraph recommendation.
+"""
+
+from __future__ import annotations
+
+from ..reporting.tables import Table
+from .methodology import StudyResult
+
+
+def fig3_table(result: StudyResult) -> Table:
+    """Fig. 3: area consumed by the different build-ups."""
+    table = Table(
+        title="Area consumed by the different build-ups (Fig. 3)",
+        columns=("Build-up", "Final area [mm^2]", "Relative [%]"),
+    )
+    for row in result.rows:
+        table.add_row(
+            row.assessment.name,
+            f"{row.assessment.final_area_mm2:.0f}",
+            f"{row.area_percent:.0f}%",
+        )
+    return table
+
+
+def fig5_table(result: StudyResult) -> Table:
+    """Fig. 5: final cost split into direct / chip / yield loss."""
+    base = result.row(result.reference_name).assessment.final_cost
+    table = Table(
+        title="Cost analysis results (Fig. 5, % of reference)",
+        columns=(
+            "Build-up",
+            "Final cost",
+            "Direct cost",
+            "thereof: chip",
+            "Yield loss",
+        ),
+    )
+    for row in result.rows:
+        cost = row.assessment.cost
+        table.add_row(
+            row.assessment.name,
+            f"{100 * cost.final_cost_per_shipped / base:.1f}%",
+            f"{100 * cost.direct_cost_per_unit / base:.1f}%",
+            f"{100 * cost.chip_cost_per_unit / base:.1f}%",
+            f"{100 * cost.yield_loss_per_shipped / base:.1f}%",
+        )
+    return table
+
+
+def fig6_table(result: StudyResult) -> Table:
+    """Fig. 6: performance, reciprocal size/cost and the FoM product."""
+    table = Table(
+        title="Deriving the figure of merit (Fig. 6)",
+        columns=("Build-up", "Perf.", "1/Size", "1/Cost", "Product"),
+    )
+    for row in result.rows:
+        fom = row.fom
+        table.add_row(
+            row.assessment.name,
+            f"{fom.performance:.2f}",
+            f"1/{fom.size_ratio:.2f}",
+            f"1/{fom.cost_ratio:.2f}",
+            f"{fom.figure_of_merit:.2f}",
+        )
+    return table
+
+
+def recommendation(result: StudyResult) -> str:
+    """One-paragraph decision, in the spirit of the paper's §4.4."""
+    winner = result.winner
+    ranked = result.ranked()
+    runner_up = ranked[1] if len(ranked) > 1 else None
+    lines = [
+        f"Recommended build-up: {winner.assessment.name} "
+        f"(figure of merit {winner.fom.figure_of_merit:.2f}).",
+        f"It reduces the form factor to {winner.area_percent:.0f}% of the "
+        f"{result.reference_name} reference at a cost of "
+        f"{winner.cost_percent:.1f}% and a performance score of "
+        f"{winner.fom.performance:.2f}.",
+    ]
+    if runner_up is not None:
+        lines.append(
+            f"Runner-up: {runner_up.assessment.name} with a figure of "
+            f"merit of {runner_up.fom.figure_of_merit:.2f}."
+        )
+    return " ".join(lines)
+
+
+def full_report(result: StudyResult) -> str:
+    """All three tables plus the recommendation, ready to print."""
+    parts = [
+        fig3_table(result).render(),
+        "",
+        fig5_table(result).render(),
+        "",
+        fig6_table(result).render(),
+        "",
+        recommendation(result),
+    ]
+    return "\n".join(parts)

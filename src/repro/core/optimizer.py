@@ -1,0 +1,170 @@
+"""The "passives optimized" technology selector (build-up 4's rule).
+
+The paper's fourth build-up takes "into account that in case SMD
+components consume less area than integrated passives, the SMD component
+is preferred".  This module generalises that into a per-component
+selector with two rules, applied in order:
+
+1. **Performance rule** — if the requirement states a minimum Q at a
+   frequency where the integrated technology cannot deliver it, the
+   component must be SMD (the IF-inductor case of §4.1).
+2. **Area rule** — otherwise pick whichever realization consumes less
+   area, accounting for the SMD-on-MCM footprint overhead.
+
+The selector returns the chosen realization plus the reason, so reports
+can explain each decision (the paper's step 5 is "make a decision").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..area.substrate import SubstrateRule
+from ..circuits.qfactor import SummitQModel
+from ..passives.component import (
+    MountingStyle,
+    PassiveKind,
+    PassiveRealization,
+    PassiveRequirement,
+)
+from ..passives.smd import realize_smd
+from ..passives.thin_film import SUMMIT_PROCESS, ThinFilmProcess, realize_integrated
+
+
+@dataclass(frozen=True)
+class SelectionDecision:
+    """One per-component technology decision with its rationale."""
+
+    requirement: PassiveRequirement
+    chosen: PassiveRealization
+    rejected: PassiveRealization
+    reason: str
+
+    @property
+    def integrated(self) -> bool:
+        """True when the integrated realization won."""
+        return self.chosen.mounting is MountingStyle.INTEGRATED
+
+
+@dataclass(frozen=True)
+class SelectionReport:
+    """Aggregate result of optimising a set of requirements."""
+
+    decisions: tuple[SelectionDecision, ...]
+
+    @property
+    def integrated_count(self) -> int:
+        """How many components ended up integrated."""
+        return sum(1 for d in self.decisions if d.integrated)
+
+    @property
+    def smd_count(self) -> int:
+        """How many components stayed surface-mount."""
+        return len(self.decisions) - self.integrated_count
+
+    @property
+    def total_area_mm2(self) -> float:
+        """Raw area of all chosen realizations."""
+        return sum(d.chosen.area_mm2 for d in self.decisions)
+
+    @property
+    def area_saved_mm2(self) -> float:
+        """Area saved versus taking the rejected option everywhere."""
+        rejected = sum(d.rejected.area_mm2 for d in self.decisions)
+        return rejected - self.total_area_mm2
+
+    def smd_realizations(self) -> list[PassiveRealization]:
+        """The components that must go through SMD assembly."""
+        return [d.chosen for d in self.decisions if not d.integrated]
+
+
+def select_technology(
+    requirement: PassiveRequirement,
+    process: ThinFilmProcess = SUMMIT_PROCESS,
+    smd_case: str = "0603",
+    substrate_rule: Optional[SubstrateRule] = None,
+    q_model: Optional[SummitQModel] = None,
+) -> SelectionDecision:
+    """Choose SMD or integrated for one requirement (see module docs).
+
+    Parameters
+    ----------
+    requirement:
+        The electrical requirement.
+    process:
+        The integrated technology on offer.
+    smd_case:
+        SMD case size for the discrete alternative.
+    substrate_rule:
+        If given, its SMD footprint factor inflates the discrete
+        footprint (SMDs on fine-line MCM-D cost extra escape area).
+    q_model:
+        Q model used for the performance rule; defaults to the SUMMIT
+        model matching ``process``.
+    """
+    integrated = realize_integrated(requirement, process)
+    smd = realize_smd(requirement, case_code=smd_case)
+    smd_effective_area = smd.area_mm2
+    if substrate_rule is not None:
+        smd_effective_area *= substrate_rule.smd_footprint_factor
+
+    if (
+        requirement.kind is PassiveKind.INDUCTOR
+        and requirement.min_q is not None
+        and requirement.q_frequency is not None
+    ):
+        model = q_model if q_model is not None else SummitQModel(process=process)
+        achieved_q = model.inductor_q(
+            requirement.value, requirement.q_frequency
+        )
+        if achieved_q < requirement.min_q:
+            return SelectionDecision(
+                requirement=requirement,
+                chosen=smd,
+                rejected=integrated,
+                reason=(
+                    f"performance: integrated Q={achieved_q:.1f} < "
+                    f"required {requirement.min_q:.1f} at "
+                    f"{requirement.q_frequency:.3g} Hz"
+                ),
+            )
+
+    if integrated.area_mm2 <= smd_effective_area:
+        return SelectionDecision(
+            requirement=requirement,
+            chosen=integrated,
+            rejected=smd,
+            reason=(
+                f"area: integrated {integrated.area_mm2:.3g} mm^2 <= "
+                f"SMD {smd_effective_area:.3g} mm^2"
+            ),
+        )
+    return SelectionDecision(
+        requirement=requirement,
+        chosen=smd,
+        rejected=integrated,
+        reason=(
+            f"area: SMD {smd_effective_area:.3g} mm^2 < integrated "
+            f"{integrated.area_mm2:.3g} mm^2"
+        ),
+    )
+
+
+def optimize_passives(
+    requirements: Iterable[PassiveRequirement],
+    process: ThinFilmProcess = SUMMIT_PROCESS,
+    smd_case: str = "0603",
+    substrate_rule: Optional[SubstrateRule] = None,
+) -> SelectionReport:
+    """Apply :func:`select_technology` to every requirement."""
+    decisions = tuple(
+        select_technology(
+            requirement,
+            process=process,
+            smd_case=smd_case,
+            substrate_rule=substrate_rule,
+        )
+        for requirement in requirements
+    )
+    return SelectionReport(decisions=decisions)

@@ -1,0 +1,116 @@
+"""Pareto-front analysis of build-ups.
+
+The paper folds performance, size and cost into a single multiplicative
+figure of merit; a multi-objective view is the natural companion: which
+build-ups are *Pareto-optimal* (no other build-up is at least as good on
+every axis and strictly better on one)?  A build-up dominated on all
+three axes can be discarded regardless of how the axes are weighted —
+which is exactly what happens to the paper's full-IP solution 3, beaten
+by solution 4 on performance, size *and* cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import SpecificationError
+from .methodology import StudyResult, StudyRow
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One build-up in objective space.
+
+    Objectives are oriented so *larger is better* for performance and
+    *smaller is better* for size and cost ratios.
+    """
+
+    name: str
+    performance: float
+    size_ratio: float
+    cost_ratio: float
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """True if this point is at least as good everywhere and
+        strictly better somewhere."""
+        at_least_as_good = (
+            self.performance >= other.performance
+            and self.size_ratio <= other.size_ratio
+            and self.cost_ratio <= other.cost_ratio
+        )
+        strictly_better = (
+            self.performance > other.performance
+            or self.size_ratio < other.size_ratio
+            or self.cost_ratio < other.cost_ratio
+        )
+        return at_least_as_good and strictly_better
+
+
+@dataclass(frozen=True)
+class ParetoAnalysis:
+    """Partition of the candidates into front and dominated set."""
+
+    front: tuple[ParetoPoint, ...]
+    dominated: tuple[tuple[ParetoPoint, str], ...]
+
+    def is_on_front(self, name: str) -> bool:
+        """Whether the named build-up is Pareto-optimal."""
+        return any(point.name == name for point in self.front)
+
+    def dominator_of(self, name: str) -> str:
+        """Name of a build-up dominating the given one.
+
+        Raises
+        ------
+        SpecificationError
+            If the build-up is on the front (nothing dominates it) or
+            unknown.
+        """
+        for point, dominator in self.dominated:
+            if point.name == name:
+                return dominator
+        raise SpecificationError(
+            f"{name!r} is Pareto-optimal or unknown"
+        )
+
+
+def pareto_points(result: StudyResult) -> list[ParetoPoint]:
+    """Extract the objective-space points from a study result."""
+    return [_to_point(row) for row in result.rows]
+
+
+def _to_point(row: StudyRow) -> ParetoPoint:
+    return ParetoPoint(
+        name=row.assessment.name,
+        performance=row.fom.performance,
+        size_ratio=row.fom.size_ratio,
+        cost_ratio=row.fom.cost_ratio,
+    )
+
+
+def pareto_front(points: Sequence[ParetoPoint]) -> ParetoAnalysis:
+    """Partition points into the Pareto front and the dominated set."""
+    if not points:
+        raise SpecificationError("pareto_front needs at least one point")
+    front: list[ParetoPoint] = []
+    dominated: list[tuple[ParetoPoint, str]] = []
+    for point in points:
+        dominator = next(
+            (
+                other
+                for other in points
+                if other is not point and other.dominates(point)
+            ),
+            None,
+        )
+        if dominator is None:
+            front.append(point)
+        else:
+            dominated.append((point, dominator.name))
+    return ParetoAnalysis(front=tuple(front), dominated=tuple(dominated))
+
+
+def analyze_study(result: StudyResult) -> ParetoAnalysis:
+    """Pareto analysis of a complete study."""
+    return pareto_front(pareto_points(result))

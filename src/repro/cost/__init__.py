@@ -1,0 +1,41 @@
+"""Cost modelling substrate: MOE engine, yield models, calibration."""
+
+from .calibration import (
+    CalibrationResult,
+    DEFAULT_BARE_DISCOUNT,
+    FIG5_TARGET_RATIOS,
+    calibrate_chip_costs,
+)
+from .sensitivity import (
+    Knob,
+    Sensitivity,
+    rank_cost_drivers,
+    sensitivity_of,
+)
+from .yieldmodels import (
+    MurphyYield,
+    PerOperationYield,
+    PoissonYield,
+    SeedsYield,
+    StepYield,
+    compound_yield,
+    defect_probability,
+)
+
+__all__ = [
+    "CalibrationResult",
+    "DEFAULT_BARE_DISCOUNT",
+    "FIG5_TARGET_RATIOS",
+    "Knob",
+    "MurphyYield",
+    "PerOperationYield",
+    "PoissonYield",
+    "SeedsYield",
+    "Sensitivity",
+    "StepYield",
+    "calibrate_chip_costs",
+    "compound_yield",
+    "rank_cost_drivers",
+    "sensitivity_of",
+    "defect_probability",
+]

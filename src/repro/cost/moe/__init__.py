@@ -1,0 +1,46 @@
+"""MOE — Modular Optimization Environment (reimplementation of ref [8]).
+
+A production-flow cost modeller: typed steps (carrier, process, assembly,
+test), latent-fault propagation, test-coverage scrap routing, and the
+Eq. (1) cost roll-up, evaluated either analytically
+(:func:`~repro.cost.moe.analytic.evaluate`) or by Monte Carlo
+(:func:`~repro.cost.moe.simulate.simulate`).
+"""
+
+from .analytic import evaluate
+from .builder import FlowBuilder, flow_node_summary, render_flow
+from .flow import ProductionFlow
+from .nodes import (
+    AttachStep,
+    CarrierStep,
+    CostTag,
+    InspectStep,
+    ProcessStep,
+    ReworkPolicy,
+    Step,
+    TestStep,
+    UnitState,
+)
+from .report import CostReport, StepReport, fig5_row
+from .simulate import simulate
+
+__all__ = [
+    "AttachStep",
+    "CarrierStep",
+    "CostReport",
+    "CostTag",
+    "FlowBuilder",
+    "InspectStep",
+    "ProcessStep",
+    "ProductionFlow",
+    "ReworkPolicy",
+    "Step",
+    "StepReport",
+    "TestStep",
+    "UnitState",
+    "evaluate",
+    "fig5_row",
+    "flow_node_summary",
+    "render_flow",
+    "simulate",
+]

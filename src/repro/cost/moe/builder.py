@@ -1,0 +1,214 @@
+"""Fluent construction and rendering of production flows.
+
+:class:`FlowBuilder` assembles a :class:`~repro.cost.moe.flow.ProductionFlow`
+with automatically numbered Fig. 4 style node ids; :func:`render_flow`
+draws the resulting graph as ASCII art in the spirit of the paper's
+Fig. 4 (components feeding assembly steps, the test's pass/fail branch,
+the scrap and shipped collectors).
+"""
+
+from __future__ import annotations
+
+from ...errors import FlowError
+from .flow import ProductionFlow
+from .nodes import (
+    AttachStep,
+    CarrierStep,
+    CostTag,
+    InspectStep,
+    ProcessStep,
+    Step,
+    TestStep,
+)
+
+
+class FlowBuilder:
+    """Builds a production flow step by step.
+
+    Node ids follow the paper's ``ID<n>`` convention and are assigned in
+    insertion order unless given explicitly.
+    """
+
+    def __init__(self, name: str, nre: float = 0.0):
+        self._flow = ProductionFlow(name=name, nre=nre)
+        self._counter = 0
+
+    def _next_id(self, node_id: str | None) -> str:
+        if node_id is not None:
+            return node_id
+        node_id = f"ID{self._counter}"
+        self._counter += 1
+        return node_id
+
+    def _register(self, step: Step) -> "FlowBuilder":
+        self._flow.add(step)
+        self._counter = max(
+            self._counter,
+            1 + _numeric_suffix(step.node_id, default=self._counter - 1),
+        )
+        return self
+
+    def carrier(
+        self,
+        name: str,
+        cost: float,
+        yield_: float,
+        node_id: str | None = None,
+    ) -> "FlowBuilder":
+        """Add the substrate/PCB carrier."""
+        return self._register(
+            CarrierStep(self._next_id(node_id), name, cost, yield_)
+        )
+
+    def process(
+        self,
+        name: str,
+        cost: float,
+        yield_: float = 1.0,
+        tag: CostTag = CostTag.PROCESS,
+        node_id: str | None = None,
+    ) -> "FlowBuilder":
+        """Add a generic process step (rerouting, paste impression...)."""
+        return self._register(
+            ProcessStep(self._next_id(node_id), name, cost, yield_, tag)
+        )
+
+    def packaging(
+        self,
+        name: str,
+        cost: float,
+        yield_: float,
+        node_id: str | None = None,
+    ) -> "FlowBuilder":
+        """Add a packaging step (mount on laminate)."""
+        return self._register(
+            ProcessStep(
+                self._next_id(node_id),
+                name,
+                cost,
+                yield_,
+                CostTag.PACKAGING,
+            )
+        )
+
+    def attach(
+        self,
+        name: str,
+        quantity: int,
+        component_cost: float,
+        component_yield: float,
+        attach_cost: float,
+        attach_yield: float,
+        per_operation: bool = True,
+        component_tag: CostTag = CostTag.CHIP,
+        node_id: str | None = None,
+    ) -> "FlowBuilder":
+        """Add a component-attach (assembly) step."""
+        return self._register(
+            AttachStep(
+                self._next_id(node_id),
+                name,
+                quantity=quantity,
+                component_cost=component_cost,
+                component_yield=component_yield,
+                attach_cost=attach_cost,
+                attach_yield=attach_yield,
+                per_operation=per_operation,
+                component_tag=component_tag,
+            )
+        )
+
+    def test(
+        self,
+        name: str,
+        cost: float,
+        coverage: float,
+        node_id: str | None = None,
+    ) -> "FlowBuilder":
+        """Add a test step with finite fault coverage."""
+        return self._register(
+            TestStep(self._next_id(node_id), name, cost, coverage)
+        )
+
+    def inspect(
+        self,
+        name: str = "Outgoing inspection",
+        node_id: str | None = None,
+    ) -> "FlowBuilder":
+        """Add a zero-cost perfect screen (catches packaging faults)."""
+        return self._register(
+            InspectStep(self._next_id(node_id), name, 0.0, 1.0)
+        )
+
+    def build(self) -> ProductionFlow:
+        """Validate and return the flow."""
+        self._flow.validate()
+        return self._flow
+
+
+def _numeric_suffix(node_id: str, default: int) -> int:
+    """Extract ``7`` from ``"ID7"``; fall back for free-form ids."""
+    if node_id.startswith("ID") and node_id[2:].isdigit():
+        return int(node_id[2:])
+    return default
+
+
+def render_flow(flow: ProductionFlow) -> str:
+    """Render a flow as Fig. 4 style ASCII art.
+
+    One line per step, annotated with its MOE node class, cost and yield;
+    tests show their pass/fail branch to SCRAP; the last line is the
+    shipped-modules collector.
+    """
+    lines = [f"Production flow: {flow.name}", "=" * (18 + len(flow.name))]
+    for step in flow.steps:
+        if isinstance(step, CarrierStep):
+            kind = "Carrier"
+            detail = f"cost={step.cost:g} yield={step.yield_:.4%}"
+        elif isinstance(step, InspectStep):
+            kind = "Test"
+            detail = f"coverage={step.coverage:.1%}  fail -> SCRAP"
+        elif isinstance(step, TestStep):
+            kind = "Test"
+            detail = (
+                f"cost={step.cost:g} coverage={step.coverage:.1%}  "
+                "fail -> SCRAP"
+            )
+        elif isinstance(step, AttachStep):
+            kind = "Assembly"
+            detail = (
+                f"{step.quantity}x component "
+                f"(cost={step.component_cost:g}, "
+                f"yield={step.component_yield:.4%}) "
+                f"attach(cost={step.attach_cost:g}, "
+                f"yield={step.attach_yield:.4%})"
+            )
+        else:
+            kind = "Process"
+            detail = f"cost={step.cost:g} yield={step.yield_:.4%}"
+        lines.append(f"  [{step.node_id:>4}] {kind:<9} {step.name}")
+        lines.append(f"         {detail}")
+        lines.append("         |")
+    lines.append(f"  [ship] Collector Modules to be shipped")
+    if flow.nre:
+        lines.append(f"  NRE amortised over shipped units: {flow.nre:g}")
+    return "\n".join(lines)
+
+
+def flow_node_summary(flow: ProductionFlow) -> list[tuple[str, str, str]]:
+    """Tabular ``(node_id, node_class, name)`` rows for the Fig. 4 bench."""
+    if not flow.steps:
+        raise FlowError(f"flow {flow.name!r} has no steps")
+    rows = []
+    for step in flow.steps:
+        if isinstance(step, CarrierStep):
+            kind = "Carrier"
+        elif isinstance(step, TestStep):
+            kind = "Test"
+        elif isinstance(step, AttachStep):
+            kind = "Assembly"
+        else:
+            kind = "Process"
+        rows.append((step.node_id, kind, step.name))
+    rows.append(("ship", "Collector", "Modules to be shipped"))
+    return rows

@@ -1,0 +1,103 @@
+"""Production flow container (the routed graph of Fig. 4).
+
+A :class:`ProductionFlow` is an ordered sequence of steps ending (by
+convention) at the shipped-modules collector.  The paper's Fig. 4 graph
+is linear apart from the test's fail branch, which the engines implement
+as scrap routing, so an ordered list plus typed steps captures the model
+exactly.
+
+NRE (non-recurring engineering, the third term of Eq. (1)) is attached to
+the flow and amortised over the shipped volume by the evaluators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ...errors import FlowError
+from .nodes import AttachStep, CarrierStep, Step, TestStep
+
+
+@dataclass
+class ProductionFlow:
+    """An ordered production flow for one build-up.
+
+    Attributes
+    ----------
+    name:
+        Flow label, e.g. ``"MCM-D(Si)/FC/IP"``.
+    steps:
+        Steps in processing order.
+    nre:
+        Non-recurring engineering cost, amortised over shipped units.
+    """
+
+    name: str
+    steps: list[Step] = field(default_factory=list)
+    nre: float = 0.0
+
+    def add(self, step: Step) -> Step:
+        """Append a step; node ids must be unique within the flow."""
+        if any(s.node_id == step.node_id for s in self.steps):
+            raise FlowError(
+                f"duplicate node id {step.node_id!r} in flow {self.name!r}"
+            )
+        self.steps.append(step)
+        return step
+
+    def validate(self) -> None:
+        """Check the flow is a sensible production line.
+
+        Raises
+        ------
+        FlowError
+            If the flow is empty, has no test step (faults would never be
+            detected, making yield data meaningless), or has no carrier.
+        """
+        if not self.steps:
+            raise FlowError(f"flow {self.name!r} has no steps")
+        if not any(isinstance(s, CarrierStep) for s in self.steps):
+            raise FlowError(
+                f"flow {self.name!r} has no carrier/substrate step"
+            )
+        if not any(isinstance(s, TestStep) for s in self.steps):
+            raise FlowError(f"flow {self.name!r} has no test step")
+        if self.nre < 0:
+            raise FlowError(
+                f"NRE cannot be negative, got {self.nre}"
+            )
+
+    def step(self, node_id: str) -> Step:
+        """Look up a step by node id."""
+        for candidate in self.steps:
+            if candidate.node_id == node_id:
+                return candidate
+        raise FlowError(
+            f"no step with node id {node_id!r} in flow {self.name!r}"
+        )
+
+    def direct_cost(self) -> float:
+        """Full build cost of one unit that never fails (Eq. (1) term 1)."""
+        return sum(step.cost for step in self.steps)
+
+    def overall_yield(self) -> float:
+        """Probability a unit acquires no fault anywhere in the flow."""
+        result = 1.0
+        for step in self.steps:
+            result *= step.yield_
+        return result
+
+    def tests(self) -> list[TestStep]:
+        """All test steps, in flow order."""
+        return [s for s in self.steps if isinstance(s, TestStep)]
+
+    def attach_steps(self) -> list[AttachStep]:
+        """All component-attach steps, in flow order."""
+        return [s for s in self.steps if isinstance(s, AttachStep)]
+
+    def __iter__(self) -> Iterator[Step]:
+        return iter(self.steps)
+
+    def __len__(self) -> int:
+        return len(self.steps)

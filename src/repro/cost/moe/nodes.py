@@ -1,0 +1,306 @@
+"""MOE production-flow node types (paper Fig. 4, ref [8]).
+
+The Modular Optimization Environment models a manufacturing line as a
+graph of typed nodes through which units are routed.  Fig. 4 of the paper
+shows the generic model for the GPS build-ups with node classes
+``Component``, ``Carrier``, ``Process``, ``Assembly``, ``Test`` and
+``Collector``; a ``fail`` branch of the test leads to ``SCRAP``.
+
+We reproduce those node types as production *steps* executed in flow
+order.  Every step can add cost and can add a latent fault (with the
+step's yield); faults stay latent until a :class:`TestStep` detects them
+(with its fault coverage) and scraps the unit, losing everything spent on
+it so far — exactly the accounting of the paper's Eq. (1).
+
+Cost contributions are tagged (:class:`CostTag`) so the report can split
+the Fig. 5 bars into "direct cost", "thereof: chip cost" and "yield
+loss".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ...errors import CostModelError
+from ...units import check_yield
+
+
+class CostTag(enum.Enum):
+    """What a cost contribution pays for (drives the Fig. 5 breakdown)."""
+
+    SUBSTRATE = "substrate"
+    CHIP = "chip"
+    PASSIVE = "passive"
+    ASSEMBLY = "assembly"
+    PROCESS = "process"
+    PACKAGING = "packaging"
+    TEST = "test"
+    OTHER = "other"
+
+
+@dataclass(frozen=True)
+class Step:
+    """Base class for all production steps.
+
+    Attributes
+    ----------
+    node_id:
+        Identifier matching the paper's Fig. 4 labels (``"ID3"`` etc.);
+        free-form.
+    name:
+        Human-readable step name.
+    """
+
+    node_id: str
+    name: str
+
+    @property
+    def cost(self) -> float:
+        """Deterministic cost this step adds to every unit processed."""
+        return 0.0
+
+    @property
+    def yield_(self) -> float:
+        """Probability the step introduces no new latent fault."""
+        return 1.0
+
+    @property
+    def cost_tag(self) -> CostTag:
+        """Classification of this step's cost."""
+        return CostTag.OTHER
+
+
+@dataclass(frozen=True)
+class CarrierStep(Step):
+    """The substrate/PCB the module is built on (Fig. 4 ``Carrier``).
+
+    The carrier's latent-fault probability is ``1 - yield``; a carrier
+    fault is discovered at the functional test like any other.
+    """
+
+    unit_cost: float = 0.0
+    carrier_yield: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.unit_cost < 0:
+            raise CostModelError(
+                f"carrier cost cannot be negative, got {self.unit_cost}"
+            )
+        check_yield(self.carrier_yield, f"{self.name} yield")
+
+    @property
+    def cost(self) -> float:
+        return self.unit_cost
+
+    @property
+    def yield_(self) -> float:
+        return self.carrier_yield
+
+    @property
+    def cost_tag(self) -> CostTag:
+        return CostTag.SUBSTRATE
+
+
+@dataclass(frozen=True)
+class ProcessStep(Step):
+    """A per-unit process operation (paste impression, rerouting, ...)."""
+
+    unit_cost: float = 0.0
+    process_yield: float = 1.0
+    tag: CostTag = CostTag.PROCESS
+
+    def __post_init__(self) -> None:
+        if self.unit_cost < 0:
+            raise CostModelError(
+                f"process cost cannot be negative, got {self.unit_cost}"
+            )
+        check_yield(self.process_yield, f"{self.name} yield")
+
+    @property
+    def cost(self) -> float:
+        return self.unit_cost
+
+    @property
+    def yield_(self) -> float:
+        return self.process_yield
+
+    @property
+    def cost_tag(self) -> CostTag:
+        return self.tag
+
+
+@dataclass(frozen=True)
+class AttachStep(Step):
+    """Attach ``quantity`` components (Fig. 4 ``Assembly`` + ``Component``).
+
+    Combines the component material stream and the assembly operation:
+
+    * each attached component costs ``component_cost`` and carries a
+      latent-defect probability ``1 - component_yield`` (the "not fully
+      tested chips" of Table 2);
+    * each attach operation costs ``attach_cost`` and succeeds with
+      ``attach_yield``; ``per_operation`` selects whether that yield
+      compounds over the quantity (wire bonds, SMDs) or applies once to
+      the whole step (Table 2's chip-assembly row).
+    """
+
+    quantity: int = 1
+    component_cost: float = 0.0
+    component_yield: float = 1.0
+    attach_cost: float = 0.0
+    attach_yield: float = 1.0
+    per_operation: bool = True
+    component_tag: CostTag = CostTag.CHIP
+
+    def __post_init__(self) -> None:
+        if self.quantity < 0:
+            raise CostModelError(
+                f"attach quantity cannot be negative, got {self.quantity}"
+            )
+        if self.component_cost < 0 or self.attach_cost < 0:
+            raise CostModelError(
+                f"costs cannot be negative in step {self.name!r}"
+            )
+        check_yield(self.component_yield, f"{self.name} component yield")
+        check_yield(self.attach_yield, f"{self.name} attach yield")
+
+    @property
+    def material_cost(self) -> float:
+        """Total component (material) cost for the step."""
+        return self.quantity * self.component_cost
+
+    @property
+    def operation_cost(self) -> float:
+        """Total assembly (labour/machine) cost for the step."""
+        return self.quantity * self.attach_cost
+
+    @property
+    def cost(self) -> float:
+        return self.material_cost + self.operation_cost
+
+    @property
+    def yield_(self) -> float:
+        material = self.component_yield**self.quantity
+        if self.per_operation:
+            attach = self.attach_yield**self.quantity
+        else:
+            attach = self.attach_yield if self.quantity > 0 else 1.0
+        return material * attach
+
+    @property
+    def cost_tag(self) -> CostTag:
+        return self.component_tag
+
+
+@dataclass(frozen=True)
+class ReworkPolicy:
+    """Repair policy for units failing a test.
+
+    A detected-faulty unit is reworked up to ``max_attempts`` times;
+    each attempt costs ``attempt_cost`` and clears the fault with
+    probability ``success_probability``.  Units still faulty after the
+    last attempt are scrapped.  The original MOE tool routes fail
+    branches to arbitrary nodes; bounded rework-and-retest is the case
+    that matters for MCM lines (replace a bad die, re-bond).
+    """
+
+    attempt_cost: float
+    success_probability: float
+    max_attempts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.attempt_cost < 0:
+            raise CostModelError(
+                f"rework cost cannot be negative, got {self.attempt_cost}"
+            )
+        if not (0.0 < self.success_probability <= 1.0):
+            raise CostModelError(
+                "rework success probability must lie in (0, 1], got "
+                f"{self.success_probability}"
+            )
+        if self.max_attempts < 1:
+            raise CostModelError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+
+    @property
+    def recovery_fraction(self) -> float:
+        """Probability a detected-faulty unit is eventually repaired."""
+        return 1.0 - (1.0 - self.success_probability) ** self.max_attempts
+
+    @property
+    def expected_attempts(self) -> float:
+        """Expected rework attempts per detected-faulty unit."""
+        p = self.success_probability
+        return (1.0 - (1.0 - p) ** self.max_attempts) / p
+
+    @property
+    def expected_cost(self) -> float:
+        """Expected rework spend per detected-faulty unit."""
+        return self.attempt_cost * self.expected_attempts
+
+
+@dataclass(frozen=True)
+class TestStep(Step):
+    """A test with finite fault coverage (Fig. 4 ``Test`` + ``SCRAP``).
+
+    A faulty unit is detected with probability ``coverage``; detected
+    units are reworked per the optional :class:`ReworkPolicy` and
+    scrapped if unrepairable, undetected faults escape and ship.  Good
+    units always pass (no false rejects in the paper's model).
+    """
+
+    #: Not a pytest test class, despite the domain name.
+    __test__ = False
+
+    test_cost: float = 0.0
+    coverage: float = 1.0
+    rework: Optional[ReworkPolicy] = None
+
+    def __post_init__(self) -> None:
+        if self.test_cost < 0:
+            raise CostModelError(
+                f"test cost cannot be negative, got {self.test_cost}"
+            )
+        if not (0.0 <= self.coverage <= 1.0):
+            raise CostModelError(
+                f"fault coverage must lie in [0, 1], got {self.coverage}"
+            )
+
+    @property
+    def cost(self) -> float:
+        return self.test_cost
+
+    @property
+    def cost_tag(self) -> CostTag:
+        return CostTag.TEST
+
+
+@dataclass(frozen=True)
+class InspectStep(TestStep):
+    """A zero-cost perfect screen (outgoing inspection).
+
+    Used after packaging so that packaging-induced faults become scrap
+    (with the full module cost lost) instead of silently shipping.
+    """
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+
+
+@dataclass
+class UnitState:
+    """Mutable state of one unit moving through the flow (Monte Carlo)."""
+
+    accumulated_cost: float = 0.0
+    faulty: bool = False
+    scrapped: bool = False
+    scrapped_at: Optional[str] = None
+    cost_by_tag: dict[CostTag, float] = field(default_factory=dict)
+
+    def add_cost(self, amount: float, tag: CostTag) -> None:
+        """Accumulate spend on this unit."""
+        self.accumulated_cost += amount
+        self.cost_by_tag[tag] = self.cost_by_tag.get(tag, 0.0) + amount

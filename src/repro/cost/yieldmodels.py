@@ -1,0 +1,162 @@
+"""Yield models for production steps and substrates.
+
+Table 2 of the paper quotes yields three ways:
+
+* per step ("Chip Assembly 0.15/93.3 %"),
+* per operation with a count ("Wire Bond 0.01/99.99 %, # Bonds 212"),
+* per substrate class ("Substrate Yield/cost per cm2: 90 %/2.25").
+
+This module provides the corresponding abstractions plus the classical
+area-based substrate yield laws (Poisson, Murphy, Seeds) used for
+ablations — a large integrated-passives substrate yields worse than a
+small one at the same defect density, an effect the flat Table 2 numbers
+average away.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import CostModelError
+from ..units import check_yield
+
+
+@dataclass(frozen=True)
+class StepYield:
+    """A per-step yield: one Bernoulli fault opportunity per unit."""
+
+    value: float
+
+    def __post_init__(self) -> None:
+        check_yield(self.value, "step yield")
+
+    def effective(self, operations: int = 1) -> float:
+        """Step-level yield is independent of the operation count."""
+        del operations
+        return self.value
+
+
+@dataclass(frozen=True)
+class PerOperationYield:
+    """A per-operation yield compounded over the operation count.
+
+    212 wire bonds at 99.99 % each give ``0.9999 ** 212 = 97.9 %`` for the
+    step — the reason Table 2 lists "# Bonds" at all.
+    """
+
+    value: float
+
+    def __post_init__(self) -> None:
+        check_yield(self.value, "per-operation yield")
+
+    def effective(self, operations: int = 1) -> float:
+        """Compound yield over ``operations`` independent operations."""
+        if operations < 0:
+            raise CostModelError(
+                f"operation count cannot be negative, got {operations}"
+            )
+        return self.value**operations
+
+
+# ---------------------------------------------------------------------------
+# Area-based substrate yield laws
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PoissonYield:
+    """Poisson defect law: ``Y = exp(-A * D0)``.
+
+    ``defect_density`` is in defects per cm^2.
+    """
+
+    defect_density_per_cm2: float
+
+    def __post_init__(self) -> None:
+        if self.defect_density_per_cm2 < 0:
+            raise CostModelError(
+                "defect density cannot be negative, got "
+                f"{self.defect_density_per_cm2}"
+            )
+
+    def yield_for_area(self, area_cm2: float) -> float:
+        """Yield of a substrate of ``area_cm2``."""
+        if area_cm2 <= 0:
+            raise CostModelError(f"area must be positive, got {area_cm2}")
+        return math.exp(-area_cm2 * self.defect_density_per_cm2)
+
+    @classmethod
+    def from_reference(
+        cls, reference_yield: float, reference_area_cm2: float
+    ) -> "PoissonYield":
+        """Derive the defect density from one (yield, area) observation.
+
+        Table 2's "90 % substrate yield" becomes a defect density once an
+        area is attached, letting small substrates (build-up 4) yield
+        better than large ones (build-up 3).
+        """
+        check_yield(reference_yield, "reference yield")
+        if reference_area_cm2 <= 0:
+            raise CostModelError(
+                f"reference area must be positive, got {reference_area_cm2}"
+            )
+        density = -math.log(reference_yield) / reference_area_cm2
+        return cls(defect_density_per_cm2=density)
+
+
+@dataclass(frozen=True)
+class MurphyYield:
+    """Murphy's yield integral approximation: ``Y = ((1-e^-AD)/(AD))^2``."""
+
+    defect_density_per_cm2: float
+
+    def __post_init__(self) -> None:
+        if self.defect_density_per_cm2 < 0:
+            raise CostModelError(
+                "defect density cannot be negative, got "
+                f"{self.defect_density_per_cm2}"
+            )
+
+    def yield_for_area(self, area_cm2: float) -> float:
+        """Yield of a substrate of ``area_cm2``."""
+        if area_cm2 <= 0:
+            raise CostModelError(f"area must be positive, got {area_cm2}")
+        ad = area_cm2 * self.defect_density_per_cm2
+        if ad == 0:
+            return 1.0
+        return ((1.0 - math.exp(-ad)) / ad) ** 2
+
+
+@dataclass(frozen=True)
+class SeedsYield:
+    """Seeds' yield law: ``Y = 1 / (1 + A * D0)``."""
+
+    defect_density_per_cm2: float
+
+    def __post_init__(self) -> None:
+        if self.defect_density_per_cm2 < 0:
+            raise CostModelError(
+                "defect density cannot be negative, got "
+                f"{self.defect_density_per_cm2}"
+            )
+
+    def yield_for_area(self, area_cm2: float) -> float:
+        """Yield of a substrate of ``area_cm2``."""
+        if area_cm2 <= 0:
+            raise CostModelError(f"area must be positive, got {area_cm2}")
+        return 1.0 / (1.0 + area_cm2 * self.defect_density_per_cm2)
+
+
+def compound_yield(*yields: float) -> float:
+    """Product of independent yields, each validated."""
+    result = 1.0
+    for value in yields:
+        check_yield(value)
+        result *= value
+    return result
+
+
+def defect_probability(yield_value: float) -> float:
+    """Probability of at least one fault given a yield."""
+    check_yield(yield_value)
+    return 1.0 - yield_value

@@ -1,0 +1,73 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError`, so callers
+can catch a single base class at an API boundary.  Subclasses are grouped
+by subsystem: units, passive component modelling, circuit analysis, area
+estimation and cost modelling.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro library."""
+
+
+class UnitError(ReproError, ValueError):
+    """A quantity string or value could not be parsed or converted."""
+
+
+class ComponentError(ReproError, ValueError):
+    """A passive component is mis-specified or physically unrealisable.
+
+    Raised, for example, when a requested integrated resistor value cannot
+    be realised with the available sheet resistance, or when an SMD case
+    size is unknown to the catalog.
+    """
+
+
+class TechnologyError(ReproError, ValueError):
+    """A technology (substrate/assembly/passive) constraint is violated."""
+
+
+class CircuitError(ReproError, ValueError):
+    """A netlist is malformed or an analysis cannot be performed.
+
+    Typical causes: floating nodes, a short between the two terminals of a
+    source, a singular MNA matrix, or a two-port extraction requested on a
+    circuit that does not define two ports.
+    """
+
+
+class SynthesisError(ReproError, ValueError):
+    """A filter specification cannot be synthesised.
+
+    Raised when the requested order, ripple, or band edges are outside the
+    range the synthesis routines support (e.g. order < 1, non-positive
+    bandwidth, stopband not beyond passband).
+    """
+
+
+class PlacementError(ReproError, ValueError):
+    """An area/placement computation received impossible inputs."""
+
+
+class FlowError(ReproError, ValueError):
+    """A MOE production flow graph is malformed.
+
+    Examples: a cycle in the flow, a test step without a fail branch, an
+    assembly step with no incoming component stream, or a node referenced
+    before it is defined.
+    """
+
+
+class CostModelError(ReproError, ValueError):
+    """Cost or yield inputs are out of range (yields must lie in (0, 1])."""
+
+
+class CalibrationError(ReproError, RuntimeError):
+    """The confidential-parameter calibration failed to converge."""
+
+
+class SpecificationError(ReproError, ValueError):
+    """A performance specification is malformed or unsatisfiable."""

@@ -1,0 +1,217 @@
+"""Synthesised bill of materials for the GPS front end.
+
+The paper publishes only aggregates: the filtering networks (including
+decoupling and pull-up resistors) need "about 60 passive components",
+build-ups 1/2 mount 112 SMDs, and the passives-optimized build-up 4
+keeps 12 SMDs.  This module synthesises a concrete BoM consistent with
+those aggregates and with Table 1's per-component areas.
+
+Composition (112 discrete positions total):
+
+* filtering networks, ~60 passives as the paper states:
+  24 pull-up/bias resistors, 20 filter capacitors, 8 matching inductors
+  (LNA/mixer 50 ohm networks), 8 decoupling capacitors;
+* 52 further board passives (digital supervision, A/D reference, PLL,
+  oscillator): 24 resistors and 28 capacitors;
+* 3 filter functions realised as blocks (RF image reject + 2 IF), on top
+  of the discrete positions.
+
+In build-up 4 the 8 decaps stay SMD (smaller than their integrated
+equivalent — the paper's headline optimisation) and the two IF filters
+each keep 2 SMD inductors (performance-driven, §4.1), giving the 12
+SMDs of Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..passives.component import (
+    BillOfMaterials,
+    PassiveKind,
+    PassiveRequirement,
+    PassiveRole,
+)
+from . import data
+
+#: The paper's aggregate counts, used to validate the synthesis.
+TOTAL_SMD_POSITIONS = 112
+SMD_POSITIONS_KEPT_IN_BUILDUP_4 = 12
+FILTER_NETWORK_PASSIVES_APPROX = 60
+
+
+@dataclass(frozen=True)
+class GpsBomSummary:
+    """Aggregate composition used by the build-up constructors."""
+
+    pullup_resistor_count: int
+    filter_cap_count: int
+    matching_inductor_count: int
+    decap_count: int
+    other_resistor_count: int
+    other_cap_count: int
+    filter_count: int
+
+    @property
+    def resistor_count(self) -> int:
+        """All discrete resistor positions."""
+        return self.pullup_resistor_count + self.other_resistor_count
+
+    @property
+    def small_cap_count(self) -> int:
+        """All discrete small-capacitor positions (decaps excluded)."""
+        return self.filter_cap_count + self.other_cap_count
+
+    @property
+    def smd_positions(self) -> int:
+        """Discrete positions when every passive is an SMD (builds 1/2)."""
+        return (
+            self.resistor_count
+            + self.small_cap_count
+            + self.matching_inductor_count
+            + self.decap_count
+        )
+
+    @property
+    def filter_network_passives(self) -> int:
+        """The paper's "about 60" filtering-network passives."""
+        return (
+            self.pullup_resistor_count
+            + self.filter_cap_count
+            + self.matching_inductor_count
+            + self.decap_count
+        )
+
+
+#: The synthesised composition (see module docstring).
+GPS_BOM_SUMMARY = GpsBomSummary(
+    pullup_resistor_count=24,
+    filter_cap_count=20,
+    matching_inductor_count=8,
+    decap_count=8,
+    other_resistor_count=24,
+    other_cap_count=28,
+    filter_count=3,
+)
+
+#: Nominal values for each class.
+RESISTOR_VALUE_OHM = 10_000.0
+SMALL_CAP_VALUE_F = 22e-12
+MATCHING_INDUCTOR_VALUE_H = 10e-9
+DECAP_VALUE_F = 10e-9
+
+#: Case sizes used in the SMD build-ups (Table 1 lists 0603 and 0805).
+RESISTOR_CASE = "0603"
+SMALL_CAP_CASE = "0603"
+MATCHING_INDUCTOR_CASE = "0603"
+DECAP_CASE = "0805"
+
+#: SMD inductors per IF filter in the passives-optimized build-up
+#: (integrated spirals are too lossy at 175 MHz, §4.1).
+SMD_INDUCTORS_PER_IF_FILTER = 2
+IF_FILTER_COUNT = 2
+
+
+def build_gps_bom() -> BillOfMaterials:
+    """Construct the full passive BoM of the GPS front end."""
+    summary = GPS_BOM_SUMMARY
+    bom = BillOfMaterials(name="GPS front end passives")
+    bom.add(
+        PassiveRequirement(
+            kind=PassiveKind.RESISTOR,
+            value=RESISTOR_VALUE_OHM,
+            tolerance=0.05,
+            role=PassiveRole.PULL_UP,
+            name="R_pullup",
+        ),
+        quantity=summary.pullup_resistor_count,
+        note="pull-up and bias resistors in the filtering networks",
+    )
+    bom.add(
+        PassiveRequirement(
+            kind=PassiveKind.CAPACITOR,
+            value=SMALL_CAP_VALUE_F,
+            tolerance=0.10,
+            role=PassiveRole.FILTERING,
+            name="C_filt",
+        ),
+        quantity=summary.filter_cap_count,
+        note="filter and coupling capacitors",
+    )
+    bom.add(
+        PassiveRequirement(
+            kind=PassiveKind.INDUCTOR,
+            value=MATCHING_INDUCTOR_VALUE_H,
+            tolerance=0.10,
+            role=PassiveRole.MATCHING,
+            name="L_match",
+            min_q=20.0,
+            q_frequency=data.GPS_L1_HZ,
+        ),
+        quantity=summary.matching_inductor_count,
+        note="LNA/mixer 50 ohm matching inductors",
+    )
+    bom.add(
+        PassiveRequirement(
+            kind=PassiveKind.CAPACITOR,
+            value=DECAP_VALUE_F,
+            tolerance=0.20,
+            role=PassiveRole.DECOUPLING,
+            name="C_dec",
+        ),
+        quantity=summary.decap_count,
+        note="supply decoupling capacitors",
+    )
+    bom.add(
+        PassiveRequirement(
+            kind=PassiveKind.RESISTOR,
+            value=RESISTOR_VALUE_OHM,
+            tolerance=0.05,
+            role=PassiveRole.GENERIC,
+            name="R_misc",
+        ),
+        quantity=summary.other_resistor_count,
+        note="digital supervision / A/D / oscillator resistors",
+    )
+    bom.add(
+        PassiveRequirement(
+            kind=PassiveKind.CAPACITOR,
+            value=SMALL_CAP_VALUE_F,
+            tolerance=0.10,
+            role=PassiveRole.GENERIC,
+            name="C_misc",
+        ),
+        quantity=summary.other_cap_count,
+        note="digital supervision / A/D / oscillator capacitors",
+    )
+    return bom
+
+
+def validate_against_paper(bom: BillOfMaterials) -> dict[str, bool]:
+    """Check the synthesised BoM against the paper's aggregates."""
+    counts = bom.count_by_kind()
+    filter_network = sum(
+        line.quantity
+        for line in bom
+        if line.requirement.role
+        in (
+            PassiveRole.FILTERING,
+            PassiveRole.MATCHING,
+            PassiveRole.DECOUPLING,
+            PassiveRole.PULL_UP,
+        )
+    )
+    return {
+        "smd_positions_112": bom.total_count == TOTAL_SMD_POSITIONS,
+        "filter_network_about_60": (
+            abs(filter_network - FILTER_NETWORK_PASSIVES_APPROX) <= 10
+        ),
+        "has_all_kinds": all(
+            kind in counts
+            for kind in (
+                PassiveKind.RESISTOR,
+                PassiveKind.CAPACITOR,
+                PassiveKind.INDUCTOR,
+            )
+        ),
+    }

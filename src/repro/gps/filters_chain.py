@@ -1,0 +1,99 @@
+"""Filter specifications and per-build-up technology assignments (§4.1).
+
+Three on-module filters:
+
+* the LNA output **image-reject** filter — Cauer type, passband at
+  1.575 GHz, transmission zero at the 1.225 GHz image, max 3 dB loss;
+* two **IF bandpass** filters — 2-pole Tchebyscheff at 175 MHz.
+
+Per build-up realisations follow §4.1:
+
+* build-ups 1 and 2 buy discrete SMD filter blocks (screened, tuned:
+  they meet spec, performance 1.0);
+* build-up 3 integrates everything — the IF filters' thin-film spirals
+  have single-digit Q at 175 MHz, so losses far exceed spec;
+* build-up 4 integrates the RF filter (fine at 1.5 GHz) but realises the
+  IF filters with SMD inductors + integrated capacitors/resistors —
+  "borderline" performance.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..circuits.qfactor import (
+    DiscreteFilterBlockQModel,
+    MixedQModel,
+    SmdQModel,
+    SummitQModel,
+)
+from ..circuits.synthesis import QModel
+from ..passives.filters import FilterFamily, FilterSpec
+from . import data
+
+
+def rf_image_reject_spec() -> FilterSpec:
+    """The Cauer image-reject filter after the LNA."""
+    return FilterSpec(
+        name="image reject filter",
+        family=FilterFamily.CAUER,
+        order=3,
+        center_hz=data.GPS_L1_HZ,
+        bandwidth_hz=data.RF_FILTER_BANDWIDTH_HZ,
+        max_insertion_loss_db=data.RF_FILTER_MAX_LOSS_DB,
+        ripple_db=0.5,
+        stop_attenuation_db=data.RF_FILTER_MIN_REJECTION_DB,
+        stop_offset_hz=data.GPS_L1_HZ - data.IMAGE_HZ,
+    )
+
+
+def if_filter_spec(which: int) -> FilterSpec:
+    """One of the two 2-pole Tchebyscheff IF filters."""
+    if which not in (1, 2):
+        raise ValueError(f"IF filter index must be 1 or 2, got {which}")
+    return FilterSpec(
+        name=f"IF filter {which}",
+        family=FilterFamily.CHEBYSHEV,
+        order=2,
+        center_hz=data.IF_HZ,
+        bandwidth_hz=data.IF_FILTER_BANDWIDTH_HZ,
+        max_insertion_loss_db=data.IF_FILTER_MAX_LOSS_DB,
+        ripple_db=data.IF_FILTER_RIPPLE_DB,
+    )
+
+
+def filter_chain_specs() -> list[FilterSpec]:
+    """All on-module filter specs, in signal order."""
+    return [rf_image_reject_spec(), if_filter_spec(1), if_filter_spec(2)]
+
+
+def technology_assignments(
+    implementation: int,
+) -> list[tuple[FilterSpec, Optional[QModel]]]:
+    """``(spec, q_model)`` pairs for one build-up (input to assess_chain).
+
+    Raises
+    ------
+    ValueError
+        For implementation numbers outside 1..4.
+    """
+    if implementation not in (1, 2, 3, 4):
+        raise ValueError(
+            f"implementation must be 1..4, got {implementation}"
+        )
+    rf = rf_image_reject_spec()
+    if1 = if_filter_spec(1)
+    if2 = if_filter_spec(2)
+    block = DiscreteFilterBlockQModel()
+    summit = SummitQModel()
+    if implementation in (1, 2):
+        return [(rf, block), (if1, block), (if2, block)]
+    if implementation == 3:
+        return [(rf, summit), (if1, summit), (if2, summit)]
+    mixed = MixedQModel(
+        inductor_model=SmdQModel(
+            inductor_q_value=data.SMD_INDUCTOR_Q_AT_IF
+        ),
+        capacitor_model=summit,
+    )
+    return [(rf, summit), (if1, mixed), (if2, mixed)]

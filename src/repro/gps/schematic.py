@@ -1,0 +1,104 @@
+"""Functional chain of the GPS front end (paper Fig. 2 and §3).
+
+The signal path: antenna -> external filter -> matched line -> LNA ->
+image-reject bandpass (1.575 GHz) -> mixer (VCO reference) -> IF bandpass
+(175 MHz) -> second downconversion -> IF bandpass -> A/D -> correlator,
+with a PLL loop filter on the synthesiser.
+
+The schematic object model exists so examples and tests can reason about
+which filter functions a build-up must realise; the electrical content of
+each filter lives in :mod:`repro.gps.filters_chain`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import SpecificationError
+
+
+class BlockKind(enum.Enum):
+    """Functional block categories of the receiver chain."""
+
+    ANTENNA = "antenna"
+    FILTER = "filter"
+    AMPLIFIER = "amplifier"
+    MIXER = "mixer"
+    OSCILLATOR = "oscillator"
+    MATCHING = "matching"
+    ADC = "adc"
+    CORRELATOR = "correlator"
+
+
+@dataclass(frozen=True)
+class Block:
+    """One functional block in the chain."""
+
+    name: str
+    kind: BlockKind
+    frequency_hz: Optional[float] = None
+    #: Which chip hosts this block (None = passive network on substrate).
+    host_chip: Optional[str] = None
+
+
+@dataclass
+class SignalChain:
+    """An ordered receiver chain with named blocks."""
+
+    blocks: list[Block] = field(default_factory=list)
+
+    def add(self, block: Block) -> Block:
+        """Append a block to the chain."""
+        if any(b.name == block.name for b in self.blocks):
+            raise SpecificationError(
+                f"duplicate block name {block.name!r} in chain"
+            )
+        self.blocks.append(block)
+        return block
+
+    def filters(self) -> list[Block]:
+        """All filter blocks, in signal order."""
+        return [b for b in self.blocks if b.kind is BlockKind.FILTER]
+
+    def passive_blocks(self) -> list[Block]:
+        """Blocks realised as passive networks (no host chip)."""
+        return [b for b in self.blocks if b.host_chip is None]
+
+    def by_name(self, name: str) -> Block:
+        """Look up a block by name."""
+        for block in self.blocks:
+            if block.name == name:
+                return block
+        raise SpecificationError(f"no block named {name!r}")
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+
+def build_gps_chain() -> SignalChain:
+    """The Fig. 2 receiver chain as an object graph."""
+    chain = SignalChain()
+    chain.add(Block("antenna", BlockKind.ANTENNA))
+    chain.add(Block("external filter", BlockKind.FILTER, 1.575e9))
+    chain.add(Block("input match", BlockKind.MATCHING, 1.575e9))
+    chain.add(Block("LNA", BlockKind.AMPLIFIER, 1.575e9, host_chip="RF chip"))
+    chain.add(Block("image reject filter", BlockKind.FILTER, 1.575e9))
+    chain.add(Block("mixer match", BlockKind.MATCHING, 1.575e9))
+    chain.add(Block("mixer 1", BlockKind.MIXER, host_chip="RF chip"))
+    chain.add(Block("VCO", BlockKind.OSCILLATOR, host_chip="RF chip"))
+    chain.add(Block("PLL loop filter", BlockKind.FILTER))
+    chain.add(Block("IF filter 1", BlockKind.FILTER, 175e6))
+    chain.add(Block("mixer 2", BlockKind.MIXER, host_chip="RF chip"))
+    chain.add(Block("IF filter 2", BlockKind.FILTER, 175e6))
+    chain.add(Block("A/D", BlockKind.ADC, host_chip="RF chip"))
+    chain.add(
+        Block("correlator", BlockKind.CORRELATOR, host_chip="DSP correlator")
+    )
+    return chain
+
+
+#: Filters the build-ups must realise as discrete/integrated structures
+#: (the external antenna filter stays off-module in every build-up).
+ON_MODULE_FILTERS = ("image reject filter", "IF filter 1", "IF filter 2")

@@ -1,0 +1,126 @@
+"""End-to-end reproduction of the paper's GPS case study (§4).
+
+:func:`run_gps_study` assembles the four build-ups into methodology
+candidates and executes steps 2-5, producing the quantities behind
+Fig. 3 (area), Fig. 5 (cost), Fig. 6 (figure of merit) and the §4.1
+performance scores in one call.  The benchmarks and examples all go
+through this function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..area.substrate import LAMINATE_RULE, MCM_D_RULE, PCB_RULE
+from ..core.methodology import (
+    CandidateBuildUp,
+    StudyResult,
+    run_study,
+)
+from ..core.figure_of_merit import FomWeights
+from . import data
+from .buildups import flow_for, footprints_for, get_buildup
+from .filters_chain import technology_assignments
+
+
+@dataclass(frozen=True)
+class GpsStudyRow:
+    """Convenience view of one implementation's results."""
+
+    implementation: int
+    name: str
+    performance: float
+    area_percent: float
+    cost_percent: float
+    figure_of_merit: float
+
+
+def candidates(
+    chip_costs: Optional[data.ChipCosts] = None,
+) -> list[CandidateBuildUp]:
+    """The four GPS build-ups as methodology candidates (step 1)."""
+    result = []
+    for implementation in (1, 2, 3, 4):
+        buildup = get_buildup(implementation)
+
+        def factory(
+            area_cm2: float, _implementation: int = implementation
+        ):
+            return flow_for(_implementation, area_cm2, chip_costs)
+
+        result.append(
+            CandidateBuildUp(
+                name=buildup.name,
+                footprints=footprints_for(implementation),
+                substrate_rule=MCM_D_RULE if buildup.is_mcm else PCB_RULE,
+                laminate=LAMINATE_RULE if buildup.is_mcm else None,
+                flow_factory=factory,
+                filter_assignments=technology_assignments(implementation),
+            )
+        )
+    return result
+
+
+def run_gps_study(
+    chip_costs: Optional[data.ChipCosts] = None,
+    weights: Optional[FomWeights] = None,
+    volume: float = 10_000.0,
+) -> StudyResult:
+    """Run the complete GPS trade-off study.
+
+    The reference is implementation 1 (PCB/SMD), as in the paper.
+    """
+    return run_study(
+        candidates(chip_costs),
+        reference=0,
+        weights=weights,
+        volume=volume,
+    )
+
+
+def summary_rows(result: StudyResult) -> list[GpsStudyRow]:
+    """Flatten a study result into per-implementation summary rows."""
+    rows = []
+    for implementation in (1, 2, 3, 4):
+        name = data.IMPLEMENTATION_NAMES[implementation]
+        row = result.row(name)
+        rows.append(
+            GpsStudyRow(
+                implementation=implementation,
+                name=name,
+                performance=row.fom.performance,
+                area_percent=row.area_percent,
+                cost_percent=row.cost_percent,
+                figure_of_merit=row.fom.figure_of_merit,
+            )
+        )
+    return rows
+
+
+def paper_comparison(result: StudyResult) -> dict[str, dict[int, tuple]]:
+    """Paper-vs-measured pairs for every published number.
+
+    Returns a mapping with keys ``"area"``, ``"cost"``, ``"performance"``
+    and ``"fom"``; each value maps the implementation number to a
+    ``(paper, measured)`` tuple.  EXPERIMENTS.md is generated from this.
+    """
+    rows = {row.implementation: row for row in summary_rows(result)}
+    return {
+        "area": {
+            i: (data.PAPER_AREA_PERCENT[i], rows[i].area_percent)
+            for i in (1, 2, 3, 4)
+        },
+        "cost": {
+            i: (data.PAPER_COST_PERCENT[i], rows[i].cost_percent)
+            for i in (1, 2, 3, 4)
+        },
+        "performance": {
+            i: (data.PAPER_PERFORMANCE[i], rows[i].performance)
+            for i in (1, 2, 3, 4)
+        },
+        "fom": {
+            i: (data.PAPER_FOM[i], rows[i].figure_of_merit)
+            for i in (1, 2, 3, 4)
+        },
+    }

@@ -1,0 +1,248 @@
+"""Core passive-component abstractions.
+
+The library distinguishes between a *requirement* — "this design needs a
+200 ohm resistor with at most 5 % tolerance" — and a *realization* — "that
+requirement is met by an 0603 SMD chip resistor" or "by a CrSi thin-film
+meander occupying 0.01 mm^2 of the substrate".
+
+:class:`PassiveRequirement` captures the electrical need; concrete
+realizations (SMD parts in :mod:`repro.passives.smd`, thin-film structures
+in :mod:`repro.passives.thin_film`) expose a common interface —
+:attr:`~PassiveRealization.area_mm2`, :attr:`~PassiveRealization.tolerance`,
+:attr:`~PassiveRealization.unit_cost` — so the trade-off engine can compare
+them without caring how they are built.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import ComponentError
+
+
+class PassiveKind(enum.Enum):
+    """The electrical species of a passive component."""
+
+    RESISTOR = "R"
+    CAPACITOR = "C"
+    INDUCTOR = "L"
+    FILTER = "filter"
+
+    @property
+    def base_unit(self) -> str:
+        """Base SI unit for the component value (empty for filters)."""
+        return {
+            PassiveKind.RESISTOR: "ohm",
+            PassiveKind.CAPACITOR: "F",
+            PassiveKind.INDUCTOR: "H",
+            PassiveKind.FILTER: "",
+        }[self]
+
+
+class MountingStyle(enum.Enum):
+    """How a realization occupies the board or substrate."""
+
+    #: Discrete part soldered onto the surface (consumes footprint area and
+    #: an assembly step).
+    SURFACE_MOUNT = "smd"
+    #: Structure fabricated as part of the substrate metallisation
+    #: (consumes substrate area but no assembly step).
+    INTEGRATED = "integrated"
+
+
+class PassiveRole(enum.Enum):
+    """Functional role of a passive in the system.
+
+    The role matters for the trade-off: decoupling capacitors are large
+    when integrated (the paper's second "show killer"), while precision
+    filter elements may not meet tolerance when integrated.
+    """
+
+    FILTERING = "filtering"
+    MATCHING = "matching"
+    DECOUPLING = "decoupling"
+    PULL_UP = "pull-up"
+    BIAS = "bias"
+    GENERIC = "generic"
+
+
+@dataclass(frozen=True)
+class PassiveRequirement:
+    """An electrical requirement for one passive component.
+
+    Parameters
+    ----------
+    kind:
+        Resistor, capacitor, inductor or filter block.
+    value:
+        Component value in base units (ohm / farad / henry).  Filters use
+        ``value=0`` and are characterised by their spec instead.
+    tolerance:
+        Maximum acceptable relative tolerance (e.g. ``0.05`` for 5 %).
+    role:
+        Functional role; drives technology-selection heuristics.
+    name:
+        Reference designator, e.g. ``"R12"`` or ``"C_dec3"``.
+    min_q:
+        Minimum unloaded quality factor at ``q_frequency`` (RF parts).
+    q_frequency:
+        Frequency in Hz at which ``min_q`` applies.
+    """
+
+    kind: PassiveKind
+    value: float
+    tolerance: float = 0.15
+    role: PassiveRole = PassiveRole.GENERIC
+    name: str = ""
+    min_q: Optional[float] = None
+    q_frequency: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind is not PassiveKind.FILTER and self.value <= 0:
+            raise ComponentError(
+                f"{self.kind.name} requirement needs a positive value, "
+                f"got {self.value}"
+            )
+        if not (0.0 < self.tolerance <= 1.0):
+            raise ComponentError(
+                f"tolerance must lie in (0, 1], got {self.tolerance}"
+            )
+        if (self.min_q is None) != (self.q_frequency is None):
+            raise ComponentError(
+                "min_q and q_frequency must be given together"
+            )
+
+
+@dataclass(frozen=True)
+class PassiveRealization:
+    """A concrete way of realising a :class:`PassiveRequirement`.
+
+    Instances are produced by the technology libraries and consumed by the
+    area and cost engines; they are deliberately technology-agnostic.
+
+    Attributes
+    ----------
+    requirement:
+        The requirement this realization satisfies.
+    mounting:
+        Surface-mount or integrated.
+    technology:
+        Free-text technology label, e.g. ``"0603"`` or ``"CrSi thin film"``.
+    area_mm2:
+        Area consumed on the board (including footprint/courtyard for SMDs)
+        or on the substrate (for integrated structures).
+    tolerance:
+        Achieved relative tolerance.
+    unit_cost:
+        Piece-part cost for SMDs; zero for integrated structures (their
+        cost is carried by the substrate cost per area).
+    needs_assembly:
+        Whether mounting the part requires an SMD assembly step.
+    detail:
+        Technology-specific description (geometry, material, trims).
+    """
+
+    requirement: PassiveRequirement
+    mounting: MountingStyle
+    technology: str
+    area_mm2: float
+    tolerance: float
+    unit_cost: float = 0.0
+    needs_assembly: bool = True
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.area_mm2 <= 0:
+            raise ComponentError(
+                f"realization area must be positive, got {self.area_mm2}"
+            )
+        if self.unit_cost < 0:
+            raise ComponentError(
+                f"unit cost cannot be negative, got {self.unit_cost}"
+            )
+
+    @property
+    def meets_tolerance(self) -> bool:
+        """True if the achieved tolerance satisfies the requirement."""
+        return self.tolerance <= self.requirement.tolerance
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        req = self.requirement
+        label = req.name or req.kind.value
+        return (
+            f"{label}: {self.technology} ({self.mounting.value}), "
+            f"{self.area_mm2:.3g} mm^2, tol {self.tolerance:.1%}"
+        )
+
+
+@dataclass
+class BomLine:
+    """One line of a bill of materials: a requirement with a quantity."""
+
+    requirement: PassiveRequirement
+    quantity: int = 1
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if self.quantity < 1:
+            raise ComponentError(
+                f"BoM quantity must be >= 1, got {self.quantity}"
+            )
+
+
+@dataclass
+class BillOfMaterials:
+    """A collection of passive requirements with quantities.
+
+    Provides the aggregate views the paper reports: total passive count,
+    counts per kind and per role.
+    """
+
+    lines: list[BomLine] = field(default_factory=list)
+    name: str = ""
+
+    def add(
+        self,
+        requirement: PassiveRequirement,
+        quantity: int = 1,
+        note: str = "",
+    ) -> None:
+        """Append a requirement with a quantity."""
+        self.lines.append(BomLine(requirement, quantity, note))
+
+    @property
+    def total_count(self) -> int:
+        """Total number of passive component instances."""
+        return sum(line.quantity for line in self.lines)
+
+    def count_by_kind(self) -> dict[PassiveKind, int]:
+        """Instance counts keyed by :class:`PassiveKind`."""
+        counts: dict[PassiveKind, int] = {}
+        for line in self.lines:
+            kind = line.requirement.kind
+            counts[kind] = counts.get(kind, 0) + line.quantity
+        return counts
+
+    def count_by_role(self) -> dict[PassiveRole, int]:
+        """Instance counts keyed by :class:`PassiveRole`."""
+        counts: dict[PassiveRole, int] = {}
+        for line in self.lines:
+            role = line.requirement.role
+            counts[role] = counts.get(role, 0) + line.quantity
+        return counts
+
+    def requirements(self) -> list[PassiveRequirement]:
+        """Flatten to one requirement per physical instance."""
+        flat: list[PassiveRequirement] = []
+        for line in self.lines:
+            flat.extend([line.requirement] * line.quantity)
+        return flat
+
+    def __iter__(self):
+        return iter(self.lines)
+
+    def __len__(self) -> int:
+        return len(self.lines)

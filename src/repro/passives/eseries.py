@@ -1,0 +1,135 @@
+"""IEC 60063 preferred number (E-series) utilities.
+
+Surface-mount passives only exist in preferred values (E12/E24/E96...),
+while integrated passives can be fabricated at any value (and trimmed).
+That asymmetry matters for the trade-off: an SMD realisation of an
+arbitrary synthesised filter element must snap to the nearest preferred
+value, adding a deterministic detuning error on top of the tolerance
+scatter — an effect the integrated technology does not have.
+
+This module provides the standard series, nearest-value snapping, and
+the snap-error bound used by the tolerance analysis.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+
+from ..errors import ComponentError
+
+#: The IEC 60063 base values per decade.  E3..E24 are the historically
+#: rounded tables (not pure geometric progressions); E48/E96 follow the
+#: computed two/three-digit roundings.
+E_SERIES_BASES: dict[str, tuple[float, ...]] = {
+    "E3": (1.0, 2.2, 4.7),
+    "E6": (1.0, 1.5, 2.2, 3.3, 4.7, 6.8),
+    "E12": (
+        1.0, 1.2, 1.5, 1.8, 2.2, 2.7, 3.3, 3.9, 4.7, 5.6, 6.8, 8.2,
+    ),
+    "E24": (
+        1.0, 1.1, 1.2, 1.3, 1.5, 1.6, 1.8, 2.0, 2.2, 2.4, 2.7, 3.0,
+        3.3, 3.6, 3.9, 4.3, 4.7, 5.1, 5.6, 6.2, 6.8, 7.5, 8.2, 9.1,
+    ),
+    "E48": tuple(
+        round(10.0 ** (i / 48.0), 2) for i in range(48)
+    ),
+    "E96": tuple(
+        round(10.0 ** (i / 96.0), 2) for i in range(96)
+    ),
+}
+
+#: Conventional tolerance attached to each series.
+SERIES_TOLERANCE: dict[str, float] = {
+    "E3": 0.40,
+    "E6": 0.20,
+    "E12": 0.10,
+    "E24": 0.05,
+    "E48": 0.02,
+    "E96": 0.01,
+}
+
+
+@dataclass(frozen=True)
+class SnappedValue:
+    """Result of snapping a value to a preferred series."""
+
+    requested: float
+    snapped: float
+    series: str
+
+    @property
+    def relative_error(self) -> float:
+        """Signed relative detuning introduced by the snap."""
+        return (self.snapped - self.requested) / self.requested
+
+
+def series_values(series: str, decade_min: int = -15,
+                  decade_max: int = 12) -> list[float]:
+    """All preferred values of a series across a decade range."""
+    bases = _bases(series)
+    values = []
+    for decade in range(decade_min, decade_max + 1):
+        scale = 10.0**decade
+        values.extend(base * scale for base in bases)
+    return values
+
+
+def _bases(series: str) -> tuple[float, ...]:
+    try:
+        return E_SERIES_BASES[series]
+    except KeyError:
+        known = ", ".join(sorted(E_SERIES_BASES))
+        raise ComponentError(
+            f"unknown E-series {series!r}; known: {known}"
+        ) from None
+
+
+def snap(value: float, series: str = "E24") -> SnappedValue:
+    """Snap a positive value to the nearest preferred value.
+
+    Nearest is measured in log space (relative error), matching how the
+    series are constructed.
+    """
+    if value <= 0:
+        raise ComponentError(f"value must be positive, got {value}")
+    bases = _bases(series)
+    decade = math.floor(math.log10(value))
+    candidates = [
+        base * 10.0**d
+        for d in (decade - 1, decade, decade + 1)
+        for base in bases
+    ]
+    candidates.sort()
+    log_value = math.log10(value)
+    i = bisect.bisect_left(candidates, value)
+    best = None
+    best_err = math.inf
+    for j in (i - 1, i, i + 1):
+        if 0 <= j < len(candidates):
+            err = abs(math.log10(candidates[j]) - log_value)
+            if err < best_err:
+                best_err = err
+                best = candidates[j]
+    assert best is not None
+    return SnappedValue(requested=value, snapped=best, series=series)
+
+
+def max_snap_error(series: str) -> float:
+    """Worst-case relative snap error of a series.
+
+    Half the largest geometric gap between adjacent preferred values,
+    expressed as a relative error.
+    """
+    bases = list(_bases(series)) + [10.0 * _bases(series)[0]]
+    worst = 0.0
+    for low, high in zip(bases, bases[1:]):
+        midpoint_ratio = math.sqrt(high / low)
+        worst = max(worst, midpoint_ratio - 1.0)
+    return worst
+
+
+def snap_all(values: list[float], series: str = "E24") -> list[SnappedValue]:
+    """Snap a list of element values (e.g. a synthesised ladder)."""
+    return [snap(value, series) for value in values]

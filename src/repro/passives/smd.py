@@ -1,0 +1,177 @@
+"""Surface-mount passive catalog and the Fig. 1 area data.
+
+The paper's Fig. 1 (after Pohjonen & Kuisma [6]) shows that while SMD
+bodies keep shrinking from 0805 down to 0402, the *footprint* — body plus
+the land pattern and courtyard needed for mounting and soldering — barely
+shrinks, because soldering clearances cannot scale with the body.  This
+module encodes that catalog and exposes it both as data (for the Fig. 1
+benchmark) and as a realization factory for the trade-off engine.
+
+Table 1 of the paper uses two case sizes for the GPS build-ups:
+
+* 0603 with a 3.75 mm^2 footprint,
+* 0805 with a 4.5 mm^2 footprint.
+
+Those two numbers are reproduced exactly by the catalog below; the other
+case sizes follow the same body-plus-overhead structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ComponentError
+from .component import (
+    MountingStyle,
+    PassiveKind,
+    PassiveRealization,
+    PassiveRequirement,
+)
+
+
+@dataclass(frozen=True)
+class SmdCaseSize:
+    """Geometry of one imperial SMD case size.
+
+    Attributes
+    ----------
+    code:
+        Imperial size code, e.g. ``"0603"``.
+    body_length_mm / body_width_mm:
+        Nominal body dimensions.
+    footprint_area_mm2:
+        Total board area consumed including land pattern and courtyard —
+        the quantity Fig. 1 plots as "footprint area".
+    """
+
+    code: str
+    body_length_mm: float
+    body_width_mm: float
+    footprint_area_mm2: float
+
+    @property
+    def body_area_mm2(self) -> float:
+        """Pure component (body) area, the lower series in Fig. 1."""
+        return self.body_length_mm * self.body_width_mm
+
+    @property
+    def mounting_overhead_mm2(self) -> float:
+        """Footprint area minus body area: the soldering overhead."""
+        return self.footprint_area_mm2 - self.body_area_mm2
+
+
+#: Catalog ordered from largest to smallest, as on the Fig. 1 x-axis.
+#: Body dimensions are the standard imperial sizes; footprint areas are
+#: chosen to reproduce Table 1 exactly for 0805/0603 and to follow the
+#: Fig. 1 trend (footprint overhead stays roughly constant ~2.2 mm^2)
+#: for the smaller sizes.
+CASE_SIZES: dict[str, SmdCaseSize] = {
+    case.code: case
+    for case in (
+        SmdCaseSize("1206", 3.2, 1.6, 7.3),
+        SmdCaseSize("0805", 2.0, 1.25, 4.5),
+        SmdCaseSize("0603", 1.6, 0.8, 3.75),
+        SmdCaseSize("0402", 1.0, 0.5, 2.7),
+        SmdCaseSize("0201", 0.6, 0.3, 2.1),
+    )
+}
+
+#: The x-axis order of Fig. 1 (largest to smallest of the plotted sizes).
+FIG1_ORDER = ("0805", "0603", "0402", "0201")
+
+#: Default piece-part tolerances by kind for standard SMD components.
+DEFAULT_SMD_TOLERANCE = {
+    PassiveKind.RESISTOR: 0.01,
+    PassiveKind.CAPACITOR: 0.05,
+    PassiveKind.INDUCTOR: 0.05,
+    PassiveKind.FILTER: 0.02,
+}
+
+#: Default piece-part unit costs (currency units) by kind; generic jellybean
+#: passives are cheap, discrete filter blocks are not.
+DEFAULT_SMD_UNIT_COST = {
+    PassiveKind.RESISTOR: 0.01,
+    PassiveKind.CAPACITOR: 0.02,
+    PassiveKind.INDUCTOR: 0.08,
+    PassiveKind.FILTER: 1.50,
+}
+
+#: Footprint of a discrete SMD filter block (Table 1: "Filter SMD").
+SMD_FILTER_AREA_MM2 = 27.5
+
+
+def get_case(code: str) -> SmdCaseSize:
+    """Look up a case size by imperial code.
+
+    Raises
+    ------
+    ComponentError
+        If the code is not in the catalog.
+    """
+    try:
+        return CASE_SIZES[code]
+    except KeyError:
+        known = ", ".join(sorted(CASE_SIZES))
+        raise ComponentError(
+            f"unknown SMD case size {code!r}; known sizes: {known}"
+        ) from None
+
+
+def fig1_series() -> list[tuple[str, float, float]]:
+    """Return the Fig. 1 data: ``(code, body_area, footprint_area)`` rows.
+
+    Ordered as plotted in the paper (0805 -> 0201).  The benchmark for
+    Fig. 1 prints exactly these rows.
+    """
+    rows = []
+    for code in FIG1_ORDER:
+        case = CASE_SIZES[code]
+        rows.append((code, case.body_area_mm2, case.footprint_area_mm2))
+    return rows
+
+
+def realize_smd(
+    requirement: PassiveRequirement,
+    case_code: str = "0603",
+    tolerance: float | None = None,
+    unit_cost: float | None = None,
+) -> PassiveRealization:
+    """Realise a requirement as a surface-mount part.
+
+    Parameters
+    ----------
+    requirement:
+        The electrical requirement to satisfy.
+    case_code:
+        Imperial case size; defaults to 0603, the paper's workhorse size.
+    tolerance:
+        Achieved tolerance; defaults per component kind
+        (:data:`DEFAULT_SMD_TOLERANCE`).
+    unit_cost:
+        Piece price; defaults per component kind
+        (:data:`DEFAULT_SMD_UNIT_COST`).
+
+    Filters are a special case: they use the Table 1 discrete-filter
+    footprint (27.5 mm^2) instead of a chip case size.
+    """
+    if requirement.kind is PassiveKind.FILTER:
+        area = SMD_FILTER_AREA_MM2
+        technology = "SMD filter block"
+    else:
+        case = get_case(case_code)
+        area = case.footprint_area_mm2
+        technology = case_code
+    if tolerance is None:
+        tolerance = DEFAULT_SMD_TOLERANCE[requirement.kind]
+    if unit_cost is None:
+        unit_cost = DEFAULT_SMD_UNIT_COST[requirement.kind]
+    return PassiveRealization(
+        requirement=requirement,
+        mounting=MountingStyle.SURFACE_MOUNT,
+        technology=technology,
+        area_mm2=area,
+        tolerance=tolerance,
+        unit_cost=unit_cost,
+        needs_assembly=True,
+        detail=f"SMD {technology}",
+    )

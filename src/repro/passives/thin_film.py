@@ -1,0 +1,444 @@
+"""Thin-film integrated passive models (paper §2).
+
+Integrated passives (IPs) are fabricated with the same process steps as the
+substrate metallisation:
+
+* **Resistors** are sputtered CrSi or NiCr layers (~10 nm), patterned as
+  interconnection lines, meandered for large values.  The paper quotes a
+  specific resistance of 360 ohm/sq (CrSi) and gives the example that a
+  200 ohm resistor then needs about 0.01 mm^2.  Table 1 budgets 0.25 mm^2
+  for a 100 kohm meander.
+* **Capacitors** are MIM sandwiches or interdigitated combs with a high-k
+  dielectric (Si3N4 or BaxTiOy); densities up to 100 pF/mm^2 with Si3N4 and
+  higher with BaxTiOy.  Table 1 budgets 0.3 mm^2 for a 50 pF capacitor,
+  i.e. an effective ~200 pF/mm^2 high-k stack including terminal overhead.
+* **Inductors** are square spiral interconnection lines; the value is set
+  by the number of turns, line width and spacing.  Table 1 budgets 1 mm^2
+  for 40 nH.  We model the inductance with the modified Wheeler formula,
+  which reproduces that budget with SUMMIT-like geometry (20 um lines and
+  spaces, inner diameter = half the outer diameter).
+
+All three models are physical (geometry in, area out) rather than lookup
+tables, so the library can also price passives the paper never used.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from ..errors import ComponentError, TechnologyError
+from .component import (
+    MountingStyle,
+    PassiveKind,
+    PassiveRealization,
+    PassiveRequirement,
+)
+
+#: Vacuum permeability in H/m, used by the Wheeler spiral model.
+MU0 = 4.0e-7 * math.pi
+
+#: Modified-Wheeler coefficients for a square planar spiral
+#: (Mohan et al., JSSC 1999).
+WHEELER_K1 = 2.34
+WHEELER_K2 = 2.75
+
+
+@dataclass(frozen=True)
+class ThinFilmProcess:
+    """Parameters of one thin-film integrated-passives process.
+
+    Attributes
+    ----------
+    name:
+        Human-readable process label.
+    sheet_resistance_ohm_sq:
+        Resistive layer sheet resistance (360 ohm/sq for CrSi).
+    resistor_tolerance:
+        As-fabricated resistor tolerance (paper: ~15 %).
+    trimmed_tolerance:
+        Tolerance after laser trimming (paper: below 1 %).
+    trim_cost:
+        Additional per-resistor cost of the laser-trim step.
+    cap_density_pf_mm2:
+        Capacitance density of the MIM stack in pF/mm^2.
+    cap_tolerance:
+        As-fabricated capacitor tolerance.
+    cap_overhead_mm2:
+        Fixed per-capacitor terminal/guard overhead.
+    metal_sheet_resistance_ohm_sq:
+        Interconnect metal sheet resistance; sets inductor series loss.
+    line_width_mm / line_spacing_mm:
+        Default conductor width and spacing for meanders and spirals.
+    resistor_pad_area_mm2:
+        Fixed contact-pad area per resistor terminal.
+    inductor_margin_mm:
+        Keep-out margin around a spiral on each side.
+    """
+
+    name: str
+    sheet_resistance_ohm_sq: float
+    resistor_tolerance: float = 0.15
+    trimmed_tolerance: float = 0.01
+    trim_cost: float = 0.02
+    cap_density_pf_mm2: float = 100.0
+    cap_tolerance: float = 0.15
+    cap_overhead_mm2: float = 0.05
+    metal_sheet_resistance_ohm_sq: float = 0.009
+    line_width_mm: float = 0.020
+    line_spacing_mm: float = 0.020
+    resistor_pad_area_mm2: float = 0.014
+    inductor_margin_mm: float = 0.020
+
+    def __post_init__(self) -> None:
+        if self.sheet_resistance_ohm_sq <= 0:
+            raise TechnologyError(
+                "sheet resistance must be positive, got "
+                f"{self.sheet_resistance_ohm_sq}"
+            )
+        if self.cap_density_pf_mm2 <= 0:
+            raise TechnologyError(
+                f"capacitance density must be positive, got "
+                f"{self.cap_density_pf_mm2}"
+            )
+        if self.line_width_mm <= 0 or self.line_spacing_mm < 0:
+            raise TechnologyError(
+                "line width must be positive and spacing non-negative"
+            )
+
+
+#: The SUMMIT MCM-D(Si) process used by the GPS demonstrator.  CrSi
+#: resistive layer at 360 ohm/sq; high-k (BaxTiOy) capacitor stack whose
+#: effective density reproduces Table 1's 0.3 mm^2 for 50 pF.
+SUMMIT_PROCESS = ThinFilmProcess(
+    name="SUMMIT MCM-D(Si)",
+    sheet_resistance_ohm_sq=360.0,
+    cap_density_pf_mm2=200.0,
+)
+
+#: A conservative Si3N4-dielectric process (paper §2: "up to 100 pF/mm^2").
+SI3N4_PROCESS = ThinFilmProcess(
+    name="Si3N4 thin film",
+    sheet_resistance_ohm_sq=360.0,
+    cap_density_pf_mm2=100.0,
+)
+
+#: NiCr resistive-layer variant (paper §2 names NiCr as the alternative).
+NICR_PROCESS = ThinFilmProcess(
+    name="NiCr thin film",
+    sheet_resistance_ohm_sq=200.0,
+    cap_density_pf_mm2=100.0,
+)
+
+
+# ---------------------------------------------------------------------------
+# Resistors
+# ---------------------------------------------------------------------------
+
+def resistor_squares(resistance_ohm: float, process: ThinFilmProcess) -> float:
+    """Number of squares of resistive film needed for ``resistance_ohm``."""
+    if resistance_ohm <= 0:
+        raise ComponentError(
+            f"resistance must be positive, got {resistance_ohm}"
+        )
+    return resistance_ohm / process.sheet_resistance_ohm_sq
+
+
+def resistor_area_mm2(
+    resistance_ohm: float,
+    process: ThinFilmProcess,
+    line_width_mm: float | None = None,
+) -> float:
+    """Substrate area of an integrated resistor.
+
+    A resistor of ``n`` squares drawn at width ``w`` with meander pitch
+    ``w + s`` occupies ``n * w * (w + s)`` of film area, plus two contact
+    pads.  Short resistors (under one square) are pad-dominated.
+
+    With SUMMIT defaults this reproduces Table 1: a 100 kohm CrSi meander
+    occupies ~0.25 mm^2.  With a 100 um line (low-value power-capable
+    geometry) it reproduces the paper's §2 example of ~0.01 mm^2 for
+    200 ohm.
+    """
+    width = process.line_width_mm if line_width_mm is None else line_width_mm
+    if width <= 0:
+        raise ComponentError(f"line width must be positive, got {width}")
+    squares = resistor_squares(resistance_ohm, process)
+    pitch = width + process.line_spacing_mm
+    film_area = squares * width * pitch
+    pads = 2.0 * process.resistor_pad_area_mm2
+    return film_area + pads
+
+
+def realize_resistor(
+    requirement: PassiveRequirement,
+    process: ThinFilmProcess = SUMMIT_PROCESS,
+    trimmed: bool | None = None,
+    line_width_mm: float | None = None,
+) -> PassiveRealization:
+    """Realise a resistor requirement as a thin-film structure.
+
+    If ``trimmed`` is ``None``, laser trimming is applied automatically
+    whenever the as-fabricated tolerance would miss the requirement.
+    """
+    if requirement.kind is not PassiveKind.RESISTOR:
+        raise ComponentError(
+            f"realize_resistor needs a RESISTOR requirement, got "
+            f"{requirement.kind.name}"
+        )
+    if trimmed is None:
+        trimmed = process.resistor_tolerance > requirement.tolerance
+    tolerance = (
+        process.trimmed_tolerance if trimmed else process.resistor_tolerance
+    )
+    area = resistor_area_mm2(requirement.value, process, line_width_mm)
+    squares = resistor_squares(requirement.value, process)
+    detail = (
+        f"{process.name}: {squares:.3g} sq at "
+        f"{process.sheet_resistance_ohm_sq:g} ohm/sq"
+        + (", laser trimmed" if trimmed else "")
+    )
+    return PassiveRealization(
+        requirement=requirement,
+        mounting=MountingStyle.INTEGRATED,
+        technology=process.name,
+        area_mm2=area,
+        tolerance=tolerance,
+        unit_cost=process.trim_cost if trimmed else 0.0,
+        needs_assembly=False,
+        detail=detail,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Capacitors
+# ---------------------------------------------------------------------------
+
+def capacitor_area_mm2(
+    capacitance_f: float, process: ThinFilmProcess
+) -> float:
+    """Substrate area of an integrated MIM capacitor.
+
+    Plate area follows directly from the stack density; a fixed terminal
+    overhead is added.  With SUMMIT defaults this reproduces Table 1:
+    50 pF occupies 0.3 mm^2.  It also exposes the paper's decoupling
+    problem: a 1 nF decap needs ~5 mm^2, several times an 0603 footprint.
+    """
+    if capacitance_f <= 0:
+        raise ComponentError(
+            f"capacitance must be positive, got {capacitance_f}"
+        )
+    picofarads = capacitance_f * 1e12
+    plate = picofarads / process.cap_density_pf_mm2
+    return plate + process.cap_overhead_mm2
+
+
+def realize_capacitor(
+    requirement: PassiveRequirement,
+    process: ThinFilmProcess = SUMMIT_PROCESS,
+) -> PassiveRealization:
+    """Realise a capacitor requirement as an integrated MIM structure."""
+    if requirement.kind is not PassiveKind.CAPACITOR:
+        raise ComponentError(
+            f"realize_capacitor needs a CAPACITOR requirement, got "
+            f"{requirement.kind.name}"
+        )
+    area = capacitor_area_mm2(requirement.value, process)
+    return PassiveRealization(
+        requirement=requirement,
+        mounting=MountingStyle.INTEGRATED,
+        technology=process.name,
+        area_mm2=area,
+        tolerance=process.cap_tolerance,
+        unit_cost=0.0,
+        needs_assembly=False,
+        detail=(
+            f"{process.name}: MIM at {process.cap_density_pf_mm2:g} pF/mm^2"
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Inductors (square spiral, modified Wheeler)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SpiralInductorDesign:
+    """A synthesised square spiral inductor.
+
+    Attributes
+    ----------
+    inductance_h:
+        Target inductance in henry.
+    turns:
+        Number of turns (fractional turns are allowed by the model).
+    outer_dim_mm:
+        Outer side length of the square spiral.
+    area_mm2:
+        Substrate area including keep-out margin.
+    series_resistance_ohm:
+        DC series resistance of the wound conductor.
+    """
+
+    inductance_h: float
+    turns: float
+    outer_dim_mm: float
+    area_mm2: float
+    series_resistance_ohm: float
+
+    def q_factor(self, frequency_hz: float) -> float:
+        """Unloaded quality factor ``Q = omega L / R_s`` at ``frequency_hz``.
+
+        This is the conductor-loss-limited Q; substrate-loss roll-off near
+        self-resonance is handled by :mod:`repro.circuits.qfactor`.
+        """
+        if frequency_hz <= 0:
+            raise ComponentError(
+                f"frequency must be positive, got {frequency_hz}"
+            )
+        omega = 2.0 * math.pi * frequency_hz
+        return omega * self.inductance_h / self.series_resistance_ohm
+
+
+def design_spiral_inductor(
+    inductance_h: float,
+    process: ThinFilmProcess = SUMMIT_PROCESS,
+    fill_ratio: float = 0.5,
+) -> SpiralInductorDesign:
+    """Synthesise a square spiral for a target inductance.
+
+    The modified Wheeler formula for a square spiral is::
+
+        L = K1 * mu0 * n^2 * d_avg / (1 + K2 * rho)
+
+    with ``d_avg = (d_out + d_in) / 2`` and fill factor
+    ``rho = (d_out - d_in) / (d_out + d_in)``.  Holding the geometry family
+    fixed (``d_in = fill_ratio * d_out``; ``n`` turns of pitch ``w + s``
+    fill the winding annulus) makes ``L`` proportional to ``n^3``, which we
+    invert in closed form.
+
+    With SUMMIT defaults, 40 nH synthesises to ~6 turns in ~1 mm^2,
+    matching Table 1.
+    """
+    if inductance_h <= 0:
+        raise ComponentError(
+            f"inductance must be positive, got {inductance_h}"
+        )
+    if not (0.0 < fill_ratio < 1.0):
+        raise ComponentError(
+            f"fill_ratio must lie in (0, 1), got {fill_ratio}"
+        )
+    pitch_mm = process.line_width_mm + process.line_spacing_mm
+    pitch_m = pitch_mm * 1e-3
+    # Winding annulus: n * pitch = (d_out - d_in) / 2 = d_out (1 - fr) / 2
+    # => d_out = 2 n pitch / (1 - fr)
+    # d_avg = d_out (1 + fr) / 2 ; rho = (1 - fr) / (1 + fr)
+    rho = (1.0 - fill_ratio) / (1.0 + fill_ratio)
+    geometry = (
+        WHEELER_K1
+        * MU0
+        * (1.0 + fill_ratio)
+        * pitch_m
+        / ((1.0 - fill_ratio) * (1.0 + WHEELER_K2 * rho))
+    )
+    # L = geometry * n^3
+    turns = (inductance_h / geometry) ** (1.0 / 3.0)
+    if turns < 1.0:
+        turns = 1.0
+    outer_m = 2.0 * turns * pitch_m / (1.0 - fill_ratio)
+    outer_mm = outer_m * 1e3
+    side_mm = outer_mm + 2.0 * process.inductor_margin_mm
+    area = side_mm * side_mm
+    d_avg_mm = outer_mm * (1.0 + fill_ratio) / 2.0
+    length_mm = 4.0 * turns * d_avg_mm
+    series_r = (
+        process.metal_sheet_resistance_ohm_sq
+        * length_mm
+        / process.line_width_mm
+    )
+    return SpiralInductorDesign(
+        inductance_h=inductance_h,
+        turns=turns,
+        outer_dim_mm=outer_mm,
+        area_mm2=area,
+        series_resistance_ohm=series_r,
+    )
+
+
+def inductor_area_mm2(
+    inductance_h: float, process: ThinFilmProcess = SUMMIT_PROCESS
+) -> float:
+    """Substrate area of an integrated spiral inductor."""
+    return design_spiral_inductor(inductance_h, process).area_mm2
+
+
+def realize_inductor(
+    requirement: PassiveRequirement,
+    process: ThinFilmProcess = SUMMIT_PROCESS,
+) -> PassiveRealization:
+    """Realise an inductor requirement as a square spiral."""
+    if requirement.kind is not PassiveKind.INDUCTOR:
+        raise ComponentError(
+            f"realize_inductor needs an INDUCTOR requirement, got "
+            f"{requirement.kind.name}"
+        )
+    design = design_spiral_inductor(requirement.value, process)
+    return PassiveRealization(
+        requirement=requirement,
+        mounting=MountingStyle.INTEGRATED,
+        technology=process.name,
+        area_mm2=design.area_mm2,
+        tolerance=0.10,
+        unit_cost=0.0,
+        needs_assembly=False,
+        detail=(
+            f"{process.name}: {design.turns:.2f}-turn spiral, "
+            f"{design.outer_dim_mm:.2f} mm outer, "
+            f"Rs={design.series_resistance_ohm:.2f} ohm"
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Dispatch
+# ---------------------------------------------------------------------------
+
+#: Area of an integrated lumped-element bandpass filter (Table 1:
+#: "Integrated: 12 mm^2 (3 stage)").
+INTEGRATED_FILTER_AREA_MM2 = 12.0
+
+
+def realize_integrated(
+    requirement: PassiveRequirement,
+    process: ThinFilmProcess = SUMMIT_PROCESS,
+) -> PassiveRealization:
+    """Realise any passive requirement in thin film.
+
+    Dispatches on the requirement kind; filter blocks use the Table 1
+    3-stage lumped-filter area budget.
+    """
+    if requirement.kind is PassiveKind.RESISTOR:
+        return realize_resistor(requirement, process)
+    if requirement.kind is PassiveKind.CAPACITOR:
+        return realize_capacitor(requirement, process)
+    if requirement.kind is PassiveKind.INDUCTOR:
+        return realize_inductor(requirement, process)
+    if requirement.kind is PassiveKind.FILTER:
+        return PassiveRealization(
+            requirement=requirement,
+            mounting=MountingStyle.INTEGRATED,
+            technology=process.name,
+            area_mm2=INTEGRATED_FILTER_AREA_MM2,
+            tolerance=process.cap_tolerance,
+            unit_cost=0.0,
+            needs_assembly=False,
+            detail=f"{process.name}: 3-stage lumped filter",
+        )
+    raise ComponentError(f"unsupported kind {requirement.kind!r}")
+
+
+def with_cap_density(
+    process: ThinFilmProcess, density_pf_mm2: float
+) -> ThinFilmProcess:
+    """Derive a process variant with a different capacitor stack density."""
+    return replace(process, cap_density_pf_mm2=density_pf_mm2)

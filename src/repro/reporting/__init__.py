@@ -1,0 +1,19 @@
+"""Text and markdown rendering helpers for reports and benchmarks."""
+
+from .markdown import (
+    MarkdownError,
+    markdown_table,
+    paper_vs_measured_table,
+    study_report_markdown,
+)
+from .tables import Table, TableError, format_percent_map
+
+__all__ = [
+    "MarkdownError",
+    "Table",
+    "TableError",
+    "format_percent_map",
+    "markdown_table",
+    "paper_vs_measured_table",
+    "study_report_markdown",
+]

@@ -1,0 +1,126 @@
+"""Markdown rendering of study results.
+
+Produces the EXPERIMENTS.md-style paper-vs-measured tables and full
+study reports as GitHub-flavoured markdown, so downstream users can drop
+the output of their own trade-off studies straight into documentation.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..core.methodology import StudyResult
+from ..errors import ReproError
+
+
+class MarkdownError(ReproError, ValueError):
+    """Inconsistent markdown table construction."""
+
+
+def markdown_table(
+    header: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render a GitHub-flavoured markdown table."""
+    if not header:
+        raise MarkdownError("markdown table needs a header")
+    width = len(header)
+    lines = [
+        "| " + " | ".join(str(cell) for cell in header) + " |",
+        "|" + "|".join(["---"] * width) + "|",
+    ]
+    for row in rows:
+        if len(row) != width:
+            raise MarkdownError(
+                f"row has {len(row)} cells, header has {width}"
+            )
+        lines.append(
+            "| " + " | ".join(str(cell) for cell in row) + " |"
+        )
+    return "\n".join(lines)
+
+
+def paper_vs_measured_table(
+    comparison: Mapping[int, tuple[float, float]],
+    value_format: str = "{:.2f}",
+) -> str:
+    """A ``| impl | paper | measured |`` table from comparison pairs."""
+    rows = [
+        [
+            implementation,
+            value_format.format(paper),
+            value_format.format(measured),
+        ]
+        for implementation, (paper, measured) in sorted(
+            comparison.items()
+        )
+    ]
+    return markdown_table(["impl", "paper", "measured"], rows)
+
+
+def study_report_markdown(result: StudyResult, title: str = "") -> str:
+    """A complete study report in markdown.
+
+    Sections: area (Fig. 3 style), cost with the stacked-bar split
+    (Fig. 5 style), the figure-of-merit table (Fig. 6 style) and the
+    recommendation.
+    """
+    from ..core.decision import recommendation
+
+    reference = result.row(result.reference_name).assessment
+    parts: list[str] = []
+    if title:
+        parts.append(f"# {title}\n")
+
+    parts.append("## Area\n")
+    parts.append(
+        markdown_table(
+            ["Build-up", "Final area [mm²]", "Relative"],
+            [
+                [
+                    row.assessment.name,
+                    f"{row.assessment.final_area_mm2:.0f}",
+                    f"{row.area_percent:.0f} %",
+                ]
+                for row in result.rows
+            ],
+        )
+    )
+
+    parts.append("\n## Cost\n")
+    base = reference.final_cost
+    parts.append(
+        markdown_table(
+            ["Build-up", "Final", "Direct", "thereof: chip", "Yield loss"],
+            [
+                [
+                    row.assessment.name,
+                    f"{100 * row.assessment.final_cost / base:.1f} %",
+                    f"{100 * row.assessment.cost.direct_cost_per_unit / base:.1f} %",
+                    f"{100 * row.assessment.cost.chip_cost_per_unit / base:.1f} %",
+                    f"{100 * row.assessment.cost.yield_loss_per_shipped / base:.1f} %",
+                ]
+                for row in result.rows
+            ],
+        )
+    )
+
+    parts.append("\n## Figure of merit\n")
+    parts.append(
+        markdown_table(
+            ["Build-up", "Perf.", "1/Size", "1/Cost", "Product"],
+            [
+                [
+                    row.assessment.name,
+                    f"{row.fom.performance:.2f}",
+                    f"{row.fom.size_reciprocal:.2f}",
+                    f"{row.fom.cost_reciprocal:.2f}",
+                    f"**{row.fom.figure_of_merit:.2f}**",
+                ]
+                for row in result.rows
+            ],
+        )
+    )
+
+    parts.append("\n## Decision\n")
+    parts.append(recommendation(result))
+    return "\n".join(parts)

@@ -1,0 +1,79 @@
+"""Minimal text-table rendering (no external table dependency offline).
+
+Used by the decision reports and the benchmark harness to print the
+paper's tables in aligned monospace form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..errors import ReproError
+
+
+class TableError(ReproError, ValueError):
+    """A table was built inconsistently (wrong column count)."""
+
+
+@dataclass
+class Table:
+    """A simple column-aligned text table.
+
+    >>> t = Table(columns=("a", "b"))
+    >>> t.add_row("1", "22")
+    >>> print(t.render())
+    a | b
+    --+---
+    1 | 22
+    """
+
+    columns: Sequence[str] = ()
+    title: str = ""
+    rows: list[tuple[str, ...]] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        """Append a row; cell count must match the header."""
+        if len(cells) != len(self.columns):
+            raise TableError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append(tuple(str(cell) for cell in cells))
+
+    def widths(self) -> list[int]:
+        """Column widths for aligned rendering."""
+        widths = [len(str(column)) for column in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        return widths
+
+    def render(self) -> str:
+        """Render the table as aligned monospace text."""
+        if not self.columns:
+            raise TableError("table has no columns")
+        widths = self.widths()
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = " | ".join(
+            str(column).ljust(width)
+            for column, width in zip(self.columns, widths)
+        )
+        lines.append(header)
+        lines.append("-+-".join("-" * width for width in widths))
+        for row in self.rows:
+            lines.append(
+                " | ".join(
+                    cell.ljust(width) for cell, width in zip(row, widths)
+                )
+            )
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def format_percent_map(values: dict[int, float]) -> str:
+    """Render ``{1: 100.0, 2: 79.0}`` as ``"1: 100%  2: 79%"``."""
+    return "  ".join(f"{key}: {value:.0f}%" for key, value in values.items())

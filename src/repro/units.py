@@ -1,0 +1,204 @@
+"""Unit helpers: SI-prefixed parsing/formatting and area conversions.
+
+The paper mixes units freely (ohms per square, pF/mm^2, nH, mm^2, cm^2,
+percentages).  This module centralises the conversions so the rest of the
+library can work in coherent base units:
+
+* resistance in ohm, capacitance in farad, inductance in henry,
+* frequency in hertz,
+* length in millimetre, area in square millimetre,
+* cost in abstract currency units (the paper never names a currency),
+* yield as a fraction in ``(0, 1]``.
+
+Only the features the library needs are implemented; this is intentionally
+not a general-purpose units package.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from .errors import UnitError
+
+#: SI prefix -> multiplier.  ``u`` is accepted as an ASCII micro sign.
+SI_PREFIXES = {
+    "f": 1e-15,
+    "p": 1e-12,
+    "n": 1e-9,
+    "u": 1e-6,
+    "µ": 1e-6,
+    "m": 1e-3,
+    "": 1.0,
+    "k": 1e3,
+    "M": 1e6,
+    "G": 1e9,
+    "T": 1e12,
+}
+
+#: Multiplier -> preferred prefix, in ascending order of magnitude.
+_PREFIX_BY_EXP = [
+    (1e-15, "f"),
+    (1e-12, "p"),
+    (1e-9, "n"),
+    (1e-6, "u"),
+    (1e-3, "m"),
+    (1.0, ""),
+    (1e3, "k"),
+    (1e6, "M"),
+    (1e9, "G"),
+    (1e12, "T"),
+]
+
+_QUANTITY_RE = re.compile(
+    r"""^\s*
+        (?P<number>[-+]?\d+(?:\.\d*)?(?:[eE][-+]?\d+)?)
+        \s*
+        (?P<prefix>[fpnumµkMGT]?)
+        (?P<unit>[A-Za-zΩ]*)
+        \s*$""",
+    re.VERBOSE,
+)
+
+#: Canonical spellings for units the parser accepts.
+_UNIT_ALIASES = {
+    "ohm": "ohm",
+    "ohms": "ohm",
+    "r": "ohm",
+    "Ω": "ohm",
+    "f": "F",
+    "h": "H",
+    "hz": "Hz",
+    "": "",
+}
+
+MM2_PER_CM2 = 100.0
+MM_PER_CM = 10.0
+
+
+def parse_quantity(text: str, expect_unit: str | None = None) -> float:
+    """Parse ``"200 ohm"``, ``"50pF"``, ``"40nH"``, ``"1.575GHz"`` to a float.
+
+    Parameters
+    ----------
+    text:
+        Human-readable quantity with optional SI prefix and unit.
+    expect_unit:
+        If given (one of ``"ohm"``, ``"F"``, ``"H"``, ``"Hz"``), the parsed
+        unit must match or be absent.
+
+    Returns
+    -------
+    float
+        The value in base units (ohm, farad, henry, hertz).
+
+    Raises
+    ------
+    UnitError
+        If the string cannot be parsed or the unit does not match.
+    """
+    match = _QUANTITY_RE.match(text)
+    if match is None:
+        raise UnitError(f"cannot parse quantity {text!r}")
+    number = float(match.group("number"))
+    prefix = match.group("prefix")
+    unit = match.group("unit")
+
+    # Disambiguate: "m" in "200m" is a prefix, but in "200mohm" too; in
+    # "1MHz" the "M" is a prefix.  If no unit text follows and the prefix
+    # letter could itself be a unit (F/H), treat it as the unit.
+    if unit == "" and prefix in ("f",):
+        # "1f" alone is ambiguous; treat as femto of a dimensionless value.
+        pass
+    unit_key = unit.lower() if unit.lower() in _UNIT_ALIASES else unit
+    if unit_key not in _UNIT_ALIASES and unit not in _UNIT_ALIASES:
+        raise UnitError(f"unknown unit {unit!r} in {text!r}")
+    canonical = _UNIT_ALIASES.get(unit_key, _UNIT_ALIASES.get(unit, ""))
+
+    if expect_unit is not None and canonical not in ("", expect_unit):
+        raise UnitError(
+            f"expected a quantity in {expect_unit}, got {text!r}"
+        )
+    multiplier = SI_PREFIXES.get(prefix)
+    if multiplier is None:
+        raise UnitError(f"unknown SI prefix {prefix!r} in {text!r}")
+    return number * multiplier
+
+
+def format_si(value: float, unit: str = "", digits: int = 3) -> str:
+    """Format ``value`` with an engineering SI prefix, e.g. ``1.575 GHz``.
+
+    Zero, NaN and infinities are formatted without a prefix.  The prefix is
+    chosen so the mantissa lies in ``[1, 1000)`` where possible.
+    """
+    if value == 0 or not math.isfinite(value):
+        return f"{value:g} {unit}".rstrip()
+    magnitude = abs(value)
+    best_mult, best_prefix = _PREFIX_BY_EXP[0]
+    for mult, prefix in _PREFIX_BY_EXP:
+        if magnitude >= mult:
+            best_mult, best_prefix = mult, prefix
+    mantissa = value / best_mult
+    return f"{mantissa:.{digits}g} {best_prefix}{unit}".rstrip()
+
+
+def mm2_to_cm2(area_mm2: float) -> float:
+    """Convert an area from mm^2 to cm^2."""
+    return area_mm2 / MM2_PER_CM2
+
+
+def cm2_to_mm2(area_cm2: float) -> float:
+    """Convert an area from cm^2 to mm^2."""
+    return area_cm2 * MM2_PER_CM2
+
+
+def db(ratio: float) -> float:
+    """Convert a power ratio to decibels.
+
+    Raises
+    ------
+    UnitError
+        If ``ratio`` is not strictly positive.
+    """
+    if ratio <= 0:
+        raise UnitError(f"power ratio must be positive, got {ratio}")
+    return 10.0 * math.log10(ratio)
+
+
+def from_db(decibels: float) -> float:
+    """Convert decibels to a power ratio."""
+    return 10.0 ** (decibels / 10.0)
+
+
+def db_voltage(ratio: float) -> float:
+    """Convert a voltage (amplitude) ratio to decibels (20 log10)."""
+    if ratio <= 0:
+        raise UnitError(f"voltage ratio must be positive, got {ratio}")
+    return 20.0 * math.log10(ratio)
+
+
+def percent(fraction: float) -> float:
+    """Express a fraction as a percentage (0.937 -> 93.7)."""
+    return fraction * 100.0
+
+
+def fraction(percentage: float) -> float:
+    """Express a percentage as a fraction (93.7 -> 0.937)."""
+    return percentage / 100.0
+
+
+def check_yield(value: float, name: str = "yield") -> float:
+    """Validate that ``value`` is a usable yield fraction in ``(0, 1]``.
+
+    Returns the value unchanged so it can be used inline::
+
+        self.yield_ = check_yield(yield_)
+
+    Raises
+    ------
+    UnitError
+        If the value lies outside ``(0, 1]``.
+    """
+    if not (0.0 < value <= 1.0):
+        raise UnitError(f"{name} must lie in (0, 1], got {value}")
+    return value

@@ -1,0 +1,58 @@
+"""Chip footprints (Table 1 rows)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.area.footprint import (
+    CHIP_AREAS,
+    ChipAreas,
+    Footprint,
+    MountKind,
+    TABLE1_FILTER_AREAS,
+    TABLE1_IP_AREAS,
+)
+from repro.errors import PlacementError
+
+
+class TestChipAreas:
+    def test_rf_chip_table1(self):
+        chip = CHIP_AREAS["RF chip"]
+        assert chip.packaged_mm2 == 225.0
+        assert chip.wire_bond_mm2 == 28.0
+        assert chip.flip_chip_mm2 == 13.0
+
+    def test_dsp_table1(self):
+        chip = CHIP_AREAS["DSP correlator"]
+        assert chip.packaged_mm2 == 1165.0
+        assert chip.wire_bond_mm2 == 88.0
+        assert chip.flip_chip_mm2 == 59.0
+
+    def test_footprint_selection(self):
+        chip = CHIP_AREAS["RF chip"]
+        assert chip.footprint(MountKind.FLIP_CHIP).area_mm2 == 13.0
+        assert chip.footprint(MountKind.WIRE_BOND).area_mm2 == 28.0
+        assert chip.footprint(MountKind.PACKAGED).area_mm2 == 225.0
+
+    def test_invalid_mount_for_chip(self):
+        chip = CHIP_AREAS["RF chip"]
+        with pytest.raises(PlacementError):
+            chip.footprint(MountKind.SMD)
+
+    def test_flip_chip_smallest(self):
+        for chip in CHIP_AREAS.values():
+            assert (
+                chip.flip_chip_mm2
+                < chip.wire_bond_mm2
+                < chip.packaged_mm2
+            )
+
+
+class TestFootprint:
+    def test_rejects_nonpositive_area(self):
+        with pytest.raises(PlacementError):
+            Footprint("x", 0.0, MountKind.SMD)
+
+    def test_table1_reference_dicts(self):
+        assert TABLE1_IP_AREAS["IP-L 40nH"] == 1.0
+        assert TABLE1_FILTER_AREAS["SMD"] == 27.5

@@ -1,0 +1,134 @@
+"""Trivial placement and the shelf packer."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.area.footprint import Footprint, MountKind
+from repro.area.placement import (
+    ShelfPlacer,
+    area_breakdown,
+    area_ratio,
+    trivial_placement,
+)
+from repro.area.substrate import LAMINATE_RULE, MCM_D_RULE, PCB_RULE
+from repro.errors import PlacementError
+
+
+def fp(area, mount=MountKind.INTEGRATED, name="x"):
+    return Footprint(name, area, mount)
+
+
+class TestTrivialPlacement:
+    def test_pcb_report_has_no_package(self):
+        report = trivial_placement([fp(100.0)], PCB_RULE)
+        assert report.package is None
+        assert report.final_area_mm2 == report.substrate.area_mm2
+
+    def test_mcm_report_final_is_laminate(self):
+        report = trivial_placement([fp(100.0)], MCM_D_RULE, LAMINATE_RULE)
+        assert report.package is not None
+        assert report.final_area_mm2 == report.package.area_mm2
+        assert report.final_area_mm2 > report.substrate.area_mm2
+
+    def test_breakdown_by_mount_kind(self):
+        report = trivial_placement(
+            [
+                fp(10.0, MountKind.SMD),
+                fp(20.0, MountKind.SMD),
+                fp(5.0, MountKind.INTEGRATED),
+            ],
+            MCM_D_RULE,
+        )
+        assert report.breakdown_mm2["smd"] == pytest.approx(30.0)
+        assert report.breakdown_mm2["integrated"] == pytest.approx(5.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(PlacementError):
+            trivial_placement([], PCB_RULE)
+
+    def test_area_ratio(self):
+        small = trivial_placement([fp(50.0)], PCB_RULE)
+        large = trivial_placement([fp(500.0)], PCB_RULE)
+        assert area_ratio(small, large) < 1.0
+
+    def test_area_breakdown_helper(self):
+        totals = area_breakdown(
+            [fp(1.0, MountKind.SMD), fp(2.0, MountKind.SMD)]
+        )
+        assert totals == {"smd": 3.0}
+
+
+class TestShelfPlacer:
+    def test_all_components_placed(self):
+        footprints = [fp(float(i + 1), name=f"c{i}") for i in range(20)]
+        layout = ShelfPlacer().pack(footprints)
+        assert len(layout.placements) == 20
+
+    def test_no_overlaps(self):
+        footprints = [fp(float(i % 5 + 1), name=f"c{i}") for i in range(30)]
+        layout = ShelfPlacer(spacing_mm=0.0).pack(footprints)
+        rects = [
+            (p.x_mm, p.y_mm, p.x_mm + p.width_mm, p.y_mm + p.height_mm)
+            for p in layout.placements
+        ]
+        for i, a in enumerate(rects):
+            for b in rects[i + 1:]:
+                overlap_x = min(a[2], b[2]) - max(a[0], b[0])
+                overlap_y = min(a[3], b[3]) - max(a[1], b[1])
+                assert not (overlap_x > 1e-9 and overlap_y > 1e-9)
+
+    def test_all_within_bounds(self):
+        footprints = [fp(2.0, name=f"c{i}") for i in range(25)]
+        layout = ShelfPlacer().pack(footprints)
+        for p in layout.placements:
+            assert p.x_mm + p.width_mm <= layout.width_mm + 1e-9
+            assert p.y_mm + p.height_mm <= layout.height_mm + 1e-9
+
+    def test_utilization_reasonable(self):
+        """Equal squares pack efficiently (> 60 %)."""
+        footprints = [fp(4.0, name=f"c{i}") for i in range(16)]
+        layout = ShelfPlacer(spacing_mm=0.0).pack(footprints)
+        assert layout.utilization > 0.6
+
+    def test_comparable_to_trivial_rule(self):
+        """Shelf packing of the GPS-like mix lands within ~50 % of the
+        1.1x heuristic — the ablation the paper's rule implies."""
+        footprints = [fp(3.75, MountKind.SMD, f"c{i}") for i in range(50)]
+        footprints.append(fp(88.0, MountKind.WIRE_BOND, "chip"))
+        trivial = trivial_placement(footprints, PCB_RULE)
+        shelf = ShelfPlacer().place(footprints, PCB_RULE)
+        ratio = shelf.final_area_mm2 / trivial.final_area_mm2
+        assert 0.6 < ratio < 1.6
+
+    def test_rejects_negative_spacing(self):
+        with pytest.raises(PlacementError):
+            ShelfPlacer(spacing_mm=-0.1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(PlacementError):
+            ShelfPlacer().pack([])
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=0.1, max_value=50.0),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_property_contains_total_area(self, areas):
+        """Bounding box always >= sum of component areas."""
+        footprints = [fp(a, name=f"c{i}") for i, a in enumerate(areas)]
+        layout = ShelfPlacer(spacing_mm=0.0).pack(footprints)
+        assert layout.area_mm2 >= sum(areas) - 1e-6
+
+    def test_place_produces_report(self):
+        footprints = [fp(4.0, name=f"c{i}") for i in range(10)]
+        report = ShelfPlacer().place(footprints, MCM_D_RULE, LAMINATE_RULE)
+        assert report.package is not None
+        assert report.substrate.side_mm > 0

@@ -1,0 +1,89 @@
+"""Substrate and laminate sizing rules (Table 1 footnotes)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.area.footprint import Footprint, MountKind
+from repro.area.substrate import (
+    LAMINATE_RULE,
+    LaminateRule,
+    MCM_D_RULE,
+    PCB_RULE,
+    SubstrateRule,
+)
+from repro.errors import PlacementError
+
+
+def fp(area, mount=MountKind.INTEGRATED, name="x"):
+    return Footprint(name, area, mount)
+
+
+class TestSubstrateRule:
+    def test_paper_rule_literal(self):
+        """1.1 * total component area, +1 mm clearance each side."""
+        size = MCM_D_RULE.size([fp(100.0)])
+        assert size.packed_area_mm2 == pytest.approx(110.0)
+        assert size.side_mm == pytest.approx(math.sqrt(110.0) + 2.0)
+
+    def test_area_is_side_squared(self):
+        size = MCM_D_RULE.size([fp(100.0)])
+        assert size.area_mm2 == pytest.approx(size.side_mm**2)
+
+    def test_cm2_conversion(self):
+        size = MCM_D_RULE.size([fp(100.0)])
+        assert size.area_cm2 == pytest.approx(size.area_mm2 / 100.0)
+
+    def test_smd_factor_applies_only_to_smd(self):
+        smd = fp(10.0, MountKind.SMD)
+        integrated = fp(10.0, MountKind.INTEGRATED)
+        assert MCM_D_RULE.effective_area(smd) == pytest.approx(15.0)
+        assert MCM_D_RULE.effective_area(integrated) == pytest.approx(10.0)
+
+    def test_pcb_has_no_smd_overhead(self):
+        smd = fp(10.0, MountKind.SMD)
+        assert PCB_RULE.effective_area(smd) == pytest.approx(10.0)
+
+    def test_empty_component_list_rejected(self):
+        with pytest.raises(PlacementError):
+            MCM_D_RULE.size([])
+
+    def test_rejects_packing_below_one(self):
+        with pytest.raises(PlacementError):
+            SubstrateRule(name="bad", packing_factor=0.9)
+
+    def test_rejects_negative_clearance(self):
+        with pytest.raises(PlacementError):
+            SubstrateRule(name="bad", edge_clearance_mm=-1.0)
+
+    @given(st.floats(min_value=1.0, max_value=1e5))
+    def test_monotonic_in_component_area(self, area):
+        small = MCM_D_RULE.size([fp(area)])
+        large = MCM_D_RULE.size([fp(area * 2)])
+        assert large.area_mm2 > small.area_mm2
+
+
+class TestLaminateRule:
+    def test_paper_rule_literal(self):
+        """Laminate side = silicon side + 5 mm each side."""
+        silicon = MCM_D_RULE.size([fp(100.0)])
+        package = LAMINATE_RULE.size(silicon)
+        assert package.side_mm == pytest.approx(silicon.side_mm + 10.0)
+
+    def test_package_bigger_than_silicon(self):
+        silicon = MCM_D_RULE.size([fp(100.0)])
+        package = LaminateRule(5.0).size(silicon)
+        assert package.area_mm2 > silicon.area_mm2
+
+    def test_laminate_overhead_relatively_larger_for_small_modules(self):
+        """The BGA rim penalises small modules more — a driver of the
+        Fig. 3 ratios."""
+        small = LAMINATE_RULE.size(MCM_D_RULE.size([fp(100.0)]))
+        large = LAMINATE_RULE.size(MCM_D_RULE.size([fp(1000.0)]))
+        overhead_small = small.area_mm2 / small.silicon.area_mm2
+        overhead_large = large.area_mm2 / large.silicon.area_mm2
+        assert overhead_small > overhead_large

@@ -1,0 +1,149 @@
+"""Attenuation functions and order estimation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuits.approximation import (
+    bandpass_selectivity,
+    butterworth_attenuation_db,
+    chebyshev_attenuation_db,
+    elliptic_attenuation_db,
+    minimum_order,
+    required_order,
+)
+from repro.errors import SynthesisError
+from repro.gps.filters_chain import rf_image_reject_spec
+from repro.passives.filters import FilterFamily
+
+
+class TestButterworth:
+    def test_3db_at_corner(self):
+        assert butterworth_attenuation_db(4, 1.0) == pytest.approx(
+            3.0103, abs=1e-3
+        )
+
+    def test_rolloff_6n_db_per_octave(self):
+        order = 3
+        a2 = butterworth_attenuation_db(order, 2.0)
+        a4 = butterworth_attenuation_db(order, 4.0)
+        assert a4 - a2 == pytest.approx(6.02 * order, abs=0.5)
+
+    def test_dc_no_attenuation(self):
+        assert butterworth_attenuation_db(5, 0.0) == 0.0
+
+
+class TestChebyshev:
+    def test_ripple_at_corner(self):
+        assert chebyshev_attenuation_db(3, 0.5, 1.0) == pytest.approx(
+            0.5, abs=1e-6
+        )
+
+    def test_steeper_than_butterworth(self):
+        """Same order, Chebyshev rejects more in the stopband."""
+        assert chebyshev_attenuation_db(
+            3, 0.5, 2.0
+        ) > butterworth_attenuation_db(3, 2.0)
+
+    def test_bounded_by_ripple_in_passband(self):
+        for w in (0.0, 0.3, 0.6, 0.9, 1.0):
+            assert chebyshev_attenuation_db(4, 0.5, w) <= 0.5 + 1e-9
+
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.floats(min_value=1.1, max_value=10.0),
+    )
+    def test_monotone_in_stopband(self, order, w):
+        a1 = chebyshev_attenuation_db(order, 0.5, w)
+        a2 = chebyshev_attenuation_db(order, 0.5, w * 1.5)
+        assert a2 >= a1
+
+
+class TestElliptic:
+    def test_ripple_bounded_in_passband(self):
+        for w in (0.1, 0.5, 0.9):
+            assert elliptic_attenuation_db(3, 0.5, 40.0, w) <= 0.5 + 0.01
+
+    def test_stopband_floor_reached(self):
+        """Deep in the stopband the attenuation is at least A_stop."""
+        attenuation = elliptic_attenuation_db(3, 0.5, 40.0, 5.0)
+        assert attenuation >= 40.0 - 0.5
+
+    def test_sharper_than_chebyshev(self):
+        """Just past the corner, elliptic rejects harder."""
+        w = 1.3
+        assert elliptic_attenuation_db(
+            3, 0.5, 40.0, w
+        ) > chebyshev_attenuation_db(3, 0.5, w)
+
+    def test_rejects_inconsistent_spec(self):
+        with pytest.raises(SynthesisError):
+            elliptic_attenuation_db(3, 1.0, 0.5, 2.0)
+
+
+class TestMinimumOrder:
+    def test_butterworth_textbook(self):
+        """40 dB at 2x corner needs n >= 7 for Butterworth."""
+        order = minimum_order(
+            FilterFamily.BUTTERWORTH, 3.0, 40.0, 2.0
+        )
+        assert order == 7
+
+    def test_chebyshev_needs_fewer(self):
+        cheb = minimum_order(FilterFamily.CHEBYSHEV, 0.5, 40.0, 2.0)
+        butter = minimum_order(FilterFamily.BUTTERWORTH, 0.5, 40.0, 2.0)
+        assert cheb < butter
+
+    def test_elliptic_needs_fewest(self):
+        elliptic = minimum_order(FilterFamily.CAUER, 0.5, 40.0, 2.0)
+        cheb = minimum_order(FilterFamily.CHEBYSHEV, 0.5, 40.0, 2.0)
+        assert elliptic <= cheb
+
+    def test_rejects_bad_selectivity(self):
+        with pytest.raises(SynthesisError):
+            minimum_order(FilterFamily.CHEBYSHEV, 0.5, 40.0, 1.0)
+
+    def test_unreachable_spec_raises(self):
+        with pytest.raises(SynthesisError):
+            minimum_order(
+                FilterFamily.BUTTERWORTH, 3.0, 200.0, 1.01, max_order=5
+            )
+
+
+class TestGpsImageReject:
+    def test_selectivity_of_image(self):
+        """The 1.225 GHz image maps well outside the lowpass corner."""
+        spec = rf_image_reject_spec()
+        assert bandpass_selectivity(spec) > 1.5
+
+    def test_cauer_order_for_full_band_rejection(self):
+        """A true elliptic needs order 4 for 30 dB over the whole
+        stopband at this selectivity; the extracted-pole (trap) design
+        achieves the *spot* rejection at the image with order 3 — which
+        is why Table 1's 3-stage filter suffices (the image is a single
+        frequency, not a band)."""
+        spec = rf_image_reject_spec()
+        assert required_order(spec) == 4
+
+        from repro.circuits.performance import analyze_filter
+        from repro.circuits.qfactor import IdealQModel
+
+        measured = analyze_filter(spec, IdealQModel())
+        assert measured.rejection_db >= 30.0  # order 3 + trap
+
+    def test_butterworth_would_need_more_stages(self):
+        """The Cauer choice buys stages: a Butterworth needs more."""
+        from dataclasses import replace
+
+        spec = replace(
+            rf_image_reject_spec(), family=FilterFamily.BUTTERWORTH
+        )
+        assert required_order(spec) > 3
+
+    def test_spec_without_stopband_rejected(self):
+        from repro.gps.filters_chain import if_filter_spec
+
+        with pytest.raises(SynthesisError):
+            required_order(if_filter_spec(1))

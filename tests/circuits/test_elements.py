@@ -1,0 +1,118 @@
+"""Element admittance models."""
+
+from __future__ import annotations
+
+import cmath
+import math
+
+import pytest
+
+from repro.circuits.elements import (
+    Capacitor,
+    Inductor,
+    Port,
+    Resistor,
+    lossy_capacitor,
+    lossy_inductor,
+)
+from repro.errors import CircuitError
+
+OMEGA = 2 * math.pi * 1e9
+
+
+class TestResistor:
+    def test_admittance(self):
+        r = Resistor("R1", "a", "b", 50.0)
+        assert r.admittance(OMEGA) == pytest.approx(0.02)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(CircuitError):
+            Resistor("R1", "a", "b", 0.0)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(CircuitError):
+            Resistor("R1", "a", "a", 50.0)
+
+
+class TestCapacitor:
+    def test_ideal_admittance(self):
+        c = Capacitor("C1", "a", "b", 1e-12)
+        assert c.admittance(OMEGA) == pytest.approx(1j * OMEGA * 1e-12)
+
+    def test_loss_tangent_real_part(self):
+        c = Capacitor("C1", "a", "b", 1e-12, tan_delta=0.01)
+        y = c.admittance(OMEGA)
+        assert y.real == pytest.approx(0.01 * OMEGA * 1e-12)
+
+    def test_esr_limits_admittance(self):
+        lossless = Capacitor("C1", "a", "b", 1e-9)
+        with_esr = Capacitor("C2", "a", "b", 1e-9, esr=1.0)
+        assert abs(with_esr.admittance(OMEGA)) < abs(
+            lossless.admittance(OMEGA)
+        )
+
+    def test_rejects_dc(self):
+        c = Capacitor("C1", "a", "b", 1e-12)
+        with pytest.raises(CircuitError):
+            c.admittance(0.0)
+
+    def test_rejects_negative_loss(self):
+        with pytest.raises(CircuitError):
+            Capacitor("C1", "a", "b", 1e-12, tan_delta=-0.1)
+
+
+class TestInductor:
+    def test_ideal_admittance(self):
+        l = Inductor("L1", "a", "b", 1e-9)
+        assert l.admittance(OMEGA) == pytest.approx(1 / (1j * OMEGA * 1e-9))
+
+    def test_series_resistance_shifts_phase(self):
+        l = Inductor("L1", "a", "b", 1e-9, series_resistance=1.0)
+        y = l.admittance(OMEGA)
+        assert y.real > 0
+
+    def test_self_resonance(self):
+        l = Inductor("L1", "a", "b", 40e-9, c_par=0.5e-12)
+        srf = l.self_resonance_hz
+        assert srf == pytest.approx(
+            1 / (2 * math.pi * math.sqrt(40e-9 * 0.5e-12))
+        )
+        # At resonance the parallel LC admittance is minimal (imag ~ 0).
+        y = l.admittance(2 * math.pi * srf)
+        assert abs(y.imag) < 1e-9
+
+    def test_no_cpar_infinite_srf(self):
+        l = Inductor("L1", "a", "b", 1e-9)
+        assert l.self_resonance_hz == math.inf
+
+
+class TestLossyFactories:
+    def test_lossy_inductor_q(self):
+        l = lossy_inductor("L1", "a", "b", 40e-9, q=30.0, at_hz=1e9)
+        omega = 2 * math.pi * 1e9
+        q = omega * l.inductance / l.series_resistance
+        assert q == pytest.approx(30.0)
+
+    def test_infinite_q_lossless(self):
+        l = lossy_inductor("L1", "a", "b", 40e-9, q=math.inf, at_hz=1e9)
+        assert l.series_resistance == 0.0
+
+    def test_lossy_capacitor_tan_delta(self):
+        c = lossy_capacitor("C1", "a", "b", 1e-12, q=200.0)
+        assert c.tan_delta == pytest.approx(1 / 200.0)
+
+    def test_lossy_inductor_rejects_bad_inputs(self):
+        with pytest.raises(CircuitError):
+            lossy_inductor("L1", "a", "b", 0.0, q=30.0, at_hz=1e9)
+        with pytest.raises(CircuitError):
+            lossy_inductor("L1", "a", "b", 1e-9, q=30.0, at_hz=0.0)
+
+
+class TestPort:
+    def test_rejects_ground_port(self):
+        with pytest.raises(CircuitError):
+            Port("p1", "0")
+
+    def test_rejects_nonpositive_impedance(self):
+        with pytest.raises(CircuitError):
+            Port("p1", "in", impedance=0.0)

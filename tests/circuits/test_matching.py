@@ -1,0 +1,127 @@
+"""L-network matching synthesis (§3's 50 ohm matching networks)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.matching import (
+    LNetworkTopology,
+    build_l_match_circuit,
+    design_l_match,
+    match_return_loss_db,
+    matching_network_area_mm2,
+)
+from repro.circuits.qfactor import SummitQModel
+from repro.circuits.twoport import two_port_sparameters
+from repro.errors import CircuitError, SynthesisError
+
+
+class TestDesign:
+    def test_q_from_impedance_ratio(self):
+        design = design_l_match(50.0, 10.0, 1e9)
+        assert design.q_factor == pytest.approx(2.0)
+
+    def test_lowpass_element_kinds(self):
+        design = design_l_match(50.0, 10.0, 1e9)
+        assert design.series_is_inductor
+        assert design.series_element > 0
+        assert design.shunt_element > 0
+
+    def test_textbook_values(self):
+        """50 -> 10 ohm at 1 GHz: Xs = 20 ohm, Xp = 25 ohm."""
+        design = design_l_match(50.0, 10.0, 1e9)
+        omega = 2 * math.pi * 1e9
+        assert design.series_element * omega == pytest.approx(20.0)
+        assert 1 / (design.shunt_element * omega) == pytest.approx(25.0)
+
+    def test_shunt_on_high_side(self):
+        up = design_l_match(50.0, 10.0, 1e9)
+        down = design_l_match(10.0, 50.0, 1e9)
+        assert up.shunt_at_source
+        assert not down.shunt_at_source
+
+    def test_degenerate_equal_impedances(self):
+        design = design_l_match(50.0, 50.0, 1e9)
+        assert design.q_factor == 0.0
+        assert design.bandwidth_hz == math.inf
+
+    def test_highpass_swaps_elements(self):
+        lp = design_l_match(50.0, 10.0, 1e9)
+        hp = design_l_match(
+            50.0, 10.0, 1e9, LNetworkTopology.HIGHPASS
+        )
+        assert not hp.series_is_inductor
+        # Same reactance magnitudes, different realisations.
+        omega = 2 * math.pi * 1e9
+        assert 1 / (hp.series_element * omega) == pytest.approx(
+            lp.series_element * omega
+        )
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(SynthesisError):
+            design_l_match(0.0, 10.0, 1e9)
+        with pytest.raises(SynthesisError):
+            design_l_match(50.0, 10.0, 0.0)
+
+
+class TestBuiltMatch:
+    def test_lossless_match_is_perfect(self):
+        """An exact lossless L-match reflects nothing at f0."""
+        design = design_l_match(50.0, 10.0, 1.575e9)
+        loss = match_return_loss_db(design)
+        assert loss > 40.0
+
+    def test_power_is_delivered(self):
+        design = design_l_match(50.0, 10.0, 1.575e9)
+        circuit = build_l_match_circuit(design)
+        s = two_port_sparameters(circuit, 1.575e9)
+        assert abs(s.s21) == pytest.approx(1.0, abs=1e-3)
+
+    def test_summit_technology_degrades_match(self):
+        design = design_l_match(50.0, 10.0, 1.575e9)
+        lossless = match_return_loss_db(design)
+        lossy = match_return_loss_db(design, SummitQModel())
+        assert lossy < lossless
+
+    def test_match_narrowband(self):
+        """Off-frequency the match deteriorates (finite Q bandwidth)."""
+        design = design_l_match(50.0, 5.0, 1.575e9)
+        circuit = build_l_match_circuit(design)
+        at_f0 = two_port_sparameters(circuit, 1.575e9)
+        off = two_port_sparameters(circuit, 2.4e9)
+        assert abs(off.s11) > abs(at_f0.s11)
+
+    def test_degenerate_cannot_build(self):
+        with pytest.raises(CircuitError):
+            build_l_match_circuit(design_l_match(50.0, 50.0, 1e9))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.floats(min_value=5.0, max_value=500.0),
+        st.floats(min_value=5.0, max_value=500.0),
+        st.floats(min_value=1e8, max_value=5e9),
+    )
+    def test_property_lossless_match_always_works(self, rs, rl, freq):
+        """Any real-to-real lossless L-match achieves > 30 dB RL."""
+        if abs(rs / rl - 1.0) < 0.05:
+            return  # near-degenerate: nothing to match
+        design = design_l_match(rs, rl, freq)
+        assert match_return_loss_db(design) > 30.0
+
+
+class TestAreaPricing:
+    def test_integrated_smaller_than_smd(self):
+        """Matching networks integrate well (small L and C at RF) —
+        why the paper integrates the LNA/mixer matching in §4.1."""
+        design = design_l_match(50.0, 10.0, 1.575e9)
+        integrated = matching_network_area_mm2(design, integrated=True)
+        smd = matching_network_area_mm2(design, integrated=False)
+        assert integrated < smd
+
+    def test_degenerate_has_zero_area(self):
+        design = design_l_match(50.0, 50.0, 1e9)
+        assert matching_network_area_mm2(design) == 0.0

@@ -1,0 +1,106 @@
+"""Nodal analysis against closed-form circuit theory."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.circuits.mna import AcAnalysis, node_admittance_matrix, node_index
+from repro.circuits.netlist import Circuit
+from repro.errors import CircuitError
+
+
+def voltage_divider() -> Circuit:
+    c = Circuit("divider")
+    c.resistor("R1", "in", "mid", 100.0)
+    c.resistor("R2", "mid", "0", 100.0)
+    return c
+
+
+class TestMatrixStamping:
+    def test_divider_matrix(self):
+        c = voltage_divider()
+        idx = node_index(c)
+        y = node_admittance_matrix(c, 2 * math.pi * 1e6, idx)
+        i_in, i_mid = idx["in"], idx["mid"]
+        assert y[i_in, i_in] == pytest.approx(0.01)
+        assert y[i_mid, i_mid] == pytest.approx(0.02)
+        assert y[i_in, i_mid] == pytest.approx(-0.01)
+
+    def test_matrix_symmetric(self):
+        c = voltage_divider()
+        y = node_admittance_matrix(c, 1e6)
+        assert (y == y.T).all()
+
+    def test_rejects_dc(self):
+        with pytest.raises(CircuitError):
+            node_admittance_matrix(voltage_divider(), 0.0)
+
+
+class TestAcAnalysis:
+    def test_driving_point_impedance_divider(self):
+        """Looking into 'in': R1 + R2 in series = 200 ohm."""
+        analysis = AcAnalysis(voltage_divider())
+        z = analysis.driving_point_impedance("in", 1e6)
+        assert z.real == pytest.approx(200.0)
+        assert z.imag == pytest.approx(0.0, abs=1e-9)
+
+    def test_transfer_impedance_divider(self):
+        """1 A into 'in' puts 1 A through R2: V(mid) = 100 V."""
+        analysis = AcAnalysis(voltage_divider())
+        z = analysis.transfer_impedance("in", "mid", 1e6)
+        assert z.real == pytest.approx(100.0)
+
+    def test_rc_lowpass_corner(self):
+        """RC lowpass: |V(out)/V(in)| = 1/sqrt(2) at f = 1/(2 pi RC)."""
+        c = Circuit("rc")
+        c.resistor("R", "in", "out", 1e3)
+        c.capacitor("C", "out", "0", 1e-9)
+        corner = 1 / (2 * math.pi * 1e3 * 1e-9)
+        analysis = AcAnalysis(c)
+        v = analysis.voltages_for_injection("in", corner)
+        ratio = abs(v["out"] / v["in"])
+        assert ratio == pytest.approx(1 / math.sqrt(2), rel=1e-6)
+
+    def test_lc_resonance_peak(self):
+        """Parallel LC driven through R peaks at f0 = 1/(2 pi sqrt(LC))."""
+        c = Circuit("tank")
+        c.resistor("R", "in", "out", 1e3)
+        c.inductor("L", "out", "0", 100e-9, series_resistance=0.5)
+        c.capacitor("C", "out", "0", 10e-12)
+        f0 = 1 / (2 * math.pi * math.sqrt(100e-9 * 10e-12))
+        analysis = AcAnalysis(c)
+        at_res = abs(analysis.transfer_impedance("in", "out", f0))
+        off_res = abs(analysis.transfer_impedance("in", "out", f0 / 3))
+        assert at_res > 10 * off_res
+
+    def test_floating_subcircuit_raises(self):
+        c = Circuit("floating")
+        c.resistor("R1", "a", "b", 100.0)  # no path to ground
+        c.resistor("R2", "c", "0", 100.0)
+        analysis = AcAnalysis.__new__(AcAnalysis)
+        analysis.circuit = c
+        analysis._index = node_index(c)
+        with pytest.raises(CircuitError):
+            analysis.impedance_matrix(1e6)
+
+    def test_unknown_node_raises(self):
+        analysis = AcAnalysis(voltage_divider())
+        with pytest.raises(CircuitError):
+            analysis.driving_point_impedance("nope", 1e6)
+
+    def test_empty_circuit_rejected(self):
+        with pytest.raises(CircuitError):
+            AcAnalysis(Circuit("empty"))
+
+    def test_reciprocity(self):
+        """Passive network: Z_ab == Z_ba."""
+        c = Circuit("recip")
+        c.resistor("R1", "a", "b", 75.0)
+        c.capacitor("C1", "b", "0", 1e-12)
+        c.inductor("L1", "a", "0", 5e-9)
+        analysis = AcAnalysis(c)
+        z_ab = analysis.transfer_impedance("a", "b", 2e9)
+        z_ba = analysis.transfer_impedance("b", "a", 2e9)
+        assert z_ab == pytest.approx(z_ba)

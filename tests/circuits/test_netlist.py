@@ -1,0 +1,87 @@
+"""Netlist container behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.elements import Resistor
+from repro.circuits.netlist import Circuit
+from repro.errors import CircuitError
+
+
+class TestConstruction:
+    def test_convenience_constructors(self):
+        c = Circuit("t")
+        c.resistor("R1", "a", "0", 50.0)
+        c.capacitor("C1", "a", "b", 1e-12)
+        c.inductor("L1", "b", "0", 1e-9)
+        assert len(c) == 3
+
+    def test_duplicate_element_name_rejected(self):
+        c = Circuit("t")
+        c.resistor("R1", "a", "0", 50.0)
+        with pytest.raises(CircuitError):
+            c.resistor("R1", "b", "0", 50.0)
+
+    def test_duplicate_port_name_rejected(self):
+        c = Circuit("t")
+        c.resistor("R1", "a", "0", 50.0)
+        c.port("p1", "a")
+        with pytest.raises(CircuitError):
+            c.port("p1", "a")
+
+    def test_extend(self):
+        c = Circuit("t")
+        c.extend(
+            [
+                Resistor("R1", "a", "0", 50.0),
+                Resistor("R2", "a", "b", 50.0),
+            ]
+        )
+        assert len(c) == 2
+
+
+class TestInspection:
+    def make(self):
+        c = Circuit("t")
+        c.resistor("R1", "in", "mid", 50.0)
+        c.capacitor("C1", "mid", "0", 1e-12)
+        return c
+
+    def test_nodes_in_order_without_ground(self):
+        assert self.make().nodes() == ["in", "mid"]
+
+    def test_element_lookup(self):
+        c = self.make()
+        assert c.element("C1").capacitance == 1e-12
+        with pytest.raises(CircuitError):
+            c.element("X9")
+
+    def test_component_count(self):
+        counts = self.make().component_count()
+        assert counts == {"Resistor": 1, "Capacitor": 1}
+
+
+class TestValidation:
+    def test_valid_circuit_passes(self):
+        c = Circuit("t")
+        c.resistor("R1", "in", "0", 50.0)
+        c.port("p1", "in")
+        c.validate()
+
+    def test_empty_circuit_fails(self):
+        with pytest.raises(CircuitError):
+            Circuit("t").validate()
+
+    def test_unconnected_port_fails(self):
+        c = Circuit("t")
+        c.resistor("R1", "in", "0", 50.0)
+        c.port("p1", "elsewhere")
+        with pytest.raises(CircuitError):
+            c.validate()
+
+    def test_no_ground_fails(self):
+        c = Circuit("t")
+        c.resistor("R1", "a", "b", 50.0)
+        with pytest.raises(CircuitError):
+            c.validate()

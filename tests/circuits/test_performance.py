@@ -1,0 +1,115 @@
+"""Performance scoring: the paper's §4.1 scores fall out of the physics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.performance import (
+    analyze_filter,
+    assess_chain,
+    loss_score,
+)
+from repro.circuits.qfactor import (
+    DiscreteFilterBlockQModel,
+    IdealQModel,
+    MixedQModel,
+    SmdQModel,
+    SummitQModel,
+)
+from repro.errors import SpecificationError
+from repro.gps.filters_chain import (
+    if_filter_spec,
+    rf_image_reject_spec,
+    technology_assignments,
+)
+
+
+class TestLossScore:
+    def test_meeting_spec_scores_one(self):
+        assert loss_score(4.0, 3.0) == 1.0
+
+    def test_proportional_above_spec(self):
+        assert loss_score(4.0, 8.0) == pytest.approx(0.5)
+
+    def test_zero_loss_scores_one(self):
+        assert loss_score(4.0, 0.0) == 1.0
+
+    def test_rejects_nonpositive_spec(self):
+        with pytest.raises(SpecificationError):
+            loss_score(0.0, 1.0)
+
+
+class TestFilterAnalysis:
+    def test_ideal_if_filter_perfect(self):
+        result = analyze_filter(if_filter_spec(1), IdealQModel())
+        assert result.score == 1.0
+        assert result.meets_spec
+
+    def test_discrete_block_meets_spec(self):
+        """Build-ups 1/2: bought filter blocks meet spec (§4.1)."""
+        result = analyze_filter(
+            if_filter_spec(1), DiscreteFilterBlockQModel()
+        )
+        assert result.meets_spec
+        assert result.score == 1.0
+
+    def test_all_integrated_if_excessive_loss(self):
+        """Build-up 3: 'excessive insertion losses at the IF'."""
+        result = analyze_filter(if_filter_spec(1), SummitQModel())
+        assert not result.meets_spec
+        assert result.insertion_loss_db > 2 * 4.5
+        assert result.score == pytest.approx(0.45, abs=0.03)
+
+    def test_mixed_if_borderline(self):
+        """Build-up 4: 'the performance is borderline' -> ~0.7."""
+        mixed = MixedQModel(
+            inductor_model=SmdQModel(inductor_q_value=10.5),
+            capacitor_model=SummitQModel(),
+        )
+        result = analyze_filter(if_filter_spec(1), mixed)
+        assert result.score == pytest.approx(0.70, abs=0.03)
+
+    def test_integrated_rf_filter_meets_spec(self):
+        """§4.1: the Cauer LNA filter 'has losses of 3 dB ... meeting
+        the performance specifications'."""
+        result = analyze_filter(rf_image_reject_spec(), SummitQModel())
+        assert result.meets_spec
+        assert result.insertion_loss_db == pytest.approx(3.0, abs=0.35)
+
+    def test_rf_filter_rejects_image(self):
+        """§4.1: 'good rejection at the image frequency' (1.225 GHz)."""
+        result = analyze_filter(rf_image_reject_spec(), SummitQModel())
+        assert result.rejection_db is not None
+        assert result.rejection_db >= 30.0
+
+    def test_margin_sign(self):
+        good = analyze_filter(if_filter_spec(1), IdealQModel())
+        bad = analyze_filter(if_filter_spec(1), SummitQModel())
+        assert good.margin_db > 0
+        assert bad.margin_db < 0
+
+
+class TestChainScores:
+    @pytest.mark.parametrize(
+        "implementation,expected",
+        [(1, 1.0), (2, 1.0), (3, 0.45), (4, 0.70)],
+    )
+    def test_paper_performance_scores(self, implementation, expected):
+        """§4.1: solutions score 1 / 1 / 0.45 / 0.7."""
+        chain = assess_chain(technology_assignments(implementation))
+        assert chain.score == pytest.approx(expected, abs=0.03)
+
+    def test_chain_score_is_minimum(self):
+        chain = assess_chain(technology_assignments(3))
+        assert chain.score == min(f.score for f in chain.filters)
+
+    def test_chain_lookup_by_name(self):
+        chain = assess_chain(technology_assignments(3))
+        result = chain.by_name("IF filter 1")
+        assert result.spec.name == "IF filter 1"
+        with pytest.raises(SpecificationError):
+            chain.by_name("nope")
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(SpecificationError):
+            assess_chain([])

@@ -1,0 +1,100 @@
+"""Technology Q models (the §4.1 physics)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.circuits.qfactor import (
+    ConstantQModel,
+    DiscreteFilterBlockQModel,
+    IdealQModel,
+    MixedQModel,
+    SmdQModel,
+    SummitQModel,
+    combined_unloaded_q,
+)
+from repro.errors import CircuitError
+
+
+class TestSummitQModel:
+    def test_paper_quote_good_in_ghz_range(self):
+        """'quite good in the 1-2 GHz range' — Q > 20 for a 40 nH spiral."""
+        model = SummitQModel()
+        assert model.inductor_q(40e-9, 1.575e9) > 20
+
+    def test_paper_quote_decreases_toward_if(self):
+        """'decreases with frequency' — IF Q is far below RF Q."""
+        model = SummitQModel()
+        q_rf = model.inductor_q(40e-9, 1.575e9)
+        q_if = model.inductor_q(40e-9, 175e6)
+        assert q_if < q_rf / 3
+
+    def test_if_inductor_single_digit_q(self):
+        """The resonator inductors an IF filter needs are lossy."""
+        model = SummitQModel()
+        assert model.inductor_q(9.2e-9, 175e6) < 5
+
+    def test_substrate_loss_caps_high_frequency(self):
+        """Beyond the peak, substrate loss pulls Q down again."""
+        model = SummitQModel()
+        q_peak_region = model.inductor_q(40e-9, 2e9)
+        q_high = model.inductor_q(40e-9, 20e9)
+        assert q_high < q_peak_region
+
+    def test_capacitor_q_is_inverse_tan_delta(self):
+        model = SummitQModel(cap_tan_delta=0.005)
+        assert model.capacitor_q(1e-11, 1e9) == pytest.approx(200.0)
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(CircuitError):
+            SummitQModel().inductor_q(40e-9, 0.0)
+
+
+class TestOtherModels:
+    def test_ideal_infinite(self):
+        model = IdealQModel()
+        assert model.inductor_q(1e-9, 1e9) == math.inf
+        assert model.capacitor_q(1e-12, 1e9) == math.inf
+
+    def test_constant_model(self):
+        model = ConstantQModel(30.0, 100.0)
+        assert model.inductor_q(1e-9, 1e9) == 30.0
+        assert model.capacitor_q(1e-12, 1e9) == 100.0
+
+    def test_smd_defaults(self):
+        model = SmdQModel()
+        assert model.inductor_q(100e-9, 175e6) == pytest.approx(12.0)
+        assert model.capacitor_q(1e-12, 175e6) == pytest.approx(500.0)
+
+    def test_filter_block_high_q(self):
+        model = DiscreteFilterBlockQModel()
+        assert model.inductor_q(1e-9, 175e6) >= 100.0
+
+    def test_mixed_model_delegates(self):
+        mixed = MixedQModel(
+            inductor_model=SmdQModel(inductor_q_value=10.5),
+            capacitor_model=SummitQModel(),
+        )
+        assert mixed.inductor_q(1e-7, 175e6) == pytest.approx(10.5)
+        assert mixed.capacitor_q(1e-11, 175e6) == pytest.approx(200.0)
+
+
+class TestCombinedQ:
+    def test_parallel_combination(self):
+        model = ConstantQModel(10.0, 40.0)
+        q = combined_unloaded_q(model, 1e-9, 1e-12, 1e9)
+        assert q == pytest.approx(8.0)
+
+    def test_infinite_components(self):
+        q = combined_unloaded_q(IdealQModel(), 1e-9, 1e-12, 1e9)
+        assert q == math.inf
+
+    def test_one_finite_component(self):
+        mixed = MixedQModel(
+            inductor_model=ConstantQModel(10.0, 1.0),
+            capacitor_model=IdealQModel(),
+        )
+        q = combined_unloaded_q(mixed, 1e-9, 1e-12, 1e9)
+        assert q == pytest.approx(10.0)

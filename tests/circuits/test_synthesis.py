@@ -1,0 +1,254 @@
+"""Filter synthesis against textbook prototype values and MNA analysis."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.qfactor import ConstantQModel, IdealQModel
+from repro.circuits.synthesis import (
+    build_bandpass_circuit,
+    butterworth_g_values,
+    chebyshev_g_values,
+    dissipation_loss_db,
+    synthesize_bandpass,
+)
+from repro.circuits.twoport import measure_insertion_loss, sweep
+from repro.errors import SynthesisError
+from repro.passives.filters import FilterFamily, FilterSpec
+
+
+def chebyshev_spec(order=2, **overrides):
+    defaults = dict(
+        name="test",
+        family=FilterFamily.CHEBYSHEV,
+        order=order,
+        center_hz=175e6,
+        bandwidth_hz=25e6,
+        max_insertion_loss_db=4.5,
+        ripple_db=0.5,
+    )
+    defaults.update(overrides)
+    return FilterSpec(**defaults)
+
+
+def cauer_spec(**overrides):
+    defaults = dict(
+        name="cauer",
+        family=FilterFamily.CAUER,
+        order=3,
+        center_hz=1.575e9,
+        bandwidth_hz=500e6,
+        max_insertion_loss_db=3.0,
+        ripple_db=0.5,
+        stop_attenuation_db=30.0,
+        stop_offset_hz=350e6,
+    )
+    defaults.update(overrides)
+    return FilterSpec(**defaults)
+
+
+class TestButterworthGValues:
+    def test_order_1(self):
+        assert butterworth_g_values(1) == pytest.approx([2.0, 1.0])
+
+    def test_order_3_textbook(self):
+        g = butterworth_g_values(3)
+        assert g == pytest.approx([1.0, 2.0, 1.0, 1.0])
+
+    def test_order_5_textbook(self):
+        g = butterworth_g_values(5)
+        assert g[:5] == pytest.approx(
+            [0.618, 1.618, 2.0, 1.618, 0.618], abs=1e-3
+        )
+
+    def test_rejects_order_zero(self):
+        with pytest.raises(SynthesisError):
+            butterworth_g_values(0)
+
+    @given(st.integers(min_value=1, max_value=15))
+    def test_symmetric(self, order):
+        g = butterworth_g_values(order)[:-1]
+        assert g == pytest.approx(list(reversed(g)))
+
+
+class TestChebyshevGValues:
+    def test_order_2_half_db_textbook(self):
+        """Matthaei table: n=2, 0.5 dB -> g = 1.4029, 0.7071, 1.9841."""
+        g = chebyshev_g_values(2, 0.5)
+        assert g == pytest.approx([1.4029, 0.7071, 1.9841], abs=1e-3)
+
+    def test_order_3_half_db_textbook(self):
+        """Matthaei table: n=3, 0.5 dB -> 1.5963, 1.0967, 1.5963, 1.0."""
+        g = chebyshev_g_values(3, 0.5)
+        assert g == pytest.approx([1.5963, 1.0967, 1.5963, 1.0], abs=1e-3)
+
+    def test_order_5_tenth_db_textbook(self):
+        """Matthaei table: n=5, 0.1 dB."""
+        g = chebyshev_g_values(5, 0.1)
+        assert g[:5] == pytest.approx(
+            [1.1468, 1.3712, 1.9750, 1.3712, 1.1468], abs=1e-3
+        )
+
+    def test_odd_order_unity_load(self):
+        assert chebyshev_g_values(3, 0.5)[-1] == pytest.approx(1.0)
+
+    def test_even_order_transformed_load(self):
+        assert chebyshev_g_values(2, 0.5)[-1] > 1.5
+
+    def test_rejects_nonpositive_ripple(self):
+        with pytest.raises(SynthesisError):
+            chebyshev_g_values(2, 0.0)
+
+    @given(
+        st.integers(min_value=1, max_value=9),
+        st.floats(min_value=0.01, max_value=3.0),
+    )
+    def test_all_positive(self, order, ripple):
+        assert all(g > 0 for g in chebyshev_g_values(order, ripple))
+
+
+class TestBandpassSynthesis:
+    def test_resonators_at_center(self):
+        design = synthesize_bandpass(chebyshev_spec())
+        for resonator in design.resonators:
+            assert resonator.resonance_hz == pytest.approx(
+                175e6, rel=1e-9
+            )
+
+    def test_series_shunt_alternation(self):
+        design = synthesize_bandpass(chebyshev_spec(order=3))
+        topologies = [r.topology for r in design.resonators]
+        assert topologies == ["series", "shunt", "series"]
+
+    def test_even_order_matched_load(self):
+        design = synthesize_bandpass(chebyshev_spec())
+        g_load = design.g_values[-1]
+        assert design.load_impedance_ohm == pytest.approx(50.0 * g_load)
+
+    def test_unmatched_load_option(self):
+        design = synthesize_bandpass(chebyshev_spec(), match_load=False)
+        assert design.load_impedance_ohm == 50.0
+
+    def test_cauer_has_traps(self):
+        design = synthesize_bandpass(cauer_spec())
+        assert len(design.traps) >= 1
+        for trap in design.traps:
+            f_trap = 1 / (
+                2
+                * math.pi
+                * math.sqrt(trap.inductance_h * trap.capacitance_f)
+            )
+            assert f_trap == pytest.approx(1.225e9, rel=1e-9)
+
+    def test_chebyshev_has_no_traps(self):
+        assert synthesize_bandpass(chebyshev_spec()).traps == ()
+
+    def test_cauer_without_stopband_raises(self):
+        spec = chebyshev_spec()
+        object.__setattr__(spec, "family", FilterFamily.CAUER)
+        with pytest.raises(SynthesisError):
+            synthesize_bandpass(spec)
+
+    def test_element_count(self):
+        design = synthesize_bandpass(chebyshev_spec(order=2))
+        assert design.element_count == 4
+
+
+class TestBuiltCircuits:
+    def test_lossless_chebyshev_flat_passband(self):
+        """Ideal elements + matched load: passband floor ~ 0 dB.
+
+        Note even-order Chebyshev peaks *at* the centre (ripple there),
+        so the floor is taken over the ripple bandwidth.
+        """
+        design = synthesize_bandpass(chebyshev_spec())
+        circuit = build_bandpass_circuit(design, IdealQModel())
+        band = sweep(circuit, 175e6 - 12.5e6, 175e6 + 12.5e6, points=201)
+        assert band.min_insertion_loss_db() == pytest.approx(0.0, abs=0.05)
+        # And the centre sits at the design ripple for even order.
+        assert measure_insertion_loss(circuit, 175e6) == pytest.approx(
+            0.5, abs=0.1
+        )
+
+    def test_lossless_ripple_bounded(self):
+        """In-band loss never exceeds the design ripple (lossless).
+
+        The lowpass-to-bandpass transform maps band edges geometrically
+        (f_low * f_high = f0^2), so the ripple band is evaluated on the
+        geometric edges, not f0 +/- BW/2.
+        """
+        spec = chebyshev_spec()
+        design = synthesize_bandpass(spec)
+        circuit = build_bandpass_circuit(design, IdealQModel())
+        fbw = spec.fractional_bandwidth
+        half = math.sqrt(1.0 + (fbw / 2.0) ** 2)
+        f_low = spec.center_hz * (half - fbw / 2.0)
+        f_high = spec.center_hz * (half + fbw / 2.0)
+        band = sweep(circuit, f_low, f_high, points=201)
+        assert band.insertion_loss_db.max() <= 0.5 + 0.05
+
+    def test_skirts_attenuate(self):
+        design = synthesize_bandpass(chebyshev_spec())
+        circuit = build_bandpass_circuit(design, IdealQModel())
+        out_of_band = measure_insertion_loss(circuit, 175e6 * 2.0)
+        assert out_of_band > 20.0
+
+    def test_finite_q_matches_classical_formula(self):
+        """MNA dissipation loss agrees with 4.343 sum(g)/(w Qu).
+
+        Measured as the passband floor so the even-order ripple peak at
+        the centre does not contaminate the dissipation estimate.
+        """
+        qu = 30.0
+        spec = chebyshev_spec()
+        design = synthesize_bandpass(spec)
+        circuit = build_bandpass_circuit(
+            design, ConstantQModel(2 * qu, 2 * qu)
+        )
+        band = sweep(circuit, 175e6 - 12.5e6, 175e6 + 12.5e6, points=201)
+        measured = band.min_insertion_loss_db()
+        predicted = dissipation_loss_db(
+            list(design.g_values), spec.fractional_bandwidth, qu
+        )
+        assert measured == pytest.approx(predicted, rel=0.15)
+
+    def test_cauer_trap_creates_transmission_zero(self):
+        design = synthesize_bandpass(cauer_spec())
+        circuit = build_bandpass_circuit(design, IdealQModel())
+        at_zero = measure_insertion_loss(circuit, 1.225e9)
+        at_pass = measure_insertion_loss(circuit, 1.575e9)
+        assert at_zero - at_pass > 40.0
+
+    def test_order_3_builds_and_passes(self):
+        design = synthesize_bandpass(chebyshev_spec(order=3))
+        circuit = build_bandpass_circuit(design, IdealQModel())
+        assert measure_insertion_loss(circuit, 175e6) < 0.6
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.floats(min_value=0.1, max_value=1.0),
+    )
+    def test_lossless_circuits_are_passive(self, order, ripple):
+        spec = chebyshev_spec(order=order, ripple_db=ripple)
+        design = synthesize_bandpass(spec)
+        circuit = build_bandpass_circuit(design, IdealQModel())
+        band = sweep(circuit, 150e6, 200e6, points=21)
+        assert all(p.is_passive for p in band.points)
+
+
+class TestDissipationFormula:
+    def test_known_value(self):
+        g = [1.4029, 0.7071, 1.9841]
+        loss = dissipation_loss_db(g, 0.1, 50.0)
+        assert loss == pytest.approx(4.343 * (1.4029 + 0.7071) / 5.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(SynthesisError):
+            dissipation_loss_db([1.0, 1.0], 0.0, 50.0)
+        with pytest.raises(SynthesisError):
+            dissipation_loss_db([1.0, 1.0], 0.1, 0.0)

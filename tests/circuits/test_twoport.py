@@ -1,0 +1,154 @@
+"""Two-port S-parameter extraction."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.netlist import Circuit
+from repro.circuits.twoport import (
+    input_impedance,
+    measure_insertion_loss,
+    measure_rejection,
+    sweep,
+    two_port_sparameters,
+)
+from repro.errors import CircuitError
+
+
+def through_line() -> Circuit:
+    """A direct through connection via a tiny series resistor."""
+    c = Circuit("through")
+    c.resistor("R", "in", "out", 1e-6)
+    c.port("p1", "in", 50.0)
+    c.port("p2", "out", 50.0)
+    return c
+
+
+def series_resistor(r: float) -> Circuit:
+    c = Circuit("series")
+    c.resistor("R", "in", "out", r)
+    c.port("p1", "in", 50.0)
+    c.port("p2", "out", 50.0)
+    return c
+
+
+def shunt_resistor(r: float) -> Circuit:
+    c = Circuit("shunt")
+    c.resistor("Rthrough", "in", "out", 1e-6)
+    c.resistor("Rshunt", "out", "0", r)
+    c.port("p1", "in", 50.0)
+    c.port("p2", "out", 50.0)
+    return c
+
+
+class TestKnownNetworks:
+    def test_through_is_lossless(self):
+        s = two_port_sparameters(through_line(), 1e9)
+        assert abs(s.s21) == pytest.approx(1.0, abs=1e-6)
+        assert abs(s.s11) == pytest.approx(0.0, abs=1e-6)
+
+    def test_series_resistor_textbook(self):
+        """Series R in Z0 system: S21 = 2 Z0 / (2 Z0 + R)."""
+        r = 50.0
+        s = two_port_sparameters(series_resistor(r), 1e9)
+        expected = 2 * 50.0 / (2 * 50.0 + r)
+        assert abs(s.s21) == pytest.approx(expected, rel=1e-9)
+        assert abs(s.s11) == pytest.approx(r / (2 * 50 + r), rel=1e-9)
+
+    def test_shunt_resistor_textbook(self):
+        """Shunt G in Z0 system: S21 = 2 / (2 + Z0 G)."""
+        r = 100.0
+        s = two_port_sparameters(shunt_resistor(r), 1e9)
+        expected = 2 / (2 + 50.0 / r)
+        assert abs(s.s21) == pytest.approx(expected, rel=1e-6)
+
+    def test_insertion_loss_6db_pad(self):
+        """R = 2 Z0 series gives S21 = 0.5 -> 6.02 dB."""
+        loss = measure_insertion_loss(series_resistor(100.0), 1e9)
+        assert loss == pytest.approx(6.02, abs=0.01)
+
+    def test_symmetric_network_s11_equals_s22(self):
+        s = two_port_sparameters(series_resistor(75.0), 1e9)
+        assert s.s11 == pytest.approx(s.s22)
+
+    def test_reciprocal_s12_equals_s21(self):
+        s = two_port_sparameters(shunt_resistor(80.0), 1e9)
+        assert s.s12 == pytest.approx(s.s21)
+
+
+class TestPassivity:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.floats(min_value=1.0, max_value=1e4),
+        st.floats(min_value=1e-12, max_value=1e-9),
+        st.floats(min_value=1e-9, max_value=1e-7),
+        st.floats(min_value=1e6, max_value=5e9),
+    )
+    def test_random_rlc_never_gains(self, r, c_val, l_val, freq):
+        """|S21| <= 1 for any passive RLC network (energy conservation)."""
+        c = Circuit("random")
+        c.resistor("R", "in", "mid", r)
+        c.capacitor("C", "mid", "0", c_val)
+        c.inductor("L", "mid", "out", l_val, series_resistance=0.1)
+        c.port("p1", "in", 50.0)
+        c.port("p2", "out", 50.0)
+        s = two_port_sparameters(c, freq)
+        assert s.is_passive
+
+
+class TestSweep:
+    def test_sweep_grid(self):
+        result = sweep(series_resistor(50.0), 1e8, 1e9, points=11)
+        assert len(result.points) == 11
+        assert result.frequencies_hz[0] == 1e8
+        assert result.frequencies_hz[-1] == 1e9
+
+    def test_log_spacing(self):
+        result = sweep(
+            series_resistor(50.0), 1e6, 1e9, points=4, log_spacing=True
+        )
+        ratios = result.frequencies_hz[1:] / result.frequencies_hz[:-1]
+        assert ratios == pytest.approx([10.0, 10.0, 10.0])
+
+    def test_at_picks_nearest(self):
+        result = sweep(series_resistor(50.0), 1e8, 1e9, points=10)
+        point = result.at(5.4e8)
+        assert point.frequency_hz == pytest.approx(
+            result.frequencies_hz[
+                abs(result.frequencies_hz - 5.4e8).argmin()
+            ]
+        )
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(CircuitError):
+            sweep(series_resistor(50.0), 1e9, 1e8)
+
+    def test_rejects_single_point(self):
+        with pytest.raises(CircuitError):
+            sweep(series_resistor(50.0), 1e8, 1e9, points=1)
+
+
+class TestMeasurements:
+    def test_rejection_positive_for_lowpass(self):
+        c = Circuit("lp")
+        c.resistor("Rsrc", "in", "out", 1e-6)
+        c.capacitor("C", "out", "0", 30e-12)
+        c.port("p1", "in", 50.0)
+        c.port("p2", "out", 50.0)
+        rejection = measure_rejection(c, 1e7, 1e9)
+        assert rejection > 10.0
+
+    def test_input_impedance_matched_through(self):
+        z = input_impedance(through_line(), 1e9)
+        assert z.real == pytest.approx(50.0, rel=1e-6)
+
+    def test_two_ports_required(self):
+        c = Circuit("oneport")
+        c.resistor("R", "in", "0", 50.0)
+        c.port("p1", "in", 50.0)
+        with pytest.raises(CircuitError):
+            two_port_sparameters(c, 1e9)

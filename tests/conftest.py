@@ -1,0 +1,19 @@
+"""Shared fixtures: the GPS study result is expensive, so compute once."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gps.study import run_gps_study, summary_rows
+
+
+@pytest.fixture(scope="session")
+def gps_result():
+    """The full GPS trade-off study (all four build-ups)."""
+    return run_gps_study()
+
+
+@pytest.fixture(scope="session")
+def gps_rows(gps_result):
+    """Per-implementation summary rows keyed by implementation number."""
+    return {row.implementation: row for row in summary_rows(gps_result)}

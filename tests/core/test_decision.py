@@ -1,0 +1,43 @@
+"""Decision rendering (step 5) on the GPS study result."""
+
+from __future__ import annotations
+
+from repro.core.decision import (
+    fig3_table,
+    fig5_table,
+    fig6_table,
+    full_report,
+    recommendation,
+)
+
+
+class TestTables:
+    def test_fig3_table_rows(self, gps_result):
+        table = fig3_table(gps_result)
+        assert len(table) == 4
+        text = table.render()
+        assert "100%" in text
+        assert "PCB/SMD" in text
+
+    def test_fig5_table_has_breakdown_columns(self, gps_result):
+        table = fig5_table(gps_result)
+        assert "thereof: chip" in table.columns
+        assert "Yield loss" in table.columns
+        assert len(table) == 4
+
+    def test_fig6_table_products(self, gps_result):
+        text = fig6_table(gps_result).render()
+        assert "Perf." in text
+        assert "1/Size" in text
+
+    def test_recommendation_names_winner(self, gps_result):
+        text = recommendation(gps_result)
+        assert "MCM-D(Si)/FC/IP&SMD" in text
+        assert "figure of merit" in text
+
+    def test_full_report_contains_everything(self, gps_result):
+        text = full_report(gps_result)
+        assert "Fig. 3" in text
+        assert "Fig. 5" in text
+        assert "Fig. 6" in text
+        assert "Recommended build-up" in text

@@ -1,0 +1,107 @@
+"""Figure-of-merit math (Fig. 6)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.figure_of_merit import (
+    FomEntry,
+    FomWeights,
+    figure_of_merit,
+    rank_buildups,
+)
+from repro.errors import SpecificationError
+
+
+class TestFigureOfMerit:
+    def test_reference_is_unity(self):
+        assert figure_of_merit(1.0, 1.0, 1.0) == pytest.approx(1.0)
+
+    def test_paper_solution_4_arithmetic(self):
+        """Fig. 6 row 4: 0.7 / (0.37 * 1.06) = 1.8."""
+        fom = figure_of_merit(0.7, 0.37, 1.06)
+        assert fom == pytest.approx(1.8, abs=0.02)
+
+    def test_paper_solution_2_arithmetic(self):
+        """Fig. 6 row 2: 1 / (0.79 * 1.05) = 1.2."""
+        assert figure_of_merit(1.0, 0.79, 1.05) == pytest.approx(
+            1.2, abs=0.01
+        )
+
+    def test_paper_solution_3_arithmetic(self):
+        """Fig. 6 row 3: 0.45 / (0.6 * 1.13) = 0.66."""
+        assert figure_of_merit(0.45, 0.6, 1.13) == pytest.approx(
+            0.66, abs=0.01
+        )
+
+    def test_less_area_is_better(self):
+        assert figure_of_merit(1.0, 0.5, 1.0) > figure_of_merit(
+            1.0, 1.0, 1.0
+        )
+
+    def test_less_cost_is_better(self):
+        assert figure_of_merit(1.0, 1.0, 0.9) > figure_of_merit(
+            1.0, 1.0, 1.1
+        )
+
+    def test_rejects_negative_performance(self):
+        with pytest.raises(SpecificationError):
+            figure_of_merit(-0.1, 1.0, 1.0)
+
+    def test_rejects_nonpositive_ratios(self):
+        with pytest.raises(SpecificationError):
+            figure_of_merit(1.0, 0.0, 1.0)
+        with pytest.raises(SpecificationError):
+            figure_of_merit(1.0, 1.0, -1.0)
+
+    @given(
+        st.floats(min_value=0.01, max_value=1.0),
+        st.floats(min_value=0.1, max_value=2.0),
+        st.floats(min_value=0.5, max_value=2.0),
+    )
+    def test_monotone_in_performance(self, perf, size, cost):
+        better = figure_of_merit(min(1.0, perf * 1.1), size, cost)
+        assert better >= figure_of_merit(perf, size, cost)
+
+
+class TestWeights:
+    def test_zero_weight_removes_axis(self):
+        weights = FomWeights(performance=1.0, size=0.0, cost=1.0)
+        with_small = figure_of_merit(1.0, 0.1, 1.0, weights)
+        with_large = figure_of_merit(1.0, 10.0, 1.0, weights)
+        assert with_small == pytest.approx(with_large)
+
+    def test_heavier_size_weight_amplifies(self):
+        light = figure_of_merit(1.0, 0.5, 1.0, FomWeights(size=1.0))
+        heavy = figure_of_merit(1.0, 0.5, 1.0, FomWeights(size=2.0))
+        assert heavy > light
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(SpecificationError):
+            FomWeights(performance=-1.0)
+
+
+class TestRanking:
+    def entries(self):
+        return [
+            FomEntry("a", 1.0, 1.0, 1.0, 1.0),
+            FomEntry("b", 1.0, 0.79, 1.05, 1.2),
+            FomEntry("c", 0.45, 0.6, 1.13, 0.66),
+            FomEntry("d", 0.7, 0.37, 1.06, 1.8),
+        ]
+
+    def test_paper_ranking(self):
+        """Fig. 6 order: solution 4 > 2 > 1 > 3."""
+        ranked = rank_buildups(self.entries())
+        assert [e.name for e in ranked] == ["d", "b", "a", "c"]
+
+    def test_rejects_empty(self):
+        with pytest.raises(SpecificationError):
+            rank_buildups([])
+
+    def test_reciprocals(self):
+        entry = FomEntry("d", 0.7, 0.37, 1.06, 1.8)
+        assert entry.size_reciprocal == pytest.approx(1 / 0.37)
+        assert entry.cost_reciprocal == pytest.approx(1 / 1.06)

@@ -1,0 +1,125 @@
+"""The passives-optimized per-component selector (build-up 4's rule)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.area.substrate import MCM_D_RULE
+from repro.core.optimizer import optimize_passives, select_technology
+from repro.passives.component import (
+    PassiveKind,
+    PassiveRequirement,
+    PassiveRole,
+)
+
+
+def resistor(value=10e3, tolerance=0.15):
+    return PassiveRequirement(PassiveKind.RESISTOR, value, tolerance)
+
+
+def decap(value=10e-9):
+    return PassiveRequirement(
+        PassiveKind.CAPACITOR,
+        value,
+        tolerance=0.2,
+        role=PassiveRole.DECOUPLING,
+    )
+
+
+def small_cap(value=22e-12):
+    return PassiveRequirement(PassiveKind.CAPACITOR, value, tolerance=0.2)
+
+
+def if_inductor():
+    return PassiveRequirement(
+        PassiveKind.INDUCTOR,
+        100e-9,
+        tolerance=0.1,
+        min_q=25.0,
+        q_frequency=175e6,
+    )
+
+
+def rf_inductor():
+    return PassiveRequirement(
+        PassiveKind.INDUCTOR,
+        40e-9,
+        tolerance=0.1,
+        min_q=20.0,
+        q_frequency=1.575e9,
+    )
+
+
+class TestAreaRule:
+    def test_resistor_integrates(self):
+        """0.05 mm^2 of film beats a 3.75 mm^2 0603."""
+        decision = select_technology(resistor())
+        assert decision.integrated
+        assert "area" in decision.reason
+
+    def test_small_cap_integrates(self):
+        decision = select_technology(small_cap())
+        assert decision.integrated
+
+    def test_decap_stays_smd(self):
+        """The paper's headline: big decaps are smaller as SMD."""
+        decision = select_technology(decap())
+        assert not decision.integrated
+        assert "area" in decision.reason
+
+    def test_crossover_capacitance(self):
+        """Between 22 pF and 10 nF the area rule flips."""
+        integrated_decision = select_technology(small_cap(100e-12))
+        smd_decision = select_technology(small_cap(2e-9))
+        assert integrated_decision.integrated
+        assert not smd_decision.integrated
+
+    def test_substrate_rule_shifts_crossover(self):
+        """On MCM-D the SMD overhead factor pushes more parts to IP."""
+        value = 800e-12  # close to the plain crossover
+        plain = select_technology(small_cap(value))
+        on_mcm = select_technology(
+            small_cap(value), substrate_rule=MCM_D_RULE
+        )
+        if not plain.integrated:
+            assert on_mcm.integrated or not plain.integrated
+
+
+class TestPerformanceRule:
+    def test_if_inductor_forced_smd(self):
+        """§4.1: integrated spirals can't meet Q at 175 MHz."""
+        decision = select_technology(if_inductor())
+        assert not decision.integrated
+        assert "performance" in decision.reason
+
+    def test_rf_inductor_allowed_integrated(self):
+        """At 1.575 GHz the SUMMIT spiral meets its Q spec."""
+        decision = select_technology(rf_inductor())
+        assert decision.integrated
+
+
+class TestReport:
+    def test_counts_and_area_saved(self):
+        requirements = [resistor() for _ in range(10)]
+        requirements.extend(decap() for _ in range(2))
+        report = optimize_passives(requirements)
+        assert report.integrated_count == 10
+        assert report.smd_count == 2
+        assert report.area_saved_mm2 > 0
+
+    def test_smd_realizations_listed(self):
+        report = optimize_passives([resistor(), decap()])
+        smd = report.smd_realizations()
+        assert len(smd) == 1
+        assert smd[0].requirement.role is PassiveRole.DECOUPLING
+
+    def test_gps_bom_matches_table2_smd_count(self):
+        """Applying the selector to the GPS BoM keeps exactly the 8
+        decaps as SMDs (the IF-filter inductors are decided at filter
+        level)."""
+        from repro.gps.bom import build_gps_bom
+
+        report = optimize_passives(
+            build_gps_bom().requirements(), substrate_rule=MCM_D_RULE
+        )
+        assert report.smd_count == 8

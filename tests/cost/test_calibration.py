@@ -1,0 +1,64 @@
+"""Chip-cost calibration against the Fig. 5 targets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cost.calibration import (
+    CalibrationResult,
+    FIG5_TARGET_RATIOS,
+    calibrate_chip_costs,
+)
+from repro.errors import CalibrationError
+
+
+def linear_toy_evaluator(rf_pkg, rf_bare, dsp_pkg, dsp_bare):
+    """A toy cost structure with an exact solution, for fast tests."""
+    base = 100.0 + rf_pkg + dsp_pkg
+    return {
+        2: (110.0 + rf_bare + dsp_bare) / base,
+        3: (120.0 + rf_bare + dsp_bare) / base,
+        4: (112.0 + rf_bare + dsp_bare) / base,
+    }
+
+
+class TestCalibrationMechanics:
+    def test_toy_problem_converges(self):
+        result = calibrate_chip_costs(
+            evaluate_ratios=linear_toy_evaluator, bare_discount=1.0
+        )
+        assert isinstance(result, CalibrationResult)
+        assert result.residual_norm < 0.5
+
+    def test_rejects_bad_discount(self):
+        with pytest.raises(CalibrationError):
+            calibrate_chip_costs(
+                evaluate_ratios=linear_toy_evaluator, bare_discount=0.0
+            )
+
+    def test_bare_discount_applied(self):
+        result = calibrate_chip_costs(
+            evaluate_ratios=linear_toy_evaluator, bare_discount=0.9
+        )
+        assert result.rf_bare == pytest.approx(0.9 * result.rf_packaged)
+        assert result.dsp_bare == pytest.approx(0.9 * result.dsp_packaged)
+
+    def test_targets_recorded(self):
+        result = calibrate_chip_costs(
+            evaluate_ratios=linear_toy_evaluator
+        )
+        assert result.target_ratios == FIG5_TARGET_RATIOS
+
+
+@pytest.mark.slow
+class TestFullCalibration:
+    def test_gps_calibration_preserves_ordering(self):
+        """The headline property: PCB < WB/SMD < FC/IP&SMD < FC/IP."""
+        result = calibrate_chip_costs()
+        assert result.ordering_preserved
+        assert result.max_ratio_error < 0.05
+
+    def test_gps_calibration_costs_positive(self):
+        result = calibrate_chip_costs()
+        assert result.rf_packaged > 0
+        assert result.dsp_packaged > result.rf_packaged

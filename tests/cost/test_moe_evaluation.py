@@ -1,0 +1,272 @@
+"""MOE evaluation: analytic expectations, Monte Carlo, and Eq. (1).
+
+The central cross-check of the cost substrate: the closed-form evaluator
+and the Monte Carlo simulator must agree (within sampling error) on
+every quantity, for hand-built flows and for randomly generated ones.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cost.moe.analytic import evaluate
+from repro.cost.moe.builder import FlowBuilder
+from repro.cost.moe.nodes import CostTag
+from repro.cost.moe.report import fig5_row
+from repro.cost.moe.simulate import simulate
+from repro.errors import FlowError
+
+
+def perfect_flow():
+    """Everything yields 100 %: final cost equals direct cost."""
+    return (
+        FlowBuilder("perfect")
+        .carrier("sub", cost=2.0, yield_=1.0)
+        .attach(
+            "chip",
+            quantity=1,
+            component_cost=10.0,
+            component_yield=1.0,
+            attach_cost=0.5,
+            attach_yield=1.0,
+        )
+        .test("final", cost=3.0, coverage=1.0)
+        .build()
+    )
+
+
+def lossy_flow(carrier_yield=0.9, coverage=0.99, nre=0.0):
+    return (
+        FlowBuilder("lossy", nre=nre)
+        .carrier("sub", cost=10.0, yield_=carrier_yield)
+        .attach(
+            "chip",
+            quantity=2,
+            component_cost=50.0,
+            component_yield=0.95,
+            attach_cost=0.1,
+            attach_yield=0.99,
+        )
+        .test("final", cost=10.0, coverage=coverage)
+        .build()
+    )
+
+
+class TestAnalyticBasics:
+    def test_perfect_flow_no_yield_loss(self):
+        report = evaluate(perfect_flow())
+        assert report.yield_loss_per_shipped == pytest.approx(0.0)
+        assert report.final_cost_per_shipped == pytest.approx(15.5)
+        assert report.shipped_fraction == pytest.approx(1.0)
+        assert report.escape_fraction == pytest.approx(0.0)
+
+    def test_direct_cost_is_flow_direct_cost(self):
+        flow = lossy_flow()
+        report = evaluate(flow)
+        assert report.direct_cost_per_unit == pytest.approx(
+            flow.direct_cost()
+        )
+
+    def test_chip_cost_tagged(self):
+        report = evaluate(lossy_flow())
+        assert report.chip_cost_per_unit == pytest.approx(100.0)
+        assert report.cost_by_tag[CostTag.SUBSTRATE] == pytest.approx(10.0)
+
+    def test_eq1_identity(self):
+        """Eq. (1): final = direct + scrap/shipped + NRE/shipped."""
+        report = evaluate(lossy_flow())
+        total_scrap = sum(s.scrap_cost for s in report.steps)
+        expected = (
+            report.direct_cost_per_unit
+            + total_scrap / report.shipped_units
+        )
+        assert report.final_cost_per_shipped == pytest.approx(expected)
+
+    def test_spend_conservation(self):
+        """Money is conserved: spend = shipped*direct + scrap cost."""
+        report = evaluate(lossy_flow(), volume=1.0)
+        spend = (
+            report.shipped_units * report.direct_cost_per_unit
+            + sum(s.scrap_cost for s in report.steps)
+        )
+        per_shipped = spend / report.shipped_units
+        assert per_shipped == pytest.approx(
+            report.final_cost_per_shipped - report.nre_per_shipped
+        )
+
+    def test_full_coverage_no_escapes(self):
+        report = evaluate(lossy_flow(coverage=1.0))
+        assert report.escape_fraction == pytest.approx(0.0)
+
+    def test_partial_coverage_escapes(self):
+        report = evaluate(lossy_flow(coverage=0.9))
+        assert report.escape_fraction > 0.0
+
+    def test_nre_amortised_over_shipped(self):
+        with_nre = evaluate(lossy_flow(nre=1000.0), volume=100.0)
+        without = evaluate(lossy_flow(nre=0.0), volume=100.0)
+        assert with_nre.nre_per_shipped == pytest.approx(
+            1000.0 / with_nre.shipped_units
+        )
+        assert with_nre.final_cost_per_shipped > (
+            without.final_cost_per_shipped
+        )
+
+    def test_worse_yield_raises_final_cost(self):
+        good = evaluate(lossy_flow(carrier_yield=0.99))
+        bad = evaluate(lossy_flow(carrier_yield=0.80))
+        assert bad.final_cost_per_shipped > good.final_cost_per_shipped
+
+    def test_rejects_bad_volume(self):
+        with pytest.raises(FlowError):
+            evaluate(lossy_flow(), volume=0.0)
+
+
+class TestMonteCarloBasics:
+    def test_perfect_flow_exact(self):
+        report = simulate(perfect_flow(), units=500, seed=1)
+        assert report.final_cost_per_shipped == pytest.approx(15.5)
+        assert report.scrapped_units == 0
+
+    def test_reproducible_with_seed(self):
+        a = simulate(lossy_flow(), units=2000, seed=42)
+        b = simulate(lossy_flow(), units=2000, seed=42)
+        assert a.final_cost_per_shipped == b.final_cost_per_shipped
+
+    def test_different_seeds_differ(self):
+        a = simulate(lossy_flow(), units=2000, seed=1)
+        b = simulate(lossy_flow(), units=2000, seed=2)
+        assert a.scrapped_units != b.scrapped_units
+
+    def test_unit_accounting(self):
+        report = simulate(lossy_flow(), units=5000, seed=0)
+        assert report.started_units == 5000
+        assert (
+            report.shipped_units + report.scrapped_units == 5000
+        )
+
+    def test_rejects_zero_units(self):
+        with pytest.raises(FlowError):
+            simulate(lossy_flow(), units=0)
+
+
+class TestAnalyticMonteCarloAgreement:
+    def test_gps_like_flow_agreement(self):
+        flow = lossy_flow()
+        analytic = evaluate(flow)
+        sampled = simulate(flow, units=60_000, seed=3)
+        assert sampled.final_cost_per_shipped == pytest.approx(
+            analytic.final_cost_per_shipped, rel=0.02
+        )
+        assert sampled.shipped_fraction == pytest.approx(
+            analytic.shipped_fraction, abs=0.01
+        )
+        assert sampled.yield_loss_per_shipped == pytest.approx(
+            analytic.yield_loss_per_shipped, rel=0.10
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.floats(min_value=0.7, max_value=1.0),
+        st.floats(min_value=0.8, max_value=1.0),
+        st.floats(min_value=0.5, max_value=1.0),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_random_flows_agree(
+        self, carrier_yield, component_yield, coverage, quantity
+    ):
+        """Property: the two evaluators agree on arbitrary flows."""
+        flow = (
+            FlowBuilder("random")
+            .carrier("sub", cost=5.0, yield_=carrier_yield)
+            .attach(
+                "parts",
+                quantity=quantity,
+                component_cost=20.0,
+                component_yield=component_yield,
+                attach_cost=0.2,
+                attach_yield=0.999,
+            )
+            .test("final", cost=8.0, coverage=coverage)
+            .build()
+        )
+        analytic = evaluate(flow)
+        sampled = simulate(flow, units=40_000, seed=11)
+        assert sampled.final_cost_per_shipped == pytest.approx(
+            analytic.final_cost_per_shipped, rel=0.05
+        )
+
+    def test_two_test_steps_agreement(self):
+        """Scrap at an intermediate test loses only cost-so-far."""
+        flow = (
+            FlowBuilder("two-tests")
+            .carrier("sub", cost=10.0, yield_=0.9)
+            .test("pre-test", cost=1.0, coverage=0.95)
+            .attach(
+                "chip",
+                quantity=1,
+                component_cost=100.0,
+                component_yield=0.95,
+                attach_cost=0.1,
+                attach_yield=1.0,
+            )
+            .test("final", cost=10.0, coverage=0.99)
+            .build()
+        )
+        analytic = evaluate(flow)
+        sampled = simulate(flow, units=60_000, seed=5)
+        assert sampled.final_cost_per_shipped == pytest.approx(
+            analytic.final_cost_per_shipped, rel=0.02
+        )
+        # Early scrap is cheap: pre-test scrap cost per unit ~ 11, final
+        # test scrap ~ 121.
+        pre = analytic.steps[1]
+        final = analytic.steps[3]
+        assert pre.scrap_cost / max(pre.scrap_units, 1e-12) < 12.0
+        assert final.scrap_cost / max(final.scrap_units, 1e-12) > 100.0
+
+
+class TestEarlyTestEconomics:
+    def test_early_test_reduces_final_cost_when_carrier_is_bad(self):
+        """Screening a bad substrate before mounting expensive chips is
+        cheaper — the classic known-good-die argument the paper makes."""
+
+        def flow(with_pretest: bool):
+            builder = FlowBuilder("kgd")
+            builder.carrier("sub", cost=5.0, yield_=0.80)
+            if with_pretest:
+                builder.test("substrate test", cost=0.5, coverage=0.99)
+            builder.attach(
+                "chip",
+                quantity=1,
+                component_cost=200.0,
+                component_yield=1.0,
+                attach_cost=0.1,
+                attach_yield=1.0,
+            )
+            builder.test("final", cost=10.0, coverage=0.99)
+            return builder.build()
+
+        screened = evaluate(flow(True))
+        unscreened = evaluate(flow(False))
+        assert (
+            screened.final_cost_per_shipped
+            < unscreened.final_cost_per_shipped
+        )
+
+
+class TestFig5Row:
+    def test_reference_row_is_100(self):
+        report = evaluate(lossy_flow())
+        row = fig5_row(report, report)
+        assert row["final"] == pytest.approx(100.0)
+
+    def test_row_components_sum(self):
+        report = evaluate(lossy_flow())
+        row = fig5_row(report, report)
+        assert row["direct"] + row["yield_loss"] == pytest.approx(
+            row["final"]
+        )
+        assert row["chip"] < row["direct"]

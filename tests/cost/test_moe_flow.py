@@ -1,0 +1,124 @@
+"""Production flow container and builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cost.moe.builder import FlowBuilder, flow_node_summary, render_flow
+from repro.cost.moe.flow import ProductionFlow
+from repro.cost.moe.nodes import CarrierStep, TestStep
+from repro.errors import FlowError
+
+
+def simple_flow() -> ProductionFlow:
+    return (
+        FlowBuilder("test-line")
+        .carrier("PCB", cost=2.0, yield_=0.99)
+        .process("reroute", cost=1.0, yield_=0.999)
+        .attach(
+            "chips",
+            quantity=2,
+            component_cost=10.0,
+            component_yield=0.95,
+            attach_cost=0.1,
+            attach_yield=0.99,
+        )
+        .test("final", cost=5.0, coverage=0.99)
+        .build()
+    )
+
+
+class TestProductionFlow:
+    def test_direct_cost_sums_steps(self):
+        flow = simple_flow()
+        assert flow.direct_cost() == pytest.approx(
+            2.0 + 1.0 + 2 * 10.1 + 5.0
+        )
+
+    def test_overall_yield(self):
+        flow = simple_flow()
+        expected = 0.99 * 0.999 * (0.95**2) * (0.99**2)
+        assert flow.overall_yield() == pytest.approx(expected)
+
+    def test_step_lookup(self):
+        flow = simple_flow()
+        assert flow.step("ID0").name == "PCB"
+        with pytest.raises(FlowError):
+            flow.step("ID99")
+
+    def test_duplicate_node_id_rejected(self):
+        flow = ProductionFlow("t")
+        flow.add(CarrierStep("ID0", "a", 1.0, 0.99))
+        with pytest.raises(FlowError):
+            flow.add(TestStep("ID0", "b", 1.0, 0.99))
+
+    def test_validation_requires_test(self):
+        flow = ProductionFlow("t")
+        flow.add(CarrierStep("ID0", "a", 1.0, 0.99))
+        with pytest.raises(FlowError):
+            flow.validate()
+
+    def test_validation_requires_carrier(self):
+        flow = ProductionFlow("t")
+        flow.add(TestStep("ID0", "b", 1.0, 0.99))
+        with pytest.raises(FlowError):
+            flow.validate()
+
+    def test_validation_rejects_negative_nre(self):
+        flow = simple_flow()
+        flow.nre = -1.0
+        with pytest.raises(FlowError):
+            flow.validate()
+
+    def test_typed_accessors(self):
+        flow = simple_flow()
+        assert len(flow.tests()) == 1
+        assert len(flow.attach_steps()) == 1
+        assert len(flow) == 4
+
+
+class TestBuilder:
+    def test_auto_node_ids_sequential(self):
+        flow = simple_flow()
+        assert [s.node_id for s in flow.steps] == [
+            "ID0",
+            "ID1",
+            "ID2",
+            "ID3",
+        ]
+
+    def test_explicit_node_id(self):
+        flow = (
+            FlowBuilder("t")
+            .carrier("PCB", 1.0, 0.99, node_id="ID7")
+            .test("final", 1.0, 0.99)
+            .build()
+        )
+        assert flow.steps[0].node_id == "ID7"
+        assert flow.steps[1].node_id == "ID8"
+
+    def test_build_validates(self):
+        builder = FlowBuilder("t").carrier("PCB", 1.0, 0.99)
+        with pytest.raises(FlowError):
+            builder.build()
+
+
+class TestRendering:
+    def test_render_mentions_all_steps(self):
+        text = render_flow(simple_flow())
+        for name in ("PCB", "reroute", "chips", "final"):
+            assert name in text
+        assert "SCRAP" in text
+        assert "Modules to be shipped" in text
+
+    def test_node_summary_includes_collector(self):
+        rows = flow_node_summary(simple_flow())
+        assert rows[-1] == ("ship", "Collector", "Modules to be shipped")
+        kinds = [kind for _, kind, _ in rows]
+        assert "Carrier" in kinds
+        assert "Assembly" in kinds
+        assert "Test" in kinds
+
+    def test_node_summary_rejects_empty(self):
+        with pytest.raises(FlowError):
+            flow_node_summary(ProductionFlow("empty"))

@@ -1,0 +1,117 @@
+"""MOE step types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cost.moe.nodes import (
+    AttachStep,
+    CarrierStep,
+    CostTag,
+    InspectStep,
+    ProcessStep,
+    TestStep,
+    UnitState,
+)
+from repro.errors import CostModelError
+from repro.units import UnitError
+
+
+class TestCarrierStep:
+    def test_cost_and_yield(self):
+        step = CarrierStep("ID0", "PCB", unit_cost=2.3, carrier_yield=0.9999)
+        assert step.cost == 2.3
+        assert step.yield_ == 0.9999
+        assert step.cost_tag is CostTag.SUBSTRATE
+
+    def test_rejects_negative_cost(self):
+        with pytest.raises(CostModelError):
+            CarrierStep("ID0", "PCB", unit_cost=-1.0, carrier_yield=0.99)
+
+    def test_rejects_bad_yield(self):
+        with pytest.raises(UnitError):
+            CarrierStep("ID0", "PCB", unit_cost=1.0, carrier_yield=0.0)
+
+
+class TestProcessStep:
+    def test_defaults(self):
+        step = ProcessStep("ID1", "reroute", unit_cost=0.5)
+        assert step.yield_ == 1.0
+        assert step.cost_tag is CostTag.PROCESS
+
+    def test_custom_tag(self):
+        step = ProcessStep(
+            "ID1", "pack", 7.3, 0.968, CostTag.PACKAGING
+        )
+        assert step.cost_tag is CostTag.PACKAGING
+
+
+class TestAttachStep:
+    def make(self, **overrides):
+        defaults = dict(
+            node_id="ID5",
+            name="SMD",
+            quantity=112,
+            component_cost=0.1,
+            component_yield=1.0,
+            attach_cost=0.01,
+            attach_yield=0.9999,
+            per_operation=True,
+        )
+        defaults.update(overrides)
+        return AttachStep(**defaults)
+
+    def test_costs_scale_with_quantity(self):
+        step = self.make()
+        assert step.material_cost == pytest.approx(11.2)
+        assert step.operation_cost == pytest.approx(1.12)
+        assert step.cost == pytest.approx(12.32)
+
+    def test_per_operation_yield_compounds(self):
+        step = self.make()
+        assert step.yield_ == pytest.approx(0.9999**112)
+
+    def test_step_level_yield(self):
+        step = self.make(per_operation=False, attach_yield=0.933)
+        assert step.yield_ == pytest.approx(0.933)
+
+    def test_component_yield_always_compounds(self):
+        step = self.make(quantity=2, component_yield=0.95, attach_yield=1.0)
+        assert step.yield_ == pytest.approx(0.95**2)
+
+    def test_zero_quantity_neutral(self):
+        step = self.make(quantity=0)
+        assert step.cost == 0.0
+        assert step.yield_ == 1.0
+
+    def test_rejects_negative_quantity(self):
+        with pytest.raises(CostModelError):
+            self.make(quantity=-1)
+
+    def test_rejects_negative_cost(self):
+        with pytest.raises(CostModelError):
+            self.make(component_cost=-0.1)
+
+
+class TestTestStep:
+    def test_coverage_bounds(self):
+        step = TestStep("ID6", "final", test_cost=10.0, coverage=0.99)
+        assert step.cost == 10.0
+        assert step.cost_tag is CostTag.TEST
+        with pytest.raises(CostModelError):
+            TestStep("ID6", "final", test_cost=10.0, coverage=1.5)
+
+    def test_inspect_is_free_and_perfect(self):
+        step = InspectStep("ID8", "screen", 0.0, 1.0)
+        assert step.cost == 0.0
+        assert step.coverage == 1.0
+
+
+class TestUnitState:
+    def test_cost_accumulation_by_tag(self):
+        state = UnitState()
+        state.add_cost(5.0, CostTag.CHIP)
+        state.add_cost(3.0, CostTag.CHIP)
+        state.add_cost(1.0, CostTag.TEST)
+        assert state.accumulated_cost == pytest.approx(9.0)
+        assert state.cost_by_tag[CostTag.CHIP] == pytest.approx(8.0)

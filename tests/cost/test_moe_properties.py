@@ -1,0 +1,102 @@
+"""Property-based invariants of the MOE evaluators.
+
+Economic sanity laws that must hold for *any* production flow:
+
+* the final cost per shipped unit is never below the direct cost;
+* improving any yield never increases the final cost;
+* raising test coverage never increases the shipped-defect fraction;
+* scrap cost at a step never exceeds the cost sunk into those units.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cost.moe import FlowBuilder, evaluate
+
+
+def build_flow(
+    carrier_yield: float,
+    chip_yield: float,
+    coverage: float,
+    chip_cost: float = 50.0,
+):
+    return (
+        FlowBuilder("prop")
+        .carrier("sub", cost=8.0, yield_=carrier_yield)
+        .attach("chip", 2, chip_cost, chip_yield, 0.1, 0.999)
+        .test("final", cost=4.0, coverage=coverage)
+        .build()
+    )
+
+
+yields = st.floats(min_value=0.6, max_value=1.0)
+coverages = st.floats(min_value=0.0, max_value=1.0)
+
+
+class TestInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(yields, yields, coverages)
+    def test_final_at_least_direct(self, cy, ky, cov):
+        report = evaluate(build_flow(cy, ky, cov))
+        assert report.final_cost_per_shipped >= (
+            report.direct_cost_per_unit - 1e-9
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(yields, yields, st.floats(min_value=0.5, max_value=0.99))
+    def test_better_carrier_yield_never_costs_more(self, cy, ky, cov):
+        worse = evaluate(build_flow(cy * 0.9, ky, cov))
+        better = evaluate(build_flow(cy, ky, cov))
+        assert (
+            better.final_cost_per_shipped
+            <= worse.final_cost_per_shipped + 1e-9
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(yields, yields, st.floats(min_value=0.1, max_value=0.9))
+    def test_more_coverage_fewer_escapes(self, cy, ky, cov):
+        low = evaluate(build_flow(cy, ky, cov))
+        high = evaluate(build_flow(cy, ky, min(1.0, cov + 0.1)))
+        assert high.escape_fraction <= low.escape_fraction + 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(yields, yields, coverages)
+    def test_unit_conservation(self, cy, ky, cov):
+        report = evaluate(build_flow(cy, ky, cov))
+        assert report.shipped_units + report.scrapped_units == (
+            pytest.approx(report.started_units)
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(yields, yields, coverages)
+    def test_scrap_cost_bounded_by_sunk_cost(self, cy, ky, cov):
+        report = evaluate(build_flow(cy, ky, cov))
+        for step_report in report.steps:
+            if step_report.scrap_units > 0:
+                per_unit = step_report.scrap_cost / step_report.scrap_units
+                assert per_unit <= report.direct_cost_per_unit + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        yields,
+        yields,
+        coverages,
+        st.floats(min_value=1.0, max_value=500.0),
+    )
+    def test_final_monotone_in_chip_cost(self, cy, ky, cov, chip_cost):
+        cheap = evaluate(build_flow(cy, ky, cov, chip_cost))
+        pricey = evaluate(build_flow(cy, ky, cov, chip_cost * 1.2))
+        assert (
+            pricey.final_cost_per_shipped
+            > cheap.final_cost_per_shipped
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(yields, yields)
+    def test_zero_coverage_ships_everything(self, cy, ky):
+        report = evaluate(build_flow(cy, ky, 0.0))
+        assert report.shipped_fraction == pytest.approx(1.0)
+        assert report.yield_loss_per_shipped == pytest.approx(0.0)

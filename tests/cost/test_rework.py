@@ -1,0 +1,129 @@
+"""Rework policies in the MOE engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cost.moe import (
+    FlowBuilder,
+    ReworkPolicy,
+    TestStep,
+    evaluate,
+    simulate,
+)
+from repro.cost.moe.flow import ProductionFlow
+from repro.errors import CostModelError
+
+
+def flow_with_rework(policy: ReworkPolicy | None) -> ProductionFlow:
+    builder = FlowBuilder("rework-line")
+    builder.carrier("sub", cost=10.0, yield_=0.80)
+    builder.attach(
+        "chip", 1, 100.0, 0.95, 0.1, 1.0,
+    )
+    flow = builder._flow  # append a test with rework manually
+    flow.add(
+        TestStep(
+            "ID2", "final", test_cost=5.0, coverage=0.99, rework=policy
+        )
+    )
+    flow.validate()
+    return flow
+
+
+class TestReworkPolicy:
+    def test_recovery_fraction(self):
+        policy = ReworkPolicy(1.0, 0.5, max_attempts=2)
+        assert policy.recovery_fraction == pytest.approx(0.75)
+
+    def test_expected_attempts(self):
+        policy = ReworkPolicy(1.0, 0.5, max_attempts=2)
+        assert policy.expected_attempts == pytest.approx(1.5)
+
+    def test_expected_cost(self):
+        policy = ReworkPolicy(2.0, 0.5, max_attempts=2)
+        assert policy.expected_cost == pytest.approx(3.0)
+
+    def test_perfect_rework(self):
+        policy = ReworkPolicy(1.0, 1.0)
+        assert policy.recovery_fraction == 1.0
+        assert policy.expected_attempts == 1.0
+
+    def test_validation(self):
+        with pytest.raises(CostModelError):
+            ReworkPolicy(-1.0, 0.5)
+        with pytest.raises(CostModelError):
+            ReworkPolicy(1.0, 0.0)
+        with pytest.raises(CostModelError):
+            ReworkPolicy(1.0, 0.5, max_attempts=0)
+
+
+class TestAnalyticRework:
+    def test_rework_ships_more_units(self):
+        without = evaluate(flow_with_rework(None))
+        with_rework = evaluate(
+            flow_with_rework(ReworkPolicy(2.0, 0.8, max_attempts=2))
+        )
+        assert with_rework.shipped_fraction > without.shipped_fraction
+
+    def test_rework_pays_when_units_are_expensive(self):
+        """Repairing a 100-unit module for 2 beats scrapping it."""
+        without = evaluate(flow_with_rework(None))
+        with_rework = evaluate(
+            flow_with_rework(ReworkPolicy(2.0, 0.8, max_attempts=2))
+        )
+        assert (
+            with_rework.final_cost_per_shipped
+            < without.final_cost_per_shipped
+        )
+
+    def test_expensive_rework_does_not_pay(self):
+        """Repair costing more than the module is a losing game."""
+        cheap = evaluate(
+            flow_with_rework(ReworkPolicy(2.0, 0.8, max_attempts=2))
+        )
+        expensive = evaluate(
+            flow_with_rework(ReworkPolicy(500.0, 0.8, max_attempts=2))
+        )
+        assert (
+            expensive.final_cost_per_shipped
+            > cheap.final_cost_per_shipped
+        )
+
+    def test_repaired_units_are_fault_free(self):
+        """Escaped-unit *counts* come only from coverage misses, so
+        rework leaves them unchanged (it only rescues detected units)."""
+        with_rework = evaluate(
+            flow_with_rework(ReworkPolicy(2.0, 1.0, max_attempts=1))
+        )
+        without = evaluate(flow_with_rework(None))
+        escapes_with = with_rework.escape_fraction * (
+            with_rework.shipped_units
+        )
+        escapes_without = without.escape_fraction * (
+            without.shipped_units
+        )
+        assert escapes_with == pytest.approx(escapes_without, rel=1e-6)
+
+
+class TestMonteCarloRework:
+    def test_agreement_with_analytic(self):
+        policy = ReworkPolicy(2.0, 0.7, max_attempts=3)
+        analytic = evaluate(flow_with_rework(policy))
+        sampled = simulate(
+            flow_with_rework(policy), units=60_000, seed=21
+        )
+        assert sampled.final_cost_per_shipped == pytest.approx(
+            analytic.final_cost_per_shipped, rel=0.02
+        )
+        assert sampled.shipped_fraction == pytest.approx(
+            analytic.shipped_fraction, abs=0.01
+        )
+
+    def test_scrap_only_unrepairable(self):
+        policy = ReworkPolicy(2.0, 1.0, max_attempts=1)
+        sampled = simulate(
+            flow_with_rework(policy), units=20_000, seed=2
+        )
+        # Perfect single-attempt repair: nothing is ever scrapped.
+        assert sampled.scrapped_units == 0

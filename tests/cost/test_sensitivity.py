@@ -1,0 +1,111 @@
+"""Cost-driver sensitivity analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cost.moe import FlowBuilder
+from repro.cost.sensitivity import Knob, rank_cost_drivers, sensitivity_of
+from repro.errors import CostModelError
+from repro.gps.buildups import flow_for
+
+
+def toy_flow():
+    return (
+        FlowBuilder("toy")
+        .carrier("sub", cost=10.0, yield_=0.9)
+        .attach("chip", 1, 100.0, 0.95, 0.1, 0.99)
+        .test("final", cost=5.0, coverage=0.99)
+        .build()
+    )
+
+
+class TestSensitivityOf:
+    def test_cost_elasticity_bounded_by_cost_share_and_one(self):
+        """For a cost knob the elasticity is at least that cost's share
+        of the final cost (direct contribution) and below one: the chip
+        cost also scales the scrap losses, but not the other costs."""
+        flow = toy_flow()
+        sensitivity = sensitivity_of(flow, "ID1", Knob.COST)
+        from repro.cost.moe import evaluate
+
+        report = evaluate(flow)
+        direct_share = 100.0 / report.final_cost_per_shipped
+        assert direct_share < sensitivity.elasticity < 1.0
+
+    def test_yield_elasticity_negative(self):
+        """Better yield means lower final cost."""
+        flow = toy_flow()
+        sensitivity = sensitivity_of(flow, "ID0", Knob.YIELD)
+        assert sensitivity.elasticity < 0
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(CostModelError):
+            sensitivity_of(toy_flow(), "ID99", Knob.COST)
+
+    def test_missing_knob_raises(self):
+        with pytest.raises(CostModelError):
+            sensitivity_of(toy_flow(), "ID0", Knob.COVERAGE)
+
+    def test_bad_step_size_rejected(self):
+        with pytest.raises(CostModelError):
+            sensitivity_of(toy_flow(), "ID0", Knob.COST, relative_step=0.9)
+
+    def test_label(self):
+        sensitivity = sensitivity_of(toy_flow(), "ID0", Knob.COST)
+        assert "sub" in sensitivity.label
+        assert "cost" in sensitivity.label
+
+
+class TestRanking:
+    def test_yields_are_top_drivers_toy(self):
+        """Module-level yields have elasticity near -1 (losing a unit
+        loses everything spent on it), outranking any single cost."""
+        drivers = rank_cost_drivers(toy_flow())
+        assert drivers[0].knob is Knob.YIELD
+        assert drivers[0].elasticity < -0.9
+
+    def test_chip_cost_is_top_cost_knob_toy(self):
+        drivers = [
+            d for d in rank_cost_drivers(toy_flow())
+            if d.knob is Knob.COST
+        ]
+        assert drivers[0].step_name == "chip"
+
+    def test_trivial_knobs_skipped(self):
+        drivers = rank_cost_drivers(toy_flow())
+        for driver in drivers:
+            assert driver.base_value != 0.0
+
+    def test_sorted_by_magnitude(self):
+        drivers = rank_cost_drivers(toy_flow())
+        magnitudes = [abs(d.elasticity) for d in drivers]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+
+
+class TestGpsDrivers:
+    def test_chips_dominate_cost_knobs_every_buildup(self):
+        """Among cost knobs the chips are the top driver of every
+        build-up, consistent with Fig. 5's 'thereof: chip cost'."""
+        for i in (1, 3):
+            cost_drivers = [
+                d
+                for d in rank_cost_drivers(flow_for(i))
+                if d.knob is Knob.COST
+            ]
+            assert cost_drivers[0].step_name in (
+                "RF chip",
+                "DSP correlator",
+            )
+
+    def test_impl3_substrate_yield_among_drivers(self):
+        """Build-up 3's 90 % substrate yield is a visible cost driver."""
+        drivers = rank_cost_drivers(flow_for(3))
+        substrate_yield = next(
+            d
+            for d in drivers
+            if d.step_name == "Substrate (MCM-D/PCB)"
+            and d.knob is Knob.YIELD
+        )
+        # Negative (better yield, lower cost) and non-trivial.
+        assert substrate_yield.elasticity < -0.05

@@ -1,0 +1,112 @@
+"""Yield model laws."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cost.yieldmodels import (
+    MurphyYield,
+    PerOperationYield,
+    PoissonYield,
+    SeedsYield,
+    StepYield,
+    compound_yield,
+    defect_probability,
+)
+from repro.errors import CostModelError
+from repro.units import UnitError
+
+
+class TestStepAndPerOperation:
+    def test_step_yield_ignores_count(self):
+        assert StepYield(0.933).effective(100) == 0.933
+
+    def test_per_operation_compounds(self):
+        """Table 2's wire bonds: 0.9999^212 ~ 97.9 %."""
+        y = PerOperationYield(0.9999).effective(212)
+        assert y == pytest.approx(0.9790, abs=1e-3)
+
+    def test_per_operation_zero_ops(self):
+        assert PerOperationYield(0.9).effective(0) == 1.0
+
+    def test_negative_ops_rejected(self):
+        with pytest.raises(CostModelError):
+            PerOperationYield(0.9).effective(-1)
+
+    def test_invalid_yield_rejected(self):
+        with pytest.raises(UnitError):
+            StepYield(1.5)
+        with pytest.raises(UnitError):
+            PerOperationYield(0.0)
+
+
+class TestAreaLaws:
+    def test_poisson_reference_roundtrip(self):
+        model = PoissonYield.from_reference(0.90, 7.0)
+        assert model.yield_for_area(7.0) == pytest.approx(0.90)
+
+    def test_poisson_small_substrate_yields_better(self):
+        """The build-up 3 vs 4 effect: less area, better substrate yield."""
+        model = PoissonYield.from_reference(0.90, 7.0)
+        assert model.yield_for_area(2.9) > 0.90
+
+    def test_poisson_zero_defects_perfect(self):
+        assert PoissonYield(0.0).yield_for_area(100.0) == 1.0
+
+    def test_murphy_between_poisson_and_one(self):
+        d0 = 0.05
+        area = 5.0
+        poisson = PoissonYield(d0).yield_for_area(area)
+        murphy = MurphyYield(d0).yield_for_area(area)
+        assert poisson < murphy < 1.0
+
+    def test_law_ordering_at_moderate_ad(self):
+        """At moderate A*D0: Poisson < Murphy < Seeds (textbook order)."""
+        d0, area = 0.05, 5.0
+        poisson = PoissonYield(d0).yield_for_area(area)
+        murphy = MurphyYield(d0).yield_for_area(area)
+        seeds = SeedsYield(d0).yield_for_area(area)
+        assert poisson < murphy < seeds
+
+    @given(
+        st.floats(min_value=0.001, max_value=1.0),
+        st.floats(min_value=0.1, max_value=100.0),
+    )
+    def test_all_laws_are_probabilities(self, d0, area):
+        for model in (PoissonYield(d0), MurphyYield(d0), SeedsYield(d0)):
+            y = model.yield_for_area(area)
+            assert 0.0 < y <= 1.0
+
+    @given(
+        st.floats(min_value=0.001, max_value=1.0),
+        st.floats(min_value=0.1, max_value=50.0),
+    )
+    def test_all_laws_monotone_decreasing_in_area(self, d0, area):
+        for model in (PoissonYield(d0), MurphyYield(d0), SeedsYield(d0)):
+            assert model.yield_for_area(area) >= model.yield_for_area(
+                area * 2
+            )
+
+    def test_rejects_nonpositive_area(self):
+        with pytest.raises(CostModelError):
+            PoissonYield(0.1).yield_for_area(0.0)
+
+    def test_rejects_negative_density(self):
+        with pytest.raises(CostModelError):
+            MurphyYield(-0.1)
+
+
+class TestHelpers:
+    def test_compound(self):
+        assert compound_yield(0.9, 0.9) == pytest.approx(0.81)
+
+    def test_defect_probability(self):
+        assert defect_probability(0.95) == pytest.approx(0.05)
+
+    def test_compound_validates(self):
+        with pytest.raises(UnitError):
+            compound_yield(0.9, 1.2)

@@ -1,0 +1,69 @@
+"""The synthesised GPS bill of materials against the paper's aggregates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gps.bom import (
+    FILTER_NETWORK_PASSIVES_APPROX,
+    GPS_BOM_SUMMARY,
+    SMD_POSITIONS_KEPT_IN_BUILDUP_4,
+    TOTAL_SMD_POSITIONS,
+    build_gps_bom,
+    validate_against_paper,
+)
+from repro.passives.component import PassiveKind, PassiveRole
+
+
+class TestAggregates:
+    def test_112_smd_positions(self):
+        """Table 2: 112 SMDs in build-ups 1 and 2."""
+        assert GPS_BOM_SUMMARY.smd_positions == TOTAL_SMD_POSITIONS
+        assert build_gps_bom().total_count == 112
+
+    def test_filter_network_about_60(self):
+        """§4: 'about 60 passive components' in the filtering networks."""
+        count = GPS_BOM_SUMMARY.filter_network_passives
+        assert abs(count - FILTER_NETWORK_PASSIVES_APPROX) <= 10
+
+    def test_buildup4_keeps_12_smds(self):
+        """Table 2: 12 SMDs kept in the passives-optimized build."""
+        from repro.gps.bom import (
+            IF_FILTER_COUNT,
+            SMD_INDUCTORS_PER_IF_FILTER,
+        )
+
+        kept = (
+            GPS_BOM_SUMMARY.decap_count
+            + IF_FILTER_COUNT * SMD_INDUCTORS_PER_IF_FILTER
+        )
+        assert kept == SMD_POSITIONS_KEPT_IN_BUILDUP_4
+
+    def test_validation_report_all_green(self):
+        checks = validate_against_paper(build_gps_bom())
+        assert all(checks.values()), checks
+
+
+class TestComposition:
+    def test_kinds_present(self):
+        counts = build_gps_bom().count_by_kind()
+        assert counts[PassiveKind.RESISTOR] == 48
+        assert counts[PassiveKind.CAPACITOR] == 56
+        assert counts[PassiveKind.INDUCTOR] == 8
+
+    def test_roles_present(self):
+        counts = build_gps_bom().count_by_role()
+        assert counts[PassiveRole.DECOUPLING] == 8
+        assert counts[PassiveRole.PULL_UP] == 24
+        assert PassiveRole.MATCHING in counts
+
+    def test_matching_inductors_carry_q_requirement(self):
+        bom = build_gps_bom()
+        inductors = [
+            line
+            for line in bom
+            if line.requirement.kind is PassiveKind.INDUCTOR
+        ]
+        assert all(
+            line.requirement.min_q is not None for line in inductors
+        )

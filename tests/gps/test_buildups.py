@@ -1,0 +1,144 @@
+"""Build-up footprints, areas and production flows."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.area.footprint import MountKind
+from repro.cost.moe.nodes import AttachStep, CarrierStep, TestStep
+from repro.errors import TechnologyError
+from repro.gps import data
+from repro.gps.buildups import (
+    area_for,
+    flow_for,
+    footprints_for,
+    get_buildup,
+    smd_count_for,
+)
+
+
+class TestBuildupLookup:
+    def test_four_buildups(self):
+        for i in (1, 2, 3, 4):
+            assert get_buildup(i).number == i
+
+    def test_invalid_raises(self):
+        with pytest.raises(TechnologyError):
+            get_buildup(5)
+
+    def test_chip_mounts(self):
+        assert get_buildup(1).chip_mount is MountKind.PACKAGED
+        assert get_buildup(2).chip_mount is MountKind.WIRE_BOND
+        assert get_buildup(3).chip_mount is MountKind.FLIP_CHIP
+        assert get_buildup(4).chip_mount is MountKind.FLIP_CHIP
+
+
+class TestFootprints:
+    def test_impl1_all_smd_or_packaged(self):
+        mounts = {f.mount for f in footprints_for(1)}
+        assert mounts == {MountKind.PACKAGED, MountKind.SMD}
+
+    def test_impl3_no_smd(self):
+        """Table 2: SMD assembly is n/a for build-up 3."""
+        mounts = {f.mount for f in footprints_for(3)}
+        assert MountKind.SMD not in mounts
+
+    def test_smd_counts_match_table2(self):
+        assert smd_count_for(1) == data.SMD_COUNT[1]
+        assert smd_count_for(2) == data.SMD_COUNT[2]
+        assert smd_count_for(3) == data.SMD_COUNT[3]
+        assert smd_count_for(4) == data.SMD_COUNT[4]
+
+    def test_chip_areas_from_table1(self):
+        by_name = {f.name: f for f in footprints_for(2)}
+        assert by_name["RF chip"].area_mm2 == 28.0
+        assert by_name["DSP correlator"].area_mm2 == 88.0
+
+    def test_impl3_decaps_integrated_and_large(self):
+        decaps = [
+            f for f in footprints_for(3) if f.name.startswith("IP-Cdec")
+        ]
+        assert len(decaps) == 8
+        assert all(f.area_mm2 > 5 * 4.5 for f in decaps)
+
+    def test_impl4_decaps_smd_and_small(self):
+        decaps = [
+            f for f in footprints_for(4) if f.name.startswith("Cdec")
+        ]
+        assert len(decaps) == 8
+        assert all(f.mount is MountKind.SMD for f in decaps)
+        assert all(f.area_mm2 == 4.5 for f in decaps)
+
+
+class TestAreas:
+    def test_final_area_ordering_fig3(self):
+        """Fig. 3 ordering: 1 > 2 > 3 > 4."""
+        areas = [area_for(i).final_area_mm2 for i in (1, 2, 3, 4)]
+        assert areas[0] > areas[1] > areas[2] > areas[3]
+
+    def test_pcb_has_no_package(self):
+        assert area_for(1).package is None
+
+    def test_mcm_builds_have_laminate(self):
+        for i in (2, 3, 4):
+            assert area_for(i).package is not None
+
+    def test_impl4_smallest_substrate(self):
+        substrates = {
+            i: area_for(i).substrate_area_cm2 for i in (2, 3, 4)
+        }
+        assert substrates[4] < substrates[3] < substrates[2]
+
+
+class TestFlows:
+    def test_flow_structure_has_fig4_node_types(self):
+        flow = flow_for(2)
+        assert any(isinstance(s, CarrierStep) for s in flow.steps)
+        assert any(isinstance(s, AttachStep) for s in flow.steps)
+        assert any(isinstance(s, TestStep) for s in flow.steps)
+
+    def test_impl1_no_packaging(self):
+        names = [s.name for s in flow_for(1).steps]
+        assert "Mount on laminate" not in names
+
+    def test_mcm_flows_have_packaging(self):
+        for i in (2, 3, 4):
+            names = [s.name for s in flow_for(i).steps]
+            assert "Mount on laminate" in names
+
+    def test_impl2_only_has_wire_bonding(self):
+        assert "Wire bonding" in [s.name for s in flow_for(2).steps]
+        for i in (1, 3, 4):
+            assert "Wire bonding" not in [
+                s.name for s in flow_for(i).steps
+            ]
+
+    def test_wire_bond_cost_table2(self):
+        flow = flow_for(2)
+        wb = next(s for s in flow.steps if s.name == "Wire bonding")
+        assert wb.cost == pytest.approx(2.12)  # 212 bonds at 0.01
+
+    def test_smd_parts_cost_table2(self):
+        flow = flow_for(1)
+        smd = next(s for s in flow.steps if s.name == "SMD mounting")
+        assert smd.material_cost == pytest.approx(11.0)
+        assert smd.operation_cost == pytest.approx(1.12)
+
+    def test_impl3_has_no_smd_step(self):
+        assert "SMD mounting" not in [s.name for s in flow_for(3).steps]
+
+    def test_substrate_cost_scales_with_area(self):
+        small = flow_for(3, substrate_area_cm2=2.0)
+        large = flow_for(3, substrate_area_cm2=10.0)
+        assert small.step("ID0").cost < large.step("ID0").cost
+
+    def test_custom_chip_costs_propagate(self):
+        costs = data.ChipCosts(10.0, 9.0, 20.0, 18.0)
+        flow = flow_for(1, chip_costs=costs)
+        rf = next(s for s in flow.steps if s.name == "RF chip")
+        assert rf.component_cost == 10.0
+
+    def test_bare_dice_in_mcm_builds(self):
+        flow = flow_for(3)
+        rf = next(s for s in flow.steps if s.name == "RF chip")
+        assert rf.component_yield == data.RF_CHIP_YIELD_BARE

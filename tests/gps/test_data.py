@@ -1,0 +1,89 @@
+"""Published constants sanity (Tables 1/2 as encoded)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gps import data
+
+
+class TestTable1:
+    def test_chip_areas(self):
+        assert data.RF_CHIP_AREA == {
+            "packaged": 225.0,
+            "wire_bond": 28.0,
+            "flip_chip": 13.0,
+        }
+        assert data.DSP_CHIP_AREA["packaged"] == 1165.0
+
+    def test_passive_areas(self):
+        assert data.SMD_0603_AREA == 3.75
+        assert data.SMD_0805_AREA == 4.5
+        assert data.IP_R_100K_AREA == 0.25
+        assert data.IP_C_50PF_AREA == 0.30
+        assert data.IP_L_40NH_AREA == 1.0
+
+    def test_sizing_rules(self):
+        assert data.MCM_PACKING_FACTOR == 1.1
+        assert data.MCM_EDGE_CLEARANCE_MM == 1.0
+        assert data.LAMINATE_EDGE_CLEARANCE_MM == 5.0
+
+
+class TestTable2:
+    def test_substrate_rows(self):
+        assert data.SUBSTRATE_YIELD == {
+            1: 0.9999,
+            2: 0.99,
+            3: 0.90,
+            4: 0.90,
+        }
+        assert data.SUBSTRATE_COST_PER_CM2 == {
+            1: 0.1,
+            2: 1.75,
+            3: 2.25,
+            4: 2.25,
+        }
+
+    def test_assembly_rows(self):
+        assert data.CHIP_ASSEMBLY_COST[1] == 0.15
+        assert data.CHIP_ASSEMBLY_YIELD[1] == 0.933
+        assert data.WIRE_BOND_COUNT == 212
+        assert data.SMD_COUNT == {1: 112, 2: 112, 3: 0, 4: 12}
+        assert data.SMD_PARTS_COST[2] == 8.6
+
+    def test_packaging_and_test(self):
+        assert data.PACKAGING_COST == {
+            1: 0.0,
+            2: 7.30,
+            3: 4.70,
+            4: 3.50,
+        }
+        assert data.PACKAGING_YIELD == 0.968
+        assert data.FINAL_TEST_COST == 10.0
+        assert data.FINAL_TEST_COVERAGE == 0.99
+
+    def test_bare_dice_cheaper_but_lower_yield(self):
+        """The '(cheaper) not fully tested chips' of §4.3."""
+        costs = data.ChipCosts()
+        assert costs.rf_bare < costs.rf_packaged
+        assert costs.dsp_bare < costs.dsp_packaged
+        assert data.RF_CHIP_YIELD_BARE < data.RF_CHIP_YIELD_PACKAGED
+        assert data.DSP_CHIP_YIELD_BARE < data.DSP_CHIP_YIELD_PACKAGED
+
+    def test_chip_cost_totals(self):
+        costs = data.ChipCosts(10.0, 9.0, 20.0, 18.0)
+        assert costs.packaged_total == 30.0
+        assert costs.bare_total == 27.0
+
+
+class TestPublishedResults:
+    def test_paper_targets_encoded(self):
+        assert data.PAPER_AREA_PERCENT[4] == 37.0
+        assert data.PAPER_COST_PERCENT[3] == 112.8
+        assert data.PAPER_PERFORMANCE[3] == 0.45
+        assert data.PAPER_FOM[4] == 1.8
+
+    def test_filter_chain_frequencies(self):
+        assert data.GPS_L1_HZ == 1.575e9
+        assert data.IMAGE_HZ == 1.225e9
+        assert data.IF_HZ == 175e6

@@ -1,0 +1,60 @@
+"""The Fig. 2 functional chain."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.gps.schematic import (
+    Block,
+    BlockKind,
+    ON_MODULE_FILTERS,
+    build_gps_chain,
+)
+
+
+class TestGpsChain:
+    def test_filter_count_matches_fig2(self):
+        """Fig. 2 shows four BP filters plus the PLL loop filter; one
+        (the external antenna filter) stays off-module."""
+        chain = build_gps_chain()
+        filters = chain.filters()
+        assert len(filters) == 5
+
+    def test_on_module_filters_subset(self):
+        chain = build_gps_chain()
+        names = {block.name for block in chain.filters()}
+        assert set(ON_MODULE_FILTERS) <= names
+
+    def test_chain_ends_at_correlator(self):
+        chain = build_gps_chain()
+        assert chain.blocks[-1].kind is BlockKind.CORRELATOR
+
+    def test_rf_functions_live_on_rf_chip(self):
+        chain = build_gps_chain()
+        assert chain.by_name("LNA").host_chip == "RF chip"
+        assert chain.by_name("VCO").host_chip == "RF chip"
+
+    def test_passive_blocks_have_no_host(self):
+        chain = build_gps_chain()
+        passive = chain.passive_blocks()
+        assert chain.by_name("image reject filter") in passive
+
+    def test_image_filter_at_l1(self):
+        chain = build_gps_chain()
+        assert chain.by_name("image reject filter").frequency_hz == (
+            1.575e9
+        )
+
+    def test_if_filters_at_175mhz(self):
+        chain = build_gps_chain()
+        assert chain.by_name("IF filter 1").frequency_hz == 175e6
+
+    def test_duplicate_block_rejected(self):
+        chain = build_gps_chain()
+        with pytest.raises(SpecificationError):
+            chain.add(Block("LNA", BlockKind.AMPLIFIER))
+
+    def test_unknown_block_raises(self):
+        with pytest.raises(SpecificationError):
+            build_gps_chain().by_name("flux capacitor")

@@ -1,0 +1,118 @@
+"""The headline reproduction: the full GPS study against the paper.
+
+Acceptance is *shape*: orderings and rough factors must match the
+published Figs. 3/5/6 and the §4.1 scores; exact magnitudes depend on
+the confidential chip costs and unpublished BoM (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gps import data
+from repro.gps.study import paper_comparison, run_gps_study, summary_rows
+
+
+class TestPerformanceReproduction:
+    def test_scores_match_paper(self, gps_rows):
+        """§4.1: 1 / 1 / 0.45 / 0.7."""
+        assert gps_rows[1].performance == pytest.approx(1.0)
+        assert gps_rows[2].performance == pytest.approx(1.0)
+        assert gps_rows[3].performance == pytest.approx(0.45, abs=0.03)
+        assert gps_rows[4].performance == pytest.approx(0.70, abs=0.03)
+
+
+class TestAreaReproduction:
+    def test_ordering(self, gps_rows):
+        """Fig. 3 ordering: 100 > 79 > 60 > 37."""
+        assert (
+            gps_rows[1].area_percent
+            > gps_rows[2].area_percent
+            > gps_rows[3].area_percent
+            > gps_rows[4].area_percent
+        )
+
+    def test_reference_is_100(self, gps_rows):
+        assert gps_rows[1].area_percent == pytest.approx(100.0)
+
+    def test_rough_factors(self, gps_rows):
+        """Within ten points of the published percentages."""
+        assert gps_rows[2].area_percent == pytest.approx(79.0, abs=10)
+        assert gps_rows[3].area_percent == pytest.approx(60.0, abs=10)
+        assert gps_rows[4].area_percent == pytest.approx(37.0, abs=10)
+
+    def test_headline_reduction(self, gps_rows):
+        """The paper's headline: passives-optimized shrinks the system
+        to roughly a third of the PCB reference."""
+        assert gps_rows[4].area_percent < 40.0
+
+
+class TestCostReproduction:
+    def test_ordering(self, gps_rows):
+        """Fig. 5 ordering: 100 < 104.7 < 105.3 < 112.8 maps to
+        impl1 < impl2 < impl4 < impl3."""
+        assert (
+            gps_rows[1].cost_percent
+            < gps_rows[2].cost_percent
+            < gps_rows[4].cost_percent
+            < gps_rows[3].cost_percent
+        )
+
+    def test_penalties_in_published_band(self, gps_rows):
+        """All MCM penalties are single-digit-to-low-teens percent."""
+        for i in (2, 3, 4):
+            assert 100.0 < gps_rows[i].cost_percent < 115.0
+
+    def test_full_ip_worst(self, gps_rows):
+        """'the full IP implementation suffers' — impl3 costs the most."""
+        assert gps_rows[3].cost_percent == max(
+            gps_rows[i].cost_percent for i in (1, 2, 3, 4)
+        )
+
+
+class TestFomReproduction:
+    def test_ranking_matches_fig6(self, gps_rows):
+        """Fig. 6 ranking: solution 4 > 2 > 1 > 3."""
+        foms = {i: gps_rows[i].figure_of_merit for i in (1, 2, 3, 4)}
+        assert foms[4] > foms[2] > foms[1] > foms[3]
+
+    def test_reference_fom_unity(self, gps_rows):
+        assert gps_rows[1].figure_of_merit == pytest.approx(1.0)
+
+    def test_solution4_wins_decisively(self, gps_rows):
+        """Fig. 6: solution 4 reaches ~1.8, the clear winner."""
+        assert gps_rows[4].figure_of_merit > 1.5
+
+    def test_solution3_below_reference(self, gps_rows):
+        """Fig. 6: the full-IP build scores below the PCB reference."""
+        assert gps_rows[3].figure_of_merit < 1.0
+
+    def test_decision_matches_paper(self, gps_result):
+        """§4.4: 'an adaptation of solution 4 has been chosen'."""
+        assert gps_result.winner.assessment.name == (
+            data.IMPLEMENTATION_NAMES[4]
+        )
+
+
+class TestComparisonExport:
+    def test_every_published_number_covered(self, gps_result):
+        comparison = paper_comparison(gps_result)
+        assert set(comparison) == {"area", "cost", "performance", "fom"}
+        for metric in comparison.values():
+            assert set(metric) == {1, 2, 3, 4}
+            for paper, measured in metric.values():
+                assert paper > 0
+                assert measured > 0
+
+    def test_summary_rows_complete(self, gps_result):
+        rows = summary_rows(gps_result)
+        assert [r.implementation for r in rows] == [1, 2, 3, 4]
+
+    def test_chip_cost_dominates_direct_cost(self, gps_result):
+        """Fig. 5's 'thereof: chip cost' is the bulk of the direct bar."""
+        for row in gps_result.rows:
+            cost = row.assessment.cost
+            assert (
+                cost.chip_cost_per_unit
+                > 0.5 * cost.direct_cost_per_unit
+            )

@@ -1,0 +1,129 @@
+"""Requirement/realization abstractions and bills of materials."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ComponentError
+from repro.passives.component import (
+    BillOfMaterials,
+    MountingStyle,
+    PassiveKind,
+    PassiveRealization,
+    PassiveRequirement,
+    PassiveRole,
+)
+
+
+def requirement(kind=PassiveKind.RESISTOR, value=200.0, **kwargs):
+    return PassiveRequirement(kind=kind, value=value, **kwargs)
+
+
+class TestPassiveRequirement:
+    def test_valid_resistor(self):
+        req = requirement()
+        assert req.kind is PassiveKind.RESISTOR
+        assert req.value == 200.0
+
+    def test_filter_allows_zero_value(self):
+        req = requirement(kind=PassiveKind.FILTER, value=0.0, tolerance=1.0)
+        assert req.value == 0.0
+
+    def test_rejects_nonpositive_value(self):
+        with pytest.raises(ComponentError):
+            requirement(value=0.0)
+
+    def test_rejects_bad_tolerance(self):
+        with pytest.raises(ComponentError):
+            requirement(tolerance=0.0)
+        with pytest.raises(ComponentError):
+            requirement(tolerance=1.5)
+
+    def test_min_q_requires_frequency(self):
+        with pytest.raises(ComponentError):
+            requirement(kind=PassiveKind.INDUCTOR, value=1e-8, min_q=20.0)
+
+    def test_q_pair_accepted(self):
+        req = requirement(
+            kind=PassiveKind.INDUCTOR,
+            value=1e-8,
+            min_q=20.0,
+            q_frequency=1e9,
+        )
+        assert req.min_q == 20.0
+
+    def test_base_units(self):
+        assert PassiveKind.RESISTOR.base_unit == "ohm"
+        assert PassiveKind.CAPACITOR.base_unit == "F"
+        assert PassiveKind.INDUCTOR.base_unit == "H"
+        assert PassiveKind.FILTER.base_unit == ""
+
+
+class TestPassiveRealization:
+    def make(self, tolerance=0.01, area=3.75):
+        return PassiveRealization(
+            requirement=requirement(tolerance=0.05),
+            mounting=MountingStyle.SURFACE_MOUNT,
+            technology="0603",
+            area_mm2=area,
+            tolerance=tolerance,
+        )
+
+    def test_meets_tolerance(self):
+        assert self.make(tolerance=0.01).meets_tolerance
+
+    def test_misses_tolerance(self):
+        assert not self.make(tolerance=0.15).meets_tolerance
+
+    def test_rejects_nonpositive_area(self):
+        with pytest.raises(ComponentError):
+            self.make(area=0.0)
+
+    def test_describe_mentions_technology(self):
+        text = self.make().describe()
+        assert "0603" in text
+        assert "smd" in text
+
+
+class TestBillOfMaterials:
+    def build(self):
+        bom = BillOfMaterials(name="test")
+        bom.add(requirement(role=PassiveRole.PULL_UP), quantity=10)
+        bom.add(
+            requirement(
+                kind=PassiveKind.CAPACITOR,
+                value=1e-11,
+                role=PassiveRole.DECOUPLING,
+            ),
+            quantity=4,
+        )
+        return bom
+
+    def test_total_count(self):
+        assert self.build().total_count == 14
+
+    def test_count_by_kind(self):
+        counts = self.build().count_by_kind()
+        assert counts[PassiveKind.RESISTOR] == 10
+        assert counts[PassiveKind.CAPACITOR] == 4
+
+    def test_count_by_role(self):
+        counts = self.build().count_by_role()
+        assert counts[PassiveRole.PULL_UP] == 10
+        assert counts[PassiveRole.DECOUPLING] == 4
+
+    def test_requirements_flattened(self):
+        flat = self.build().requirements()
+        assert len(flat) == 14
+
+    def test_rejects_zero_quantity(self):
+        bom = BillOfMaterials()
+        with pytest.raises(ComponentError):
+            bom.add(requirement(), quantity=0)
+
+    def test_len_counts_lines_not_instances(self):
+        assert len(self.build()) == 2
+
+    def test_iteration(self):
+        lines = list(self.build())
+        assert lines[0].quantity == 10

@@ -1,0 +1,104 @@
+"""E-series preferred-value utilities."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ComponentError
+from repro.passives.eseries import (
+    E_SERIES_BASES,
+    SERIES_TOLERANCE,
+    max_snap_error,
+    series_values,
+    snap,
+    snap_all,
+)
+
+
+class TestSeries:
+    def test_series_sizes(self):
+        assert len(E_SERIES_BASES["E12"]) == 12
+        assert len(E_SERIES_BASES["E24"]) == 24
+        assert len(E_SERIES_BASES["E96"]) == 96
+
+    def test_classic_values_present(self):
+        assert 4.7 in E_SERIES_BASES["E12"]
+        assert 3.3 in E_SERIES_BASES["E6"]
+
+    def test_tolerances_tighten_with_series(self):
+        assert (
+            SERIES_TOLERANCE["E6"]
+            > SERIES_TOLERANCE["E12"]
+            > SERIES_TOLERANCE["E24"]
+            > SERIES_TOLERANCE["E96"]
+        )
+
+    def test_series_values_span_decades(self):
+        values = series_values("E12", decade_min=0, decade_max=1)
+        assert 1.0 in values
+        assert 82.0 in values
+        assert len(values) == 24
+
+
+class TestSnap:
+    def test_exact_value_unchanged(self):
+        result = snap(4.7e3, "E12")
+        assert result.snapped == pytest.approx(4.7e3)
+        assert result.relative_error == pytest.approx(0.0)
+
+    def test_snaps_to_nearest(self):
+        assert snap(5.0e3, "E12").snapped == pytest.approx(4.7e3)
+        assert snap(5.3e3, "E12").snapped == pytest.approx(5.6e3)
+
+    def test_small_values(self):
+        result = snap(47e-12, "E12")
+        assert result.snapped == pytest.approx(47e-12)
+
+    def test_decade_boundary(self):
+        assert snap(0.97, "E12").snapped == pytest.approx(1.0)
+        assert snap(9.0, "E12").snapped == pytest.approx(8.2)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ComponentError):
+            snap(0.0)
+
+    def test_unknown_series_rejected(self):
+        with pytest.raises(ComponentError):
+            snap(1.0, "E7")
+
+    @given(
+        st.floats(min_value=1e-12, max_value=1e9),
+        st.sampled_from(["E6", "E12", "E24", "E96"]),
+    )
+    def test_property_snap_error_bounded(self, value, series):
+        result = snap(value, series)
+        bound = max_snap_error(series)
+        assert abs(math.log10(result.snapped / value)) <= (
+            math.log10(1.0 + bound) + 1e-9
+        )
+
+    def test_finer_series_smaller_error(self):
+        value = 1.37e3
+        coarse = abs(snap(value, "E6").relative_error)
+        fine = abs(snap(value, "E96").relative_error)
+        assert fine <= coarse
+
+
+class TestSnapAll:
+    def test_ladder_snapping(self):
+        """Snapping a synthesised ladder to E24 keeps errors within the
+        series bound — the extra detuning an SMD build must absorb."""
+        from repro.circuits.synthesis import synthesize_bandpass
+        from repro.gps.filters_chain import if_filter_spec
+
+        design = synthesize_bandpass(if_filter_spec(1))
+        values = design.inductances() + design.capacitances()
+        snapped = snap_all(values, "E24")
+        assert len(snapped) == len(values)
+        bound = max_snap_error("E24")
+        for result in snapped:
+            assert abs(result.relative_error) <= bound + 0.01

@@ -1,0 +1,93 @@
+"""Filter-block specs and realizations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ComponentError
+from repro.passives.component import MountingStyle
+from repro.passives.filters import (
+    FilterBank,
+    FilterFamily,
+    FilterSpec,
+    realize_integrated_filter,
+    realize_smd_filter,
+)
+
+
+def if_spec(**overrides):
+    defaults = dict(
+        name="IF",
+        family=FilterFamily.CHEBYSHEV,
+        order=2,
+        center_hz=175e6,
+        bandwidth_hz=25e6,
+        max_insertion_loss_db=4.5,
+    )
+    defaults.update(overrides)
+    return FilterSpec(**defaults)
+
+
+class TestFilterSpec:
+    def test_fractional_bandwidth(self):
+        assert if_spec().fractional_bandwidth == pytest.approx(25 / 175)
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(ComponentError):
+            if_spec(order=0)
+
+    def test_rejects_nonpositive_center(self):
+        with pytest.raises(ComponentError):
+            if_spec(center_hz=0.0)
+
+    def test_rejects_excessive_bandwidth(self):
+        with pytest.raises(ComponentError):
+            if_spec(bandwidth_hz=400e6)
+
+    def test_rejects_nonpositive_loss_spec(self):
+        with pytest.raises(ComponentError):
+            if_spec(max_insertion_loss_db=0.0)
+
+    def test_stopband_pair_required_together(self):
+        with pytest.raises(ComponentError):
+            if_spec(stop_attenuation_db=30.0)
+
+    def test_requirement_wraps_spec(self):
+        req = if_spec().requirement()
+        assert req.name == "IF"
+
+
+class TestRealizations:
+    def test_smd_block_area(self):
+        real = realize_smd_filter(if_spec())
+        assert real.area_mm2 == 27.5
+        assert real.mounting is MountingStyle.SURFACE_MOUNT
+
+    def test_integrated_3stage_area(self):
+        real = realize_integrated_filter(if_spec(), stages=3)
+        assert real.area_mm2 == pytest.approx(12.0)
+
+    def test_integrated_scales_with_stages(self):
+        two = realize_integrated_filter(if_spec(), stages=2)
+        four = realize_integrated_filter(if_spec(), stages=4)
+        assert two.area_mm2 < 12.0 < four.area_mm2
+
+    def test_integrated_rejects_zero_stages(self):
+        with pytest.raises(ComponentError):
+            realize_integrated_filter(if_spec(), stages=0)
+
+    def test_integrated_needs_no_assembly(self):
+        assert not realize_integrated_filter(if_spec()).needs_assembly
+
+
+class TestFilterBank:
+    def test_add_and_lookup(self):
+        bank = FilterBank()
+        bank.add(if_spec())
+        bank.add(if_spec(name="IF2"))
+        assert bank.by_name("IF2").name == "IF2"
+        assert len(bank) == 2
+
+    def test_missing_name_raises(self):
+        with pytest.raises(ComponentError):
+            FilterBank().by_name("nope")

@@ -1,0 +1,101 @@
+"""SMD catalog: Fig. 1 data and Table 1 footprints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ComponentError
+from repro.passives.component import (
+    MountingStyle,
+    PassiveKind,
+    PassiveRequirement,
+)
+from repro.passives.smd import (
+    CASE_SIZES,
+    FIG1_ORDER,
+    SMD_FILTER_AREA_MM2,
+    fig1_series,
+    get_case,
+    realize_smd,
+)
+
+
+class TestCatalog:
+    def test_table1_0603_footprint(self):
+        """Table 1: 0603 consumes 3.75 mm^2."""
+        assert get_case("0603").footprint_area_mm2 == 3.75
+
+    def test_table1_0805_footprint(self):
+        """Table 1: 0805 consumes 4.5 mm^2."""
+        assert get_case("0805").footprint_area_mm2 == 4.5
+
+    def test_unknown_case_raises(self):
+        with pytest.raises(ComponentError):
+            get_case("9999")
+
+    def test_body_areas_standard_imperial(self):
+        assert get_case("0805").body_area_mm2 == pytest.approx(2.5)
+        assert get_case("0603").body_area_mm2 == pytest.approx(1.28)
+        assert get_case("0402").body_area_mm2 == pytest.approx(0.5)
+        assert get_case("0201").body_area_mm2 == pytest.approx(0.18)
+
+    def test_footprint_exceeds_body_everywhere(self):
+        for case in CASE_SIZES.values():
+            assert case.footprint_area_mm2 > case.body_area_mm2
+
+
+class TestFig1Trend:
+    """The point of Fig. 1: bodies shrink fast, footprints don't."""
+
+    def test_series_order(self):
+        series = fig1_series()
+        assert [code for code, _, _ in series] == list(FIG1_ORDER)
+
+    def test_body_area_strictly_decreasing(self):
+        series = fig1_series()
+        bodies = [body for _, body, _ in series]
+        assert bodies == sorted(bodies, reverse=True)
+
+    def test_footprint_area_decreasing(self):
+        series = fig1_series()
+        footprints = [fp for _, _, fp in series]
+        assert footprints == sorted(footprints, reverse=True)
+
+    def test_mounting_overhead_roughly_constant(self):
+        """Soldering overhead stays ~2 mm^2 while bodies shrink 14x."""
+        overheads = [
+            CASE_SIZES[code].mounting_overhead_mm2 for code in FIG1_ORDER
+        ]
+        assert max(overheads) / min(overheads) < 1.5
+
+    def test_overhead_dominates_small_cases(self):
+        """For 0201, the footprint is >90 % mounting overhead."""
+        case = get_case("0201")
+        assert case.mounting_overhead_mm2 / case.footprint_area_mm2 > 0.9
+
+
+class TestRealizeSmd:
+    def test_resistor_realization(self):
+        req = PassiveRequirement(PassiveKind.RESISTOR, 10_000.0)
+        real = realize_smd(req, "0603")
+        assert real.mounting is MountingStyle.SURFACE_MOUNT
+        assert real.area_mm2 == 3.75
+        assert real.needs_assembly
+
+    def test_filter_uses_block_footprint(self):
+        req = PassiveRequirement(
+            PassiveKind.FILTER, 0.0, tolerance=1.0
+        )
+        real = realize_smd(req)
+        assert real.area_mm2 == SMD_FILTER_AREA_MM2
+
+    def test_custom_tolerance_and_cost(self):
+        req = PassiveRequirement(PassiveKind.CAPACITOR, 1e-11)
+        real = realize_smd(req, "0805", tolerance=0.02, unit_cost=0.5)
+        assert real.tolerance == 0.02
+        assert real.unit_cost == 0.5
+
+    def test_default_tolerances_by_kind(self):
+        r = realize_smd(PassiveRequirement(PassiveKind.RESISTOR, 1e3))
+        c = realize_smd(PassiveRequirement(PassiveKind.CAPACITOR, 1e-11))
+        assert r.tolerance < c.tolerance

@@ -1,0 +1,230 @@
+"""Thin-film integrated passive models against the paper's anchors."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ComponentError, TechnologyError
+from repro.passives.component import (
+    MountingStyle,
+    PassiveKind,
+    PassiveRequirement,
+)
+from repro.passives.thin_film import (
+    INTEGRATED_FILTER_AREA_MM2,
+    NICR_PROCESS,
+    SI3N4_PROCESS,
+    SUMMIT_PROCESS,
+    ThinFilmProcess,
+    capacitor_area_mm2,
+    design_spiral_inductor,
+    inductor_area_mm2,
+    realize_capacitor,
+    realize_inductor,
+    realize_integrated,
+    realize_resistor,
+    resistor_area_mm2,
+    resistor_squares,
+    with_cap_density,
+)
+
+
+class TestResistorModel:
+    def test_paper_sheet_resistance_squares(self):
+        """§2: 200 ohm at 360 ohm/sq is 0.56 squares."""
+        assert resistor_squares(200.0, SUMMIT_PROCESS) == pytest.approx(
+            200.0 / 360.0
+        )
+
+    def test_table1_100k_area(self):
+        """Table 1 anchor: IP-R (100 kohm) occupies ~0.25 mm^2."""
+        area = resistor_area_mm2(100e3, SUMMIT_PROCESS)
+        assert area == pytest.approx(0.25, rel=0.02)
+
+    def test_small_resistor_order_of_magnitude(self):
+        """§2 example: a 200 ohm resistor needs ~0.01 mm^2 of film.
+
+        With a wide (power-capable) line the film area itself is of the
+        order 10^-3..10^-2 mm^2; contact pads dominate the total.
+        """
+        area = resistor_area_mm2(200.0, SUMMIT_PROCESS, line_width_mm=0.1)
+        assert area < 0.05
+
+    def test_area_monotonic_in_value(self):
+        small = resistor_area_mm2(1e3, SUMMIT_PROCESS)
+        large = resistor_area_mm2(1e6, SUMMIT_PROCESS)
+        assert large > small
+
+    def test_rejects_nonpositive_resistance(self):
+        with pytest.raises(ComponentError):
+            resistor_area_mm2(0.0, SUMMIT_PROCESS)
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ComponentError):
+            resistor_area_mm2(1e3, SUMMIT_PROCESS, line_width_mm=0.0)
+
+    @given(st.floats(min_value=1.0, max_value=1e7))
+    def test_area_always_exceeds_pads(self, resistance):
+        area = resistor_area_mm2(resistance, SUMMIT_PROCESS)
+        assert area > 2 * SUMMIT_PROCESS.resistor_pad_area_mm2
+
+
+class TestRealizeResistor:
+    def test_auto_trim_when_tight_tolerance(self):
+        req = PassiveRequirement(PassiveKind.RESISTOR, 1e4, tolerance=0.01)
+        real = realize_resistor(req)
+        assert real.tolerance <= 0.01
+        assert "trimmed" in real.detail
+
+    def test_no_trim_when_loose(self):
+        req = PassiveRequirement(PassiveKind.RESISTOR, 1e4, tolerance=0.20)
+        real = realize_resistor(req)
+        assert real.tolerance == SUMMIT_PROCESS.resistor_tolerance
+        assert real.unit_cost == 0.0
+
+    def test_integrated_mounting_no_assembly(self):
+        req = PassiveRequirement(PassiveKind.RESISTOR, 1e4)
+        real = realize_resistor(req)
+        assert real.mounting is MountingStyle.INTEGRATED
+        assert not real.needs_assembly
+
+    def test_wrong_kind_raises(self):
+        req = PassiveRequirement(PassiveKind.CAPACITOR, 1e-11)
+        with pytest.raises(ComponentError):
+            realize_resistor(req)
+
+
+class TestCapacitorModel:
+    def test_table1_50pf_area(self):
+        """Table 1 anchor: IP-C (50 pF) occupies 0.3 mm^2."""
+        assert capacitor_area_mm2(50e-12, SUMMIT_PROCESS) == pytest.approx(
+            0.30, rel=0.01
+        )
+
+    def test_si3n4_density_paper_quote(self):
+        """§2: 'capacitors up to 100 pF/mm^2' with Si3N4."""
+        assert SI3N4_PROCESS.cap_density_pf_mm2 == 100.0
+
+    def test_decap_is_several_smd_footprints(self):
+        """The paper's decap show-killer: 10 nF >> an 0805 footprint."""
+        area = capacitor_area_mm2(10e-9, SUMMIT_PROCESS)
+        assert area > 5 * 4.5
+
+    def test_rejects_nonpositive_capacitance(self):
+        with pytest.raises(ComponentError):
+            capacitor_area_mm2(0.0, SUMMIT_PROCESS)
+
+    @given(st.floats(min_value=1e-13, max_value=1e-7))
+    def test_area_linear_in_value_above_overhead(self, capacitance):
+        area = capacitor_area_mm2(capacitance, SUMMIT_PROCESS)
+        plate = capacitance * 1e12 / SUMMIT_PROCESS.cap_density_pf_mm2
+        assert area == pytest.approx(
+            plate + SUMMIT_PROCESS.cap_overhead_mm2
+        )
+
+    def test_with_cap_density_variant(self):
+        dense = with_cap_density(SUMMIT_PROCESS, 400.0)
+        assert capacitor_area_mm2(50e-12, dense) < capacitor_area_mm2(
+            50e-12, SUMMIT_PROCESS
+        )
+
+
+class TestSpiralInductor:
+    def test_table1_40nh_area(self):
+        """Table 1 anchor: IP-L (40 nH) occupies ~1 mm^2."""
+        assert inductor_area_mm2(40e-9) == pytest.approx(1.0, rel=0.05)
+
+    def test_40nh_turn_count_reasonable(self):
+        design = design_spiral_inductor(40e-9)
+        assert 4 < design.turns < 9
+
+    def test_q_rises_with_frequency(self):
+        design = design_spiral_inductor(40e-9)
+        assert design.q_factor(1.575e9) > design.q_factor(175e6)
+
+    def test_summit_q_good_at_rf(self):
+        """§2/[3]: 'high-Q inductors' in the GHz range."""
+        design = design_spiral_inductor(40e-9)
+        assert design.q_factor(1.575e9) > 20
+
+    def test_small_if_inductor_poor_conductor_q(self):
+        """The §4.1 killer: small spirals have single-digit Q at the IF."""
+        design = design_spiral_inductor(9.2e-9)
+        assert design.q_factor(175e6) < 5
+
+    def test_inductance_monotonic_area(self):
+        assert inductor_area_mm2(100e-9) > inductor_area_mm2(10e-9)
+
+    def test_rejects_nonpositive_inductance(self):
+        with pytest.raises(ComponentError):
+            design_spiral_inductor(0.0)
+
+    def test_rejects_bad_fill_ratio(self):
+        with pytest.raises(ComponentError):
+            design_spiral_inductor(40e-9, fill_ratio=1.0)
+
+    def test_rejects_nonpositive_frequency(self):
+        design = design_spiral_inductor(40e-9)
+        with pytest.raises(ComponentError):
+            design.q_factor(0.0)
+
+    def test_minimum_one_turn(self):
+        design = design_spiral_inductor(1e-12)
+        assert design.turns == 1.0
+
+    @given(st.floats(min_value=1e-10, max_value=1e-6))
+    def test_wheeler_scaling_monotonic(self, inductance):
+        design = design_spiral_inductor(inductance)
+        assert design.area_mm2 > 0
+        assert design.series_resistance_ohm > 0
+        assert math.isfinite(design.outer_dim_mm)
+
+
+class TestRealizeDispatch:
+    def test_all_kinds_dispatch(self):
+        reqs = [
+            PassiveRequirement(PassiveKind.RESISTOR, 1e4),
+            PassiveRequirement(PassiveKind.CAPACITOR, 1e-11),
+            PassiveRequirement(PassiveKind.INDUCTOR, 1e-8),
+            PassiveRequirement(PassiveKind.FILTER, 0.0, tolerance=1.0),
+        ]
+        for req in reqs:
+            real = realize_integrated(req)
+            assert real.mounting is MountingStyle.INTEGRATED
+
+    def test_filter_area_is_table1(self):
+        req = PassiveRequirement(PassiveKind.FILTER, 0.0, tolerance=1.0)
+        assert realize_integrated(req).area_mm2 == (
+            INTEGRATED_FILTER_AREA_MM2
+        )
+
+    def test_kind_mismatch_raises(self):
+        req = PassiveRequirement(PassiveKind.RESISTOR, 1e4)
+        with pytest.raises(ComponentError):
+            realize_capacitor(req)
+        with pytest.raises(ComponentError):
+            realize_inductor(req)
+
+
+class TestProcessValidation:
+    def test_rejects_nonpositive_sheet_resistance(self):
+        with pytest.raises(TechnologyError):
+            ThinFilmProcess(name="bad", sheet_resistance_ohm_sq=0.0)
+
+    def test_rejects_nonpositive_cap_density(self):
+        with pytest.raises(TechnologyError):
+            ThinFilmProcess(
+                name="bad",
+                sheet_resistance_ohm_sq=360.0,
+                cap_density_pf_mm2=0.0,
+            )
+
+    def test_nicr_preset_differs(self):
+        assert (
+            NICR_PROCESS.sheet_resistance_ohm_sq
+            != SUMMIT_PROCESS.sheet_resistance_ohm_sq
+        )

@@ -1,0 +1,125 @@
+"""Tolerance scatter and laser-trim planning."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ComponentError
+from repro.passives.component import PassiveKind, PassiveRequirement
+from repro.passives.tolerance import (
+    ToleranceModel,
+    monte_carlo_network_yield,
+    network_value_yield,
+    trim_plan,
+    value_yield,
+)
+
+
+class TestToleranceModel:
+    def test_sigma_is_third_of_band(self):
+        model = ToleranceModel(nominal=100.0, tolerance=0.15)
+        assert model.sigma == pytest.approx(5.0)
+
+    def test_within_full_band_is_three_sigma(self):
+        model = ToleranceModel(nominal=100.0, tolerance=0.15)
+        assert model.within(0.15) == pytest.approx(0.9973, abs=1e-3)
+
+    def test_within_narrow_window_small(self):
+        model = ToleranceModel(nominal=100.0, tolerance=0.15)
+        assert model.within(0.01) < 0.2
+
+    def test_rejects_bad_nominal(self):
+        with pytest.raises(ComponentError):
+            ToleranceModel(nominal=0.0, tolerance=0.1)
+
+    def test_rejects_bad_window(self):
+        model = ToleranceModel(nominal=1.0, tolerance=0.1)
+        with pytest.raises(ComponentError):
+            model.within(0.0)
+
+    @given(
+        st.floats(min_value=0.01, max_value=1.0),
+        st.floats(min_value=0.001, max_value=0.5),
+    )
+    def test_within_is_probability(self, tolerance, window):
+        model = ToleranceModel(nominal=1.0, tolerance=tolerance)
+        probability = model.within(window)
+        assert 0.0 <= probability <= 1.0
+
+    def test_sampling_centres_on_nominal(self):
+        import numpy as np
+
+        model = ToleranceModel(nominal=100.0, tolerance=0.15)
+        rng = np.random.default_rng(42)
+        values = model.sample(rng, size=20_000)
+        assert values.mean() == pytest.approx(100.0, rel=0.01)
+        assert values.std() == pytest.approx(model.sigma, rel=0.05)
+
+
+class TestValueYield:
+    def test_tight_process_high_yield(self):
+        req = PassiveRequirement(PassiveKind.RESISTOR, 1e3, tolerance=0.05)
+        assert value_yield(req, achieved_tolerance=0.01) > 0.999
+
+    def test_loose_process_poor_yield(self):
+        """The paper's show-killer: 15 % film on a 5 % requirement."""
+        req = PassiveRequirement(PassiveKind.RESISTOR, 1e3, tolerance=0.05)
+        assert value_yield(req, achieved_tolerance=0.15) < 0.75
+
+
+class TestTrimPlan:
+    def make_reqs(self):
+        return [
+            PassiveRequirement(PassiveKind.RESISTOR, 1e3, tolerance=0.01),
+            PassiveRequirement(PassiveKind.RESISTOR, 1e4, tolerance=0.20),
+            PassiveRequirement(PassiveKind.CAPACITOR, 1e-11, tolerance=0.01),
+        ]
+
+    def test_trims_only_tight_resistors(self):
+        plan = trim_plan(self.make_reqs())
+        assert plan.trim_count == 1
+        assert plan.decisions[0].trim
+        assert not plan.decisions[1].trim
+        assert not plan.decisions[2].trim
+
+    def test_trim_cost(self):
+        plan = trim_plan(self.make_reqs(), trim_cost_each=0.05)
+        assert plan.total_trim_cost == pytest.approx(0.05)
+
+    def test_capacitors_never_trimmed(self):
+        plan = trim_plan(self.make_reqs())
+        assert plan.decisions[2].reason == "not a resistor"
+
+
+class TestNetworkYield:
+    def test_product_rule(self):
+        models = [
+            ToleranceModel(1.0, 0.15),
+            ToleranceModel(2.0, 0.15),
+        ]
+        joint = network_value_yield(models, [0.15, 0.15])
+        single = models[0].within(0.15)
+        assert joint == pytest.approx(single * single)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ComponentError):
+            network_value_yield([ToleranceModel(1.0, 0.1)], [0.1, 0.1])
+
+    @settings(deadline=None)
+    @given(st.integers(min_value=1, max_value=5))
+    def test_monte_carlo_matches_analytic(self, n):
+        models = [ToleranceModel(1.0, 0.15) for _ in range(n)]
+        windows = [0.10] * n
+        analytic = network_value_yield(models, windows)
+        sampled = monte_carlo_network_yield(
+            models, windows, trials=20_000, seed=7
+        )
+        assert sampled == pytest.approx(analytic, abs=0.02)
+
+    def test_monte_carlo_rejects_no_trials(self):
+        with pytest.raises(ComponentError):
+            monte_carlo_network_yield(
+                [ToleranceModel(1.0, 0.1)], [0.1], trials=0
+            )

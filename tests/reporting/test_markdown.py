@@ -1,0 +1,66 @@
+"""Markdown report rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reporting.markdown import (
+    MarkdownError,
+    markdown_table,
+    paper_vs_measured_table,
+    study_report_markdown,
+)
+
+
+class TestMarkdownTable:
+    def test_basic_shape(self):
+        text = markdown_table(["a", "b"], [[1, 2], [3, 4]])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+        assert len(lines) == 4
+
+    def test_empty_header_rejected(self):
+        with pytest.raises(MarkdownError):
+            markdown_table([], [])
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(MarkdownError):
+            markdown_table(["a", "b"], [[1]])
+
+
+class TestPaperVsMeasured:
+    def test_sorted_by_implementation(self):
+        text = paper_vs_measured_table(
+            {2: (79.0, 81.6), 1: (100.0, 100.0)}
+        )
+        lines = text.splitlines()
+        assert "| 1 | 100.00 | 100.00 |" == lines[2]
+        assert lines[3].startswith("| 2 |")
+
+    def test_custom_format(self):
+        text = paper_vs_measured_table(
+            {1: (1.0, 1.0)}, value_format="{:.0f}"
+        )
+        assert "| 1 | 1 | 1 |" in text
+
+
+class TestStudyReport:
+    def test_gps_report_sections(self, gps_result):
+        text = study_report_markdown(gps_result, title="GPS study")
+        assert text.startswith("# GPS study")
+        for section in ("## Area", "## Cost", "## Figure of merit",
+                        "## Decision"):
+            assert section in text
+        assert "MCM-D(Si)/FC/IP&SMD" in text
+        assert "Recommended build-up" in text
+
+    def test_report_is_valid_markdown_tables(self, gps_result):
+        text = study_report_markdown(gps_result)
+        table_lines = [
+            line for line in text.splitlines() if line.startswith("|")
+        ]
+        widths = {line.count("|") for line in table_lines}
+        # All table rows are well-formed (consistent per table: 4-6 cols).
+        assert all(w >= 4 for w in widths)

@@ -1,0 +1,46 @@
+"""Text table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reporting.tables import Table, TableError, format_percent_map
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table(columns=("name", "value"))
+        table.add_row("a", "1")
+        table.add_row("longer", "22")
+        lines = table.render().splitlines()
+        assert lines[0].startswith("name")
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_title_rendered_first(self):
+        table = Table(columns=("a",), title="My Table")
+        table.add_row("x")
+        assert table.render().splitlines()[0] == "My Table"
+
+    def test_wrong_cell_count_rejected(self):
+        table = Table(columns=("a", "b"))
+        with pytest.raises(TableError):
+            table.add_row("only one")
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(TableError):
+            Table().render()
+
+    def test_non_string_cells_coerced(self):
+        table = Table(columns=("n",))
+        table.add_row(42)
+        assert "42" in table.render()
+
+    def test_len(self):
+        table = Table(columns=("a",))
+        table.add_row("x")
+        assert len(table) == 1
+
+
+def test_format_percent_map():
+    text = format_percent_map({1: 100.0, 4: 37.0})
+    assert text == "1: 100%  4: 37%"

@@ -1,0 +1,46 @@
+"""The repro-gps command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_subcommands_exist(self):
+        parser = build_parser()
+        for command in ("study", "flow", "compare", "calibrate"):
+            args = parser.parse_args(
+                [command, "2"] if command == "flow" else [command]
+            )
+            assert hasattr(args, "func")
+
+    def test_flow_requires_valid_implementation(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["flow", "7"])
+
+
+class TestCommands:
+    def test_flow_command_prints_fig4(self, capsys):
+        assert main(["flow", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Wire bonding" in out
+        assert "SCRAP" in out
+
+    def test_study_command_prints_tables(self, capsys):
+        assert main(["study"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 3" in out
+        assert "Recommended build-up" in out
+
+    def test_compare_command(self, capsys):
+        assert main(["compare"]) == 0
+        out = capsys.readouterr().out
+        assert "area" in out
+        assert "paper=" in out
+
+    def test_default_is_study(self, capsys):
+        assert main([]) == 0
+        assert "Fig. 6" in capsys.readouterr().out

@@ -1,0 +1,212 @@
+"""Cross-module integration tests.
+
+These exercise paths that span several substrates at once — the kind of
+composition a downstream user would write: tolerance scatter fed into
+circuit analysis, E-series snapping of synthesised ladders, the
+optimizer driving the area engine, matching networks priced by the
+passive library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.elements import lossy_capacitor, lossy_inductor
+from repro.circuits.matching import design_l_match, matching_network_area_mm2
+from repro.circuits.netlist import Circuit
+from repro.circuits.performance import measure_filter
+from repro.circuits.qfactor import DiscreteFilterBlockQModel
+from repro.circuits.synthesis import build_bandpass_circuit, synthesize_bandpass
+from repro.core.optimizer import optimize_passives
+from repro.gps.bom import build_gps_bom
+from repro.gps.filters_chain import if_filter_spec
+from repro.passives.eseries import snap
+from repro.passives.tolerance import ToleranceModel
+
+
+def perturbed_filter_circuit(design, scale_factors, q=100.0):
+    """Rebuild an IF filter with element values scaled per-resonator."""
+    spec = design.spec
+    circuit = Circuit(name="perturbed")
+    f0 = spec.center_hz
+    series, shunt = design.resonators
+    ls, cs, lp, cp = scale_factors
+    circuit.add(
+        lossy_inductor(
+            "L1", "in", "n1", series.inductance_h * ls, q, f0
+        )
+    )
+    circuit.add(
+        lossy_capacitor(
+            "C1", "n1", "out", series.capacitance_f * cs, q * 5, f0
+        )
+    )
+    circuit.add(
+        lossy_inductor("L2", "out", "0", shunt.inductance_h * lp, q, f0)
+    )
+    circuit.add(
+        lossy_capacitor(
+            "C2", "out", "0", shunt.capacitance_f * cp, q * 5, f0
+        )
+    )
+    circuit.port("p1", "in", design.source_impedance_ohm)
+    circuit.port("p2", "out", design.load_impedance_ohm)
+    return circuit
+
+
+class TestToleranceShowKiller:
+    """Paper §1: 'In certain cases, the tolerances of integrated
+    passives do not suffice for the target application.'  Quantified:
+    Monte Carlo the 15 % as-fabricated scatter through the IF filter and
+    compare the spec-pass rate against laser-trimmed (1 %) components.
+    """
+
+    def center_losses(
+        self, tolerance: float, trials: int = 80
+    ) -> np.ndarray:
+        from repro.circuits.twoport import measure_insertion_loss
+
+        spec = if_filter_spec(1)
+        design = synthesize_bandpass(spec)
+        rng = np.random.default_rng(5)
+        models = [ToleranceModel(1.0, tolerance) for _ in range(4)]
+        losses = []
+        for _ in range(trials):
+            scales = [float(m.sample(rng)[0]) for m in models]
+            circuit = perturbed_filter_circuit(design, scales)
+            losses.append(measure_insertion_loss(circuit, 175e6))
+        return np.array(losses)
+
+    def test_trimmed_components_stay_tight(self):
+        """1 % (laser-trimmed) parts barely move the centre loss."""
+        losses = self.center_losses(0.01)
+        assert losses.max() - losses.min() < 0.2
+
+    def test_untrimmed_scatter_degrades_worst_case(self):
+        """15 % scatter multiplies the worst-case centre loss several
+        times over — the tolerance show-killer, quantified."""
+        trimmed = self.center_losses(0.01)
+        untrimmed = self.center_losses(0.15)
+        assert untrimmed.max() > 3.0 * trimmed.max()
+        assert untrimmed.std() > 5.0 * trimmed.std()
+
+    def test_untrimmed_yield_drops_at_tight_budget(self):
+        """At a 2.5 dB cascade loss budget the untrimmed build loses
+        real yield while the trimmed build does not."""
+        budget = 2.5
+        trimmed_yield = (self.center_losses(0.01) <= budget).mean()
+        untrimmed_yield = (self.center_losses(0.15) <= budget).mean()
+        assert trimmed_yield == 1.0
+        assert untrimmed_yield < 1.0
+
+
+class TestEseriesDetuning:
+    def test_snapped_smd_ladder_still_meets_spec(self):
+        """Snapping the IF ladder to E24 values keeps the discrete
+        filter within spec (the snap error is small against the
+        fractional bandwidth)."""
+        spec = if_filter_spec(1)
+        design = synthesize_bandpass(spec)
+        scales = []
+        for resonator in design.resonators:
+            scales.append(
+                snap(resonator.inductance_h, "E24").snapped
+                / resonator.inductance_h
+            )
+            scales.append(
+                snap(resonator.capacitance_f, "E24").snapped
+                / resonator.capacitance_f
+            )
+        ls, cs, lp, cp = scales
+        circuit = perturbed_filter_circuit(design, (ls, cs, lp, cp))
+        result = measure_filter(spec, circuit)
+        assert result.meets_spec
+
+    def test_e6_snapping_is_worse_than_e96(self):
+        spec = if_filter_spec(1)
+        design = synthesize_bandpass(spec)
+
+        def loss_with(series: str) -> float:
+            scales = []
+            for resonator in design.resonators:
+                scales.append(
+                    snap(resonator.inductance_h, series).snapped
+                    / resonator.inductance_h
+                )
+                scales.append(
+                    snap(resonator.capacitance_f, series).snapped
+                    / resonator.capacitance_f
+                )
+            circuit = perturbed_filter_circuit(design, tuple(scales))
+            return measure_filter(spec, circuit).insertion_loss_db
+
+        assert loss_with("E96") <= loss_with("E6") + 1e-9
+
+
+class TestOptimizerAreaConsistency:
+    def test_optimizer_matches_buildup4_smd_area(self):
+        """The generic selector applied to the GPS BoM keeps exactly the
+        decaps as SMDs; their footprint total matches what the build-up
+        4 constructor places."""
+        from repro.area.footprint import MountKind
+        from repro.area.substrate import MCM_D_RULE
+        from repro.gps.buildups import footprints_for
+
+        report = optimize_passives(
+            build_gps_bom().requirements(), substrate_rule=MCM_D_RULE
+        )
+        selector_smd_area = sum(
+            r.area_mm2 for r in report.smd_realizations()
+        )
+        buildup4_decap_area = sum(
+            f.area_mm2
+            for f in footprints_for(4)
+            if f.mount is MountKind.SMD and f.name.startswith("Cdec")
+        )
+        # Selector picks 0603 for decaps; the build-up uses Table 1's
+        # 0805 decap case — same count, comparable area.
+        assert report.smd_count == 8
+        assert selector_smd_area == pytest.approx(
+            buildup4_decap_area, rel=0.25
+        )
+
+
+class TestMatchingNetworkIntegration:
+    def test_lna_match_area_consistent_with_bom_budget(self):
+        """The §3 LNA 50-ohm match, synthesised and priced in thin film,
+        fits inside the per-network budget the BoM allots (2 L + 2 C
+        matching parts per network)."""
+        design = design_l_match(50.0, 20.0, 1.575e9)
+        area = matching_network_area_mm2(design, integrated=True)
+        # One L-match: a ~1 mm^2 spiral + sub-mm^2 MIM.
+        assert 0.1 < area < 3.0
+
+    def test_match_realisable_with_table1_class_values(self):
+        """Element values land in the range Table 1 prices (nH / pF)."""
+        design = design_l_match(50.0, 20.0, 1.575e9)
+        assert 0.1e-9 < design.series_element < 100e-9
+        assert 0.1e-12 < design.shunt_element < 100e-12
+
+
+class TestFullPipelineSmoke:
+    def test_discrete_block_path(self):
+        """Spec -> synthesis -> build -> measure, using the public API
+        end to end for a filter not in the GPS chain."""
+        from repro.passives.filters import FilterFamily, FilterSpec
+
+        spec = FilterSpec(
+            name="WLAN front end",
+            family=FilterFamily.CHEBYSHEV,
+            order=3,
+            center_hz=2.45e9,
+            bandwidth_hz=200e6,
+            max_insertion_loss_db=3.0,
+            ripple_db=0.2,
+        )
+        design = synthesize_bandpass(spec)
+        circuit = build_bandpass_circuit(
+            design, DiscreteFilterBlockQModel()
+        )
+        result = measure_filter(spec, circuit)
+        assert result.meets_spec

@@ -1,0 +1,150 @@
+"""Unit parsing, formatting and conversion helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import UnitError
+from repro.units import (
+    check_yield,
+    cm2_to_mm2,
+    db,
+    db_voltage,
+    format_si,
+    fraction,
+    from_db,
+    mm2_to_cm2,
+    parse_quantity,
+    percent,
+)
+
+
+class TestParseQuantity:
+    def test_plain_number(self):
+        assert parse_quantity("200") == 200.0
+
+    def test_resistance_with_unit(self):
+        assert parse_quantity("200 ohm") == 200.0
+
+    def test_kilo_ohm(self):
+        assert parse_quantity("100kohm") == pytest.approx(100e3)
+
+    def test_picofarad(self):
+        assert parse_quantity("50pF") == pytest.approx(50e-12)
+
+    def test_nanohenry(self):
+        assert parse_quantity("40nH") == pytest.approx(40e-9)
+
+    def test_gigahertz(self):
+        assert parse_quantity("1.575GHz") == pytest.approx(1.575e9)
+
+    def test_megahertz(self):
+        assert parse_quantity("175MHz") == pytest.approx(175e6)
+
+    def test_negative_value(self):
+        assert parse_quantity("-3") == -3.0
+
+    def test_scientific_notation(self):
+        assert parse_quantity("1e-9F") == pytest.approx(1e-9)
+
+    def test_whitespace_tolerated(self):
+        assert parse_quantity("  22 pF  ") == pytest.approx(22e-12)
+
+    def test_expected_unit_match(self):
+        assert parse_quantity("50pF", expect_unit="F") == pytest.approx(
+            50e-12
+        )
+
+    def test_expected_unit_mismatch_raises(self):
+        with pytest.raises(UnitError):
+            parse_quantity("50pF", expect_unit="H")
+
+    def test_garbage_raises(self):
+        with pytest.raises(UnitError):
+            parse_quantity("not a number")
+
+    def test_unknown_unit_raises(self):
+        with pytest.raises(UnitError):
+            parse_quantity("5 parsec")
+
+
+class TestFormatSi:
+    def test_gigahertz(self):
+        assert format_si(1.575e9, "Hz") == "1.57 GHz"
+
+    def test_picofarad(self):
+        assert format_si(50e-12, "F") == "50 pF"
+
+    def test_zero(self):
+        assert format_si(0.0, "H") == "0 H"
+
+    def test_unity(self):
+        assert format_si(1.0, "ohm") == "1 ohm"
+
+    def test_negative(self):
+        assert format_si(-3e-3, "F") == "-3 mF"
+
+    @given(
+        st.floats(
+            min_value=1e-14, max_value=1e13, allow_nan=False
+        )
+    )
+    def test_roundtrip_through_parse(self, value):
+        """format -> parse recovers the value within format precision."""
+        text = format_si(value, "Hz", digits=9)
+        recovered = parse_quantity(text)
+        assert recovered == pytest.approx(value, rel=1e-6)
+
+
+class TestAreaConversions:
+    def test_mm2_to_cm2(self):
+        assert mm2_to_cm2(250.0) == pytest.approx(2.5)
+
+    def test_cm2_to_mm2(self):
+        assert cm2_to_mm2(2.5) == pytest.approx(250.0)
+
+    @given(st.floats(min_value=1e-6, max_value=1e9, allow_nan=False))
+    def test_roundtrip(self, area):
+        assert cm2_to_mm2(mm2_to_cm2(area)) == pytest.approx(area)
+
+
+class TestDecibels:
+    def test_db_of_ten(self):
+        assert db(10.0) == pytest.approx(10.0)
+
+    def test_db_voltage_of_ten(self):
+        assert db_voltage(10.0) == pytest.approx(20.0)
+
+    def test_from_db_inverse(self):
+        assert from_db(db(42.0)) == pytest.approx(42.0)
+
+    def test_db_rejects_nonpositive(self):
+        with pytest.raises(UnitError):
+            db(0.0)
+        with pytest.raises(UnitError):
+            db_voltage(-1.0)
+
+    @given(st.floats(min_value=1e-12, max_value=1e12, allow_nan=False))
+    def test_db_monotonic_roundtrip(self, ratio):
+        assert from_db(db(ratio)) == pytest.approx(ratio, rel=1e-9)
+
+
+class TestPercentAndYield:
+    def test_percent(self):
+        assert percent(0.937) == pytest.approx(93.7)
+
+    def test_fraction(self):
+        assert fraction(93.7) == pytest.approx(0.937)
+
+    def test_check_yield_accepts_valid(self):
+        assert check_yield(0.99) == 0.99
+        assert check_yield(1.0) == 1.0
+
+    @pytest.mark.parametrize("bad", [0.0, -0.1, 1.0001, math.inf])
+    def test_check_yield_rejects_invalid(self, bad):
+        with pytest.raises(UnitError):
+            check_yield(bad)
