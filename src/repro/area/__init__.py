@@ -20,9 +20,12 @@ from .placement import (
 from .substrate import (
     LAMINATE_RULE,
     LaminateRule,
+    MCM_D_COARSE_RULE,
+    MCM_D_FINE_RULE,
     MCM_D_RULE,
     PCB_RULE,
     PackageSize,
+    SUBSTRATE_RULES,
     SubstrateRule,
     SubstrateSize,
 )
@@ -34,11 +37,14 @@ __all__ = [
     "Footprint",
     "LAMINATE_RULE",
     "LaminateRule",
+    "MCM_D_COARSE_RULE",
+    "MCM_D_FINE_RULE",
     "MCM_D_RULE",
     "MountKind",
     "PCB_RULE",
     "PackageSize",
     "PlacedRect",
+    "SUBSTRATE_RULES",
     "ShelfLayout",
     "ShelfPlacer",
     "SubstrateRule",

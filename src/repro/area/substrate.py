@@ -157,3 +157,30 @@ PCB_RULE = SubstrateRule(
 
 #: BGA laminate fan-out rule (Table 1 footnote).
 LAMINATE_RULE = LaminateRule(edge_clearance_mm=5.0)
+
+#: Fine-line MCM-D variant for the design-space sweep: denser routing
+#: (5 % allowance instead of the paper's 10 %) at the same land overhead.
+MCM_D_FINE_RULE = SubstrateRule(
+    name="MCM-D(Si) fine-line",
+    packing_factor=1.05,
+    edge_clearance_mm=1.0,
+    smd_footprint_factor=1.5,
+)
+
+#: Coarse/conservative MCM-D variant: generous routing and land margins,
+#: the pessimistic corner of the substrate axis.
+MCM_D_COARSE_RULE = SubstrateRule(
+    name="MCM-D(Si) coarse",
+    packing_factor=1.25,
+    edge_clearance_mm=1.5,
+    smd_footprint_factor=2.0,
+)
+
+#: Short-name registry used by the design-space sweep axis / CLI parsing
+#: (these replace the MCM rule of MCM build-ups; the PCB reference keeps
+#: its board rule).
+SUBSTRATE_RULES: dict[str, SubstrateRule] = {
+    "mcm-d": MCM_D_RULE,
+    "fine": MCM_D_FINE_RULE,
+    "coarse": MCM_D_COARSE_RULE,
+}

@@ -38,7 +38,15 @@ from .matching import (
     match_return_loss_db,
     matching_network_area_mm2,
 )
-from .mna import AcAnalysis, node_admittance_matrix, node_index, solve_nodal
+from .mna import (
+    AcAnalysis,
+    StampPlan,
+    batch_admittance_matrix,
+    batch_solve_nodal,
+    node_admittance_matrix,
+    node_index,
+    solve_nodal,
+)
 from .netlist import Circuit
 from .performance import (
     ChainPerformance,
@@ -55,7 +63,10 @@ from .qfactor import (
     MixedQModel,
     SmdQModel,
     SummitQModel,
+    capacitor_q_profile,
+    combined_q_profile,
     combined_unloaded_q,
+    inductor_q_profile,
 )
 from .synthesis import (
     BandpassDesign,
@@ -74,8 +85,11 @@ from .twoport import (
     SweepResult,
     input_impedance,
     measure_insertion_loss,
+    measure_insertion_loss_many,
     measure_rejection,
     sweep,
+    sweep_grid,
+    sweep_pointwise,
     two_port_sparameters,
 )
 
@@ -101,22 +115,28 @@ __all__ = [
     "ResonatorElements",
     "SParameters",
     "SmdQModel",
+    "StampPlan",
     "SummitQModel",
     "SweepResult",
     "TrapElements",
     "analyze_filter",
     "assess_chain",
     "bandpass_selectivity",
+    "batch_admittance_matrix",
+    "batch_solve_nodal",
     "build_l_match_circuit",
     "build_bandpass_circuit",
     "butterworth_g_values",
     "butterworth_attenuation_db",
+    "capacitor_q_profile",
     "chebyshev_attenuation_db",
     "chebyshev_g_values",
+    "combined_q_profile",
     "combined_unloaded_q",
     "design_l_match",
     "elliptic_attenuation_db",
     "dissipation_loss_db",
+    "inductor_q_profile",
     "input_impedance",
     "loss_score",
     "lossy_capacitor",
@@ -125,6 +145,7 @@ __all__ = [
     "matching_network_area_mm2",
     "measure_filter",
     "measure_insertion_loss",
+    "measure_insertion_loss_many",
     "minimum_order",
     "measure_rejection",
     "node_admittance_matrix",
@@ -133,6 +154,8 @@ __all__ = [
     "required_order",
     "solve_nodal",
     "sweep",
+    "sweep_grid",
+    "sweep_pointwise",
     "synthesize_bandpass",
     "two_port_sparameters",
 ]

@@ -20,9 +20,26 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..errors import CircuitError
 
 GROUND = "0"
+
+
+def _validate_omegas(omegas: np.ndarray) -> np.ndarray:
+    """Coerce to a 1-D float array of strictly positive frequencies."""
+    array = np.asarray(omegas, dtype=float)
+    if array.ndim != 1:
+        raise CircuitError(
+            f"omegas must be a 1-D array, got shape {array.shape}"
+        )
+    if array.size == 0:
+        raise CircuitError("omegas must not be empty")
+    if np.any(array <= 0):
+        bad = float(array[array <= 0][0])
+        raise CircuitError(f"AC analysis requires omega > 0, got {bad}")
+    return array
 
 
 @dataclass(frozen=True)
@@ -44,6 +61,19 @@ class Element:
         """Complex admittance at angular frequency ``omega`` (rad/s)."""
         raise NotImplementedError
 
+    def admittances(self, omegas: np.ndarray) -> np.ndarray:
+        """Vectorised admittance over a 1-D array of angular frequencies.
+
+        The base implementation falls back to the scalar
+        :meth:`admittance` in a loop; the concrete R/L/C elements override
+        it with closed-form numpy expressions so a whole frequency grid is
+        evaluated in one shot (the hot path of the batch MNA engine).
+        """
+        array = _validate_omegas(omegas)
+        return np.array(
+            [self.admittance(float(w)) for w in array], dtype=complex
+        )
+
 
 @dataclass(frozen=True)
 class Resistor(Element):
@@ -61,6 +91,10 @@ class Resistor(Element):
 
     def admittance(self, omega: float) -> complex:
         return complex(1.0 / self.resistance, 0.0)
+
+    def admittances(self, omegas: np.ndarray) -> np.ndarray:
+        array = _validate_omegas(omegas)
+        return np.full(array.shape, 1.0 / self.resistance, dtype=complex)
 
 
 @dataclass(frozen=True)
@@ -91,12 +125,18 @@ class Capacitor(Element):
     def admittance(self, omega: float) -> complex:
         if omega <= 0:
             raise CircuitError("AC analysis requires omega > 0")
+        # Delegate to the vectorised path so scalar and batched analyses
+        # stamp bit-identical values (the property suite solves both and
+        # compares; conditioning would amplify any ulp difference).
+        return complex(self.admittances(np.array([float(omega)]))[0])
+
+    def admittances(self, omegas: np.ndarray) -> np.ndarray:
+        array = _validate_omegas(omegas)
         # Dielectric loss: Y_diel = omega C (tan_delta + j)
-        y_diel = omega * self.capacitance * complex(self.tan_delta, 1.0)
+        y_diel = array * self.capacitance * complex(self.tan_delta, 1.0)
         if self.esr == 0.0:
             return y_diel
-        z = self.esr + 1.0 / y_diel
-        return 1.0 / z
+        return 1.0 / (self.esr + 1.0 / y_diel)
 
 
 @dataclass(frozen=True)
@@ -127,10 +167,15 @@ class Inductor(Element):
     def admittance(self, omega: float) -> complex:
         if omega <= 0:
             raise CircuitError("AC analysis requires omega > 0")
-        z_series = complex(self.series_resistance, omega * self.inductance)
+        # Delegate to the vectorised path (see Capacitor.admittance).
+        return complex(self.admittances(np.array([float(omega)]))[0])
+
+    def admittances(self, omegas: np.ndarray) -> np.ndarray:
+        array = _validate_omegas(omegas)
+        z_series = self.series_resistance + 1j * array * self.inductance
         y = 1.0 / z_series
         if self.c_par > 0.0:
-            y = y + complex(0.0, omega * self.c_par)
+            y = y + 1j * array * self.c_par
         return y
 
     @property

@@ -22,11 +22,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+import numpy as np
+
 from ..errors import SpecificationError
 from ..passives.filters import FilterSpec
 from .netlist import Circuit
 from .synthesis import BandpassDesign, QModel, build_bandpass_circuit, synthesize_bandpass
-from .twoport import measure_insertion_loss, sweep
+from .twoport import sweep_grid
 
 
 @dataclass(frozen=True)
@@ -98,23 +100,36 @@ def measure_filter(
     circuit: Circuit,
     passband_points: int = 101,
 ) -> FilterPerformance:
-    """Measure a ready-built filter circuit against its spec."""
+    """Measure a ready-built filter circuit against its spec.
+
+    The passband grid and the (optional) stopband point are evaluated in
+    a *single* batched MNA solve: one ``(F, n, n)`` stamp, one
+    ``numpy.linalg.solve`` call for the whole assessment.
+    """
     half_band = spec.bandwidth_hz / 2.0
-    band = sweep(
-        circuit,
+    grid = np.linspace(
         spec.center_hz - half_band,
         spec.center_hz + half_band,
-        points=passband_points,
+        passband_points,
     )
-    insertion_loss = band.min_insertion_loss_db()
 
-    rejection: Optional[float] = None
-    rejection_ok = True
+    stop_hz: Optional[float] = None
     if spec.stop_offset_hz is not None:
         stop_hz = spec.center_hz - spec.stop_offset_hz
         if stop_hz <= 0:
             stop_hz = spec.center_hz + spec.stop_offset_hz
-        stop_loss = measure_insertion_loss(circuit, stop_hz)
+        grid = np.append(grid, stop_hz)
+
+    losses = sweep_grid(circuit, grid).insertion_loss_db
+    if stop_hz is None:
+        insertion_loss = float(np.min(losses))
+    else:
+        insertion_loss = float(np.min(losses[:-1]))
+
+    rejection: Optional[float] = None
+    rejection_ok = True
+    if stop_hz is not None:
+        stop_loss = float(losses[-1])
         rejection = stop_loss - insertion_loss
         rejection_ok = rejection >= (spec.stop_attenuation_db or 0.0)
 

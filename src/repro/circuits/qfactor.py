@@ -26,6 +26,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..errors import CircuitError
 from ..passives.thin_film import SUMMIT_PROCESS, ThinFilmProcess, design_spiral_inductor
 
@@ -96,6 +98,22 @@ class SummitQModel:
         q_sub = self.q_sub_ref * self.f_sub_ref_hz / frequency_hz
         return 1.0 / (1.0 / q_cond + 1.0 / q_sub)
 
+    def inductor_q_profile(
+        self, inductance_h: float, frequencies_hz
+    ) -> np.ndarray:
+        """Vectorised inductor Q over a frequency grid.
+
+        The spiral geometry depends only on the inductance, so it is
+        synthesised once and the conductor/substrate loss combination is
+        evaluated as one numpy expression over the whole grid.
+        """
+        grid = _validate_frequencies(frequencies_hz)
+        design = design_spiral_inductor(inductance_h, self.process)
+        omega = 2.0 * math.pi * grid
+        q_cond = omega * inductance_h / design.series_resistance_ohm
+        q_sub = self.q_sub_ref * self.f_sub_ref_hz / grid
+        return 1.0 / (1.0 / q_cond + 1.0 / q_sub)
+
     def capacitor_q(self, capacitance_f: float, frequency_hz: float) -> float:
         del capacitance_f, frequency_hz
         return 1.0 / self.cap_tan_delta
@@ -161,8 +179,85 @@ class MixedQModel:
     def inductor_q(self, inductance_h: float, frequency_hz: float) -> float:
         return self.inductor_model.inductor_q(inductance_h, frequency_hz)
 
+    def inductor_q_profile(
+        self, inductance_h: float, frequencies_hz
+    ) -> np.ndarray:
+        """Delegate grid evaluation to the inductor technology."""
+        return inductor_q_profile(
+            self.inductor_model, inductance_h, frequencies_hz
+        )
+
     def capacitor_q(self, capacitance_f: float, frequency_hz: float) -> float:
         return self.capacitor_model.capacitor_q(capacitance_f, frequency_hz)
+
+
+def _validate_frequencies(frequencies_hz) -> np.ndarray:
+    """Coerce to a 1-D positive float array (the Q-profile contract)."""
+    grid = np.asarray(frequencies_hz, dtype=float)
+    if grid.ndim == 0:
+        grid = grid[None]
+    if grid.size == 0:
+        raise CircuitError("frequency grid must not be empty")
+    if np.any(grid <= 0):
+        raise CircuitError(
+            f"frequency must be positive, got {float(grid.min())}"
+        )
+    return grid
+
+
+def inductor_q_profile(
+    q_model, inductance_h: float, frequencies_hz
+) -> np.ndarray:
+    """Unloaded inductor Q of a technology over a frequency grid.
+
+    Dispatches to the model's vectorised ``inductor_q_profile`` when it
+    provides one (:class:`SummitQModel` does); otherwise evaluates the
+    scalar method point by point.  Used by the design-space sweep
+    subsystem to trace Q-vs-frequency without per-point Python overhead
+    for the models that matter.
+    """
+    vectorised = getattr(q_model, "inductor_q_profile", None)
+    if vectorised is not None:
+        return np.asarray(vectorised(inductance_h, frequencies_hz))
+    grid = _validate_frequencies(frequencies_hz)
+    return np.array(
+        [q_model.inductor_q(inductance_h, float(f)) for f in grid]
+    )
+
+
+def capacitor_q_profile(
+    q_model, capacitance_f: float, frequencies_hz
+) -> np.ndarray:
+    """Unloaded capacitor Q of a technology over a frequency grid."""
+    grid = _validate_frequencies(frequencies_hz)
+    return np.array(
+        [q_model.capacitor_q(capacitance_f, float(f)) for f in grid]
+    )
+
+
+def combined_q_profile(
+    q_model,
+    inductance_h: float,
+    capacitance_f: float,
+    frequencies_hz,
+) -> np.ndarray:
+    """Effective resonator Q over a frequency grid (vectorised).
+
+    The grid analogue of :func:`combined_unloaded_q`:
+    ``1/Q = 1/Q_L + 1/Q_C`` at every frequency, with infinite
+    contributions dropped.
+    """
+    q_l = inductor_q_profile(q_model, inductance_h, frequencies_hz)
+    q_c = capacitor_q_profile(q_model, capacitance_f, frequencies_hz)
+    inverse = np.zeros_like(q_l, dtype=float)
+    finite_l = np.isfinite(q_l) & (q_l > 0)
+    finite_c = np.isfinite(q_c) & (q_c > 0)
+    inverse[finite_l] += 1.0 / q_l[finite_l]
+    inverse[finite_c] += 1.0 / q_c[finite_c]
+    result = np.full(inverse.shape, math.inf)
+    nonzero = inverse > 0
+    result[nonzero] = 1.0 / inverse[nonzero]
+    return result
 
 
 def combined_unloaded_q(

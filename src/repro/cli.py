@@ -6,7 +6,10 @@ Installed as ``repro-gps``.  Subcommands:
   Fig. 3/5/6 tables plus the recommendation;
 * ``flow N`` — render the MOE production flow of build-up N (Fig. 4);
 * ``compare`` — print paper-vs-measured for every published number;
-* ``calibrate`` — re-run the confidential chip-cost calibration.
+* ``calibrate`` — re-run the confidential chip-cost calibration;
+* ``sweep`` — fan the methodology out over a design-space grid
+  (volume x substrate rule x thin-film process x tolerance class) and
+  print Pareto-ready rows.
 """
 
 from __future__ import annotations
@@ -15,11 +18,15 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from .area.substrate import SUBSTRATE_RULES
 from .core.decision import full_report
+from .core.sweep import SweepGrid
 from .cost.calibration import calibrate_chip_costs
 from .cost.moe.builder import render_flow
 from .gps.buildups import flow_for
-from .gps.study import paper_comparison, run_gps_study
+from .gps.study import paper_comparison, run_gps_study, run_gps_sweep
+from .passives.thin_film import THIN_FILM_PROCESSES
+from .passives.tolerance import TOLERANCE_CLASSES
 
 
 def _cmd_study(args: argparse.Namespace) -> int:
@@ -68,6 +75,97 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _axis_values(raw: str, registry: dict, axis: str) -> tuple:
+    """Parse a comma-separated axis list; ``paper`` means the default."""
+    values = []
+    for token in raw.split(","):
+        token = token.strip().lower()
+        if not token:
+            continue
+        if token == "paper":
+            values.append(None)
+        elif token in registry:
+            values.append(registry[token])
+        else:
+            known = ", ".join(["paper", *sorted(registry)])
+            raise argparse.ArgumentTypeError(
+                f"unknown {axis} {token!r} (choose from {known})"
+            )
+    if not values:
+        raise argparse.ArgumentTypeError(f"empty {axis} list")
+    return tuple(values)
+
+
+def _volume_values(raw: str) -> tuple:
+    """Parse a comma-separated list of positive volumes."""
+    values = []
+    for token in raw.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        try:
+            volume = float(token)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"volume {token!r} is not a number"
+            ) from None
+        if volume <= 0:
+            raise argparse.ArgumentTypeError(
+                f"volume must be positive, got {volume:g}"
+            )
+        values.append(volume)
+    if not values:
+        raise argparse.ArgumentTypeError("empty volume list")
+    return tuple(values)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    grid = SweepGrid(
+        volumes=args.volumes,
+        substrates=args.substrates,
+        processes=args.processes,
+        tolerances=args.tolerances,
+    )
+    report = run_gps_sweep(grid)
+    if args.csv:
+        header = list(report.rows[0].as_dict())
+        print(",".join(header))
+        for row in report.rows:
+            record = row.as_dict()
+            print(",".join(str(record[key]) for key in header))
+        return 0
+
+    print(f"Design-space sweep: {len(grid)} points, {len(report.rows)} rows")
+    print(
+        f"{'volume':>8} | {'substrate':>16} | {'process':>16} | "
+        f"{'tolerance':>10} | {'build-up':>20} | {'perf':>5} | "
+        f"{'area%':>6} | {'cost%':>6} | {'FoM':>5} | flags"
+    )
+    for row in report.rows:
+        flags = "".join(
+            ("W" if row.is_winner else "", "P" if row.on_pareto_front else "")
+        )
+        print(
+            f"{row.volume:>8g} | {row.substrate:>16.16} | "
+            f"{row.process:>16.16} | {row.tolerance:>10} | "
+            f"{row.candidate:>20.20} | {row.performance:>5.2f} | "
+            f"{row.area_percent:>6.1f} | {row.cost_percent:>6.1f} | "
+            f"{row.figure_of_merit:>5.2f} | {flags}"
+        )
+    print("\nWinner counts (W = point winner, P = on Pareto front):")
+    for name, count in sorted(report.winner_counts().items()):
+        print(f"  {name}: {count}/{len(grid)}")
+    best = report.best_row()
+    print(
+        f"Best overall: {best.candidate} (FoM {best.figure_of_merit:.2f}) "
+        f"at volume={best.volume:g}, substrate={best.substrate}, "
+        f"process={best.process}, tolerance={best.tolerance}"
+    )
+    hits, misses = report.cache_stats["hits"], report.cache_stats["misses"]
+    print(f"Memoised sub-results: {hits} hits / {misses} misses")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro-gps`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -109,6 +207,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="bare-die cost as a fraction of the packaged part",
     )
     calibrate.set_defaults(func=_cmd_calibrate)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="design-space sweep (volume x substrate x process x tolerance)",
+    )
+    sweep.add_argument(
+        "--volumes",
+        type=_volume_values,
+        default=(10_000.0,),
+        help="comma-separated production volumes, e.g. 1e3,1e4,1e5",
+    )
+    sweep.add_argument(
+        "--substrates",
+        type=lambda raw: _axis_values(raw, SUBSTRATE_RULES, "substrate"),
+        default=(None,),
+        help=(
+            "comma-separated MCM substrate rules: paper, "
+            + ", ".join(sorted(SUBSTRATE_RULES))
+        ),
+    )
+    sweep.add_argument(
+        "--processes",
+        type=lambda raw: _axis_values(raw, THIN_FILM_PROCESSES, "process"),
+        default=(None,),
+        help=(
+            "comma-separated thin-film processes: paper, "
+            + ", ".join(sorted(THIN_FILM_PROCESSES))
+        ),
+    )
+    sweep.add_argument(
+        "--tolerances",
+        type=lambda raw: _axis_values(raw, TOLERANCE_CLASSES, "tolerance"),
+        default=(None,),
+        help=(
+            "comma-separated tolerance classes: paper, "
+            + ", ".join(sorted(TOLERANCE_CLASSES))
+        ),
+    )
+    sweep.add_argument(
+        "--csv",
+        action="store_true",
+        help="emit the Pareto-ready rows as CSV instead of a table",
+    )
+    sweep.set_defaults(func=_cmd_sweep)
     return parser
 
 

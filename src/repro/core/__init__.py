@@ -20,6 +20,7 @@ from .methodology import (
     StudyRow,
     assess_candidate,
     run_study,
+    study_from_assessments,
 )
 from .pareto import (
     ParetoAnalysis,
@@ -34,10 +35,22 @@ from .optimizer import (
     optimize_passives,
     select_technology,
 )
+from .sweep import (
+    DesignPoint,
+    EvaluationCache,
+    SweepCell,
+    SweepGrid,
+    SweepReport,
+    SweepRow,
+    assess_candidate_cached,
+    run_design_sweep,
+)
 
 __all__ = [
     "BuildUpAssessment",
     "CandidateBuildUp",
+    "DesignPoint",
+    "EvaluationCache",
     "FomEntry",
     "FomWeights",
     "ParetoAnalysis",
@@ -46,8 +59,13 @@ __all__ = [
     "SelectionReport",
     "StudyResult",
     "StudyRow",
+    "SweepCell",
+    "SweepGrid",
+    "SweepReport",
+    "SweepRow",
     "analyze_study",
     "assess_candidate",
+    "assess_candidate_cached",
     "fig3_table",
     "fig5_table",
     "fig6_table",
@@ -58,6 +76,8 @@ __all__ = [
     "pareto_points",
     "rank_buildups",
     "recommendation",
+    "run_design_sweep",
     "run_study",
     "select_technology",
+    "study_from_assessments",
 ]

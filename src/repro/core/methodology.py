@@ -196,6 +196,20 @@ def run_study(
     assessments = [
         assess_candidate(candidate, volume) for candidate in candidates
     ]
+    return study_from_assessments(assessments, reference, weights)
+
+
+def study_from_assessments(
+    assessments: Sequence[BuildUpAssessment],
+    reference: int,
+    weights: FomWeights,
+) -> StudyResult:
+    """Normalise and rank ready-made assessments (methodology step 5).
+
+    Shared by :func:`run_study` and the design-space sweep
+    (:mod:`repro.core.sweep`), whose memoised evaluation produces the
+    assessments itself.
+    """
     ref = assessments[reference]
     rows = []
     for assessment in assessments:

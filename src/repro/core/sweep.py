@@ -1,0 +1,374 @@
+"""Design-space sweep subsystem (grids over the methodology's knobs).
+
+The paper runs its five-step methodology once, for one production
+volume, one substrate rule, one thin-film process and one tolerance
+discipline.  This module fans the methodology out over a *grid* of those
+choices:
+
+* :class:`DesignPoint` — one coordinate in the design space (volume,
+  substrate rule, thin-film process, tolerance class);
+* :class:`SweepGrid` — the cartesian product of per-axis value lists;
+* :func:`run_design_sweep` — evaluates every grid point through the
+  methodology (steps 2-5) with **memoised sub-results**: the performance
+  assessment (the MNA-heavy part), the placement and the cost evaluation
+  are each cached by content key, so e.g. a volume axis of five values
+  re-solves no circuit and re-places no substrate;
+* :class:`SweepReport` — Pareto-ready rows (one per candidate per grid
+  point) plus per-point winners and Pareto-front membership, consumed by
+  the ``repro-gps sweep`` CLI subcommand and exportable as CSV-style
+  dicts.
+
+The subsystem is application-agnostic: a *candidate factory* maps each
+:class:`DesignPoint` to the list of
+:class:`~repro.core.methodology.CandidateBuildUp` to study there.  The
+GPS adapter lives in :func:`repro.gps.study.sweep_candidates`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Callable, Iterable, Optional, Sequence
+
+from ..area.placement import trivial_placement
+from ..area.substrate import SubstrateRule
+from ..circuits.performance import ChainPerformance, assess_chain
+from ..cost.moe.analytic import evaluate
+from ..errors import SpecificationError
+from ..passives.thin_film import ThinFilmProcess
+from ..passives.tolerance import ToleranceClass
+from .figure_of_merit import FomWeights
+from .methodology import (
+    BuildUpAssessment,
+    CandidateBuildUp,
+    StudyResult,
+    study_from_assessments,
+)
+from .pareto import analyze_study
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One coordinate of the design space.
+
+    ``None`` on an axis means "the candidate factory's default" — the
+    paper's choice for that knob.
+    """
+
+    volume: float = 10_000.0
+    substrate: Optional[SubstrateRule] = None
+    process: Optional[ThinFilmProcess] = None
+    tolerance: Optional[ToleranceClass] = None
+
+    def __post_init__(self) -> None:
+        if self.volume <= 0:
+            raise SpecificationError(
+                f"volume must be positive, got {self.volume}"
+            )
+
+    def label(self) -> str:
+        """Compact human-readable coordinate label."""
+        parts = [f"volume={self.volume:g}"]
+        parts.append(
+            f"substrate={self.substrate.name if self.substrate else 'paper'}"
+        )
+        parts.append(
+            f"process={self.process.name if self.process else 'paper'}"
+        )
+        parts.append(
+            f"tolerance={self.tolerance.name if self.tolerance else 'paper'}"
+        )
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """Cartesian product of per-axis value lists.
+
+    Every axis defaults to a single ``None`` (= paper default), so a
+    grid is built by overriding only the axes under study::
+
+        SweepGrid(volumes=(1e3, 1e4, 1e5),
+                  tolerances=(None, PRECISION_CLASS))
+    """
+
+    volumes: tuple[float, ...] = (10_000.0,)
+    substrates: tuple[Optional[SubstrateRule], ...] = (None,)
+    processes: tuple[Optional[ThinFilmProcess], ...] = (None,)
+    tolerances: tuple[Optional[ToleranceClass], ...] = (None,)
+
+    def __post_init__(self) -> None:
+        for name in ("volumes", "substrates", "processes", "tolerances"):
+            if not getattr(self, name):
+                raise SpecificationError(f"grid axis {name!r} is empty")
+
+    def __len__(self) -> int:
+        return (
+            len(self.volumes)
+            * len(self.substrates)
+            * len(self.processes)
+            * len(self.tolerances)
+        )
+
+    def points(self) -> list[DesignPoint]:
+        """All grid coordinates, volume-major."""
+        return [
+            DesignPoint(
+                volume=volume,
+                substrate=substrate,
+                process=process,
+                tolerance=tolerance,
+            )
+            for volume, substrate, process, tolerance in product(
+                self.volumes,
+                self.substrates,
+                self.processes,
+                self.tolerances,
+            )
+        ]
+
+
+class EvaluationCache:
+    """Content-keyed memo for the methodology's three sub-results.
+
+    Grid axes rarely invalidate every step: volume only reaches the cost
+    evaluation, the tolerance class only the production flow, the
+    substrate rule only placement and cost.  Keys are built from the
+    ``repr`` of the (frozen, content-rich) dataclasses involved, so two
+    grid points that share an input share the computation.
+    """
+
+    def __init__(self) -> None:
+        self._performance: dict[str, ChainPerformance] = {}
+        self._area: dict[str, object] = {}
+        self._cost: dict[str, object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _get(self, table: dict, key: str, compute: Callable):
+        if key in table:
+            self.hits += 1
+            return table[key]
+        self.misses += 1
+        value = compute()
+        table[key] = value
+        return value
+
+    def performance(self, assignments, compute) -> ChainPerformance:
+        return self._get(self._performance, repr(assignments), compute)
+
+    def area(self, footprints, rule, laminate, compute):
+        key = f"{rule!r}|{laminate!r}|{footprints!r}"
+        return self._get(self._area, key, compute)
+
+    def cost(self, flow, volume: float, compute):
+        key = f"{volume!r}|{flow!r}"
+        return self._get(self._cost, key, compute)
+
+    @property
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}
+
+
+def assess_candidate_cached(
+    candidate: CandidateBuildUp,
+    volume: float,
+    cache: EvaluationCache,
+) -> BuildUpAssessment:
+    """Methodology steps 2-4 for one candidate, through the memo.
+
+    Mirrors :func:`repro.core.methodology.assess_candidate` exactly,
+    with each sub-result resolved through the
+    :class:`EvaluationCache`.
+    """
+    if candidate.fixed_performance is not None:
+        performance = candidate.fixed_performance
+        chain: Optional[ChainPerformance] = None
+    else:
+        chain = cache.performance(
+            candidate.filter_assignments,
+            lambda: assess_chain(candidate.filter_assignments),
+        )
+        performance = chain.score
+    area = cache.area(
+        candidate.footprints,
+        candidate.substrate_rule,
+        candidate.laminate,
+        lambda: trivial_placement(
+            candidate.footprints,
+            candidate.substrate_rule,
+            candidate.laminate,
+        ),
+    )
+    flow = candidate.flow_factory(area.substrate_area_cm2)
+    cost = cache.cost(flow, volume, lambda: evaluate(flow, volume=volume))
+    return BuildUpAssessment(
+        name=candidate.name,
+        performance=performance,
+        chain=chain,
+        area=area,
+        cost=cost,
+    )
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """The full study at one grid point."""
+
+    point: DesignPoint
+    result: StudyResult
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One Pareto-ready row: a candidate at a grid point.
+
+    Flat on purpose — every field is a scalar or short string, so the
+    rows dump straight into a CSV, a dataframe, or the CLI table.
+    """
+
+    volume: float
+    substrate: str
+    process: str
+    tolerance: str
+    candidate: str
+    performance: float
+    area_percent: float
+    cost_percent: float
+    figure_of_merit: float
+    is_winner: bool
+    on_pareto_front: bool
+
+    def as_dict(self) -> dict:
+        """The row as a plain dict (CSV/dataframe-ready)."""
+        return {
+            "volume": self.volume,
+            "substrate": self.substrate,
+            "process": self.process,
+            "tolerance": self.tolerance,
+            "candidate": self.candidate,
+            "performance": self.performance,
+            "area_percent": self.area_percent,
+            "cost_percent": self.cost_percent,
+            "figure_of_merit": self.figure_of_merit,
+            "is_winner": self.is_winner,
+            "on_pareto_front": self.on_pareto_front,
+        }
+
+
+@dataclass(frozen=True)
+class SweepReport:
+    """Everything a design-space sweep produced."""
+
+    cells: tuple[SweepCell, ...]
+    rows: tuple[SweepRow, ...]
+    cache_stats: dict[str, int] = field(default_factory=dict)
+
+    def winner_counts(self) -> dict[str, int]:
+        """How often each candidate wins across the grid."""
+        counts: dict[str, int] = {}
+        for cell in self.cells:
+            name = cell.result.winner.assessment.name
+            counts[name] = counts.get(name, 0) + 1
+        return counts
+
+    def rows_for(self, candidate: str) -> list[SweepRow]:
+        """All grid rows of one candidate."""
+        return [row for row in self.rows if row.candidate == candidate]
+
+    def best_row(self) -> SweepRow:
+        """The single highest-FoM row of the whole sweep."""
+        if not self.rows:
+            raise SpecificationError("empty sweep report")
+        return max(self.rows, key=lambda row: row.figure_of_merit)
+
+
+def _rows_for_cell(cell: SweepCell) -> list[SweepRow]:
+    point = cell.point
+    winner = cell.result.winner.assessment.name
+    pareto = analyze_study(cell.result)
+    rows = []
+    for study_row in cell.result.rows:
+        name = study_row.assessment.name
+        rows.append(
+            SweepRow(
+                volume=point.volume,
+                substrate=(
+                    point.substrate.name if point.substrate else "paper"
+                ),
+                process=point.process.name if point.process else "paper",
+                tolerance=(
+                    point.tolerance.name if point.tolerance else "paper"
+                ),
+                candidate=name,
+                performance=study_row.fom.performance,
+                area_percent=study_row.area_percent,
+                cost_percent=study_row.cost_percent,
+                figure_of_merit=study_row.fom.figure_of_merit,
+                is_winner=name == winner,
+                on_pareto_front=pareto.is_on_front(name),
+            )
+        )
+    return rows
+
+
+def run_design_sweep(
+    grid: SweepGrid | Iterable[DesignPoint],
+    candidate_factory: Callable[[DesignPoint], Sequence[CandidateBuildUp]],
+    reference: int = 0,
+    weights: Optional[FomWeights] = None,
+    cache: Optional[EvaluationCache] = None,
+) -> SweepReport:
+    """Fan the methodology out over a design-space grid.
+
+    Parameters
+    ----------
+    grid:
+        A :class:`SweepGrid` or an explicit iterable of
+        :class:`DesignPoint`.
+    candidate_factory:
+        Maps a grid point to the build-up candidates to study there
+        (step 1 stays the application's job).
+    reference:
+        Index of the reference candidate (the 100 % marks), per point.
+    weights:
+        Optional FoM weighting; the paper's plain product by default.
+    cache:
+        Optional pre-warmed :class:`EvaluationCache`; a fresh one is
+        created (and its stats reported) when omitted.
+    """
+    points = grid.points() if isinstance(grid, SweepGrid) else list(grid)
+    if not points:
+        raise SpecificationError("design sweep needs at least one point")
+    if weights is None:
+        weights = FomWeights()
+    if cache is None:
+        cache = EvaluationCache()
+
+    cells: list[SweepCell] = []
+    rows: list[SweepRow] = []
+    for point in points:
+        candidates = list(candidate_factory(point))
+        if not candidates:
+            raise SpecificationError(
+                f"candidate factory returned no candidates at "
+                f"{point.label()}"
+            )
+        if not (0 <= reference < len(candidates)):
+            raise SpecificationError(
+                f"reference index {reference} out of range for "
+                f"{len(candidates)} candidates"
+            )
+        assessments = [
+            assess_candidate_cached(candidate, point.volume, cache)
+            for candidate in candidates
+        ]
+        result = study_from_assessments(assessments, reference, weights)
+        cell = SweepCell(point=point, result=result)
+        cells.append(cell)
+        rows.extend(_rows_for_cell(cell))
+    return SweepReport(
+        cells=tuple(cells),
+        rows=tuple(rows),
+        cache_stats=cache.stats,
+    )

@@ -29,6 +29,7 @@ from ..errors import TechnologyError
 from ..passives.smd import get_case
 from ..passives.thin_film import (
     SUMMIT_PROCESS,
+    ThinFilmProcess,
     capacitor_area_mm2,
     inductor_area_mm2,
     resistor_area_mm2,
@@ -128,10 +129,10 @@ def _smd_filter_footprints() -> list[Footprint]:
 
 def _integrated_passive_footprints(
     include_decaps: bool,
+    process: ThinFilmProcess = SUMMIT_PROCESS,
 ) -> list[Footprint]:
     """Thin-film realisations of the discrete passives (build-ups 3/4)."""
     summary = GPS_BOM_SUMMARY
-    process = SUMMIT_PROCESS
     footprints: list[Footprint] = []
 
     r_area = resistor_area_mm2(RESISTOR_VALUE_OHM, process)
@@ -158,8 +159,16 @@ def _integrated_passive_footprints(
     return footprints
 
 
-def footprints_for(implementation: int) -> list[Footprint]:
-    """Everything placed on the board/substrate of one build-up."""
+def footprints_for(
+    implementation: int,
+    process: ThinFilmProcess = SUMMIT_PROCESS,
+) -> list[Footprint]:
+    """Everything placed on the board/substrate of one build-up.
+
+    ``process`` selects the thin-film process sizing the integrated
+    passives of build-ups 3 and 4 (the design-space sweep's process
+    axis); it has no effect on the all-SMD build-ups 1 and 2.
+    """
     buildup = get_buildup(implementation)
     footprints = _chip_footprints(buildup)
     if implementation in (1, 2):
@@ -167,7 +176,9 @@ def footprints_for(implementation: int) -> list[Footprint]:
         footprints.extend(_smd_filter_footprints())
         return footprints
     if implementation == 3:
-        footprints.extend(_integrated_passive_footprints(include_decaps=True))
+        footprints.extend(
+            _integrated_passive_footprints(include_decaps=True, process=process)
+        )
         footprints.append(
             Footprint(
                 "image reject filter",
@@ -185,7 +196,9 @@ def footprints_for(implementation: int) -> list[Footprint]:
         )
         return footprints
     # Build-up 4: passives optimized.
-    footprints.extend(_integrated_passive_footprints(include_decaps=False))
+    footprints.extend(
+        _integrated_passive_footprints(include_decaps=False, process=process)
+    )
     dec_area = get_case(DECAP_CASE).footprint_area_mm2
     footprints.extend(
         Footprint(f"Cdec{i}", dec_area, MountKind.SMD)
@@ -223,6 +236,24 @@ def area_for(implementation: int) -> AreaReport:
     return trivial_placement(footprints, PCB_RULE, laminate=None)
 
 
+def integrated_count_for(
+    implementation: int,
+    process: ThinFilmProcess = SUMMIT_PROCESS,
+) -> int:
+    """Number of integrated thin-film structures on the substrate.
+
+    This is the count the tolerance-class yield model of the design-space
+    sweep raises its per-structure yield to: every integrated passive
+    (and integrated filter section) must land inside its acceptance
+    window for the substrate to pass.
+    """
+    return sum(
+        1
+        for f in footprints_for(implementation, process)
+        if f.mount is MountKind.INTEGRATED
+    )
+
+
 def smd_count_for(implementation: int) -> int:
     """Number of SMD passive positions (Table 2's "# SMD's" row).
 
@@ -246,6 +277,8 @@ def flow_for(
     substrate_area_cm2: Optional[float] = None,
     chip_costs: Optional[data.ChipCosts] = None,
     nre: float = 0.0,
+    substrate_yield_factor: float = 1.0,
+    extra_substrate_cost: float = 0.0,
 ) -> ProductionFlow:
     """Build the MOE production flow for one build-up.
 
@@ -263,19 +296,31 @@ def flow_for(
         omitted.
     nre:
         Non-recurring engineering cost amortised over shipped units.
+    substrate_yield_factor:
+        Multiplier on the substrate carrier yield; the design-space sweep
+        folds its tolerance-class module yield in here.
+    extra_substrate_cost:
+        Additional per-substrate cost (e.g. laser trimming of precision
+        structures).
     """
     buildup = get_buildup(implementation)
     if substrate_area_cm2 is None:
         substrate_area_cm2 = area_for(implementation).substrate_area_cm2
     if chip_costs is None:
         chip_costs = data.ChipCosts()
+    if not (0.0 < substrate_yield_factor <= 1.0):
+        raise TechnologyError(
+            "substrate yield factor must lie in (0, 1], got "
+            f"{substrate_yield_factor}"
+        )
 
     i = implementation
     builder = FlowBuilder(buildup.name, nre=nre)
     builder.carrier(
         "Substrate (MCM-D/PCB)",
-        cost=data.SUBSTRATE_COST_PER_CM2[i] * substrate_area_cm2,
-        yield_=data.SUBSTRATE_YIELD[i],
+        cost=data.SUBSTRATE_COST_PER_CM2[i] * substrate_area_cm2
+        + extra_substrate_cost,
+        yield_=data.SUBSTRATE_YIELD[i] * substrate_yield_factor,
     )
     builder.process("Paste impression", cost=0.0, yield_=1.0)
     builder.process("Rerouting", cost=0.0, yield_=1.0)

@@ -29,6 +29,7 @@ from ..circuits.qfactor import (
 )
 from ..circuits.synthesis import QModel
 from ..passives.filters import FilterFamily, FilterSpec
+from ..passives.thin_film import SUMMIT_PROCESS, ThinFilmProcess
 from . import data
 
 
@@ -69,8 +70,13 @@ def filter_chain_specs() -> list[FilterSpec]:
 
 def technology_assignments(
     implementation: int,
+    process: ThinFilmProcess = SUMMIT_PROCESS,
 ) -> list[tuple[FilterSpec, Optional[QModel]]]:
     """``(spec, q_model)`` pairs for one build-up (input to assess_chain).
+
+    ``process`` selects the thin-film process behind the integrated
+    filter realisations of build-ups 3 and 4 (the design-space sweep's
+    process axis).
 
     Raises
     ------
@@ -85,7 +91,7 @@ def technology_assignments(
     if1 = if_filter_spec(1)
     if2 = if_filter_spec(2)
     block = DiscreteFilterBlockQModel()
-    summit = SummitQModel()
+    summit = SummitQModel(process=process)
     if implementation in (1, 2):
         return [(rf, block), (if1, block), (if2, block)]
     if implementation == 3:

@@ -10,7 +10,7 @@ through this function.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterable, Mapping, Optional
 
 from ..area.substrate import LAMINATE_RULE, MCM_D_RULE, PCB_RULE
 from ..core.methodology import (
@@ -19,8 +19,21 @@ from ..core.methodology import (
     run_study,
 )
 from ..core.figure_of_merit import FomWeights
+from ..core.sweep import (
+    DesignPoint,
+    EvaluationCache,
+    SweepGrid,
+    SweepReport,
+    run_design_sweep,
+)
+from ..passives.thin_film import SUMMIT_PROCESS
 from . import data
-from .buildups import flow_for, footprints_for, get_buildup
+from .buildups import (
+    flow_for,
+    footprints_for,
+    get_buildup,
+    integrated_count_for,
+)
 from .filters_chain import technology_assignments
 
 
@@ -76,6 +89,110 @@ def run_gps_study(
         reference=0,
         weights=weights,
         volume=volume,
+    )
+
+
+#: Extension-scenario NRE per build-up for the design-space sweep: PCB
+#: tooling, MCM-D mask set, plus the integrated-passive layers of 3/4.
+#: The paper publishes no NRE figures; without one the volume axis would
+#: be a no-op (Eq. (1) amortises only NRE over shipped units).
+SWEEP_NRE_SCENARIO: dict[int, float] = {
+    1: 5_000.0,
+    2: 30_000.0,
+    3: 45_000.0,
+    4: 45_000.0,
+}
+
+
+def sweep_candidates(
+    point: DesignPoint,
+    chip_costs: Optional[data.ChipCosts] = None,
+    nre_scenario: Optional[Mapping[int, float]] = None,
+) -> list[CandidateBuildUp]:
+    """The four GPS build-ups instantiated at one design point.
+
+    This is the GPS adapter for :mod:`repro.core.sweep`: the point's
+    axes are mapped onto the paper's knobs —
+
+    * ``process`` re-sizes the integrated passives (area step) and
+      re-models the integrated filters' Q (performance step) of
+      build-ups 3 and 4;
+    * ``substrate`` replaces the MCM-D sizing rule of build-ups 2-4
+      (the PCB reference keeps its board rule);
+    * ``tolerance`` folds its module yield and trim cost into the
+      substrate carrier of build-ups 3 and 4;
+    * ``volume`` is consumed by the sweep's cost evaluation, made
+      meaningful by the NRE scenario (``SWEEP_NRE_SCENARIO`` unless
+      overridden).
+    """
+    process = point.process if point.process is not None else SUMMIT_PROCESS
+    nre_by_impl = (
+        dict(nre_scenario) if nre_scenario is not None else SWEEP_NRE_SCENARIO
+    )
+    result = []
+    for implementation in (1, 2, 3, 4):
+        buildup = get_buildup(implementation)
+        footprints = footprints_for(implementation, process)
+
+        substrate_rule = MCM_D_RULE if buildup.is_mcm else PCB_RULE
+        if point.substrate is not None and buildup.is_mcm:
+            substrate_rule = point.substrate
+
+        yield_factor = 1.0
+        trim_cost = 0.0
+        if point.tolerance is not None and implementation in (3, 4):
+            integrated = integrated_count_for(implementation, process)
+            yield_factor = point.tolerance.module_yield(integrated)
+            trim_cost = point.tolerance.trim_cost(integrated)
+
+        def factory(
+            area_cm2: float,
+            _implementation: int = implementation,
+            _yield_factor: float = yield_factor,
+            _trim_cost: float = trim_cost,
+        ):
+            return flow_for(
+                _implementation,
+                area_cm2,
+                chip_costs,
+                nre=nre_by_impl.get(_implementation, 0.0),
+                substrate_yield_factor=_yield_factor,
+                extra_substrate_cost=_trim_cost,
+            )
+
+        result.append(
+            CandidateBuildUp(
+                name=buildup.name,
+                footprints=footprints,
+                substrate_rule=substrate_rule,
+                laminate=LAMINATE_RULE if buildup.is_mcm else None,
+                flow_factory=factory,
+                filter_assignments=technology_assignments(
+                    implementation, process
+                ),
+            )
+        )
+    return result
+
+
+def run_gps_sweep(
+    grid: SweepGrid | Iterable[DesignPoint],
+    chip_costs: Optional[data.ChipCosts] = None,
+    weights: Optional[FomWeights] = None,
+    nre_scenario: Optional[Mapping[int, float]] = None,
+    cache: Optional[EvaluationCache] = None,
+) -> SweepReport:
+    """Design-space sweep over the GPS case study.
+
+    The reference is implementation 1 (PCB/SMD) at every grid point, as
+    in the paper.
+    """
+    return run_design_sweep(
+        grid,
+        lambda point: sweep_candidates(point, chip_costs, nre_scenario),
+        reference=0,
+        weights=weights,
+        cache=cache,
     )
 
 

@@ -50,6 +50,7 @@ from .thin_film import (
     NICR_PROCESS,
     SI3N4_PROCESS,
     SUMMIT_PROCESS,
+    THIN_FILM_PROCESSES,
     SpiralInductorDesign,
     ThinFilmProcess,
     capacitor_area_mm2,
@@ -64,9 +65,14 @@ from .thin_film import (
     with_cap_density,
 )
 from .tolerance import (
+    MATCHING_CLASS,
+    PRECISION_CLASS,
+    TOLERANCE_CLASSES,
+    ToleranceClass,
     ToleranceModel,
     TrimDecision,
     TrimPlan,
+    UNCRITICAL_CLASS,
     monte_carlo_network_yield,
     network_value_yield,
     trim_plan,
@@ -84,8 +90,10 @@ __all__ = [
     "FilterFamily",
     "FilterSpec",
     "INTEGRATED_FILTER_AREA_MM2",
+    "MATCHING_CLASS",
     "MountingStyle",
     "NICR_PROCESS",
+    "PRECISION_CLASS",
     "PassiveKind",
     "PassiveRealization",
     "PassiveRequirement",
@@ -94,11 +102,15 @@ __all__ = [
     "SERIES_TOLERANCE",
     "SMD_FILTER_AREA_MM2",
     "SUMMIT_PROCESS",
+    "THIN_FILM_PROCESSES",
     "SnappedValue",
     "SmdCaseSize",
     "SpiralInductorDesign",
     "ThinFilmProcess",
+    "TOLERANCE_CLASSES",
+    "ToleranceClass",
     "ToleranceModel",
+    "UNCRITICAL_CLASS",
     "TrimDecision",
     "TrimPlan",
     "capacitor_area_mm2",

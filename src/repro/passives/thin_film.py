@@ -130,6 +130,13 @@ NICR_PROCESS = ThinFilmProcess(
     cap_density_pf_mm2=100.0,
 )
 
+#: Short-name registry used by the design-space sweep axis / CLI parsing.
+THIN_FILM_PROCESSES: dict[str, ThinFilmProcess] = {
+    "summit": SUMMIT_PROCESS,
+    "si3n4": SI3N4_PROCESS,
+    "nicr": NICR_PROCESS,
+}
+
 
 # ---------------------------------------------------------------------------
 # Resistors

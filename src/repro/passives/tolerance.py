@@ -75,6 +75,108 @@ class ToleranceModel:
         return math.erf(z / math.sqrt(2.0))
 
 
+@dataclass(frozen=True)
+class ToleranceClass:
+    """A named tolerance regime for integrated passives.
+
+    The design-space sweep subsystem
+    (:mod:`repro.core.sweep`) varies the tolerance discipline of a
+    build-up as one grid axis: how tight is the acceptance window per
+    integrated component, what scatter do the as-fabricated (or trimmed)
+    structures achieve, and what does trimming cost per structure.
+
+    Attributes
+    ----------
+    name:
+        Class label (e.g. ``"uncritical"``, ``"precision"``).
+    achieved_tolerance:
+        Relative +/-3-sigma scatter of the realised values (trimmed
+        structures achieve the trimmed tolerance).
+    acceptance_window:
+        Relative half-width of the acceptance window per component.
+    trim_cost_each:
+        Per-structure laser-trim cost charged to the substrate (zero for
+        untrimmed classes).
+    """
+
+    name: str
+    achieved_tolerance: float
+    acceptance_window: float
+    trim_cost_each: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.achieved_tolerance <= 1.0):
+            raise ComponentError(
+                "achieved tolerance must lie in (0, 1], got "
+                f"{self.achieved_tolerance}"
+            )
+        if self.acceptance_window <= 0:
+            raise ComponentError(
+                f"acceptance window must be positive, got "
+                f"{self.acceptance_window}"
+            )
+        if self.trim_cost_each < 0:
+            raise ComponentError(
+                f"trim cost cannot be negative, got {self.trim_cost_each}"
+            )
+
+    def component_yield(self) -> float:
+        """Probability one structure lands inside its window."""
+        model = ToleranceModel(
+            nominal=1.0, tolerance=self.achieved_tolerance
+        )
+        return model.within(self.acceptance_window)
+
+    def module_yield(self, component_count: int) -> float:
+        """Joint probability that every structure on a module passes."""
+        if component_count < 0:
+            raise ComponentError(
+                f"component count cannot be negative, got {component_count}"
+            )
+        return self.component_yield() ** component_count
+
+    def trim_cost(self, component_count: int) -> float:
+        """Total trim cost of a module with ``component_count`` structures."""
+        if component_count < 0:
+            raise ComponentError(
+                f"component count cannot be negative, got {component_count}"
+            )
+        return self.trim_cost_each * component_count
+
+
+#: Uncritical networks (decoupling, biasing): as-fabricated 15 % scatter
+#: against a generous 45 % window — essentially every structure passes.
+UNCRITICAL_CLASS = ToleranceClass(
+    name="uncritical",
+    achieved_tolerance=0.15,
+    acceptance_window=0.45,
+)
+
+#: Matching-grade networks: as-fabricated scatter against a 20 % window;
+#: the per-structure yield is high but no longer free on a 100-structure
+#: substrate.
+MATCHING_CLASS = ToleranceClass(
+    name="matching",
+    achieved_tolerance=0.15,
+    acceptance_window=0.20,
+)
+
+#: Precision networks: every structure laser-trimmed to ~1 %, checked
+#: against a 5 % window — near-unity yield bought with trim cost.
+PRECISION_CLASS = ToleranceClass(
+    name="precision",
+    achieved_tolerance=0.01,
+    acceptance_window=0.05,
+    trim_cost_each=0.02,
+)
+
+#: Registry for CLI/sweep axis parsing.
+TOLERANCE_CLASSES: dict[str, ToleranceClass] = {
+    cls.name: cls
+    for cls in (UNCRITICAL_CLASS, MATCHING_CLASS, PRECISION_CLASS)
+}
+
+
 def value_yield(
     requirement: PassiveRequirement, achieved_tolerance: float
 ) -> float:

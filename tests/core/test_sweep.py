@@ -1,0 +1,207 @@
+"""The design-space sweep subsystem."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.area.substrate import MCM_D_COARSE_RULE, MCM_D_FINE_RULE
+from repro.core.sweep import (
+    DesignPoint,
+    EvaluationCache,
+    SweepGrid,
+    run_design_sweep,
+)
+from repro.errors import SpecificationError
+from repro.gps.study import (
+    run_gps_study,
+    run_gps_sweep,
+    sweep_candidates,
+)
+from repro.passives.thin_film import SI3N4_PROCESS
+from repro.passives.tolerance import MATCHING_CLASS, PRECISION_CLASS
+
+IMPL3 = "MCM-D(Si)/FC/IP"
+IMPL4 = "MCM-D(Si)/FC/IP&SMD"
+
+
+class TestGrid:
+    def test_default_grid_is_one_point(self):
+        grid = SweepGrid()
+        assert len(grid) == 1
+        assert grid.points() == [DesignPoint()]
+
+    def test_cartesian_product(self):
+        grid = SweepGrid(
+            volumes=(1e3, 1e4),
+            processes=(None, SI3N4_PROCESS),
+            tolerances=(None, PRECISION_CLASS, MATCHING_CLASS),
+        )
+        assert len(grid) == 12
+        assert len(grid.points()) == 12
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(SpecificationError):
+            SweepGrid(volumes=())
+
+    def test_nonpositive_volume_rejected(self):
+        with pytest.raises(SpecificationError):
+            DesignPoint(volume=0.0)
+
+    def test_point_label_names_axes(self):
+        label = DesignPoint(
+            volume=5000.0, tolerance=PRECISION_CLASS
+        ).label()
+        assert "volume=5000" in label
+        assert "tolerance=precision" in label
+        assert "process=paper" in label
+
+
+class TestRunDesignSweep:
+    def test_empty_points_rejected(self):
+        with pytest.raises(SpecificationError):
+            run_design_sweep([], sweep_candidates)
+
+    def test_bad_reference_rejected(self):
+        with pytest.raises(SpecificationError):
+            run_design_sweep(
+                [DesignPoint()], sweep_candidates, reference=9
+            )
+
+    def test_empty_factory_rejected(self):
+        with pytest.raises(SpecificationError):
+            run_design_sweep([DesignPoint()], lambda point: [])
+
+    def test_matches_run_study_at_paper_point(self):
+        """One sweep point with zero NRE must equal the plain study."""
+        study = run_gps_study()
+        report = run_gps_sweep(
+            [DesignPoint()], nre_scenario={i: 0.0 for i in (1, 2, 3, 4)}
+        )
+        (cell,) = report.cells
+        for study_row, sweep_row in zip(study.rows, cell.result.rows):
+            assert sweep_row.fom.figure_of_merit == pytest.approx(
+                study_row.fom.figure_of_merit, rel=1e-12
+            )
+            assert sweep_row.area_percent == pytest.approx(
+                study_row.area_percent, rel=1e-12
+            )
+            assert sweep_row.cost_percent == pytest.approx(
+                study_row.cost_percent, rel=1e-12
+            )
+
+    def test_memoisation_shares_performance_and_area(self):
+        cache = EvaluationCache()
+        run_gps_sweep(
+            SweepGrid(volumes=(1e3, 1e4, 1e5)), cache=cache
+        )
+        # Two follow-up volume points hit performance and area for all
+        # four candidates (build-ups 1 and 2 even share one performance
+        # key: identical discrete-filter assignments).
+        assert cache.hits >= 2 * 4 * 2
+        # The cost step genuinely depends on volume: four candidates
+        # miss it at each of the three volumes.
+        assert cache.misses >= 4 * 3
+
+    def test_rows_are_pareto_ready(self):
+        report = run_gps_sweep([DesignPoint()])
+        assert len(report.rows) == 4
+        winner_rows = [row for row in report.rows if row.is_winner]
+        assert len(winner_rows) == 1
+        assert winner_rows[0].candidate == IMPL4
+        # Full integration (impl 3) is dominated by impl 4 on all axes.
+        impl3 = next(r for r in report.rows if r.candidate == IMPL3)
+        assert not impl3.on_pareto_front
+        record = report.rows[0].as_dict()
+        assert set(record) >= {
+            "volume",
+            "candidate",
+            "performance",
+            "area_percent",
+            "cost_percent",
+            "figure_of_merit",
+            "on_pareto_front",
+        }
+
+    def test_winner_counts_and_best_row(self):
+        report = run_gps_sweep(SweepGrid(volumes=(1e3, 1e5)))
+        counts = report.winner_counts()
+        assert sum(counts.values()) == 2
+        best = report.best_row()
+        assert best.figure_of_merit == max(
+            row.figure_of_merit for row in report.rows
+        )
+        assert report.rows_for(IMPL4) == [
+            row for row in report.rows if row.candidate == IMPL4
+        ]
+
+
+class TestGpsAxes:
+    def test_volume_moves_mcm_cost_through_nre(self):
+        """Prototype volumes punish the MCM mask-set NRE."""
+        report = run_gps_sweep(SweepGrid(volumes=(200.0, 100_000.0)))
+        small, large = (
+            next(
+                r
+                for r in report.rows
+                if r.candidate == IMPL3 and r.volume == volume
+            )
+            for volume in (200.0, 100_000.0)
+        )
+        assert small.cost_percent > large.cost_percent + 5.0
+
+    def test_tolerance_class_costs_yield_or_trim(self):
+        """A tolerance class can only make build-ups 3/4 dearer."""
+        report = run_gps_sweep(
+            SweepGrid(tolerances=(None, MATCHING_CLASS, PRECISION_CLASS))
+        )
+
+        def cost(candidate, tolerance):
+            return next(
+                r.cost_percent
+                for r in report.rows
+                if r.candidate == candidate and r.tolerance == tolerance
+            )
+
+        for impl in (IMPL3, IMPL4):
+            assert cost(impl, "matching") > cost(impl, "paper")
+            assert cost(impl, "precision") > cost(impl, "paper")
+
+    def test_substrate_axis_moves_area(self):
+        report = run_gps_sweep(
+            SweepGrid(substrates=(MCM_D_FINE_RULE, MCM_D_COARSE_RULE))
+        )
+
+        def area(candidate, substrate):
+            return next(
+                r.area_percent
+                for r in report.rows
+                if r.candidate == candidate and r.substrate == substrate
+            )
+
+        assert area(IMPL4, "MCM-D(Si) fine-line") < area(
+            IMPL4, "MCM-D(Si) coarse"
+        )
+
+    def test_process_axis_resizes_integrated_passives(self):
+        """A lower-density cap stack grows build-up 3's substrate."""
+        report = run_gps_sweep(
+            SweepGrid(processes=(None, SI3N4_PROCESS))
+        )
+
+        def area(process):
+            return next(
+                r.area_percent
+                for r in report.rows
+                if r.candidate == IMPL3 and r.process == process
+            )
+
+        assert area("Si3N4 thin film") > area("paper")
+
+    def test_sweep_candidates_reject_nothing_silently(self):
+        candidates = sweep_candidates(DesignPoint())
+        assert [c.name for c in candidates] == [
+            "PCB/SMD (reference)",
+            "MCM-D(Si)/WB/SMD",
+            IMPL3,
+            IMPL4,
+        ]

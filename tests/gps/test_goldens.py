@@ -1,0 +1,124 @@
+"""Golden-file regression tests for the GPS case study.
+
+The vectorised MNA engine must not move a single digit of the published
+reproduction.  ``goldens/gps_study.json`` snapshots every number behind
+Table 1, Fig. 3, Fig. 5 and Fig. 6 at full ``repr`` precision; the test
+re-derives the same canonical JSON from a fresh :func:`run_gps_study`
+and compares **byte for byte** — any silent drift (a reordered float
+sum, a changed solver path) fails loudly.
+
+Regenerate after an *intentional* numeric change with::
+
+    PYTHONPATH=src python tests/gps/test_goldens.py --write
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.area.footprint import CHIP_AREAS
+from repro.gps.buildups import area_for
+from repro.gps.study import run_gps_study, summary_rows
+from repro.passives.smd import get_case
+from repro.passives.thin_film import (
+    INTEGRATED_FILTER_AREA_MM2,
+    SUMMIT_PROCESS,
+    capacitor_area_mm2,
+    inductor_area_mm2,
+    resistor_area_mm2,
+)
+
+GOLDEN_PATH = Path(__file__).parent / "goldens" / "gps_study.json"
+
+IMPLEMENTATIONS = (1, 2, 3, 4)
+
+
+def render_goldens() -> str:
+    """Canonical JSON of every regression-locked number.
+
+    Sorted keys, two-space indent, trailing newline; floats serialise
+    via ``repr`` (shortest round-trip form), so equal bytes mean equal
+    IEEE doubles.
+    """
+    result = run_gps_study()
+    rows = {row.implementation: row for row in summary_rows(result)}
+
+    table1 = {
+        "rf_chip_tqfp_mm2": CHIP_AREAS["RF chip"].packaged_mm2,
+        "rf_chip_wb_mm2": CHIP_AREAS["RF chip"].wire_bond_mm2,
+        "rf_chip_fc_mm2": CHIP_AREAS["RF chip"].flip_chip_mm2,
+        "dsp_pqfp_mm2": CHIP_AREAS["DSP correlator"].packaged_mm2,
+        "dsp_wb_mm2": CHIP_AREAS["DSP correlator"].wire_bond_mm2,
+        "dsp_fc_mm2": CHIP_AREAS["DSP correlator"].flip_chip_mm2,
+        "smd_0603_mm2": get_case("0603").footprint_area_mm2,
+        "smd_0805_mm2": get_case("0805").footprint_area_mm2,
+        "ip_resistor_100k_mm2": resistor_area_mm2(100e3, SUMMIT_PROCESS),
+        "ip_capacitor_50pf_mm2": capacitor_area_mm2(50e-12, SUMMIT_PROCESS),
+        "ip_inductor_40nh_mm2": inductor_area_mm2(40e-9, SUMMIT_PROCESS),
+        "integrated_filter_mm2": INTEGRATED_FILTER_AREA_MM2,
+    }
+
+    fig3 = {
+        str(i): {
+            "substrate_area_cm2": area_for(i).substrate_area_cm2,
+            "final_area_mm2": area_for(i).final_area_mm2,
+            "area_percent": rows[i].area_percent,
+        }
+        for i in IMPLEMENTATIONS
+    }
+
+    fig5 = {
+        str(i): {
+            "final_cost_per_shipped": result.row(
+                rows[i].name
+            ).assessment.final_cost,
+            "cost_percent": rows[i].cost_percent,
+        }
+        for i in IMPLEMENTATIONS
+    }
+
+    fig6 = {
+        str(i): {
+            "performance": rows[i].performance,
+            "figure_of_merit": rows[i].figure_of_merit,
+        }
+        for i in IMPLEMENTATIONS
+    }
+
+    payload = {
+        "table1": table1,
+        "fig3": fig3,
+        "fig5": fig5,
+        "fig6": fig6,
+        "winner": result.winner.assessment.name,
+        "reference": result.reference_name,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+class TestGoldens:
+    def test_golden_file_exists(self):
+        assert GOLDEN_PATH.is_file(), (
+            f"missing golden file {GOLDEN_PATH}; regenerate with "
+            "PYTHONPATH=src python tests/gps/test_goldens.py --write"
+        )
+
+    def test_study_reproduces_goldens_byte_for_byte(self):
+        expected = GOLDEN_PATH.read_text()
+        actual = render_goldens()
+        assert actual == expected, (
+            "GPS study output drifted from tests/gps/goldens/"
+            "gps_study.json.  If the change is intentional, regenerate "
+            "with: PYTHONPATH=src python tests/gps/test_goldens.py --write"
+        )
+
+
+if __name__ == "__main__":
+    if "--write" in sys.argv:
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(render_goldens())
+        print(f"wrote {GOLDEN_PATH}")
+    else:
+        print(__doc__)

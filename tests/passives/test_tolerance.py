@@ -9,7 +9,12 @@ from hypothesis import strategies as st
 from repro.errors import ComponentError
 from repro.passives.component import PassiveKind, PassiveRequirement
 from repro.passives.tolerance import (
+    MATCHING_CLASS,
+    PRECISION_CLASS,
+    TOLERANCE_CLASSES,
+    ToleranceClass,
     ToleranceModel,
+    UNCRITICAL_CLASS,
     monte_carlo_network_yield,
     network_value_yield,
     trim_plan,
@@ -122,4 +127,57 @@ class TestNetworkYield:
         with pytest.raises(ComponentError):
             monte_carlo_network_yield(
                 [ToleranceModel(1.0, 0.1)], [0.1], trials=0
+            )
+
+
+class TestToleranceClass:
+    def test_registry_contains_standard_classes(self):
+        assert TOLERANCE_CLASSES["uncritical"] is UNCRITICAL_CLASS
+        assert TOLERANCE_CLASSES["matching"] is MATCHING_CLASS
+        assert TOLERANCE_CLASSES["precision"] is PRECISION_CLASS
+
+    def test_component_yield_orders_by_window_tightness(self):
+        """Uncritical windows pass more often than matching windows."""
+        assert (
+            UNCRITICAL_CLASS.component_yield()
+            > MATCHING_CLASS.component_yield()
+        )
+        for cls in (UNCRITICAL_CLASS, MATCHING_CLASS, PRECISION_CLASS):
+            assert 0.0 < cls.component_yield() <= 1.0
+
+    def test_trimming_buys_back_yield(self):
+        """Precision (trimmed to 1 %) beats untrimmed matching yield."""
+        assert (
+            PRECISION_CLASS.component_yield()
+            > MATCHING_CLASS.component_yield()
+        )
+
+    def test_module_yield_compounds(self):
+        single = MATCHING_CLASS.component_yield()
+        assert MATCHING_CLASS.module_yield(10) == pytest.approx(single**10)
+        assert MATCHING_CLASS.module_yield(0) == 1.0
+
+    def test_trim_cost_scales_with_count(self):
+        assert PRECISION_CLASS.trim_cost(100) == pytest.approx(
+            100 * PRECISION_CLASS.trim_cost_each
+        )
+        assert UNCRITICAL_CLASS.trim_cost(100) == 0.0
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ComponentError):
+            PRECISION_CLASS.module_yield(-1)
+        with pytest.raises(ComponentError):
+            PRECISION_CLASS.trim_cost(-1)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ComponentError):
+            ToleranceClass("bad", achieved_tolerance=0.0, acceptance_window=0.1)
+        with pytest.raises(ComponentError):
+            ToleranceClass("bad", achieved_tolerance=0.1, acceptance_window=0.0)
+        with pytest.raises(ComponentError):
+            ToleranceClass(
+                "bad",
+                achieved_tolerance=0.1,
+                acceptance_window=0.1,
+                trim_cost_each=-1.0,
             )

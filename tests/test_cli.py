@@ -1,4 +1,9 @@
-"""The repro-gps command-line interface."""
+"""The repro-gps command-line interface.
+
+Every subcommand is exercised end-to-end through ``main`` with output
+captured via capsys, and every bad-argument path is pinned to argparse's
+``SystemExit`` contract (exit code 2).
+"""
 
 from __future__ import annotations
 
@@ -10,7 +15,7 @@ from repro.cli import build_parser, main
 class TestParser:
     def test_subcommands_exist(self):
         parser = build_parser()
-        for command in ("study", "flow", "compare", "calibrate"):
+        for command in ("study", "flow", "compare", "calibrate", "sweep"):
             args = parser.parse_args(
                 [command, "2"] if command == "flow" else [command]
             )
@@ -20,6 +25,58 @@ class TestParser:
         parser = build_parser()
         with pytest.raises(SystemExit):
             parser.parse_args(["flow", "7"])
+
+    def test_flow_requires_an_implementation(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["flow"])
+
+    def test_flow_rejects_non_integer(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["flow", "two"])
+
+    def test_unknown_command_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["nonsense"])
+
+    def test_study_rejects_bad_volume(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["study", "--volume", "lots"])
+
+    def test_calibrate_rejects_bad_discount(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["calibrate", "--bare-discount", "cheap"])
+
+
+class TestSweepArgumentErrors:
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["sweep", "--volumes", "abc"],
+            ["sweep", "--volumes", "-5"],
+            ["sweep", "--volumes", ""],
+            ["sweep", "--processes", "bogus"],
+            ["sweep", "--substrates", "granite"],
+            ["sweep", "--tolerances", "loose"],
+        ],
+    )
+    def test_bad_axis_values_exit_2(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "error" in err
+
+    def test_unknown_process_names_alternatives(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--processes", "bogus"])
+        err = capsys.readouterr().err
+        assert "summit" in err
+        assert "paper" in err
 
 
 class TestCommands:
@@ -35,12 +92,74 @@ class TestCommands:
         assert "Fig. 3" in out
         assert "Recommended build-up" in out
 
+    def test_study_with_volume(self, capsys):
+        assert main(["study", "--volume", "500"]) == 0
+        assert "Fig. 6" in capsys.readouterr().out
+
     def test_compare_command(self, capsys):
         assert main(["compare"]) == 0
         out = capsys.readouterr().out
         assert "area" in out
         assert "paper=" in out
 
+    def test_calibrate_command(self, capsys):
+        assert main(["calibrate"]) == 0
+        out = capsys.readouterr().out
+        assert "RF chip" in out
+        assert "ordering preserved" in out
+
     def test_default_is_study(self, capsys):
         assert main([]) == 0
         assert "Fig. 6" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    def test_default_sweep_single_point(self, capsys):
+        assert main(["sweep"]) == 0
+        out = capsys.readouterr().out
+        assert "Design-space sweep: 1 points, 4 rows" in out
+        assert "PCB/SMD (reference)" in out
+        assert "Winner counts" in out
+        assert "Memoised sub-results" in out
+
+    def test_multi_axis_sweep(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--volumes",
+                    "1e3,1e4",
+                    "--tolerances",
+                    "paper,precision",
+                    "--processes",
+                    "paper,si3n4",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "8 points, 32 rows" in out
+        assert "precision" in out
+        assert "Best overall:" in out
+
+    def test_substrate_axis(self, capsys):
+        assert main(["sweep", "--substrates", "fine,coarse"]) == 0
+        out = capsys.readouterr().out
+        assert "fine-line" in out
+        assert "coarse" in out
+
+    def test_csv_output(self, capsys):
+        assert main(["sweep", "--csv", "--volumes", "1e4"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("volume,substrate,process,tolerance")
+        assert len(lines) == 1 + 4  # header + one row per build-up
+        assert any("True" in line for line in lines[1:])  # a winner exists
+
+    def test_winner_marked(self, capsys):
+        assert main(["sweep"]) == 0
+        out = capsys.readouterr().out
+        winner_lines = [
+            line for line in out.splitlines() if line.rstrip().endswith("WP")
+        ]
+        assert len(winner_lines) == 1
+        assert "IP&SMD" in winner_lines[0]
