@@ -1,0 +1,136 @@
+"""Speed benchmark: circuit-stacked solves vs looping ``sweep()``.
+
+A *family* sweep evaluates ``B`` structurally identical circuits (same
+topology, different element values — a tolerance class, an E-series
+snap, a candidate set) over one frequency grid.  The stacked engine
+stamps the whole family as a single ``(B, F, n, n)`` tensor and solves
+every member, frequency and excitation in one ``numpy.linalg.solve``
+call; the baseline loops :func:`repro.circuits.twoport.sweep` over the
+members, paying the per-circuit plan construction, stamping and LAPACK
+dispatch ``B`` times.
+
+Pinned properties:
+
+* **agreement** — the stacked results are *bit-identical* to the
+  per-circuit loop (the guarantee the execution engines build on);
+* **speed** — at the family-sweep operating point (32 circuits,
+  21-point grid: per-circuit python overhead dominates the tiny
+  per-matrix LAPACK work) the stacked path is at least 3x faster.
+  The margin shrinks as the grid grows and the solve itself takes
+  over — the README table reports the full profile.
+
+A second check pins the engine contract end-to-end: all three
+execution engines produce byte-identical sweep rows on the GPS study
+(whose absolute numbers are locked by ``tests/gps/goldens/``).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.circuits.netlist import Circuit
+from repro.circuits.twoport import sweep, sweep_stacked
+from repro.core.executors import make_executor
+from repro.core.sweep import SweepGrid
+from repro.gps.study import run_gps_sweep
+
+FAMILY_SIZE = 32
+SWEEP_POINTS = 21
+START_HZ = 50e6
+STOP_HZ = 500e6
+
+
+def six_node_variant(scale: float) -> Circuit:
+    """One member of the benchmark family: the 6-node chain, re-valued."""
+    c = Circuit(f"bench-family-{scale:.3f}")
+    c.resistor("R1", "in", "n1", 10.0 * scale)
+    c.inductor("L1", "n1", "n2", 50e-9 * scale, series_resistance=0.5)
+    c.capacitor("C1", "n2", "0", 20e-12 / scale)
+    c.inductor("L2", "n2", "n3", 80e-9, series_resistance=0.8 * scale)
+    c.capacitor("C2", "n3", "0", 10e-12)
+    c.resistor("R2", "n3", "n4", 5.0)
+    c.capacitor("C3", "n4", "out", 15e-12 * scale)
+    c.inductor("L3", "out", "0", 30e-9, series_resistance=0.2)
+    c.port("p1", "in", 50.0)
+    c.port("p2", "out", 50.0)
+    return c
+
+
+def benchmark_family() -> list[Circuit]:
+    """32 same-topology, different-value members."""
+    return [
+        six_node_variant(1.0 + 0.05 * member)
+        for member in range(FAMILY_SIZE)
+    ]
+
+
+def _best_of(fn, repeats: int = 5) -> float:
+    """Minimum wall-clock of ``repeats`` runs (noise-robust timing)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_stacked_sweep_is_bit_identical_to_loop():
+    family = benchmark_family()
+    stacked = sweep_stacked(family, START_HZ, STOP_HZ, points=SWEEP_POINTS)
+    for member, circuit in enumerate(family):
+        single = sweep(circuit, START_HZ, STOP_HZ, points=SWEEP_POINTS)
+        np.testing.assert_array_equal(
+            stacked.s_matrices[member], single.s_matrices
+        )
+
+
+def test_stacked_sweep_speedup():
+    """Acceptance criterion: >= 3x on a 32-circuit family sweep."""
+    family = benchmark_family()
+
+    def stacked():
+        sweep_stacked(family, START_HZ, STOP_HZ, points=SWEEP_POINTS)
+
+    def loop():
+        for circuit in family:
+            sweep(circuit, START_HZ, STOP_HZ, points=SWEEP_POINTS)
+
+    # Warm both paths (imports, allocator, BLAS thread pools).
+    stacked()
+    loop()
+    stacked_s = _best_of(stacked)
+    loop_s = _best_of(loop)
+    speedup = loop_s / stacked_s
+    print(
+        f"\n{FAMILY_SIZE}-circuit family, {SWEEP_POINTS}-point sweep: "
+        f"stacked {1e3 * stacked_s:.2f} ms, per-circuit loop "
+        f"{1e3 * loop_s:.2f} ms -> {speedup:.1f}x"
+    )
+    assert speedup >= 3.0
+
+
+def test_stacked_sweep_benchmark(benchmark):
+    """pytest-benchmark timing of the stacked hot path."""
+    family = benchmark_family()
+    result = benchmark(
+        lambda: sweep_stacked(
+            family, START_HZ, STOP_HZ, points=SWEEP_POINTS
+        )
+    )
+    assert len(result) == FAMILY_SIZE
+
+
+def test_every_engine_reproduces_the_same_gps_rows():
+    """Serial, process and stacked sweep rows are byte-identical."""
+    grid = SweepGrid(volumes=(1_000.0, 100_000.0))
+    serial = run_gps_sweep(grid, executor=make_executor("serial"))
+    process = run_gps_sweep(grid, executor=make_executor("process", 2))
+    stacked = run_gps_sweep(grid, executor=make_executor("stacked"))
+    assert process.rows == serial.rows
+    assert stacked.rows == serial.rows
+    print(
+        f"\n{len(serial.rows)} sweep rows byte-identical across "
+        "serial/process/stacked engines"
+    )

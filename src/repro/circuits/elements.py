@@ -248,6 +248,62 @@ def lossy_capacitor(
     )
 
 
+def stacked_admittances(
+    elements: "list[Element]", omegas: np.ndarray
+) -> np.ndarray:
+    """``(B, F)`` admittances of one element *slot* of a circuit family.
+
+    ``elements`` holds the same structural slot of ``B`` circuits that
+    share a topology (same element kind between the same nodes, different
+    values).  When every element is a concrete :class:`Resistor`,
+    :class:`Capacitor` or :class:`Inductor`, the whole slot is evaluated
+    with one numpy expression over ``(B, F)``; the operation order of the
+    per-element :meth:`Element.admittances` formulas is preserved exactly,
+    so the stacked values are bit-identical to evaluating each circuit on
+    its own.  Mixed or unknown element types fall back to the per-element
+    vectorised path.
+    """
+    array = _validate_omegas(omegas)
+    members = list(elements)
+    if not members:
+        raise CircuitError("stacked admittances need at least one element")
+
+    if all(type(e) is Resistor for e in members):
+        conductance = 1.0 / np.array(
+            [e.resistance for e in members], dtype=float
+        )
+        out = np.empty((len(members), array.size), dtype=complex)
+        out[:] = conductance[:, None]
+        return out
+
+    if all(type(e) is Capacitor for e in members):
+        capacitance = np.array([e.capacitance for e in members])[:, None]
+        loss = np.array(
+            [complex(e.tan_delta, 1.0) for e in members]
+        )[:, None]
+        esr = np.array([e.esr for e in members])[:, None]
+        y_diel = array[None, :] * capacitance * loss
+        if not np.any(esr > 0.0):
+            return y_diel
+        # np.where keeps the esr == 0 rows bit-identical to y_diel
+        # (1 / (1/y) is not an exact round trip).
+        return np.where(esr == 0.0, y_diel, 1.0 / (esr + 1.0 / y_diel))
+
+    if all(type(e) is Inductor for e in members):
+        inductance = np.array([e.inductance for e in members])[:, None]
+        series_r = np.array(
+            [e.series_resistance for e in members]
+        )[:, None]
+        c_par = np.array([e.c_par for e in members])[:, None]
+        y = 1.0 / (series_r + 1j * array[None, :] * inductance)
+        if not np.any(c_par > 0.0):
+            return y
+        # Guard c_par == 0 rows: y + 0j could flip signed zeros.
+        return np.where(c_par > 0.0, y + 1j * array[None, :] * c_par, y)
+
+    return np.array([e.admittances(array) for e in members], dtype=complex)
+
+
 @dataclass(frozen=True)
 class Port:
     """An analysis port: a node (referenced to ground) with an impedance."""

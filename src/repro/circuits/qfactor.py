@@ -114,6 +114,30 @@ class SummitQModel:
         q_sub = self.q_sub_ref * self.f_sub_ref_hz / grid
         return 1.0 / (1.0 / q_cond + 1.0 / q_sub)
 
+    def inductor_q_profiles(
+        self, inductances_h, frequencies_hz
+    ) -> np.ndarray:
+        """Stacked ``(B, F)`` inductor Q over values *and* frequencies.
+
+        The per-value spiral geometry is the only scalar step; the
+        conductor/substrate combination evaluates as one numpy
+        expression over the whole ``(B, F)`` block.
+        """
+        grid = _validate_frequencies(frequencies_hz)
+        values = _validate_inductances(inductances_h)
+        series_r = np.array(
+            [
+                design_spiral_inductor(
+                    float(value), self.process
+                ).series_resistance_ohm
+                for value in values
+            ]
+        )
+        omega = 2.0 * math.pi * grid
+        q_cond = omega[None, :] * values[:, None] / series_r[:, None]
+        q_sub = self.q_sub_ref * self.f_sub_ref_hz / grid
+        return 1.0 / (1.0 / q_cond + 1.0 / q_sub[None, :])
+
     def capacitor_q(self, capacitance_f: float, frequency_hz: float) -> float:
         del capacitance_f, frequency_hz
         return 1.0 / self.cap_tan_delta
@@ -187,6 +211,14 @@ class MixedQModel:
             self.inductor_model, inductance_h, frequencies_hz
         )
 
+    def inductor_q_profiles(
+        self, inductances_h, frequencies_hz
+    ) -> np.ndarray:
+        """Delegate stacked evaluation to the inductor technology."""
+        return inductor_q_profiles(
+            self.inductor_model, inductances_h, frequencies_hz
+        )
+
     def capacitor_q(self, capacitance_f: float, frequency_hz: float) -> float:
         return self.capacitor_model.capacitor_q(capacitance_f, frequency_hz)
 
@@ -203,6 +235,20 @@ def _validate_frequencies(frequencies_hz) -> np.ndarray:
             f"frequency must be positive, got {float(grid.min())}"
         )
     return grid
+
+
+def _validate_inductances(inductances_h) -> np.ndarray:
+    """Coerce to a 1-D positive float array (the stacked-profile contract)."""
+    values = np.asarray(inductances_h, dtype=float)
+    if values.ndim == 0:
+        values = values[None]
+    if values.size == 0:
+        raise CircuitError("inductance list must not be empty")
+    if np.any(values <= 0):
+        raise CircuitError(
+            f"inductance must be positive, got {float(values.min())}"
+        )
+    return values
 
 
 def inductor_q_profile(
@@ -225,6 +271,29 @@ def inductor_q_profile(
     )
 
 
+def inductor_q_profiles(
+    q_model, inductances_h, frequencies_hz
+) -> np.ndarray:
+    """Stacked ``(B, F)`` inductor Q: many values over one grid.
+
+    The batched analogue of :func:`inductor_q_profile` — the shape a
+    design-space sweep asks for when tracing a whole inductor family.
+    Dispatches to the model's ``inductor_q_profiles`` when it provides
+    one (:class:`SummitQModel` evaluates the whole block as one numpy
+    expression); otherwise stacks the per-value grid profile.
+    """
+    vectorised = getattr(q_model, "inductor_q_profiles", None)
+    if vectorised is not None:
+        return np.asarray(vectorised(inductances_h, frequencies_hz))
+    values = _validate_inductances(inductances_h)
+    return np.stack(
+        [
+            inductor_q_profile(q_model, float(value), frequencies_hz)
+            for value in values
+        ]
+    )
+
+
 def capacitor_q_profile(
     q_model, capacitance_f: float, frequencies_hz
 ) -> np.ndarray:
@@ -233,6 +302,23 @@ def capacitor_q_profile(
     return np.array(
         [q_model.capacitor_q(capacitance_f, float(f)) for f in grid]
     )
+
+
+def _combine_profiles(q_l: np.ndarray, q_c: np.ndarray) -> np.ndarray:
+    """``1/Q = 1/Q_L + 1/Q_C`` elementwise, shape-generic.
+
+    Infinite contributions are dropped; all-infinite points stay
+    infinite.  Shared by the grid and the stacked combiners.
+    """
+    inverse = np.zeros_like(q_l, dtype=float)
+    finite_l = np.isfinite(q_l) & (q_l > 0)
+    finite_c = np.isfinite(q_c) & (q_c > 0)
+    inverse[finite_l] += 1.0 / q_l[finite_l]
+    inverse[finite_c] += 1.0 / q_c[finite_c]
+    result = np.full(inverse.shape, math.inf)
+    nonzero = inverse > 0
+    result[nonzero] = 1.0 / inverse[nonzero]
+    return result
 
 
 def combined_q_profile(
@@ -249,15 +335,37 @@ def combined_q_profile(
     """
     q_l = inductor_q_profile(q_model, inductance_h, frequencies_hz)
     q_c = capacitor_q_profile(q_model, capacitance_f, frequencies_hz)
-    inverse = np.zeros_like(q_l, dtype=float)
-    finite_l = np.isfinite(q_l) & (q_l > 0)
-    finite_c = np.isfinite(q_c) & (q_c > 0)
-    inverse[finite_l] += 1.0 / q_l[finite_l]
-    inverse[finite_c] += 1.0 / q_c[finite_c]
-    result = np.full(inverse.shape, math.inf)
-    nonzero = inverse > 0
-    result[nonzero] = 1.0 / inverse[nonzero]
-    return result
+    return _combine_profiles(q_l, q_c)
+
+
+def combined_q_profiles(
+    q_model,
+    inductances_h,
+    capacitances_f,
+    frequencies_hz,
+) -> np.ndarray:
+    """Stacked ``(B, F)`` resonator Q of many L/C pairs over one grid.
+
+    The batched analogue of :func:`combined_q_profile`: row ``b``
+    combines ``inductances_h[b]`` with ``capacitances_f[b]``.
+    """
+    inductances = _validate_inductances(inductances_h)
+    capacitances = np.asarray(capacitances_f, dtype=float)
+    if capacitances.ndim == 0:
+        capacitances = capacitances[None]
+    if capacitances.shape != inductances.shape:
+        raise CircuitError(
+            f"need one capacitance per inductance, got "
+            f"{capacitances.size} for {inductances.size}"
+        )
+    q_l = inductor_q_profiles(q_model, inductances, frequencies_hz)
+    q_c = np.stack(
+        [
+            capacitor_q_profile(q_model, float(value), frequencies_hz)
+            for value in capacitances
+        ]
+    )
+    return _combine_profiles(q_l, q_c)
 
 
 def combined_unloaded_q(

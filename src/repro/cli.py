@@ -9,7 +9,10 @@ Installed as ``repro-gps``.  Subcommands:
 * ``calibrate`` — re-run the confidential chip-cost calibration;
 * ``sweep`` — fan the methodology out over a design-space grid
   (volume x substrate rule x thin-film process x tolerance class) and
-  print Pareto-ready rows.
+  print Pareto-ready rows.  ``--engine serial|process|stacked`` and
+  ``--jobs N`` pick the execution engine (identical rows either way);
+  ``--cache-stats`` prints the per-table memo tally, merged across
+  workers.
 """
 
 from __future__ import annotations
@@ -20,6 +23,7 @@ from typing import Optional, Sequence
 
 from .area.substrate import SUBSTRATE_RULES
 from .core.decision import full_report
+from .core.executors import ENGINE_NAMES, resolve_executor
 from .core.sweep import SweepGrid
 from .cost.calibration import calibrate_chip_costs
 from .cost.moe.builder import render_flow
@@ -96,6 +100,21 @@ def _axis_values(raw: str, registry: dict, axis: str) -> tuple:
     return tuple(values)
 
 
+def _positive_int(raw: str) -> int:
+    """Parse a strictly positive integer argument."""
+    try:
+        value = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"{raw!r} is not an integer"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"need a positive worker count, got {value}"
+        )
+    return value
+
+
 def _volume_values(raw: str) -> tuple:
     """Parse a comma-separated list of positive volumes."""
     values = []
@@ -119,6 +138,16 @@ def _volume_values(raw: str) -> tuple:
     return tuple(values)
 
 
+def _print_cache_stats(stats: dict) -> None:
+    """Render the per-table memo tally (merged across workers)."""
+    print("Evaluation cache (merged across workers):")
+    for table, tally in stats["tables"].items():
+        print(
+            f"  {table:>12}: {tally['hits']} hits / "
+            f"{tally['misses']} misses / {tally['entries']} entries"
+        )
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     grid = SweepGrid(
         volumes=args.volumes,
@@ -126,13 +155,28 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         processes=args.processes,
         tolerances=args.tolerances,
     )
-    report = run_gps_sweep(grid)
+    # Explicit flags win per argument; unset ones fall back to the
+    # REPRO_SWEEP_ENGINE / REPRO_SWEEP_JOBS environment defaults.
+    executor = resolve_executor(args.engine, args.jobs)
+    report = run_gps_sweep(grid, executor=executor)
     if args.csv:
         header = list(report.rows[0].as_dict())
         print(",".join(header))
         for row in report.rows:
             record = row.as_dict()
             print(",".join(str(record[key]) for key in header))
+        if args.cache_stats:
+            # Keep stdout pure CSV; the tally goes to stderr.
+            print(
+                "cache: "
+                + " ".join(
+                    f"{table}={tally['hits']}h/{tally['misses']}m"
+                    for table, tally in report.cache_stats[
+                        "tables"
+                    ].items()
+                ),
+                file=sys.stderr,
+            )
         return 0
 
     print(f"Design-space sweep: {len(grid)} points, {len(report.rows)} rows")
@@ -163,6 +207,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     hits, misses = report.cache_stats["hits"], report.cache_stats["misses"]
     print(f"Memoised sub-results: {hits} hits / {misses} misses")
+    if args.cache_stats:
+        _print_cache_stats(report.cache_stats)
     return 0
 
 
@@ -249,6 +295,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--csv",
         action="store_true",
         help="emit the Pareto-ready rows as CSV instead of a table",
+    )
+    sweep.add_argument(
+        "--engine",
+        choices=ENGINE_NAMES,
+        default=None,
+        help=(
+            "execution engine (identical rows either way); defaults to "
+            "$REPRO_SWEEP_ENGINE or serial"
+        ),
+    )
+    sweep.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=None,
+        help=(
+            "worker processes for --engine process "
+            "(default: CPU count or $REPRO_SWEEP_JOBS)"
+        ),
+    )
+    sweep.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help=(
+            "print per-table EvaluationCache hits/misses, merged "
+            "across workers"
+        ),
     )
     sweep.set_defaults(func=_cmd_sweep)
     return parser

@@ -35,6 +35,15 @@ from .optimizer import (
     optimize_passives,
     select_technology,
 )
+from .executors import (
+    ChunkedStackedExecutor,
+    Executor,
+    MultiprocessExecutor,
+    SerialExecutor,
+    default_executor,
+    make_executor,
+    resolve_executor,
+)
 from .sweep import (
     DesignPoint,
     EvaluationCache,
@@ -49,14 +58,18 @@ from .sweep import (
 __all__ = [
     "BuildUpAssessment",
     "CandidateBuildUp",
+    "ChunkedStackedExecutor",
     "DesignPoint",
     "EvaluationCache",
+    "Executor",
     "FomEntry",
     "FomWeights",
+    "MultiprocessExecutor",
     "ParetoAnalysis",
     "ParetoPoint",
     "SelectionDecision",
     "SelectionReport",
+    "SerialExecutor",
     "StudyResult",
     "StudyRow",
     "SweepCell",
@@ -66,16 +79,19 @@ __all__ = [
     "analyze_study",
     "assess_candidate",
     "assess_candidate_cached",
+    "default_executor",
     "fig3_table",
     "fig5_table",
     "fig6_table",
     "figure_of_merit",
     "full_report",
+    "make_executor",
     "optimize_passives",
     "pareto_front",
     "pareto_points",
     "rank_buildups",
     "recommendation",
+    "resolve_executor",
     "run_design_sweep",
     "run_study",
     "select_technology",

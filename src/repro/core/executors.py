@@ -1,0 +1,291 @@
+"""Pluggable execution engines for design-space sweeps.
+
+:func:`~repro.core.sweep.run_design_sweep` separates *what* a sweep
+computes (grid points through the methodology) from *how* the grid is
+scheduled.  The "how" is an :class:`Executor`:
+
+* :class:`SerialExecutor` — one process, one shared cache, grid points
+  in order (the reference engine);
+* :class:`MultiprocessExecutor` — shards contiguous runs of grid points
+  across a ``concurrent.futures.ProcessPoolExecutor``; each worker
+  fills its own :class:`~repro.core.sweep.EvaluationCache`, which is
+  merged back into the caller's cache afterwards;
+* :class:`ChunkedStackedExecutor` — groups the distinct filter chains of
+  same-topology grid cells into chunks and assesses each chunk with one
+  circuit-stacked ``(B, F, n, n)`` MNA solve
+  (:func:`~repro.circuits.performance.assess_chain_many`), then runs the
+  per-point evaluation against the pre-seeded cache.
+
+Every engine produces *identical* sweep rows — the stacked solves are
+bit-compatible with the per-circuit path and the process engine only
+repartitions the work — so engine choice is a pure scheduling decision:
+``repro-gps sweep --engine serial|process|stacked [--jobs N]``, or the
+``REPRO_SWEEP_ENGINE`` / ``REPRO_SWEEP_JOBS`` environment variables for
+anything that does not thread an executor through explicitly (this is
+how CI runs the whole test suite under the process engine).
+
+Only the candidate *factory* crosses process boundaries, not the
+candidates: workers call it locally, so its closures (flow factories)
+never need to pickle — but the factory itself must (use a module-level
+function or class such as :class:`repro.gps.study.GpsSweepFactory`).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Optional, Protocol, Sequence
+
+from ..circuits.performance import assess_chain_many
+from ..errors import SpecificationError
+from .figure_of_merit import FomWeights
+from .methodology import CandidateBuildUp
+from .sweep import (
+    DesignPoint,
+    EvaluationCache,
+    SweepCell,
+    evaluate_cell,
+    evaluate_cells,
+)
+
+#: Environment variable naming the default engine (serial when unset).
+ENGINE_ENV = "REPRO_SWEEP_ENGINE"
+#: Environment variable giving the default worker count.
+JOBS_ENV = "REPRO_SWEEP_JOBS"
+
+#: The engine names :func:`make_executor` accepts.
+ENGINE_NAMES = ("serial", "process", "stacked")
+
+CandidateFactory = Callable[
+    [DesignPoint], Sequence[CandidateBuildUp]
+]
+
+
+class Executor(Protocol):
+    """Scheduling strategy of one design-space sweep.
+
+    ``run_sweep`` evaluates every point and returns the cells in grid
+    order.  Implementations must fold any worker-local caching back
+    into ``cache`` so the caller sees whole-sweep stats, and must not
+    change results — engines are interchangeable by contract
+    (``tests/gps/test_engines.py`` pins row-for-row identity).
+    """
+
+    name: str
+
+    def run_sweep(
+        self,
+        points: Sequence[DesignPoint],
+        candidate_factory: CandidateFactory,
+        reference: int,
+        weights: FomWeights,
+        cache: EvaluationCache,
+    ) -> list[SweepCell]:
+        """Evaluate all grid points and return their cells in order."""
+        ...
+
+
+class SerialExecutor:
+    """The reference engine: in-process, in-order, one shared cache."""
+
+    name = "serial"
+
+    def run_sweep(
+        self,
+        points: Sequence[DesignPoint],
+        candidate_factory: CandidateFactory,
+        reference: int,
+        weights: FomWeights,
+        cache: EvaluationCache,
+    ) -> list[SweepCell]:
+        return evaluate_cells(
+            points, candidate_factory, reference, weights, cache
+        )
+
+
+def _split_runs(points: Sequence[DesignPoint], parts: int) -> list[list]:
+    """Split points into at most ``parts`` contiguous, near-even runs."""
+    parts = max(1, min(parts, len(points)))
+    base, extra = divmod(len(points), parts)
+    runs = []
+    start = 0
+    for i in range(parts):
+        stop = start + base + (1 if i < extra else 0)
+        runs.append(list(points[start:stop]))
+        start = stop
+    return runs
+
+
+def _process_worker(payload):
+    """Evaluate one run of grid points in a worker process.
+
+    Returns the cells plus the worker-local cache so the parent can
+    merge hit/miss stats and reuse the computed sub-results.
+    """
+    points, candidate_factory, reference, weights = payload
+    cache = EvaluationCache()
+    cells = evaluate_cells(
+        points, candidate_factory, reference, weights, cache
+    )
+    return cells, cache
+
+
+class MultiprocessExecutor:
+    """Shard contiguous runs of grid points across worker processes.
+
+    Each worker evaluates its run with a fresh cache (memoisation still
+    applies *within* a run); the parent merges every worker cache into
+    the sweep's cache, so the final stats are the whole-sweep tally.
+    The candidate factory must be picklable; results (cells and cached
+    sub-results) are plain dataclasses and always are.
+    """
+
+    name = "process"
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        if jobs < 1:
+            raise SpecificationError(
+                f"process engine needs at least 1 worker, got {jobs}"
+            )
+        self.jobs = jobs
+
+    def run_sweep(
+        self,
+        points: Sequence[DesignPoint],
+        candidate_factory: CandidateFactory,
+        reference: int,
+        weights: FomWeights,
+        cache: EvaluationCache,
+    ) -> list[SweepCell]:
+        runs = _split_runs(points, self.jobs)
+        payloads = [
+            (run, candidate_factory, reference, weights) for run in runs
+        ]
+        with ProcessPoolExecutor(max_workers=len(runs)) as pool:
+            outcomes = list(pool.map(_process_worker, payloads))
+        cells: list[SweepCell] = []
+        for run_cells, worker_cache in outcomes:
+            cells.extend(run_cells)
+            cache.merge(worker_cache)
+        return cells
+
+
+class ChunkedStackedExecutor:
+    """Batch same-topology grid cells into circuit-stacked MNA solves.
+
+    The MNA-heavy step of a sweep is the filter-chain assessment, and a
+    grid produces many chains that share filter specifications (hence
+    circuit topology) while differing only in element values.  This
+    engine collects every *distinct, uncached* chain across the whole
+    grid up front, assesses them in chunks through
+    :func:`~repro.circuits.performance.assess_chain_many` — one stacked
+    ``(B, F, n, n)`` solve per spec per chunk — seeds the cache, and
+    then runs the ordinary per-point evaluation, which now hits the
+    cache for every chain.
+    """
+
+    name = "stacked"
+
+    def __init__(self, chunk_size: int = 32) -> None:
+        if chunk_size < 1:
+            raise SpecificationError(
+                f"stacked engine needs a positive chunk size, got "
+                f"{chunk_size}"
+            )
+        self.chunk_size = chunk_size
+
+    def run_sweep(
+        self,
+        points: Sequence[DesignPoint],
+        candidate_factory: CandidateFactory,
+        reference: int,
+        weights: FomWeights,
+        cache: EvaluationCache,
+    ) -> list[SweepCell]:
+        per_point = [list(candidate_factory(point)) for point in points]
+
+        pending: dict[str, list] = {}
+        for candidates in per_point:
+            for candidate in candidates:
+                if (
+                    candidate.fixed_performance is not None
+                    or not candidate.filter_assignments
+                ):
+                    continue
+                key = EvaluationCache.performance_key(
+                    candidate.filter_assignments
+                )
+                if cache.has_performance(key) or key in pending:
+                    continue
+                pending[key] = candidate.filter_assignments
+
+        keys = list(pending)
+        for start in range(0, len(keys), self.chunk_size):
+            chunk = keys[start : start + self.chunk_size]
+            chains = assess_chain_many([pending[key] for key in chunk])
+            for key, chain in zip(chunk, chains):
+                cache.seed_performance(key, chain)
+
+        return [
+            evaluate_cell(point, candidates, reference, weights, cache)
+            for point, candidates in zip(points, per_point)
+        ]
+
+
+def make_executor(
+    name: str, jobs: Optional[int] = None
+) -> Executor:
+    """Build an engine by name (``serial`` / ``process`` / ``stacked``).
+
+    ``jobs`` only applies to the process engine (worker count; defaults
+    to the CPU count).
+    """
+    normalized = (name or "serial").strip().lower()
+    if normalized == "serial":
+        return SerialExecutor()
+    if normalized == "process":
+        return MultiprocessExecutor(jobs)
+    if normalized == "stacked":
+        return ChunkedStackedExecutor()
+    raise SpecificationError(
+        f"unknown sweep engine {name!r} "
+        f"(choose from {', '.join(ENGINE_NAMES)})"
+    )
+
+
+def resolve_executor(
+    engine: Optional[str] = None, jobs: Optional[int] = None
+) -> Executor:
+    """Merge explicit engine/jobs choices with the environment defaults.
+
+    Each argument independently falls back to its environment variable
+    when not given (``REPRO_SWEEP_ENGINE`` / ``REPRO_SWEEP_JOBS``), so
+    ``--jobs 4`` under an exported ``REPRO_SWEEP_ENGINE=process`` runs
+    four process workers, and ``--engine process`` alone picks up the
+    environment's worker count.
+    """
+    if engine is None:
+        engine = os.environ.get(ENGINE_ENV, "serial")
+    if jobs is None:
+        jobs_raw = os.environ.get(JOBS_ENV, "").strip()
+        if jobs_raw:
+            try:
+                jobs = int(jobs_raw)
+            except ValueError:
+                raise SpecificationError(
+                    f"{JOBS_ENV} must be an integer, got {jobs_raw!r}"
+                ) from None
+    return make_executor(engine, jobs)
+
+
+def default_executor() -> Executor:
+    """The engine named by the environment, serial when unset.
+
+    ``REPRO_SWEEP_ENGINE`` selects the engine and ``REPRO_SWEEP_JOBS``
+    the process-engine worker count — the hook that lets CI run the
+    whole test suite under a non-default engine without touching call
+    sites.
+    """
+    return resolve_executor()

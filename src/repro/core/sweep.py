@@ -18,6 +18,13 @@ choices:
   the ``repro-gps sweep`` CLI subcommand and exportable as CSV-style
   dicts.
 
+*How* the grid is evaluated is pluggable: :func:`run_design_sweep`
+delegates scheduling to an execution engine
+(:mod:`repro.core.executors`) — serial, multi-process, or
+circuit-stacked batching — all of which produce identical rows.
+:class:`EvaluationCache` is mergeable so per-worker caches fold back
+into one whole-sweep stats report.
+
 The subsystem is application-agnostic: a *candidate factory* maps each
 :class:`DesignPoint` to the list of
 :class:`~repro.core.methodology.CandidateBuildUp` to study there.  The
@@ -128,6 +135,10 @@ class SweepGrid:
         ]
 
 
+#: The cache's sub-result tables, in reporting order.
+CACHE_TABLES = ("performance", "area", "cost")
+
+
 class EvaluationCache:
     """Content-keyed memo for the methodology's three sub-results.
 
@@ -136,38 +147,105 @@ class EvaluationCache:
     substrate rule only placement and cost.  Keys are built from the
     ``repr`` of the (frozen, content-rich) dataclasses involved, so two
     grid points that share an input share the computation.
+
+    Caches are *mergeable*: every execution engine worker fills its own
+    cache and :meth:`merge` folds the workers' tables and counters back
+    into the parent, so one :meth:`stats` report covers the whole sweep
+    regardless of how it was executed.
     """
 
     def __init__(self) -> None:
-        self._performance: dict[str, ChainPerformance] = {}
-        self._area: dict[str, object] = {}
-        self._cost: dict[str, object] = {}
-        self.hits = 0
-        self.misses = 0
+        self._tables: dict[str, dict[str, object]] = {
+            name: {} for name in CACHE_TABLES
+        }
+        self._hits: dict[str, int] = {name: 0 for name in CACHE_TABLES}
+        self._misses: dict[str, int] = {name: 0 for name in CACHE_TABLES}
 
-    def _get(self, table: dict, key: str, compute: Callable):
+    def _get(self, name: str, key: str, compute: Callable):
+        table = self._tables[name]
         if key in table:
-            self.hits += 1
+            self._hits[name] += 1
             return table[key]
-        self.misses += 1
+        self._misses[name] += 1
         value = compute()
         table[key] = value
         return value
 
+    @staticmethod
+    def performance_key(assignments) -> str:
+        """The content key of one chain's technology assignments."""
+        return repr(assignments)
+
     def performance(self, assignments, compute) -> ChainPerformance:
-        return self._get(self._performance, repr(assignments), compute)
+        return self._get(
+            "performance", self.performance_key(assignments), compute
+        )
+
+    def has_performance(self, key: str) -> bool:
+        """True when a chain result is already cached under ``key``."""
+        return key in self._tables["performance"]
+
+    def seed_performance(self, key: str, chain: ChainPerformance) -> None:
+        """Insert a precomputed chain result without counting hit/miss.
+
+        The stacked execution engine assesses whole batches of chains
+        ahead of the per-point evaluation and seeds them here; the later
+        lookups then count as ordinary hits.
+        """
+        self._tables["performance"].setdefault(key, chain)
 
     def area(self, footprints, rule, laminate, compute):
         key = f"{rule!r}|{laminate!r}|{footprints!r}"
-        return self._get(self._area, key, compute)
+        return self._get("area", key, compute)
 
     def cost(self, flow, volume: float, compute):
         key = f"{volume!r}|{flow!r}"
-        return self._get(self._cost, key, compute)
+        return self._get("cost", key, compute)
 
     @property
-    def stats(self) -> dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses}
+    def hits(self) -> int:
+        """Total hits across all tables."""
+        return sum(self._hits.values())
+
+    @property
+    def misses(self) -> int:
+        """Total misses across all tables."""
+        return sum(self._misses.values())
+
+    def merge(self, other: "EvaluationCache") -> None:
+        """Fold a worker's cache into this one.
+
+        Entries are first-wins (both sides computed from the same
+        content key, so values agree); hit/miss counters add up, making
+        the merged :meth:`stats` the whole-sweep tally.
+        """
+        for name in CACHE_TABLES:
+            table = self._tables[name]
+            for key, value in other._tables[name].items():
+                table.setdefault(key, value)
+            self._hits[name] += other._hits[name]
+            self._misses[name] += other._misses[name]
+
+    def stats(self) -> dict:
+        """Hits/misses in total and per table.
+
+        The flat ``hits`` / ``misses`` keys keep the historical report
+        shape; ``tables`` breaks the tally down per sub-result table
+        (with the number of distinct cached entries), which is what
+        ``repro-gps sweep --cache-stats`` prints.
+        """
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "tables": {
+                name: {
+                    "hits": self._hits[name],
+                    "misses": self._misses[name],
+                    "entries": len(self._tables[name]),
+                }
+                for name in CACHE_TABLES
+            },
+        }
 
 
 def assess_candidate_cached(
@@ -258,11 +336,17 @@ class SweepRow:
 
 @dataclass(frozen=True)
 class SweepReport:
-    """Everything a design-space sweep produced."""
+    """Everything a design-space sweep produced.
+
+    ``cache_stats`` carries :meth:`EvaluationCache.stats`: flat
+    ``hits`` / ``misses`` totals plus a ``tables`` breakdown per
+    sub-result table, merged across workers whatever engine ran the
+    sweep.
+    """
 
     cells: tuple[SweepCell, ...]
     rows: tuple[SweepRow, ...]
-    cache_stats: dict[str, int] = field(default_factory=dict)
+    cache_stats: dict = field(default_factory=dict)
 
     def winner_counts(self) -> dict[str, int]:
         """How often each candidate wins across the grid."""
@@ -312,12 +396,66 @@ def _rows_for_cell(cell: SweepCell) -> list[SweepRow]:
     return rows
 
 
+def evaluate_cell(
+    point: DesignPoint,
+    candidates: Sequence[CandidateBuildUp],
+    reference: int,
+    weights: FomWeights,
+    cache: EvaluationCache,
+) -> SweepCell:
+    """Evaluate one grid point over ready-made candidates.
+
+    The unit of work every execution engine schedules: validates the
+    candidate list, assesses each candidate through the memo and ranks
+    the result (methodology step 5).
+    """
+    candidates = list(candidates)
+    if not candidates:
+        raise SpecificationError(
+            f"candidate factory returned no candidates at "
+            f"{point.label()}"
+        )
+    if not (0 <= reference < len(candidates)):
+        raise SpecificationError(
+            f"reference index {reference} out of range for "
+            f"{len(candidates)} candidates"
+        )
+    assessments = [
+        assess_candidate_cached(candidate, point.volume, cache)
+        for candidate in candidates
+    ]
+    result = study_from_assessments(assessments, reference, weights)
+    return SweepCell(point=point, result=result)
+
+
+def evaluate_cells(
+    points: Sequence[DesignPoint],
+    candidate_factory: Callable[[DesignPoint], Sequence[CandidateBuildUp]],
+    reference: int,
+    weights: FomWeights,
+    cache: EvaluationCache,
+) -> list[SweepCell]:
+    """Evaluate a run of grid points in order, sharing one cache.
+
+    The serial engine's whole job, and the per-worker body of the
+    process engine (each worker runs this over its slice with a fresh
+    cache that is merged back afterwards).
+    """
+    return [
+        evaluate_cell(
+            point, candidate_factory(point), reference, weights, cache
+        )
+        for point in points
+    ]
+
+
 def run_design_sweep(
     grid: SweepGrid | Iterable[DesignPoint],
     candidate_factory: Callable[[DesignPoint], Sequence[CandidateBuildUp]],
     reference: int = 0,
     weights: Optional[FomWeights] = None,
     cache: Optional[EvaluationCache] = None,
+    executor=None,
 ) -> SweepReport:
     """Fan the methodology out over a design-space grid.
 
@@ -328,14 +466,22 @@ def run_design_sweep(
         :class:`DesignPoint`.
     candidate_factory:
         Maps a grid point to the build-up candidates to study there
-        (step 1 stays the application's job).
+        (step 1 stays the application's job).  The process engine ships
+        the factory to worker processes, so it must be picklable there
+        (a module-level function or class instance, not a lambda).
     reference:
         Index of the reference candidate (the 100 % marks), per point.
     weights:
         Optional FoM weighting; the paper's plain product by default.
     cache:
         Optional pre-warmed :class:`EvaluationCache`; a fresh one is
-        created (and its stats reported) when omitted.
+        created when omitted.  Worker caches are merged into it, so its
+        stats always cover the whole sweep.
+    executor:
+        Optional :class:`~repro.core.executors.Executor`; defaults to
+        the engine named by ``$REPRO_SWEEP_ENGINE`` (serial when unset).
+        Every engine produces identical rows — they only change how the
+        grid is scheduled.
     """
     points = grid.points() if isinstance(grid, SweepGrid) else list(grid)
     if not points:
@@ -344,31 +490,19 @@ def run_design_sweep(
         weights = FomWeights()
     if cache is None:
         cache = EvaluationCache()
+    if executor is None:
+        from .executors import default_executor  # cycle-free at import
 
-    cells: list[SweepCell] = []
+        executor = default_executor()
+
+    cells = executor.run_sweep(
+        points, candidate_factory, reference, weights, cache
+    )
     rows: list[SweepRow] = []
-    for point in points:
-        candidates = list(candidate_factory(point))
-        if not candidates:
-            raise SpecificationError(
-                f"candidate factory returned no candidates at "
-                f"{point.label()}"
-            )
-        if not (0 <= reference < len(candidates)):
-            raise SpecificationError(
-                f"reference index {reference} out of range for "
-                f"{len(candidates)} candidates"
-            )
-        assessments = [
-            assess_candidate_cached(candidate, point.volume, cache)
-            for candidate in candidates
-        ]
-        result = study_from_assessments(assessments, reference, weights)
-        cell = SweepCell(point=point, result=result)
-        cells.append(cell)
+    for cell in cells:
         rows.extend(_rows_for_cell(cell))
     return SweepReport(
         cells=tuple(cells),
         rows=tuple(rows),
-        cache_stats=cache.stats,
+        cache_stats=cache.stats(),
     )

@@ -175,24 +175,46 @@ def sweep_candidates(
     return result
 
 
+@dataclass(frozen=True)
+class GpsSweepFactory:
+    """Picklable candidate factory for the GPS design-space sweep.
+
+    The process execution engine ships the candidate factory to worker
+    processes, so it must pickle — a lambda closure cannot.  This frozen
+    dataclass captures the sweep's configuration and builds the four
+    build-up candidates locally in whichever process evaluates the grid
+    point (the candidates' own flow-factory closures therefore never
+    cross a process boundary).
+    """
+
+    chip_costs: Optional[data.ChipCosts] = None
+    nre_scenario: Optional[Mapping[int, float]] = None
+
+    def __call__(self, point: DesignPoint) -> list[CandidateBuildUp]:
+        return sweep_candidates(point, self.chip_costs, self.nre_scenario)
+
+
 def run_gps_sweep(
     grid: SweepGrid | Iterable[DesignPoint],
     chip_costs: Optional[data.ChipCosts] = None,
     weights: Optional[FomWeights] = None,
     nre_scenario: Optional[Mapping[int, float]] = None,
     cache: Optional[EvaluationCache] = None,
+    executor=None,
 ) -> SweepReport:
     """Design-space sweep over the GPS case study.
 
     The reference is implementation 1 (PCB/SMD) at every grid point, as
-    in the paper.
+    in the paper.  ``executor`` selects the execution engine
+    (:mod:`repro.core.executors`); all engines produce identical rows.
     """
     return run_design_sweep(
         grid,
-        lambda point: sweep_candidates(point, chip_costs, nre_scenario),
+        GpsSweepFactory(chip_costs=chip_costs, nre_scenario=nre_scenario),
         reference=0,
         weights=weights,
         cache=cache,
+        executor=executor,
     )
 
 

@@ -1,0 +1,105 @@
+"""Stacked chain assessment against the per-chain reference.
+
+:func:`~repro.circuits.performance.assess_chain_many` groups same-spec
+filters across chains into circuit families and measures each family
+with one stacked solve; these tests pin its contract: *exact* equality
+with ``[assess_chain(c) for c in chains]`` (the execution engines rely
+on it for byte-identical sweep reports), order preservation, and the
+scalar error contract.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.performance import (
+    assess_chain,
+    assess_chain_many,
+    measure_filter,
+    measure_filter_family,
+)
+from repro.circuits.qfactor import (
+    ConstantQModel,
+    DiscreteFilterBlockQModel,
+    SmdQModel,
+)
+from repro.circuits.synthesis import (
+    build_bandpass_circuit,
+    synthesize_bandpass,
+)
+from repro.errors import SpecificationError
+from repro.gps.filters_chain import technology_assignments
+from repro.passives.filters import FilterFamily, FilterSpec
+
+IF_SPEC = FilterSpec(
+    name="IF test",
+    family=FilterFamily.CHEBYSHEV,
+    order=2,
+    center_hz=175e6,
+    bandwidth_hz=30e6,
+    max_insertion_loss_db=3.0,
+)
+
+
+class TestAssessChainMany:
+    def test_matches_per_chain_reference_exactly(self):
+        """The four GPS technology assignments, assessed both ways."""
+        chains = [technology_assignments(i) for i in (1, 2, 3, 4)]
+        stacked = assess_chain_many(chains)
+        reference = [assess_chain(chain) for chain in chains]
+        assert stacked == reference  # dataclass equality == float equality
+
+    def test_single_chain_matches_assess_chain(self):
+        chain = technology_assignments(3)
+        assert assess_chain_many([chain]) == [assess_chain(chain)]
+
+    def test_order_preserved_with_shared_specs(self):
+        """Same spec under different Q models keeps chain order."""
+        chains = [
+            [(IF_SPEC, ConstantQModel(q, q * 10))]
+            for q in (8.0, 20.0, 50.0, 120.0)
+        ]
+        results = assess_chain_many(chains)
+        # Higher Q -> lower loss -> monotonically better score.
+        scores = [result.score for result in results]
+        assert scores == sorted(scores)
+        for chain, result in zip(chains, results):
+            assert result == assess_chain(chain)
+
+    def test_passband_points_forwarded(self):
+        chain = [(IF_SPEC, SmdQModel())]
+        coarse = assess_chain_many([chain], passband_points=11)[0]
+        assert coarse == assess_chain(chain, passband_points=11)
+
+    def test_empty_chain_list_rejected(self):
+        with pytest.raises(SpecificationError):
+            assess_chain_many([])
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(SpecificationError):
+            assess_chain_many([technology_assignments(1), []])
+
+
+class TestMeasureFilterFamily:
+    def test_matches_measure_filter_exactly(self):
+        design = synthesize_bandpass(IF_SPEC)
+        models = [
+            None,
+            SmdQModel(),
+            ConstantQModel(15.0, 200.0),
+            DiscreteFilterBlockQModel(),
+        ]
+        circuits = [build_bandpass_circuit(design, m) for m in models]
+        family = measure_filter_family(IF_SPEC, circuits)
+        for circuit, performance in zip(circuits, family):
+            assert performance == measure_filter(IF_SPEC, circuit)
+
+    def test_single_member_family(self):
+        design = synthesize_bandpass(IF_SPEC)
+        circuit = build_bandpass_circuit(design, SmdQModel())
+        (performance,) = measure_filter_family(IF_SPEC, [circuit])
+        assert performance == measure_filter(IF_SPEC, circuit)
+
+    def test_empty_family_rejected(self):
+        with pytest.raises(SpecificationError):
+            measure_filter_family(IF_SPEC, [])

@@ -1,0 +1,237 @@
+"""The pluggable sweep execution engines.
+
+Engine selection (names, env defaults, argument validation), the
+mergeable :class:`~repro.core.sweep.EvaluationCache`, and the engines'
+core contract: identical cells regardless of how the grid is scheduled.
+The heavyweight GPS-level identity check lives in
+``tests/gps/test_engines.py``; here small synthetic factories keep the
+focus on the scheduling machinery itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.executors import (
+    ChunkedStackedExecutor,
+    ENGINE_ENV,
+    JOBS_ENV,
+    MultiprocessExecutor,
+    SerialExecutor,
+    _split_runs,
+    default_executor,
+    make_executor,
+    resolve_executor,
+)
+from repro.core.methodology import CandidateBuildUp
+from repro.core.sweep import (
+    DesignPoint,
+    EvaluationCache,
+    run_design_sweep,
+)
+from repro.area.footprint import Footprint, MountKind
+from repro.area.substrate import PCB_RULE
+from repro.cost.moe.flow import ProductionFlow
+from repro.cost.moe.nodes import CarrierStep, TestStep
+from repro.errors import SpecificationError
+
+
+def _flow(area_cm2: float) -> ProductionFlow:
+    """A minimal picklable carrier-plus-test production flow."""
+    flow = ProductionFlow(name="toy")
+    flow.add(
+        CarrierStep("ID1", "carrier", unit_cost=10.0 + area_cm2)
+    )
+    flow.add(TestStep("ID2", "test", test_cost=1.0))
+    return flow
+
+
+def fixed_candidates(point: DesignPoint) -> list[CandidateBuildUp]:
+    """Module-level (hence picklable) two-candidate factory."""
+    footprints = [
+        Footprint("chip", 25.0, MountKind.PACKAGED),
+    ]
+    return [
+        CandidateBuildUp(
+            name="ref",
+            footprints=footprints,
+            substrate_rule=PCB_RULE,
+            flow_factory=_flow,
+            fixed_performance=1.0,
+        ),
+        CandidateBuildUp(
+            name="alt",
+            footprints=footprints * 2,
+            substrate_rule=PCB_RULE,
+            flow_factory=_flow,
+            fixed_performance=0.9,
+        ),
+    ]
+
+
+class TestMakeExecutor:
+    def test_names(self):
+        assert make_executor("serial").name == "serial"
+        assert make_executor("process", 2).name == "process"
+        assert make_executor("stacked").name == "stacked"
+
+    def test_case_and_whitespace_tolerant(self):
+        assert make_executor(" Serial ").name == "serial"
+
+    def test_empty_name_defaults_to_serial(self):
+        assert make_executor("").name == "serial"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SpecificationError) as excinfo:
+            make_executor("quantum")
+        assert "serial" in str(excinfo.value)
+
+    def test_process_jobs_validated(self):
+        with pytest.raises(SpecificationError):
+            MultiprocessExecutor(0)
+        assert MultiprocessExecutor(3).jobs == 3
+        assert MultiprocessExecutor().jobs >= 1
+
+    def test_stacked_chunk_size_validated(self):
+        with pytest.raises(SpecificationError):
+            ChunkedStackedExecutor(0)
+        assert ChunkedStackedExecutor(8).chunk_size == 8
+
+
+class TestDefaultExecutor:
+    def test_serial_when_unset(self, monkeypatch):
+        monkeypatch.delenv(ENGINE_ENV, raising=False)
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        assert default_executor().name == "serial"
+
+    def test_env_selects_engine_and_jobs(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV, "process")
+        monkeypatch.setenv(JOBS_ENV, "2")
+        executor = default_executor()
+        assert executor.name == "process"
+        assert executor.jobs == 2
+
+    def test_bad_jobs_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV, "process")
+        monkeypatch.setenv(JOBS_ENV, "many")
+        with pytest.raises(SpecificationError):
+            default_executor()
+
+    def test_explicit_jobs_combine_with_env_engine(self, monkeypatch):
+        """`--jobs 4` under REPRO_SWEEP_ENGINE=process means 4 workers."""
+        monkeypatch.setenv(ENGINE_ENV, "process")
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        executor = resolve_executor(jobs=4)
+        assert executor.name == "process"
+        assert executor.jobs == 4
+
+    def test_explicit_engine_picks_up_env_jobs(self, monkeypatch):
+        monkeypatch.delenv(ENGINE_ENV, raising=False)
+        monkeypatch.setenv(JOBS_ENV, "3")
+        executor = resolve_executor(engine="process")
+        assert executor.jobs == 3
+
+    def test_explicit_args_beat_env(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV, "process")
+        monkeypatch.setenv(JOBS_ENV, "7")
+        executor = resolve_executor(engine="process", jobs=2)
+        assert executor.jobs == 2
+        assert resolve_executor(engine="serial").name == "serial"
+
+
+class TestSplitRuns:
+    def test_even_split(self):
+        runs = _split_runs(list(range(6)), 3)
+        assert runs == [[0, 1], [2, 3], [4, 5]]
+
+    def test_uneven_split_front_loads(self):
+        runs = _split_runs(list(range(5)), 3)
+        assert runs == [[0, 1], [2, 3], [4]]
+
+    def test_more_parts_than_points(self):
+        runs = _split_runs([1, 2], 8)
+        assert runs == [[1], [2]]
+
+    def test_order_is_preserved(self):
+        items = list(range(11))
+        runs = _split_runs(items, 4)
+        assert [x for run in runs for x in run] == items
+
+
+class TestCacheMerge:
+    def test_merge_adds_counters_and_unions_tables(self):
+        left = EvaluationCache()
+        right = EvaluationCache()
+        left.cost("flowA", 1.0, lambda: "a")
+        right.cost("flowA", 1.0, lambda: "a")  # duplicate key
+        right.cost("flowB", 1.0, lambda: "b")
+        right.cost("flowB", 1.0, lambda: "b")  # one hit
+        left.merge(right)
+        stats = left.stats()
+        assert stats["tables"]["cost"] == {
+            "hits": 1,
+            "misses": 3,
+            "entries": 2,
+        }
+        assert stats["hits"] == 1 and stats["misses"] == 3
+
+    def test_merge_is_first_wins(self):
+        left = EvaluationCache()
+        right = EvaluationCache()
+        left.cost("flow", 1.0, lambda: "mine")
+        right.cost("flow", 1.0, lambda: "theirs")
+        left.merge(right)
+        assert left.cost("flow", 1.0, lambda: "recomputed") == "mine"
+
+    def test_seed_performance_counts_nothing(self):
+        cache = EvaluationCache()
+        key = EvaluationCache.performance_key([("spec", None)])
+        cache.seed_performance(key, "chain")
+        assert cache.has_performance(key)
+        assert cache.hits == 0 and cache.misses == 0
+        assert (
+            cache.performance([("spec", None)], lambda: "recomputed")
+            == "chain"
+        )
+        assert cache.hits == 1
+
+
+class TestEnginesAgree:
+    POINTS = [DesignPoint(volume=v) for v in (1e3, 1e4, 1e5, 1e6, 1e7)]
+
+    def _cells(self, executor):
+        report = run_design_sweep(
+            self.POINTS, fixed_candidates, executor=executor
+        )
+        return report.cells, report.rows
+
+    def test_process_engine_matches_serial(self):
+        serial_cells, serial_rows = self._cells(SerialExecutor())
+        process_cells, process_rows = self._cells(
+            MultiprocessExecutor(jobs=2)
+        )
+        assert process_rows == serial_rows
+        assert [c.point for c in process_cells] == [
+            c.point for c in serial_cells
+        ]
+
+    def test_stacked_engine_matches_serial(self):
+        _, serial_rows = self._cells(SerialExecutor())
+        _, stacked_rows = self._cells(ChunkedStackedExecutor(chunk_size=2))
+        assert stacked_rows == serial_rows
+
+    def test_process_engine_merges_worker_caches(self):
+        cache = EvaluationCache()
+        run_design_sweep(
+            self.POINTS,
+            fixed_candidates,
+            cache=cache,
+            executor=MultiprocessExecutor(jobs=2),
+        )
+        stats = cache.stats()
+        # Every worker evaluated area + cost for both candidates at each
+        # of its points; the merged tally must account for all of them.
+        area = stats["tables"]["area"]
+        assert area["hits"] + area["misses"] == 2 * len(self.POINTS)
+        assert area["entries"] == 2  # two distinct footprint sets
+        assert stats["tables"]["cost"]["entries"] == 2 * len(self.POINTS)

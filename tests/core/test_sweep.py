@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.area.substrate import MCM_D_COARSE_RULE, MCM_D_FINE_RULE
+from repro.core.executors import SerialExecutor
 from repro.core.sweep import (
     DesignPoint,
     EvaluationCache,
@@ -22,6 +23,11 @@ from repro.passives.tolerance import MATCHING_CLASS, PRECISION_CLASS
 
 IMPL3 = "MCM-D(Si)/FC/IP"
 IMPL4 = "MCM-D(Si)/FC/IP&SMD"
+
+
+def empty_factory(point):
+    """Module-level (hence picklable) factory returning no candidates."""
+    return []
 
 
 class TestGrid:
@@ -69,7 +75,7 @@ class TestRunDesignSweep:
 
     def test_empty_factory_rejected(self):
         with pytest.raises(SpecificationError):
-            run_design_sweep([DesignPoint()], lambda point: [])
+            run_design_sweep([DesignPoint()], empty_factory)
 
     def test_matches_run_study_at_paper_point(self):
         """One sweep point with zero NRE must equal the plain study."""
@@ -90,9 +96,14 @@ class TestRunDesignSweep:
             )
 
     def test_memoisation_shares_performance_and_area(self):
+        # Hit/miss counts are a property of *one* shared cache, so this
+        # pins the serial engine (workers of the process engine each
+        # start cold and would tally differently).
         cache = EvaluationCache()
         run_gps_sweep(
-            SweepGrid(volumes=(1e3, 1e4, 1e5)), cache=cache
+            SweepGrid(volumes=(1e3, 1e4, 1e5)),
+            cache=cache,
+            executor=SerialExecutor(),
         )
         # Two follow-up volume points hit performance and area for all
         # four candidates (build-ups 1 and 2 even share one performance

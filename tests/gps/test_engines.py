@@ -1,0 +1,84 @@
+"""Execution engines must not move a digit of the GPS reproduction.
+
+The acceptance contract of the engine layer: serial, process and
+stacked scheduling produce **byte-identical** sweep rows (every float
+exactly equal, not approximately).  This holds because the stacked
+``(B, F, n, n)`` solves are bit-compatible with the per-circuit path
+(LAPACK factorises each matrix independently of the batch shape) and
+the process engine only repartitions the grid.
+
+The golden files themselves (``tests/gps/goldens/``) are exercised by
+``test_goldens.py`` through the serial study path; here the same
+numbers are pinned across engines, including at the paper's design
+point.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.executors import make_executor
+from repro.core.sweep import DesignPoint, SweepGrid
+from repro.gps.study import GpsSweepFactory, run_gps_study, run_gps_sweep
+from repro.passives.thin_film import SI3N4_PROCESS
+from repro.passives.tolerance import PRECISION_CLASS
+
+GRID = SweepGrid(
+    volumes=(1_000.0, 100_000.0),
+    processes=(None, SI3N4_PROCESS),
+    tolerances=(None, PRECISION_CLASS),
+)
+
+
+@pytest.fixture(scope="module")
+def serial_report():
+    return run_gps_sweep(GRID, executor=make_executor("serial"))
+
+
+class TestEngineIdentity:
+    @pytest.mark.parametrize("engine", ["process", "stacked"])
+    def test_rows_byte_identical_to_serial(self, serial_report, engine):
+        jobs = 2 if engine == "process" else None
+        report = run_gps_sweep(
+            GRID, executor=make_executor(engine, jobs)
+        )
+        # Dataclass equality on SweepRow compares every float exactly:
+        # identical bytes, not tolerances.
+        assert report.rows == serial_report.rows
+        assert [c.point for c in report.cells] == [
+            c.point for c in serial_report.cells
+        ]
+
+    @pytest.mark.parametrize(
+        "engine", ["serial", "process", "stacked"]
+    )
+    def test_paper_point_matches_study_under_every_engine(self, engine):
+        """Zero-NRE sweep at the paper's point == the golden-locked study."""
+        study = run_gps_study()
+        report = run_gps_sweep(
+            [DesignPoint()],
+            nre_scenario={i: 0.0 for i in (1, 2, 3, 4)},
+            executor=make_executor(engine, 2),
+        )
+        (cell,) = report.cells
+        for study_row, sweep_row in zip(study.rows, cell.result.rows):
+            assert (
+                sweep_row.fom.figure_of_merit
+                == study_row.fom.figure_of_merit
+            )
+            assert sweep_row.area_percent == study_row.area_percent
+            assert sweep_row.cost_percent == study_row.cost_percent
+
+
+class TestFactoryPicklability:
+    def test_gps_factory_round_trips_through_pickle(self):
+        import pickle
+
+        factory = GpsSweepFactory(
+            nre_scenario={1: 0.0, 2: 1.0, 3: 2.0, 4: 3.0}
+        )
+        clone = pickle.loads(pickle.dumps(factory))
+        point = DesignPoint()
+        assert [c.name for c in clone(point)] == [
+            c.name for c in factory(point)
+        ]

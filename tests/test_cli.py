@@ -163,3 +163,72 @@ class TestSweepCommand:
         ]
         assert len(winner_lines) == 1
         assert "IP&SMD" in winner_lines[0]
+
+
+class TestSweepEngines:
+    """The --engine / --jobs / --cache-stats surface."""
+
+    @staticmethod
+    def _table_lines(out: str) -> list[str]:
+        # The memo tally is engine-dependent by design (each process
+        # worker starts cold; the stacked engine pre-seeds); everything
+        # else — every number in every row — must match exactly.
+        return [
+            line
+            for line in out.splitlines()
+            if not line.startswith("Memoised sub-results")
+        ]
+
+    @pytest.mark.parametrize("engine", ["serial", "process", "stacked"])
+    def test_engines_print_identical_tables(self, engine, capsys):
+        assert main(["sweep", "--engine", "serial"]) == 0
+        reference = self._table_lines(capsys.readouterr().out)
+        argv = ["sweep", "--engine", engine]
+        if engine == "process":
+            argv += ["--jobs", "2"]
+        assert main(argv) == 0
+        assert self._table_lines(capsys.readouterr().out) == reference
+
+    def test_cache_stats_prints_per_table_tally(self, capsys):
+        assert main(["sweep", "--cache-stats"]) == 0
+        out = capsys.readouterr().out
+        assert "Evaluation cache (merged across workers):" in out
+        for table in ("performance", "area", "cost"):
+            assert table in out
+        assert "entries" in out
+
+    def test_cache_stats_with_stacked_engine(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--engine",
+                    "stacked",
+                    "--volumes",
+                    "1e3,1e4",
+                    "--cache-stats",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        # The stacked engine pre-seeds every chain, so the per-point
+        # evaluation hits the performance table on every lookup.
+        assert "performance: 8 hits / 0 misses" in out
+
+    def test_csv_keeps_stdout_clean_with_cache_stats(self, capsys):
+        assert main(["sweep", "--csv", "--cache-stats"]) == 0
+        captured = capsys.readouterr()
+        assert "Evaluation cache" not in captured.out
+        assert "cache:" in captured.err
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--engine", "quantum"])
+        assert excinfo.value.code == 2
+
+    @pytest.mark.parametrize("jobs", ["0", "-2", "two"])
+    def test_bad_jobs_rejected(self, jobs):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--jobs", jobs])
+        assert excinfo.value.code == 2
