@@ -23,6 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import CircuitError
+from .qfactor import capacitor_q_profile, inductor_q_profile
 
 GROUND = "0"
 
@@ -186,6 +187,145 @@ class Inductor(Element):
         return 1.0 / (2.0 * math.pi * math.sqrt(self.inductance * self.c_par))
 
 
+def _loss_from_q(q: np.ndarray) -> np.ndarray:
+    """``1/Q`` with non-finite or non-positive Q treated as lossless."""
+    lossy = np.isfinite(q) & (q > 0)
+    return np.where(lossy, 1.0 / np.where(lossy, q, 1.0), 0.0)
+
+
+@dataclass(frozen=True)
+class DispersiveInductor(Element):
+    """Inductor whose series loss follows a frequency-dependent Q model.
+
+    Where :class:`Inductor` freezes its series resistance (a Q value
+    converted at one reference frequency), this element re-evaluates
+    ``R_s(f) = omega L / Q(f)`` from its technology model at every
+    analysed frequency — the realisation dispersive Q models ask for.
+    ``q_model`` must be a hashable value object (a frozen dataclass)
+    providing ``inductor_q`` and preferably a vectorised
+    ``inductor_q_profile``; admittance evaluation is then one numpy
+    expression over the whole grid.
+    """
+
+    inductance: float = 0.0
+    q_model: object = None
+    c_par: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.inductance <= 0:
+            raise CircuitError(
+                f"inductor {self.name!r} needs a positive inductance, "
+                f"got {self.inductance}"
+            )
+        if self.q_model is None:
+            raise CircuitError(
+                f"dispersive inductor {self.name!r} needs a Q model"
+            )
+        if self.c_par < 0:
+            raise CircuitError(
+                f"inductor {self.name!r} loss terms cannot be negative"
+            )
+
+    def admittance(self, omega: float) -> complex:
+        if omega <= 0:
+            raise CircuitError("AC analysis requires omega > 0")
+        # Delegate to the vectorised path (see Capacitor.admittance).
+        return complex(self.admittances(np.array([float(omega)]))[0])
+
+    def admittances(self, omegas: np.ndarray) -> np.ndarray:
+        array = _validate_omegas(omegas)
+        freqs = array / (2.0 * math.pi)
+        q = np.asarray(
+            inductor_q_profile(self.q_model, self.inductance, freqs),
+            dtype=float,
+        )
+        reactance = array * self.inductance
+        series_r = reactance * _loss_from_q(q)
+        y = 1.0 / (series_r + 1j * reactance)
+        if self.c_par > 0.0:
+            y = y + 1j * array * self.c_par
+        return y
+
+
+@dataclass(frozen=True)
+class DispersiveCapacitor(Element):
+    """Capacitor whose loss tangent follows a frequency-dependent Q model.
+
+    ``tan_delta(f) = 1 / Q(f)`` is re-evaluated from the technology
+    model at every analysed frequency; the admittance is the lossy
+    dielectric ``Y = omega C (tan_delta(f) + j)``, evaluated as one
+    numpy expression over the grid.
+    """
+
+    capacitance: float = 0.0
+    q_model: object = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.capacitance <= 0:
+            raise CircuitError(
+                f"capacitor {self.name!r} needs a positive capacitance, "
+                f"got {self.capacitance}"
+            )
+        if self.q_model is None:
+            raise CircuitError(
+                f"dispersive capacitor {self.name!r} needs a Q model"
+            )
+
+    def admittance(self, omega: float) -> complex:
+        if omega <= 0:
+            raise CircuitError("AC analysis requires omega > 0")
+        # Delegate to the vectorised path (see Capacitor.admittance).
+        return complex(self.admittances(np.array([float(omega)]))[0])
+
+    def admittances(self, omegas: np.ndarray) -> np.ndarray:
+        array = _validate_omegas(omegas)
+        freqs = array / (2.0 * math.pi)
+        q = np.asarray(
+            capacitor_q_profile(self.q_model, self.capacitance, freqs),
+            dtype=float,
+        )
+        tan_delta = _loss_from_q(q)
+        return array * self.capacitance * (tan_delta + 1j)
+
+
+def dispersive_inductor(
+    name: str,
+    node_a: str,
+    node_b: str,
+    inductance: float,
+    q_model,
+    c_par: float = 0.0,
+) -> DispersiveInductor:
+    """Create an inductor bound to a frequency-dependent Q model."""
+    return DispersiveInductor(
+        name=name,
+        node_a=node_a,
+        node_b=node_b,
+        inductance=inductance,
+        q_model=q_model,
+        c_par=c_par,
+    )
+
+
+def dispersive_capacitor(
+    name: str,
+    node_a: str,
+    node_b: str,
+    capacitance: float,
+    q_model,
+) -> DispersiveCapacitor:
+    """Create a capacitor bound to a frequency-dependent Q model."""
+    return DispersiveCapacitor(
+        name=name,
+        node_a=node_a,
+        node_b=node_b,
+        capacitance=capacitance,
+        q_model=q_model,
+    )
+
+
 def lossy_inductor(
     name: str,
     node_a: str,
@@ -301,7 +441,72 @@ def stacked_admittances(
         # Guard c_par == 0 rows: y + 0j could flip signed zeros.
         return np.where(c_par > 0.0, y + 1j * array[None, :] * c_par, y)
 
+    if all(type(e) is DispersiveInductor for e in members):
+        stacked = _stacked_dispersive_inductors(members, array)
+        if stacked is not None:
+            return stacked
+
+    if all(type(e) is DispersiveCapacitor for e in members):
+        stacked = _stacked_dispersive_capacitors(members, array)
+        if stacked is not None:
+            return stacked
+
     return np.array([e.admittances(array) for e in members], dtype=complex)
+
+
+def _stacked_dispersive_inductors(
+    members: "list[DispersiveInductor]", array: np.ndarray
+) -> np.ndarray | None:
+    """``(B, F)`` fast path of a dispersive-inductor slot.
+
+    Applies when every member shares one Q model with a stacked
+    ``inductor_q_profiles`` evaluator: the whole slot's Q block is one
+    model call and the admittance one numpy expression.  Operation
+    order mirrors :meth:`DispersiveInductor.admittances` exactly (and
+    the shipped models' stacked profiles are row-for-row bit-identical
+    to their grid profiles), so the result matches evaluating each
+    member alone bit for bit.  Returns None when models differ across
+    the slot — the caller then falls back to per-member evaluation.
+    """
+    model = members[0].q_model
+    profiles = getattr(model, "inductor_q_profiles", None)
+    if profiles is None or any(
+        e.q_model != model for e in members[1:]
+    ):
+        return None
+    values = np.array([e.inductance for e in members], dtype=float)
+    freqs = array / (2.0 * math.pi)
+    q = np.asarray(profiles(values, freqs), dtype=float)
+    reactance = array[None, :] * values[:, None]
+    series_r = reactance * _loss_from_q(q)
+    y = 1.0 / (series_r + 1j * reactance)
+    c_par = np.array([e.c_par for e in members])[:, None]
+    if not np.any(c_par > 0.0):
+        return y
+    # Guard c_par == 0 rows: y + 0j could flip signed zeros.
+    return np.where(c_par > 0.0, y + 1j * array[None, :] * c_par, y)
+
+
+def _stacked_dispersive_capacitors(
+    members: "list[DispersiveCapacitor]", array: np.ndarray
+) -> np.ndarray | None:
+    """``(B, F)`` fast path of a dispersive-capacitor slot.
+
+    Same contract as :func:`_stacked_dispersive_inductors`: one
+    ``capacitor_q_profiles`` call for the slot when all members share a
+    model, bit-identical operation order, None on mixed models.
+    """
+    model = members[0].q_model
+    profiles = getattr(model, "capacitor_q_profiles", None)
+    if profiles is None or any(
+        e.q_model != model for e in members[1:]
+    ):
+        return None
+    values = np.array([e.capacitance for e in members], dtype=float)
+    freqs = array / (2.0 * math.pi)
+    q = np.asarray(profiles(values, freqs), dtype=float)
+    tan_delta = _loss_from_q(q)
+    return array[None, :] * values[:, None] * (tan_delta + 1j)
 
 
 @dataclass(frozen=True)

@@ -11,7 +11,10 @@ batched ``numpy.linalg.solve`` call.  The per-circuit stamping structure
 (which matrix entries each element touches, with which sign) is
 precomputed once as a dense scatter operator by :class:`StampPlan`, so a
 sweep costs one vectorised admittance evaluation per *element* plus one
-LAPACK batch — no per-frequency Python work.
+LAPACK batch — no per-frequency Python work.  Only the structure is
+cached; admittances are re-evaluated per call, so frequency-dependent
+elements (dispersive Q models) stay correct under plan reuse — see the
+caching invariants on :class:`StampPlan`.
 
 The solver exposes three views:
 
@@ -54,8 +57,31 @@ class StampPlan:
     agreement to 1e-12 *after* the solve, where conditioning amplifies
     any stamping difference).
 
-    The plan depends only on the netlist topology, not on frequency, so
-    it is built once per circuit and cached by :class:`AcAnalysis`.
+    Caching invariants
+    ------------------
+    The plan caches **structure only** — the element-to-matrix-row
+    scatter pattern and the node-name edge list — and both depend on
+    nothing but the netlist topology, so a plan can be built once per
+    circuit (or once per circuit *family*) and reused for every grid:
+
+    * no admittance value is ever cached: :meth:`matrices` and
+      :meth:`family_matrices` call every element's vectorised
+      ``admittances`` afresh on each invocation, which is what makes
+      frequency-dependent elements
+      (:class:`~repro.circuits.elements.DispersiveInductor` /
+      :class:`~repro.circuits.elements.DispersiveCapacitor`, whose
+      loss follows a ``Q(f)`` technology model) re-evaluate their
+      per-frequency loss on every sweep rather than reusing a value
+      frozen at plan-build time;
+    * no frequency grid is baked in: the same plan serves every
+      ``omegas`` array, scalar queries and batched sweeps alike;
+    * element *values* are read at stamp time from the circuit objects
+      passed in, so a family stamp never mixes one member's values into
+      another's slice.
+
+    Consequently a cached plan can only go stale if the circuit's
+    *topology* is mutated after construction — the one thing the
+    codebase never does (circuits are built once, then analysed).
     """
 
     def __init__(

@@ -14,6 +14,8 @@ from typing import Iterable
 from ..errors import CircuitError
 from .elements import (
     Capacitor,
+    DispersiveCapacitor,
+    DispersiveInductor,
     Element,
     GROUND,
     Inductor,
@@ -80,6 +82,37 @@ class Circuit:
         """Add a (possibly lossy) inductor."""
         element = Inductor(
             name, node_a, node_b, inductance, series_resistance, c_par
+        )
+        self.add(element)
+        return element
+
+    def dispersive_inductor(
+        self,
+        name: str,
+        node_a: str,
+        node_b: str,
+        inductance: float,
+        q_model,
+        c_par: float = 0.0,
+    ) -> DispersiveInductor:
+        """Add an inductor whose loss follows a frequency-dependent Q model."""
+        element = DispersiveInductor(
+            name, node_a, node_b, inductance, q_model, c_par
+        )
+        self.add(element)
+        return element
+
+    def dispersive_capacitor(
+        self,
+        name: str,
+        node_a: str,
+        node_b: str,
+        capacitance: float,
+        q_model,
+    ) -> DispersiveCapacitor:
+        """Add a capacitor whose loss follows a frequency-dependent Q model."""
+        element = DispersiveCapacitor(
+            name, node_a, node_b, capacitance, q_model
         )
         self.add(element)
         return element

@@ -19,6 +19,35 @@ frequency (175 MHz)"*.  These models encode that behaviour:
 
 All models implement the :class:`~repro.circuits.synthesis.QModel`
 protocol.
+
+Frequency-dependent ("dispersive") models
+-----------------------------------------
+
+A model whose class attribute ``dispersive`` is True asks to be
+realised as *frequency-dependent circuit elements*
+(:class:`~repro.circuits.elements.DispersiveInductor` /
+:class:`~repro.circuits.elements.DispersiveCapacitor`): the element
+re-evaluates ``Q(f)`` — hence its loss — at every stamped frequency
+instead of freezing the loss at the filter centre.  The hierarchy:
+
+* :class:`SkinEffectQModel` — conductor loss with skin depth,
+  ``Q(f) = Q0 * sqrt(f / f0)``;
+* :class:`SubstrateLossQModel` — dielectric loss tangent growing with
+  frequency, ``tan_delta(f) = tan_delta_ref * (f / f_ref)^slope``;
+* :class:`TabulatedQModel` — measured Q profiles, linearly
+  interpolated over a frequency table;
+* :class:`DispersiveQModel` — wrapper that realises *any* model's
+  ``Q(f)`` physics in the stamped elements (e.g. SUMMIT's actual
+  conductor/substrate roll-off rather than its value frozen at f0).
+
+Every dispersive model provides vectorised ``inductor_q_profile(s)`` /
+``capacitor_q_profile(s)`` so batched ``(F,)`` and family-stacked
+``(B, F)`` MNA solves evaluate the whole grid with numpy expressions —
+no per-frequency Python loop anywhere on the stamping path.
+
+Constant-Q models keep ``dispersive = False`` and are realised exactly
+as before (loss converted at the centre frequency), which is what keeps
+the GPS golden files byte-identical.
 """
 
 from __future__ import annotations
@@ -142,6 +171,23 @@ class SummitQModel:
         del capacitance_f, frequency_hz
         return 1.0 / self.cap_tan_delta
 
+    def capacitor_q_profile(
+        self, capacitance_f: float, frequencies_hz
+    ) -> np.ndarray:
+        """MIM capacitor Q over a grid (loss-tangent limited, flat)."""
+        del capacitance_f
+        grid = _validate_frequencies(frequencies_hz)
+        return np.full(grid.shape, 1.0 / self.cap_tan_delta)
+
+    def capacitor_q_profiles(
+        self, capacitances_f, frequencies_hz
+    ) -> np.ndarray:
+        """Stacked ``(B, F)`` MIM capacitor Q (flat rows)."""
+        values = _validate_capacitances(capacitances_f)
+        return _broadcast_profile(
+            self.capacitor_q_profile(1.0, frequencies_hz), values.size
+        )
+
 
 @dataclass(frozen=True)
 class SmdQModel:
@@ -200,6 +246,18 @@ class MixedQModel:
     inductor_model: object = field(default_factory=SmdQModel)
     capacitor_model: object = field(default_factory=SummitQModel)
 
+    @property
+    def dispersive(self) -> bool:
+        """True when either delegate asks for dispersive elements.
+
+        With the default (constant-Q) delegates this is False, so the
+        historic centre-frequency realisation — and the GPS goldens —
+        are untouched.
+        """
+        return is_dispersive(self.inductor_model) or is_dispersive(
+            self.capacitor_model
+        )
+
     def inductor_q(self, inductance_h: float, frequency_hz: float) -> float:
         return self.inductor_model.inductor_q(inductance_h, frequency_hz)
 
@@ -221,6 +279,456 @@ class MixedQModel:
 
     def capacitor_q(self, capacitance_f: float, frequency_hz: float) -> float:
         return self.capacitor_model.capacitor_q(capacitance_f, frequency_hz)
+
+    def capacitor_q_profile(
+        self, capacitance_f: float, frequencies_hz
+    ) -> np.ndarray:
+        """Delegate grid evaluation to the capacitor technology."""
+        return capacitor_q_profile(
+            self.capacitor_model, capacitance_f, frequencies_hz
+        )
+
+    def capacitor_q_profiles(
+        self, capacitances_f, frequencies_hz
+    ) -> np.ndarray:
+        """Delegate stacked evaluation to the capacitor technology."""
+        return capacitor_q_profiles(
+            self.capacitor_model, capacitances_f, frequencies_hz
+        )
+
+
+# ---------------------------------------------------------------------------
+# Frequency-dependent (dispersive) models
+# ---------------------------------------------------------------------------
+
+def is_dispersive(q_model) -> bool:
+    """True when ``q_model`` asks for frequency-dependent elements.
+
+    Dispersive models set the class attribute ``dispersive = True``;
+    :func:`~repro.circuits.synthesis.build_bandpass_circuit` then
+    realises them as
+    :class:`~repro.circuits.elements.DispersiveInductor` /
+    :class:`~repro.circuits.elements.DispersiveCapacitor` so the loss is
+    re-evaluated at every stamped frequency.  Constant-Q models (the
+    default) keep the historic centre-frequency conversion, which is
+    what preserves byte-identical GPS goldens.
+    """
+    return bool(getattr(q_model, "dispersive", False))
+
+
+@dataclass(frozen=True)
+class SkinEffectQModel:
+    """Conductor loss limited by skin depth: ``Q(f) = Q0 sqrt(f / f0)``.
+
+    At VHF/UHF the series resistance of a wound or spiral conductor
+    grows like ``sqrt(f)`` once the skin depth is smaller than the
+    conductor, so ``Q = omega L / R_s(f)`` grows like ``sqrt(f)``.
+    ``q0_inductor`` is the unloaded inductor Q at the reference
+    frequency ``f0_hz``; capacitors are electrode-loss limited with the
+    same ``sqrt(f / f0)`` law around ``q0_capacitor``.
+    """
+
+    q0_inductor: float = 40.0
+    q0_capacitor: float = 300.0
+    f0_hz: float = 1.0e9
+
+    dispersive = True
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("q0_inductor", self.q0_inductor),
+            ("q0_capacitor", self.q0_capacitor),
+        ):
+            if not math.isfinite(value) or value <= 0:
+                raise CircuitError(
+                    f"skin-effect {label} must be a positive finite "
+                    f"number, got {value}"
+                )
+        if not math.isfinite(self.f0_hz) or self.f0_hz <= 0:
+            raise CircuitError(
+                f"reference frequency must be positive and finite, "
+                f"got {self.f0_hz}"
+            )
+
+    @property
+    def label(self) -> str:
+        """Compact axis label for sweep rows."""
+        return f"skin(Q0={self.q0_inductor:g}@{self.f0_hz:g}Hz)"
+
+    def inductor_q(self, inductance_h: float, frequency_hz: float) -> float:
+        del inductance_h
+        _require_positive_frequency(frequency_hz)
+        return self.q0_inductor * math.sqrt(frequency_hz / self.f0_hz)
+
+    def capacitor_q(self, capacitance_f: float, frequency_hz: float) -> float:
+        del capacitance_f
+        _require_positive_frequency(frequency_hz)
+        return self.q0_capacitor * math.sqrt(frequency_hz / self.f0_hz)
+
+    def inductor_q_profile(
+        self, inductance_h: float, frequencies_hz
+    ) -> np.ndarray:
+        del inductance_h
+        grid = _validate_frequencies(frequencies_hz)
+        return self.q0_inductor * np.sqrt(grid / self.f0_hz)
+
+    def inductor_q_profiles(
+        self, inductances_h, frequencies_hz
+    ) -> np.ndarray:
+        values = _validate_inductances(inductances_h)
+        # Skin-effect Q is value-independent: one profile, broadcast,
+        # keeps every row bit-identical to the per-value path.
+        return _broadcast_profile(
+            self.inductor_q_profile(1.0, frequencies_hz), values.size
+        )
+
+    def capacitor_q_profile(
+        self, capacitance_f: float, frequencies_hz
+    ) -> np.ndarray:
+        del capacitance_f
+        grid = _validate_frequencies(frequencies_hz)
+        return self.q0_capacitor * np.sqrt(grid / self.f0_hz)
+
+    def capacitor_q_profiles(
+        self, capacitances_f, frequencies_hz
+    ) -> np.ndarray:
+        values = _validate_capacitances(capacitances_f)
+        return _broadcast_profile(
+            self.capacitor_q_profile(1.0, frequencies_hz), values.size
+        )
+
+
+@dataclass(frozen=True)
+class SubstrateLossQModel:
+    """Dielectric (substrate) loss tangent growing with frequency.
+
+    The dielectric loss tangent of deposited thin-film stacks rises
+    with frequency; this model uses the power law
+    ``tan_delta(f) = tan_delta_ref * (f / f_ref_hz)^slope``.
+
+    * Capacitors are loss-tangent limited: ``Q_C(f) = 1 / tan_delta(f)``.
+    * Inductors combine a flat conductor Q with the substrate term:
+      ``1/Q_L(f) = 1/conductor_q + tan_delta(f)`` — the classic
+      "good at 1 GHz, poor at band edges" signature.
+
+    A ``slope`` of zero makes the loss tangent flat (the model then
+    still counts as dispersive: the elements re-evaluate it per
+    frequency, they just get the same answer everywhere).
+    """
+
+    tan_delta_ref: float = 0.005
+    f_ref_hz: float = 1.0e9
+    slope: float = 1.0
+    conductor_q: float = 40.0
+
+    dispersive = True
+
+    def __post_init__(self) -> None:
+        # Non-finite parameters are rejected outright: an infinite loss
+        # tangent would evaluate to Q = 1/inf = 0, which the element
+        # layer's lossless-Q convention would then silently invert into
+        # a *perfect* component.
+        if not math.isfinite(self.tan_delta_ref) or self.tan_delta_ref <= 0:
+            raise CircuitError(
+                f"loss tangent must be a positive finite number, "
+                f"got {self.tan_delta_ref}"
+            )
+        if not math.isfinite(self.f_ref_hz) or self.f_ref_hz <= 0:
+            raise CircuitError(
+                f"reference frequency must be positive and finite, "
+                f"got {self.f_ref_hz}"
+            )
+        if not math.isfinite(self.slope) or self.slope < 0:
+            raise CircuitError(
+                f"loss-tangent slope must be a non-negative finite "
+                f"number, got {self.slope}"
+            )
+        if not math.isfinite(self.conductor_q) or self.conductor_q <= 0:
+            raise CircuitError(
+                f"conductor Q must be a positive finite number, "
+                f"got {self.conductor_q}"
+            )
+
+    @property
+    def label(self) -> str:
+        """Compact axis label for sweep rows."""
+        return f"tan={self.tan_delta_ref:g}"
+
+    def _tan_delta(self, grid: np.ndarray) -> np.ndarray:
+        return self.tan_delta_ref * (grid / self.f_ref_hz) ** self.slope
+
+    def inductor_q(self, inductance_h: float, frequency_hz: float) -> float:
+        del inductance_h
+        _require_positive_frequency(frequency_hz)
+        tan = self.tan_delta_ref * (
+            frequency_hz / self.f_ref_hz
+        ) ** self.slope
+        return 1.0 / (1.0 / self.conductor_q + tan)
+
+    def capacitor_q(self, capacitance_f: float, frequency_hz: float) -> float:
+        del capacitance_f
+        _require_positive_frequency(frequency_hz)
+        tan = self.tan_delta_ref * (
+            frequency_hz / self.f_ref_hz
+        ) ** self.slope
+        return 1.0 / tan
+
+    def inductor_q_profile(
+        self, inductance_h: float, frequencies_hz
+    ) -> np.ndarray:
+        del inductance_h
+        grid = _validate_frequencies(frequencies_hz)
+        return 1.0 / (1.0 / self.conductor_q + self._tan_delta(grid))
+
+    def inductor_q_profiles(
+        self, inductances_h, frequencies_hz
+    ) -> np.ndarray:
+        values = _validate_inductances(inductances_h)
+        return _broadcast_profile(
+            self.inductor_q_profile(1.0, frequencies_hz), values.size
+        )
+
+    def capacitor_q_profile(
+        self, capacitance_f: float, frequencies_hz
+    ) -> np.ndarray:
+        del capacitance_f
+        grid = _validate_frequencies(frequencies_hz)
+        return 1.0 / self._tan_delta(grid)
+
+    def capacitor_q_profiles(
+        self, capacitances_f, frequencies_hz
+    ) -> np.ndarray:
+        values = _validate_capacitances(capacitances_f)
+        return _broadcast_profile(
+            self.capacitor_q_profile(1.0, frequencies_hz), values.size
+        )
+
+
+@dataclass(frozen=True)
+class TabulatedQModel:
+    """Measured Q profiles, linearly interpolated over a frequency table.
+
+    The shape measured technology data comes in: Q sampled at a handful
+    of frequencies per element kind.  Between samples the model
+    interpolates linearly (``numpy.interp``); outside the table it
+    clamps to the end values, matching how datasheet curves are read.
+
+    Fields are tuples so the model stays hashable, picklable and
+    ``repr``-stable — the properties the sweep cache keys and the
+    process execution engine rely on.
+    """
+
+    frequencies_hz: tuple[float, ...]
+    inductor_q_table: tuple[float, ...]
+    capacitor_q_table: tuple[float, ...]
+    name: str = "tabulated"
+
+    dispersive = True
+
+    def __post_init__(self) -> None:
+        table = np.asarray(self.frequencies_hz, dtype=float)
+        if table.size < 2:
+            raise CircuitError(
+                "a tabulated Q model needs at least two frequency points"
+            )
+        if (
+            not np.all(np.isfinite(table))
+            or np.any(table <= 0)
+            or np.any(np.diff(table) <= 0)
+        ):
+            raise CircuitError(
+                "tabulated frequencies must be positive, finite and "
+                "increasing"
+            )
+        for label, values in (
+            ("inductor", self.inductor_q_table),
+            ("capacitor", self.capacitor_q_table),
+        ):
+            column = np.asarray(values, dtype=float)
+            if column.shape != table.shape:
+                raise CircuitError(
+                    f"need one {label} Q per tabulated frequency, got "
+                    f"{column.size} for {table.size}"
+                )
+            if not np.all(np.isfinite(column)) or np.any(column <= 0):
+                raise CircuitError(
+                    f"tabulated {label} Q values must be positive and "
+                    f"finite"
+                )
+
+    @property
+    def label(self) -> str:
+        """Compact axis label for sweep rows."""
+        return self.name
+
+    def _interp(self, grid: np.ndarray, column) -> np.ndarray:
+        return np.interp(
+            grid,
+            np.asarray(self.frequencies_hz, dtype=float),
+            np.asarray(column, dtype=float),
+        )
+
+    def inductor_q(self, inductance_h: float, frequency_hz: float) -> float:
+        del inductance_h
+        _require_positive_frequency(frequency_hz)
+        return float(
+            self._interp(np.array([frequency_hz]), self.inductor_q_table)[0]
+        )
+
+    def capacitor_q(self, capacitance_f: float, frequency_hz: float) -> float:
+        del capacitance_f
+        _require_positive_frequency(frequency_hz)
+        return float(
+            self._interp(np.array([frequency_hz]), self.capacitor_q_table)[0]
+        )
+
+    def inductor_q_profile(
+        self, inductance_h: float, frequencies_hz
+    ) -> np.ndarray:
+        del inductance_h
+        grid = _validate_frequencies(frequencies_hz)
+        return self._interp(grid, self.inductor_q_table)
+
+    def inductor_q_profiles(
+        self, inductances_h, frequencies_hz
+    ) -> np.ndarray:
+        values = _validate_inductances(inductances_h)
+        return _broadcast_profile(
+            self.inductor_q_profile(1.0, frequencies_hz), values.size
+        )
+
+    def capacitor_q_profile(
+        self, capacitance_f: float, frequencies_hz
+    ) -> np.ndarray:
+        del capacitance_f
+        grid = _validate_frequencies(frequencies_hz)
+        return self._interp(grid, self.capacitor_q_table)
+
+    def capacitor_q_profiles(
+        self, capacitances_f, frequencies_hz
+    ) -> np.ndarray:
+        values = _validate_capacitances(capacitances_f)
+        return _broadcast_profile(
+            self.capacitor_q_profile(1.0, frequencies_hz), values.size
+        )
+
+
+@dataclass(frozen=True)
+class DispersiveQModel:
+    """Realise any Q model's ``Q(f)`` physics in the stamped elements.
+
+    Wrapping e.g. :class:`SummitQModel` makes
+    :func:`~repro.circuits.synthesis.build_bandpass_circuit` emit
+    dispersive elements, so SUMMIT's actual conductor/substrate
+    roll-off enters the MNA analysis at every frequency instead of being
+    frozen at the filter centre.  All Q queries delegate to the wrapped
+    model (through the vectorised dispatch helpers, so profiles stay
+    numpy-evaluated).
+    """
+
+    model: object
+
+    dispersive = True
+
+    @property
+    def label(self) -> str:
+        """Compact axis label for sweep rows."""
+        inner = getattr(self.model, "label", None)
+        if inner is None:
+            inner = type(self.model).__name__
+        return f"dispersive({inner})"
+
+    def inductor_q(self, inductance_h: float, frequency_hz: float) -> float:
+        return self.model.inductor_q(inductance_h, frequency_hz)
+
+    def capacitor_q(self, capacitance_f: float, frequency_hz: float) -> float:
+        return self.model.capacitor_q(capacitance_f, frequency_hz)
+
+    def inductor_q_profile(
+        self, inductance_h: float, frequencies_hz
+    ) -> np.ndarray:
+        return inductor_q_profile(self.model, inductance_h, frequencies_hz)
+
+    def inductor_q_profiles(
+        self, inductances_h, frequencies_hz
+    ) -> np.ndarray:
+        return inductor_q_profiles(self.model, inductances_h, frequencies_hz)
+
+    def capacitor_q_profile(
+        self, capacitance_f: float, frequencies_hz
+    ) -> np.ndarray:
+        return capacitor_q_profile(self.model, capacitance_f, frequencies_hz)
+
+    def capacitor_q_profiles(
+        self, capacitances_f, frequencies_hz
+    ) -> np.ndarray:
+        return capacitor_q_profiles(
+            self.model, capacitances_f, frequencies_hz
+        )
+
+
+#: A measured-style SUMMIT spiral/MIM table (Q sampled per decade),
+#: shaped after the published "good at 1-2 GHz, poor at 175 MHz" curve.
+MEASURED_SUMMIT_TABLE = TabulatedQModel(
+    frequencies_hz=(50e6, 175e6, 500e6, 1.0e9, 2.0e9, 5.0e9),
+    inductor_q_table=(3.0, 8.0, 20.0, 32.0, 35.0, 18.0),
+    capacitor_q_table=(220.0, 210.0, 200.0, 190.0, 170.0, 120.0),
+    name="measured-summit",
+)
+
+#: Named Q-model scenarios for the design-space sweep's Q-model axis
+#: (CLI ``repro-gps sweep --q-models``).  ``paper`` (= None) keeps the
+#: per-process constant-Q model; the others swap in dispersive physics.
+Q_MODEL_SCENARIOS: dict[str, object] = {
+    "skin": SkinEffectQModel(),
+    "substrate": SubstrateLossQModel(),
+    "lossy-substrate": SubstrateLossQModel(tan_delta_ref=0.02),
+    "measured": MEASURED_SUMMIT_TABLE,
+    "dispersive-summit": DispersiveQModel(SummitQModel()),
+}
+
+
+def process_q_model(process, dispersive: bool = False):
+    """The integrated-passives Q model of one thin-film process.
+
+    Builds a :class:`SummitQModel` from the process table's loss
+    parameters (``substrate_q_ref`` / ``substrate_q_ref_hz`` /
+    ``cap_tan_delta`` on
+    :class:`~repro.passives.thin_film.ThinFilmProcess`), so a process
+    variant with a lossier dielectric automatically produces a lossier
+    Q model.  With ``dispersive=True`` the model is wrapped in
+    :class:`DispersiveQModel`, putting the full ``Q(f)`` roll-off into
+    the stamped elements.
+    """
+    model = SummitQModel(
+        process=process,
+        q_sub_ref=process.substrate_q_ref,
+        f_sub_ref_hz=process.substrate_q_ref_hz,
+        cap_tan_delta=process.cap_tan_delta,
+    )
+    if dispersive:
+        return DispersiveQModel(model)
+    return model
+
+
+def _require_positive_frequency(frequency_hz: float) -> None:
+    """Shared scalar-frequency guard of the dispersive models."""
+    if frequency_hz <= 0:
+        raise CircuitError(
+            f"frequency must be positive, got {frequency_hz}"
+        )
+
+
+def _broadcast_profile(profile: np.ndarray, rows: int) -> np.ndarray:
+    """Tile a value-independent ``(F,)`` profile into ``(rows, F)``.
+
+    Used by models whose Q does not depend on the element value: every
+    row is the *same array contents* as the per-value profile, keeping
+    the stacked path bit-identical to the grid path.
+    """
+    out = np.empty((rows, profile.size), dtype=profile.dtype)
+    out[:] = profile[None, :]
+    return out
 
 
 def _validate_frequencies(frequencies_hz) -> np.ndarray:
@@ -247,6 +755,20 @@ def _validate_inductances(inductances_h) -> np.ndarray:
     if np.any(values <= 0):
         raise CircuitError(
             f"inductance must be positive, got {float(values.min())}"
+        )
+    return values
+
+
+def _validate_capacitances(capacitances_f) -> np.ndarray:
+    """Coerce to a 1-D positive float array (the stacked-profile contract)."""
+    values = np.asarray(capacitances_f, dtype=float)
+    if values.ndim == 0:
+        values = values[None]
+    if values.size == 0:
+        raise CircuitError("capacitance list must not be empty")
+    if np.any(values <= 0):
+        raise CircuitError(
+            f"capacitance must be positive, got {float(values.min())}"
         )
     return values
 
@@ -297,10 +819,39 @@ def inductor_q_profiles(
 def capacitor_q_profile(
     q_model, capacitance_f: float, frequencies_hz
 ) -> np.ndarray:
-    """Unloaded capacitor Q of a technology over a frequency grid."""
+    """Unloaded capacitor Q of a technology over a frequency grid.
+
+    Dispatches to the model's vectorised ``capacitor_q_profile`` when it
+    provides one (all dispersive models and :class:`SummitQModel` do);
+    otherwise evaluates the scalar method point by point.
+    """
+    vectorised = getattr(q_model, "capacitor_q_profile", None)
+    if vectorised is not None:
+        return np.asarray(vectorised(capacitance_f, frequencies_hz))
     grid = _validate_frequencies(frequencies_hz)
     return np.array(
         [q_model.capacitor_q(capacitance_f, float(f)) for f in grid]
+    )
+
+
+def capacitor_q_profiles(
+    q_model, capacitances_f, frequencies_hz
+) -> np.ndarray:
+    """Stacked ``(B, F)`` capacitor Q: many values over one grid.
+
+    The capacitor analogue of :func:`inductor_q_profiles`.  Dispatches
+    to the model's ``capacitor_q_profiles`` when it provides one;
+    otherwise stacks the per-value grid profile.
+    """
+    vectorised = getattr(q_model, "capacitor_q_profiles", None)
+    if vectorised is not None:
+        return np.asarray(vectorised(capacitances_f, frequencies_hz))
+    values = _validate_capacitances(capacitances_f)
+    return np.stack(
+        [
+            capacitor_q_profile(q_model, float(value), frequencies_hz)
+            for value in values
+        ]
     )
 
 
@@ -359,12 +910,7 @@ def combined_q_profiles(
             f"{capacitances.size} for {inductances.size}"
         )
     q_l = inductor_q_profiles(q_model, inductances, frequencies_hz)
-    q_c = np.stack(
-        [
-            capacitor_q_profile(q_model, float(value), frequencies_hz)
-            for value in capacitances
-        ]
-    )
+    q_c = capacitor_q_profiles(q_model, capacitances, frequencies_hz)
     return _combine_profiles(q_l, q_c)
 
 

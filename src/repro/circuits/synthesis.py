@@ -309,16 +309,30 @@ def build_bandpass_circuit(
 ) -> Circuit:
     """Materialise a :class:`BandpassDesign` as an analysable circuit.
 
-    Finite-Q elements are created by converting the technology model's
-    unloaded Q at the centre frequency into series resistance (inductors)
-    and loss tangent (capacitors).  Ports are attached at the input and
-    output nodes with the design's termination impedances.
+    For constant-Q technology models, finite-Q elements are created by
+    converting the model's unloaded Q at the centre frequency into
+    series resistance (inductors) and loss tangent (capacitors) —
+    the historic path, byte-stable against the GPS goldens.  For
+    *dispersive* models (``q_model.dispersive`` true, see
+    :func:`repro.circuits.qfactor.is_dispersive`) the elements are
+    :class:`~repro.circuits.elements.DispersiveInductor` /
+    :class:`~repro.circuits.elements.DispersiveCapacitor`, which carry
+    the model itself and re-evaluate ``Q(f)`` at every analysed
+    frequency.  Ports are attached at the input and output nodes with
+    the design's termination impedances.
     """
-    from .elements import lossy_capacitor, lossy_inductor  # cycle-free
+    from .elements import (  # cycle-free
+        dispersive_capacitor,
+        dispersive_inductor,
+        lossy_capacitor,
+        lossy_inductor,
+    )
+    from .qfactor import is_dispersive  # cycle-free
 
     spec = design.spec
     circuit = Circuit(name=name or f"{spec.name} bandpass")
     f0 = spec.center_hz
+    dispersive = is_dispersive(q_model)
 
     def q_of_inductor(value: float) -> float:
         if q_model is None:
@@ -329,6 +343,20 @@ def build_bandpass_circuit(
         if q_model is None:
             return math.inf
         return q_model.capacitor_q(value, f0)
+
+    def make_inductor(element_name: str, a: str, b: str, value: float):
+        if dispersive:
+            return dispersive_inductor(element_name, a, b, value, q_model)
+        return lossy_inductor(
+            element_name, a, b, value, q_of_inductor(value), f0
+        )
+
+    def make_capacitor(element_name: str, a: str, b: str, value: float):
+        if dispersive:
+            return dispersive_capacitor(element_name, a, b, value, q_model)
+        return lossy_capacitor(
+            element_name, a, b, value, q_of_capacitor(value), f0
+        )
 
     node = "in"
     next_node = 1
@@ -342,36 +370,20 @@ def build_bandpass_circuit(
             if not is_last:
                 next_node += 1
             circuit.add(
-                lossy_inductor(
-                    f"L{k}", node, mid,
-                    resonator.inductance_h,
-                    q_of_inductor(resonator.inductance_h), f0,
-                )
+                make_inductor(f"L{k}", node, mid, resonator.inductance_h)
             )
             circuit.add(
-                lossy_capacitor(
-                    f"C{k}", mid, out,
-                    resonator.capacitance_f,
-                    q_of_capacitor(resonator.capacitance_f), f0,
-                )
+                make_capacitor(f"C{k}", mid, out, resonator.capacitance_f)
             )
             node = out
         else:
             # Shunt resonator hangs at the current node; the signal path
             # continues on the same node.
             circuit.add(
-                lossy_inductor(
-                    f"L{k}", node, "0",
-                    resonator.inductance_h,
-                    q_of_inductor(resonator.inductance_h), f0,
-                )
+                make_inductor(f"L{k}", node, "0", resonator.inductance_h)
             )
             circuit.add(
-                lossy_capacitor(
-                    f"C{k}", node, "0",
-                    resonator.capacitance_f,
-                    q_of_capacitor(resonator.capacitance_f), f0,
-                )
+                make_capacitor(f"C{k}", node, "0", resonator.capacitance_f)
             )
     if node != "out":
         # Ladder ended on a shunt section: the output is the current node.
@@ -381,17 +393,13 @@ def build_bandpass_circuit(
         anchor = "in" if trap.node_position == 0 else "out"
         mid = f"trap{trap.node_position}_mid"
         circuit.add(
-            lossy_inductor(
-                f"Lt{trap.node_position}", anchor, mid,
-                trap.inductance_h,
-                q_of_inductor(trap.inductance_h), f0,
+            make_inductor(
+                f"Lt{trap.node_position}", anchor, mid, trap.inductance_h
             )
         )
         circuit.add(
-            lossy_capacitor(
-                f"Ct{trap.node_position}", mid, "0",
-                trap.capacitance_f,
-                q_of_capacitor(trap.capacitance_f), f0,
+            make_capacitor(
+                f"Ct{trap.node_position}", mid, "0", trap.capacitance_f
             )
         )
 

@@ -8,8 +8,9 @@ Installed as ``repro-gps``.  Subcommands:
 * ``compare`` — print paper-vs-measured for every published number;
 * ``calibrate`` — re-run the confidential chip-cost calibration;
 * ``sweep`` — fan the methodology out over a design-space grid
-  (volume x substrate rule x thin-film process x tolerance class) and
-  print Pareto-ready rows.  ``--engine serial|process|stacked`` and
+  (volume x substrate rule x thin-film process x tolerance class x
+  technology Q model x NRE scenario x FoM weight vector) and print
+  Pareto-ready rows.  ``--engine serial|process|stacked`` and
   ``--jobs N`` pick the execution engine (identical rows either way);
   ``--cache-stats`` prints the per-table memo tally, merged across
   workers.
@@ -18,17 +19,25 @@ Installed as ``repro-gps``.  Subcommands:
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from typing import Optional, Sequence
 
 from .area.substrate import SUBSTRATE_RULES
+from .circuits.qfactor import Q_MODEL_SCENARIOS, SubstrateLossQModel
 from .core.decision import full_report
 from .core.executors import ENGINE_NAMES, resolve_executor
+from .core.figure_of_merit import FomWeights
 from .core.sweep import SweepGrid
 from .cost.calibration import calibrate_chip_costs
 from .cost.moe.builder import render_flow
 from .gps.buildups import flow_for
-from .gps.study import paper_comparison, run_gps_study, run_gps_sweep
+from .gps.study import (
+    NRE_SCENARIOS,
+    paper_comparison,
+    run_gps_study,
+    run_gps_sweep,
+)
 from .passives.thin_film import THIN_FILM_PROCESSES
 from .passives.tolerance import TOLERANCE_CLASSES
 
@@ -115,6 +124,86 @@ def _positive_int(raw: str) -> int:
     return value
 
 
+def _q_model_values(raw: str) -> tuple:
+    """Parse the Q-model axis list.
+
+    Tokens are ``paper`` (the per-process constant-Q default), a named
+    scenario from :data:`repro.circuits.qfactor.Q_MODEL_SCENARIOS`, or
+    ``tan=<value>`` for a substrate-loss model with a custom dielectric
+    loss tangent — the knob behind "at what loss tangent does thin film
+    stop winning?".
+    """
+    values = []
+    for token in raw.split(","):
+        token = token.strip().lower()
+        if not token:
+            continue
+        if token == "paper":
+            values.append(None)
+        elif token in Q_MODEL_SCENARIOS:
+            values.append(Q_MODEL_SCENARIOS[token])
+        elif token.startswith("tan="):
+            try:
+                tan_delta = float(token[len("tan="):])
+            except ValueError:
+                raise argparse.ArgumentTypeError(
+                    f"loss tangent {token[len('tan='):]!r} is not a number"
+                ) from None
+            if not math.isfinite(tan_delta) or tan_delta <= 0:
+                raise argparse.ArgumentTypeError(
+                    f"loss tangent must be positive and finite, "
+                    f"got {tan_delta:g}"
+                )
+            values.append(SubstrateLossQModel(tan_delta_ref=tan_delta))
+        else:
+            known = ", ".join(
+                ["paper", "tan=<value>", *sorted(Q_MODEL_SCENARIOS)]
+            )
+            raise argparse.ArgumentTypeError(
+                f"unknown Q model {token!r} (choose from {known})"
+            )
+    if not values:
+        raise argparse.ArgumentTypeError("empty Q-model list")
+    return tuple(values)
+
+
+def _fom_weight_values(raw: str) -> tuple:
+    """Parse the FoM-weights axis: ``paper`` or ``perf:size:cost`` triples."""
+    values = []
+    for token in raw.split(","):
+        token = token.strip().lower()
+        if not token:
+            continue
+        if token == "paper":
+            values.append(None)
+            continue
+        parts = token.split(":")
+        if len(parts) != 3:
+            raise argparse.ArgumentTypeError(
+                f"FoM weights {token!r} must be perf:size:cost"
+            )
+        try:
+            performance, size, cost = (float(part) for part in parts)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"FoM weights {token!r} must be three numbers"
+            ) from None
+        if not all(
+            math.isfinite(value) and value >= 0
+            for value in (performance, size, cost)
+        ):
+            raise argparse.ArgumentTypeError(
+                f"FoM weights must be non-negative finite numbers, "
+                f"got {token!r}"
+            )
+        values.append(
+            FomWeights(performance=performance, size=size, cost=cost)
+        )
+    if not values:
+        raise argparse.ArgumentTypeError("empty FoM-weights list")
+    return tuple(values)
+
+
 def _volume_values(raw: str) -> tuple:
     """Parse a comma-separated list of positive volumes."""
     values = []
@@ -154,6 +243,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         substrates=args.substrates,
         processes=args.processes,
         tolerances=args.tolerances,
+        q_models=args.q_models,
+        nres=args.nres,
+        fom_weights=args.fom_weights,
     )
     # Explicit flags win per argument; unset ones fall back to the
     # REPRO_SWEEP_ENGINE / REPRO_SWEEP_JOBS environment defaults.
@@ -182,7 +274,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(f"Design-space sweep: {len(grid)} points, {len(report.rows)} rows")
     print(
         f"{'volume':>8} | {'substrate':>16} | {'process':>16} | "
-        f"{'tolerance':>10} | {'build-up':>20} | {'perf':>5} | "
+        f"{'tolerance':>10} | {'q-model':>14} | {'nre':>10} | "
+        f"{'weights':>9} | {'build-up':>20} | {'perf':>5} | "
         f"{'area%':>6} | {'cost%':>6} | {'FoM':>5} | flags"
     )
     for row in report.rows:
@@ -192,6 +285,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(
             f"{row.volume:>8g} | {row.substrate:>16.16} | "
             f"{row.process:>16.16} | {row.tolerance:>10} | "
+            f"{row.q_model:>14.14} | {row.nre:>10.10} | "
+            f"{row.weights:>9.9} | "
             f"{row.candidate:>20.20} | {row.performance:>5.2f} | "
             f"{row.area_percent:>6.1f} | {row.cost_percent:>6.1f} | "
             f"{row.figure_of_merit:>5.2f} | {flags}"
@@ -203,7 +298,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(
         f"Best overall: {best.candidate} (FoM {best.figure_of_merit:.2f}) "
         f"at volume={best.volume:g}, substrate={best.substrate}, "
-        f"process={best.process}, tolerance={best.tolerance}"
+        f"process={best.process}, tolerance={best.tolerance}, "
+        f"q-model={best.q_model}, nre={best.nre}, weights={best.weights}"
     )
     hits, misses = report.cache_stats["hits"], report.cache_stats["misses"]
     print(f"Memoised sub-results: {hits} hits / {misses} misses")
@@ -289,6 +385,33 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "comma-separated tolerance classes: paper, "
             + ", ".join(sorted(TOLERANCE_CLASSES))
+        ),
+    )
+    sweep.add_argument(
+        "--q-models",
+        type=_q_model_values,
+        default=(None,),
+        help=(
+            "comma-separated technology Q models: paper, tan=<value>, "
+            + ", ".join(sorted(Q_MODEL_SCENARIOS))
+        ),
+    )
+    sweep.add_argument(
+        "--nres",
+        type=lambda raw: _axis_values(raw, NRE_SCENARIOS, "NRE scenario"),
+        default=(None,),
+        help=(
+            "comma-separated NRE scenarios: paper, "
+            + ", ".join(sorted(NRE_SCENARIOS))
+        ),
+    )
+    sweep.add_argument(
+        "--fom-weights",
+        type=_fom_weight_values,
+        default=(None,),
+        help=(
+            "comma-separated FoM weight vectors as perf:size:cost "
+            "(e.g. 1:1:1,2:1:0.5); paper = the plain product"
         ),
     )
     sweep.add_argument(

@@ -28,6 +28,11 @@ Only the candidate *factory* crosses process boundaries, not the
 candidates: workers call it locally, so its closures (flow factories)
 never need to pickle — but the factory itself must (use a module-level
 function or class such as :class:`repro.gps.study.GpsSweepFactory`).
+
+The full obligations an engine implementation takes on — completeness,
+result identity with the serial engine, cache folding, factory
+discipline and error transparency — are spelled out on the
+:class:`Executor` protocol itself.
 """
 
 from __future__ import annotations
@@ -64,11 +69,34 @@ CandidateFactory = Callable[
 class Executor(Protocol):
     """Scheduling strategy of one design-space sweep.
 
-    ``run_sweep`` evaluates every point and returns the cells in grid
-    order.  Implementations must fold any worker-local caching back
-    into ``cache`` so the caller sees whole-sweep stats, and must not
-    change results — engines are interchangeable by contract
-    (``tests/gps/test_engines.py`` pins row-for-row identity).
+    The protocol contract, in full — every implementation (and any
+    third-party engine plugged into
+    :func:`~repro.core.sweep.run_design_sweep`) must satisfy all of it:
+
+    * **Completeness and order** — ``run_sweep`` evaluates *every*
+      point in ``points`` exactly once and returns one
+      :class:`~repro.core.sweep.SweepCell` per point, in the input
+      order, regardless of the internal evaluation order.
+    * **Result identity** — the returned cells must equal what
+      :class:`SerialExecutor` produces for the same inputs, float for
+      float.  Engines are pure scheduling decisions; they may not
+      change *what* is computed (``tests/gps/test_engines.py`` pins
+      row-for-row byte identity on the GPS study).
+    * **Cache folding** — any worker- or batch-local
+      :class:`~repro.core.sweep.EvaluationCache` state must be folded
+      back into the ``cache`` argument (via
+      :meth:`~repro.core.sweep.EvaluationCache.merge` or by seeding)
+      before ``run_sweep`` returns, so ``cache.stats()`` always tallies
+      the whole sweep.  Hit/miss *counts* may legitimately differ
+      between engines (cold worker caches, pre-seeding); cached
+      *values* may not.
+    * **Factory discipline** — ``candidate_factory`` may be called at
+      most once per point per process, from whichever process evaluates
+      that point.  Engines that cross process boundaries ship the
+      factory itself (it must pickle), never the candidates it returns.
+    * **Error transparency** — exceptions raised by the factory or the
+      evaluation propagate to the caller; an engine must not swallow a
+      failed point and return a partial result.
     """
 
     name: str
@@ -104,7 +132,23 @@ class SerialExecutor:
 
 
 def _split_runs(points: Sequence[DesignPoint], parts: int) -> list[list]:
-    """Split points into at most ``parts`` contiguous, near-even runs."""
+    """Split points into at most ``parts`` contiguous, near-even runs.
+
+    ``parts`` is clamped down to ``len(points)`` (no empty runs are
+    produced), but a non-positive request is a caller bug — silently
+    clamping it up would hide a broken worker-count calculation — so it
+    raises :class:`ValueError`.
+
+    Raises
+    ------
+    ValueError
+        If ``parts`` is not a positive integer.
+    """
+    if parts <= 0:
+        raise ValueError(
+            f"cannot split {len(points)} points into {parts} runs; "
+            "parts must be a positive integer"
+        )
     parts = max(1, min(parts, len(points)))
     base, extra = divmod(len(points), parts)
     runs = []

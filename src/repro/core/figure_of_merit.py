@@ -13,6 +13,7 @@ is the all-ones case and a weight of zero removes an axis entirely.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from ..errors import SpecificationError
@@ -36,9 +37,10 @@ class FomWeights:
             ("size", self.size),
             ("cost", self.cost),
         ):
-            if value < 0:
+            if not math.isfinite(value) or value < 0:
                 raise SpecificationError(
-                    f"{label} weight cannot be negative, got {value}"
+                    f"{label} weight must be a non-negative finite "
+                    f"number, got {value}"
                 )
 
 

@@ -6,7 +6,8 @@ discipline.  This module fans the methodology out over a *grid* of those
 choices:
 
 * :class:`DesignPoint` — one coordinate in the design space (volume,
-  substrate rule, thin-film process, tolerance class);
+  substrate rule, thin-film process, tolerance class, technology
+  Q model, NRE scenario, FoM weight vector);
 * :class:`SweepGrid` — the cartesian product of per-axis value lists;
 * :func:`run_design_sweep` — evaluates every grid point through the
   methodology (steps 2-5) with **memoised sub-results**: the performance
@@ -33,6 +34,7 @@ GPS adapter lives in :func:`repro.gps.study.sweep_candidates`.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from itertools import product
 from typing import Callable, Iterable, Optional, Sequence
@@ -55,23 +57,97 @@ from .pareto import analyze_study
 
 
 @dataclass(frozen=True)
+class NreScenario:
+    """A named non-recurring-engineering cost assumption.
+
+    The paper publishes no NRE figures, so the volume axis only bites
+    under an *assumed* NRE per candidate.  A scenario names one such
+    assumption: ``by_candidate`` maps a candidate identifier (the GPS
+    adapter uses the implementation number 1..4) to the NRE amortised
+    over shipped units.  Stored as a tuple of pairs so the scenario is
+    hashable, picklable and ``repr``-stable — the properties the sweep
+    cache keys and the process execution engine need.
+    """
+
+    name: str
+    by_candidate: tuple[tuple[int, float], ...]
+
+    def __post_init__(self) -> None:
+        for key, nre in self.by_candidate:
+            if not math.isfinite(nre) or nre < 0:
+                raise SpecificationError(
+                    f"NRE scenario {self.name!r}: candidate {key} needs "
+                    f"a non-negative finite NRE, got {nre}"
+                )
+
+    def as_mapping(self) -> dict[int, float]:
+        """The scenario as a plain candidate-id → NRE mapping."""
+        return dict(self.by_candidate)
+
+
+def _q_model_label(q_model) -> str:
+    """Compact axis label of a Q-model override (``paper`` for None)."""
+    if q_model is None:
+        return "paper"
+    label = getattr(q_model, "label", None)
+    if label is not None:
+        return str(label)
+    name = getattr(q_model, "name", None)
+    if name is not None:
+        return str(name)
+    return type(q_model).__name__
+
+
+def _weights_label(weights: Optional[FomWeights]) -> str:
+    """Compact ``perf:size:cost`` label of a FoM weight vector."""
+    if weights is None:
+        return "paper"
+    return f"{weights.performance:g}:{weights.size:g}:{weights.cost:g}"
+
+
+@dataclass(frozen=True)
 class DesignPoint:
     """One coordinate of the design space.
 
     ``None`` on an axis means "the candidate factory's default" — the
-    paper's choice for that knob.
+    paper's choice for that knob.  The three scenario axes added on top
+    of the physical ones:
+
+    * ``q_model`` — a technology Q model (possibly frequency-dependent,
+      see :mod:`repro.circuits.qfactor`) overriding the candidate
+      factory's integrated-passives model;
+    * ``nre`` — an :class:`NreScenario` replacing the factory's NRE
+      assumption (what the volume axis amortises);
+    * ``weights`` — a per-point
+      :class:`~repro.core.figure_of_merit.FomWeights` vector used when
+      ranking this point (overrides the sweep-wide weights).
     """
 
     volume: float = 10_000.0
     substrate: Optional[SubstrateRule] = None
     process: Optional[ThinFilmProcess] = None
     tolerance: Optional[ToleranceClass] = None
+    q_model: Optional[object] = None
+    nre: Optional[NreScenario] = None
+    weights: Optional[FomWeights] = None
 
     def __post_init__(self) -> None:
         if self.volume <= 0:
             raise SpecificationError(
                 f"volume must be positive, got {self.volume}"
             )
+
+    def q_model_label(self) -> str:
+        """The Q-model axis value as a short string (``paper`` default)."""
+        return _q_model_label(self.q_model)
+
+    def nre_label(self) -> str:
+        """The NRE-scenario axis value as a short string."""
+        return self.nre.name if self.nre is not None else "paper"
+
+    def weights_label(self) -> str:
+        """The FoM-weights axis value as ``perf:size:cost``."""
+        return _weights_label(self.weights)
 
     def label(self) -> str:
         """Compact human-readable coordinate label."""
@@ -85,6 +161,9 @@ class DesignPoint:
         parts.append(
             f"tolerance={self.tolerance.name if self.tolerance else 'paper'}"
         )
+        parts.append(f"q={self.q_model_label()}")
+        parts.append(f"nre={self.nre_label()}")
+        parts.append(f"weights={self.weights_label()}")
         return " ".join(parts)
 
 
@@ -103,9 +182,20 @@ class SweepGrid:
     substrates: tuple[Optional[SubstrateRule], ...] = (None,)
     processes: tuple[Optional[ThinFilmProcess], ...] = (None,)
     tolerances: tuple[Optional[ToleranceClass], ...] = (None,)
+    q_models: tuple[Optional[object], ...] = (None,)
+    nres: tuple[Optional[NreScenario], ...] = (None,)
+    fom_weights: tuple[Optional[FomWeights], ...] = (None,)
 
     def __post_init__(self) -> None:
-        for name in ("volumes", "substrates", "processes", "tolerances"):
+        for name in (
+            "volumes",
+            "substrates",
+            "processes",
+            "tolerances",
+            "q_models",
+            "nres",
+            "fom_weights",
+        ):
             if not getattr(self, name):
                 raise SpecificationError(f"grid axis {name!r} is empty")
 
@@ -115,22 +205,44 @@ class SweepGrid:
             * len(self.substrates)
             * len(self.processes)
             * len(self.tolerances)
+            * len(self.q_models)
+            * len(self.nres)
+            * len(self.fom_weights)
         )
 
     def points(self) -> list[DesignPoint]:
-        """All grid coordinates, volume-major."""
+        """All grid coordinates, volume-major.
+
+        The scenario axes (Q model, NRE, weights) vary fastest, so
+        grids that only use the physical axes enumerate in the same
+        order they always did.
+        """
         return [
             DesignPoint(
                 volume=volume,
                 substrate=substrate,
                 process=process,
                 tolerance=tolerance,
+                q_model=q_model,
+                nre=nre,
+                weights=weights,
             )
-            for volume, substrate, process, tolerance in product(
+            for (
+                volume,
+                substrate,
+                process,
+                tolerance,
+                q_model,
+                nre,
+                weights,
+            ) in product(
                 self.volumes,
                 self.substrates,
                 self.processes,
                 self.tolerances,
+                self.q_models,
+                self.nres,
+                self.fom_weights,
             )
         ]
 
@@ -309,6 +421,9 @@ class SweepRow:
     substrate: str
     process: str
     tolerance: str
+    q_model: str
+    nre: str
+    weights: str
     candidate: str
     performance: float
     area_percent: float
@@ -324,6 +439,9 @@ class SweepRow:
             "substrate": self.substrate,
             "process": self.process,
             "tolerance": self.tolerance,
+            "q_model": self.q_model,
+            "nre": self.nre,
+            "weights": self.weights,
             "candidate": self.candidate,
             "performance": self.performance,
             "area_percent": self.area_percent,
@@ -384,6 +502,9 @@ def _rows_for_cell(cell: SweepCell) -> list[SweepRow]:
                 tolerance=(
                     point.tolerance.name if point.tolerance else "paper"
                 ),
+                q_model=point.q_model_label(),
+                nre=point.nre_label(),
+                weights=point.weights_label(),
                 candidate=name,
                 performance=study_row.fom.performance,
                 area_percent=study_row.area_percent,
@@ -407,7 +528,9 @@ def evaluate_cell(
 
     The unit of work every execution engine schedules: validates the
     candidate list, assesses each candidate through the memo and ranks
-    the result (methodology step 5).
+    the result (methodology step 5).  A point carrying its own FoM
+    weight vector (the weights axis) is ranked with it; ``weights`` is
+    the sweep-wide default for all other points.
     """
     candidates = list(candidates)
     if not candidates:
@@ -424,7 +547,8 @@ def evaluate_cell(
         assess_candidate_cached(candidate, point.volume, cache)
         for candidate in candidates
     ]
-    result = study_from_assessments(assessments, reference, weights)
+    effective = point.weights if point.weights is not None else weights
+    result = study_from_assessments(assessments, reference, effective)
     return SweepCell(point=point, result=result)
 
 

@@ -25,7 +25,7 @@ from ..circuits.qfactor import (
     DiscreteFilterBlockQModel,
     MixedQModel,
     SmdQModel,
-    SummitQModel,
+    process_q_model,
 )
 from ..circuits.synthesis import QModel
 from ..passives.filters import FilterFamily, FilterSpec
@@ -71,12 +71,20 @@ def filter_chain_specs() -> list[FilterSpec]:
 def technology_assignments(
     implementation: int,
     process: ThinFilmProcess = SUMMIT_PROCESS,
+    q_model: Optional[QModel] = None,
 ) -> list[tuple[FilterSpec, Optional[QModel]]]:
     """``(spec, q_model)`` pairs for one build-up (input to assess_chain).
 
     ``process`` selects the thin-film process behind the integrated
     filter realisations of build-ups 3 and 4 (the design-space sweep's
-    process axis).
+    process axis); its loss parameters flow into the model through
+    :func:`repro.circuits.qfactor.process_q_model`.  ``q_model``
+    replaces that integrated-passives model altogether — the sweep's
+    Q-model axis: passing e.g. a
+    :class:`~repro.circuits.qfactor.SubstrateLossQModel` re-scores the
+    integrated filters under a different (possibly frequency-dependent)
+    loss mechanism, while the bought discrete blocks of build-ups 1/2
+    and the SMD inductors of build-up 4 keep their own technologies.
 
     Raises
     ------
@@ -91,15 +99,21 @@ def technology_assignments(
     if1 = if_filter_spec(1)
     if2 = if_filter_spec(2)
     block = DiscreteFilterBlockQModel()
-    summit = SummitQModel(process=process)
+    integrated = (
+        q_model if q_model is not None else process_q_model(process)
+    )
     if implementation in (1, 2):
         return [(rf, block), (if1, block), (if2, block)]
     if implementation == 3:
-        return [(rf, summit), (if1, summit), (if2, summit)]
+        return [
+            (rf, integrated),
+            (if1, integrated),
+            (if2, integrated),
+        ]
     mixed = MixedQModel(
         inductor_model=SmdQModel(
             inductor_q_value=data.SMD_INDUCTOR_Q_AT_IF
         ),
-        capacitor_model=summit,
+        capacitor_model=integrated,
     )
-    return [(rf, summit), (if1, mixed), (if2, mixed)]
+    return [(rf, integrated), (if1, mixed), (if2, mixed)]

@@ -22,6 +22,7 @@ from ..core.figure_of_merit import FomWeights
 from ..core.sweep import (
     DesignPoint,
     EvaluationCache,
+    NreScenario,
     SweepGrid,
     SweepReport,
     run_design_sweep,
@@ -103,6 +104,32 @@ SWEEP_NRE_SCENARIO: dict[int, float] = {
     4: 45_000.0,
 }
 
+#: Named NRE scenarios for the sweep's NRE axis (CLI
+#: ``repro-gps sweep --nres``).  ``paper`` (= None) keeps
+#: :data:`SWEEP_NRE_SCENARIO`; the others bracket it: no NRE at all,
+#: a lean flow that halves every figure, and a mask-heavy flow where
+#: the MCM-D mask set and integrated-passive layers cost double.
+NRE_SCENARIOS: dict[str, NreScenario] = {
+    "zero": NreScenario(
+        name="zero", by_candidate=((1, 0.0), (2, 0.0), (3, 0.0), (4, 0.0))
+    ),
+    "lean": NreScenario(
+        name="lean",
+        by_candidate=tuple(
+            (i, 0.5 * SWEEP_NRE_SCENARIO[i]) for i in (1, 2, 3, 4)
+        ),
+    ),
+    "mask-heavy": NreScenario(
+        name="mask-heavy",
+        by_candidate=(
+            (1, SWEEP_NRE_SCENARIO[1]),
+            (2, 2.0 * SWEEP_NRE_SCENARIO[2]),
+            (3, 2.0 * SWEEP_NRE_SCENARIO[3]),
+            (4, 2.0 * SWEEP_NRE_SCENARIO[4]),
+        ),
+    ),
+}
+
 
 def sweep_candidates(
     point: DesignPoint,
@@ -123,12 +150,23 @@ def sweep_candidates(
       substrate carrier of build-ups 3 and 4;
     * ``volume`` is consumed by the sweep's cost evaluation, made
       meaningful by the NRE scenario (``SWEEP_NRE_SCENARIO`` unless
-      overridden).
+      overridden);
+    * ``q_model`` replaces the integrated-passives technology Q model
+      of build-ups 3 and 4 (possibly with a frequency-dependent one —
+      the Q-model axis);
+    * ``nre`` replaces the NRE assumption with a named
+      :class:`~repro.core.sweep.NreScenario` (the NRE axis; it wins
+      over the factory-level ``nre_scenario`` argument);
+    * ``weights`` is consumed by the sweep's ranking step (the FoM
+      weights axis — not this factory's business).
     """
     process = point.process if point.process is not None else SUMMIT_PROCESS
-    nre_by_impl = (
-        dict(nre_scenario) if nre_scenario is not None else SWEEP_NRE_SCENARIO
-    )
+    if point.nre is not None:
+        nre_by_impl: Mapping[int, float] = point.nre.as_mapping()
+    elif nre_scenario is not None:
+        nre_by_impl = dict(nre_scenario)
+    else:
+        nre_by_impl = SWEEP_NRE_SCENARIO
     result = []
     for implementation in (1, 2, 3, 4):
         buildup = get_buildup(implementation)
@@ -168,7 +206,7 @@ def sweep_candidates(
                 laminate=LAMINATE_RULE if buildup.is_mcm else None,
                 flow_factory=factory,
                 filter_assignments=technology_assignments(
-                    implementation, process
+                    implementation, process, point.q_model
                 ),
             )
         )

@@ -74,6 +74,16 @@ class ThinFilmProcess:
         Fixed contact-pad area per resistor terminal.
     inductor_margin_mm:
         Keep-out margin around a spiral on each side.
+    substrate_q_ref / substrate_q_ref_hz:
+        Substrate (eddy/dielectric) loss of spiral inductors, modelled
+        as ``Q_sub(f) = substrate_q_ref * substrate_q_ref_hz / f``.
+        Consumed by :func:`repro.circuits.qfactor.process_q_model` when
+        building the process's technology Q model.
+    cap_tan_delta:
+        Dielectric loss tangent of the MIM capacitor stack (flat with
+        frequency at this level; frequency-dependent dielectric loss is
+        modelled by
+        :class:`repro.circuits.qfactor.SubstrateLossQModel`).
     """
 
     name: str
@@ -89,6 +99,9 @@ class ThinFilmProcess:
     line_spacing_mm: float = 0.020
     resistor_pad_area_mm2: float = 0.014
     inductor_margin_mm: float = 0.020
+    substrate_q_ref: float = 200.0
+    substrate_q_ref_hz: float = 1.0e9
+    cap_tan_delta: float = 0.005
 
     def __post_init__(self) -> None:
         if self.sheet_resistance_ohm_sq <= 0:
@@ -104,6 +117,15 @@ class ThinFilmProcess:
         if self.line_width_mm <= 0 or self.line_spacing_mm < 0:
             raise TechnologyError(
                 "line width must be positive and spacing non-negative"
+            )
+        if self.substrate_q_ref <= 0 or self.substrate_q_ref_hz <= 0:
+            raise TechnologyError(
+                "substrate Q reference and its frequency must be positive"
+            )
+        if self.cap_tan_delta <= 0:
+            raise TechnologyError(
+                f"capacitor loss tangent must be positive, got "
+                f"{self.cap_tan_delta}"
             )
 
 
@@ -449,3 +471,24 @@ def with_cap_density(
 ) -> ThinFilmProcess:
     """Derive a process variant with a different capacitor stack density."""
     return replace(process, cap_density_pf_mm2=density_pf_mm2)
+
+
+def with_loss(
+    process: ThinFilmProcess,
+    cap_tan_delta: float | None = None,
+    substrate_q_ref: float | None = None,
+) -> ThinFilmProcess:
+    """Derive a process variant with different loss parameters.
+
+    The knob behind "at what loss tangent does thin film stop
+    winning?"-style sweeps: the returned process feeds
+    :func:`repro.circuits.qfactor.process_q_model` with a lossier (or
+    cleaner) dielectric / substrate while keeping every area and cost
+    parameter identical.
+    """
+    updates: dict[str, float] = {}
+    if cap_tan_delta is not None:
+        updates["cap_tan_delta"] = cap_tan_delta
+    if substrate_q_ref is not None:
+        updates["substrate_q_ref"] = substrate_q_ref
+    return replace(process, **updates)

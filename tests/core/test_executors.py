@@ -140,6 +140,14 @@ class TestDefaultExecutor:
 
 
 class TestSplitRuns:
+    @pytest.mark.parametrize("parts", [0, -1, -100])
+    def test_nonpositive_parts_rejected(self, parts):
+        """Regression: a broken worker count must fail loudly, not clamp."""
+        with pytest.raises(ValueError) as excinfo:
+            _split_runs(list(range(4)), parts)
+        assert "positive" in str(excinfo.value)
+        assert str(parts) in str(excinfo.value)
+
     def test_even_split(self):
         runs = _split_runs(list(range(6)), 3)
         assert runs == [[0, 1], [2, 3], [4, 5]]

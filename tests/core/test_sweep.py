@@ -5,15 +5,22 @@ from __future__ import annotations
 import pytest
 
 from repro.area.substrate import MCM_D_COARSE_RULE, MCM_D_FINE_RULE
+from repro.circuits.qfactor import (
+    SkinEffectQModel,
+    SubstrateLossQModel,
+)
 from repro.core.executors import SerialExecutor
+from repro.core.figure_of_merit import FomWeights
 from repro.core.sweep import (
     DesignPoint,
     EvaluationCache,
+    NreScenario,
     SweepGrid,
     run_design_sweep,
 )
 from repro.errors import SpecificationError
 from repro.gps.study import (
+    NRE_SCENARIOS,
     run_gps_study,
     run_gps_sweep,
     sweep_candidates,
@@ -60,6 +67,45 @@ class TestGrid:
         assert "volume=5000" in label
         assert "tolerance=precision" in label
         assert "process=paper" in label
+        assert "q=paper" in label
+        assert "nre=paper" in label
+        assert "weights=paper" in label
+
+    def test_scenario_axes_multiply_the_grid(self):
+        grid = SweepGrid(
+            volumes=(1e3, 1e4),
+            q_models=(None, SkinEffectQModel()),
+            nres=(None, NRE_SCENARIOS["zero"]),
+            fom_weights=(None, FomWeights(performance=2.0)),
+        )
+        assert len(grid) == 16
+        assert len(grid.points()) == 16
+
+    def test_scenario_axis_labels(self):
+        point = DesignPoint(
+            q_model=SubstrateLossQModel(tan_delta_ref=0.02),
+            nre=NRE_SCENARIOS["mask-heavy"],
+            weights=FomWeights(performance=2.0, size=1.0, cost=0.5),
+        )
+        assert point.q_model_label() == "tan=0.02"
+        assert point.nre_label() == "mask-heavy"
+        assert point.weights_label() == "2:1:0.5"
+        label = point.label()
+        assert "q=tan=0.02" in label
+        assert "nre=mask-heavy" in label
+        assert "weights=2:1:0.5" in label
+
+    def test_empty_scenario_axis_rejected(self):
+        with pytest.raises(SpecificationError):
+            SweepGrid(q_models=())
+        with pytest.raises(SpecificationError):
+            SweepGrid(nres=())
+        with pytest.raises(SpecificationError):
+            SweepGrid(fom_weights=())
+
+    def test_negative_nre_rejected(self):
+        with pytest.raises(SpecificationError):
+            NreScenario(name="bad", by_candidate=((1, -5.0),))
 
 
 class TestRunDesignSweep:
@@ -216,3 +262,112 @@ class TestGpsAxes:
             IMPL3,
             IMPL4,
         ]
+
+    def test_q_model_axis_moves_performance(self):
+        """A lossier dielectric hurts the integrated build-ups only."""
+        report = run_gps_sweep(
+            SweepGrid(
+                q_models=(
+                    None,
+                    SubstrateLossQModel(tan_delta_ref=0.005),
+                    SubstrateLossQModel(tan_delta_ref=0.05),
+                )
+            )
+        )
+        assert len(report.rows) == 12
+
+        def perf(candidate, q_model):
+            return next(
+                r.performance
+                for r in report.rows
+                if r.candidate == candidate and r.q_model == q_model
+            )
+
+        # The discrete build-up is untouched by the Q axis.
+        assert perf("PCB/SMD (reference)", "paper") == perf(
+            "PCB/SMD (reference)", "tan=0.05"
+        )
+        # The fully integrated build-up degrades with the loss tangent.
+        assert perf(IMPL3, "tan=0.05") < perf(IMPL3, "tan=0.005")
+        # The paper's constant-Q model differs from both scenarios.
+        assert perf(IMPL3, "paper") not in (
+            perf(IMPL3, "tan=0.005"),
+            perf(IMPL3, "tan=0.05"),
+        )
+
+    def test_nre_axis_moves_cost(self):
+        report = run_gps_sweep(
+            SweepGrid(
+                volumes=(500.0,),
+                nres=(None, NRE_SCENARIOS["zero"], NRE_SCENARIOS["mask-heavy"]),
+            )
+        )
+
+        def cost(nre):
+            return next(
+                r.cost_percent
+                for r in report.rows
+                if r.candidate == IMPL3 and r.nre == nre
+            )
+
+        # At prototype volume, dropping NRE is cheaper and doubling the
+        # mask set dearer than the paper scenario.
+        assert cost("zero") < cost("paper") < cost("mask-heavy")
+
+    def test_weights_axis_reranks_without_touching_assessments(self):
+        report = run_gps_sweep(
+            SweepGrid(
+                fom_weights=(None, FomWeights(performance=4.0))
+            )
+        )
+
+        def row(candidate, weights):
+            return next(
+                r
+                for r in report.rows
+                if r.candidate == candidate and r.weights == weights
+            )
+
+        # Assessments (performance/area/cost) are weight-independent...
+        for candidate in (IMPL3, IMPL4):
+            plain = row(candidate, "paper")
+            heavy = row(candidate, "4:1:1")
+            assert plain.performance == heavy.performance
+            assert plain.area_percent == heavy.area_percent
+            assert plain.cost_percent == heavy.cost_percent
+            # ...but the ranking number moves.
+            assert plain.figure_of_merit != heavy.figure_of_merit
+        # Weighting performance heavily dethrones the lossy build-up 4:
+        # a perfect-performance candidate wins instead.
+        assert row(IMPL4, "paper").is_winner
+        assert not row(IMPL4, "4:1:1").is_winner
+
+    def test_point_nre_wins_over_factory_scenario(self):
+        explicit = {i: 10_000.0 for i in (1, 2, 3, 4)}
+        report = run_gps_sweep(
+            [
+                DesignPoint(volume=500.0),
+                DesignPoint(volume=500.0, nre=NRE_SCENARIOS["zero"]),
+            ],
+            nre_scenario=explicit,
+        )
+
+        def cost(nre):
+            return next(
+                r.cost_percent
+                for r in report.rows
+                if r.candidate == IMPL3 and r.nre == nre
+            )
+
+        # The explicit factory scenario applies at the plain point; the
+        # point's own scenario overrides it.
+        assert cost("zero") < cost("paper")
+
+    def test_dispersive_q_axis_runs_through_the_circuit_engine(self):
+        """A dispersive model on the axis reaches the MNA solves."""
+        report = run_gps_sweep(
+            [DesignPoint(q_model=SkinEffectQModel())]
+        )
+        impl3 = next(r for r in report.rows if r.candidate == IMPL3)
+        assert 0.0 < impl3.performance <= 1.0
+        assert impl3.q_model == "skin(Q0=40@1e+09Hz)"

@@ -17,9 +17,19 @@ from __future__ import annotations
 
 import pytest
 
+from repro.circuits.qfactor import (
+    MEASURED_SUMMIT_TABLE,
+    SubstrateLossQModel,
+)
 from repro.core.executors import make_executor
+from repro.core.figure_of_merit import FomWeights
 from repro.core.sweep import DesignPoint, SweepGrid
-from repro.gps.study import GpsSweepFactory, run_gps_study, run_gps_sweep
+from repro.gps.study import (
+    GpsSweepFactory,
+    NRE_SCENARIOS,
+    run_gps_study,
+    run_gps_sweep,
+)
 from repro.passives.thin_film import SI3N4_PROCESS
 from repro.passives.tolerance import PRECISION_CLASS
 
@@ -29,10 +39,24 @@ GRID = SweepGrid(
     tolerances=(None, PRECISION_CLASS),
 )
 
+#: The three scenario axes together, with a dispersive Q model in the
+#: mix — the grid every engine must reproduce byte-for-byte.
+SCENARIO_GRID = SweepGrid(
+    volumes=(1_000.0,),
+    q_models=(None, SubstrateLossQModel(), MEASURED_SUMMIT_TABLE),
+    nres=(None, NRE_SCENARIOS["zero"]),
+    fom_weights=(None, FomWeights(performance=2.0, size=1.0, cost=0.5)),
+)
+
 
 @pytest.fixture(scope="module")
 def serial_report():
     return run_gps_sweep(GRID, executor=make_executor("serial"))
+
+
+@pytest.fixture(scope="module")
+def serial_scenario_report():
+    return run_gps_sweep(SCENARIO_GRID, executor=make_executor("serial"))
 
 
 class TestEngineIdentity:
@@ -48,6 +72,29 @@ class TestEngineIdentity:
         assert [c.point for c in report.cells] == [
             c.point for c in serial_report.cells
         ]
+
+    @pytest.mark.parametrize("engine", ["process", "stacked"])
+    def test_scenario_axes_byte_identical_across_engines(
+        self, serial_scenario_report, engine
+    ):
+        """Q-model / NRE / weights axes under every engine, same bytes.
+
+        The Q axis carries dispersive (frequency-dependent) models, so
+        this also pins that the stacked engine's family solves are
+        bit-compatible with the per-circuit path for dispersive
+        elements.
+        """
+        jobs = 2 if engine == "process" else None
+        report = run_gps_sweep(
+            SCENARIO_GRID, executor=make_executor(engine, jobs)
+        )
+        assert report.rows == serial_scenario_report.rows
+        # The axes genuinely vary: every combination appears in rows.
+        labels = {
+            (r.q_model, r.nre, r.weights)
+            for r in serial_scenario_report.rows
+        }
+        assert len(labels) == 12
 
     @pytest.mark.parametrize(
         "engine", ["serial", "process", "stacked"]

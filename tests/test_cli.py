@@ -62,6 +62,19 @@ class TestSweepArgumentErrors:
             ["sweep", "--processes", "bogus"],
             ["sweep", "--substrates", "granite"],
             ["sweep", "--tolerances", "loose"],
+            ["sweep", "--q-models", "bogus"],
+            ["sweep", "--q-models", "tan=abc"],
+            ["sweep", "--q-models", "tan=-0.1"],
+            ["sweep", "--q-models", "tan=inf"],
+            ["sweep", "--q-models", "tan=nan"],
+            ["sweep", "--q-models", ""],
+            ["sweep", "--nres", "moonshot"],
+            ["sweep", "--fom-weights", "1:2"],
+            ["sweep", "--fom-weights", "a:b:c"],
+            ["sweep", "--fom-weights", "-1:1:1"],
+            ["sweep", "--fom-weights", "nan:1:1"],
+            ["sweep", "--fom-weights", "inf:1:1"],
+            ["sweep", "--fom-weights", ""],
         ],
     )
     def test_bad_axis_values_exit_2(self, argv, capsys):
@@ -76,6 +89,14 @@ class TestSweepArgumentErrors:
             main(["sweep", "--processes", "bogus"])
         err = capsys.readouterr().err
         assert "summit" in err
+        assert "paper" in err
+
+    def test_unknown_q_model_names_alternatives(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--q-models", "bogus"])
+        err = capsys.readouterr().err
+        assert "skin" in err
+        assert "tan=<value>" in err
         assert "paper" in err
 
 
@@ -163,6 +184,62 @@ class TestSweepCommand:
         ]
         assert len(winner_lines) == 1
         assert "IP&SMD" in winner_lines[0]
+
+    def test_q_model_axis(self, capsys):
+        assert (
+            main(["sweep", "--q-models", "paper,skin,tan=0.02"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "3 points, 12 rows" in out
+        assert "skin(Q0=40@1e" in out
+        assert "tan=0.02" in out
+
+    def test_nre_axis(self, capsys):
+        assert main(["sweep", "--nres", "paper,zero,mask-heavy"]) == 0
+        out = capsys.readouterr().out
+        assert "3 points, 12 rows" in out
+        assert "zero" in out
+        assert "mask-heavy" in out
+
+    def test_fom_weights_axis(self, capsys):
+        assert main(["sweep", "--fom-weights", "paper,2:1:0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "2 points, 8 rows" in out
+        assert "2:1:0.5" in out
+
+    def test_csv_carries_the_scenario_columns(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--csv",
+                    "--q-models",
+                    "measured",
+                    "--nres",
+                    "lean",
+                    "--fom-weights",
+                    "1:1:0",
+                ]
+            )
+            == 0
+        )
+        lines = capsys.readouterr().out.strip().splitlines()
+        header = lines[0].split(",")
+        assert header[:8] == [
+            "volume",
+            "substrate",
+            "process",
+            "tolerance",
+            "q_model",
+            "nre",
+            "weights",
+            "candidate",
+        ]
+        for line in lines[1:]:
+            record = line.split(",")
+            assert record[4] == "measured-summit"
+            assert record[5] == "lean"
+            assert record[6] == "1:1:0"
 
 
 class TestSweepEngines:

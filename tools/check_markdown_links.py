@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Check that every local markdown link in the repo resolves.
+
+Scans all ``*.md`` files under the repository root for inline links
+``[text](target)`` and reference definitions ``[label]: target``,
+skips external schemes (``http``, ``https``, ``mailto``) and pure
+in-page anchors, and verifies every remaining target exists relative
+to the linking file (fragments are stripped first).
+
+Run from the repository root (CI's docs job does):
+
+    python tools/check_markdown_links.py
+
+Exit status 0 when every link resolves, 1 otherwise (each broken link
+is listed as ``file: target``).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline links, ignoring images' leading ``!`` (images are files too,
+#: so they are checked identically).
+INLINE_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: Reference-style definitions at line start: ``[label]: target``.
+REFERENCE_DEF = re.compile(r"^\s*\[[^\]]+\]:\s*(\S+)", re.MULTILINE)
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+#: Generated paper-extraction artifacts: their markdown references
+#: figures that were deliberately not vendored into the repo.
+SKIP_FILES = {"PAPER.md", "PAPERS.md", "SNIPPETS.md", "ISSUE.md"}
+
+
+def iter_markdown_files(root: Path):
+    """All tracked-looking markdown files (skips VCS and cache dirs)."""
+    for path in sorted(root.rglob("*.md")):
+        parts = path.relative_to(root).parts
+        if any(part.startswith(".") or part == "__pycache__" for part in parts[:-1]):
+            continue
+        if len(parts) == 1 and parts[0] in SKIP_FILES:
+            continue
+        yield path
+
+
+def iter_links(text: str):
+    """Every link target in a markdown document."""
+    yield from INLINE_LINK.findall(text)
+    yield from REFERENCE_DEF.findall(text)
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    """Broken local link targets of one markdown file."""
+    broken = []
+    for target in iter_links(path.read_text(encoding="utf-8")):
+        if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+            continue
+        local = target.split("#", 1)[0]
+        if not local:
+            continue
+        resolved = (
+            root / local.lstrip("/")
+            if local.startswith("/")
+            else path.parent / local
+        )
+        if not resolved.exists():
+            broken.append(f"{path.relative_to(root)}: {target}")
+    return broken
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    broken: list[str] = []
+    checked = 0
+    for path in iter_markdown_files(root):
+        checked += 1
+        broken.extend(check_file(path, root))
+    if broken:
+        print(f"{len(broken)} broken markdown link(s):")
+        for entry in broken:
+            print(f"  {entry}")
+        return 1
+    print(f"All markdown links resolve ({checked} files checked).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
