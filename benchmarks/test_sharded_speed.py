@@ -1,0 +1,59 @@
+"""Speed gate: the sharded engine must cost ≤ 10 % over serial.
+
+The in-process :class:`~repro.core.sharding.ShardedExecutor` cuts the
+grid into the same contiguous runs the cross-host flow distributes,
+but drives them through an inner engine against the caller's *shared*
+cache — so memoisation still spans shard boundaries and the only
+added work is partition bookkeeping.  This benchmark pins that claim
+on the small GPS grid: identical rows, and wall-clock within 10 % of
+the serial engine (best-of-5 timing keeps CI noise out of the
+signal; a small absolute allowance covers timer resolution on
+sub-millisecond deltas).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.executors import SerialExecutor
+from repro.core.sharding import ShardedExecutor
+from repro.core.sweep import SweepGrid
+from repro.gps.study import run_gps_sweep
+
+GRID = SweepGrid(volumes=(1_000.0, 10_000.0, 100_000.0))
+
+#: The acceptance criterion: sharded overhead vs serial.
+MAX_OVERHEAD = 0.10
+#: Absolute allowance for timer resolution (seconds).
+TIMER_SLACK_S = 0.010
+
+
+def _best_of(fn, repeats: int = 5) -> float:
+    """Minimum wall-clock of ``repeats`` runs (noise-robust timing)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_sharded_engine_overhead_and_identity():
+    """≤ 10 % overhead on the small grid, rows byte-identical."""
+    serial_report = run_gps_sweep(GRID, executor=SerialExecutor())
+    sharded_report = run_gps_sweep(GRID, executor=ShardedExecutor(2))
+    assert sharded_report.rows == serial_report.rows
+
+    serial_s = _best_of(
+        lambda: run_gps_sweep(GRID, executor=SerialExecutor())
+    )
+    sharded_s = _best_of(
+        lambda: run_gps_sweep(GRID, executor=ShardedExecutor(2))
+    )
+    overhead = sharded_s / serial_s - 1.0
+    print(
+        f"\n3-volume GPS grid: serial {1e3 * serial_s:.1f} ms, "
+        f"sharded(2) {1e3 * sharded_s:.1f} ms "
+        f"-> overhead {100 * overhead:+.1f}%"
+    )
+    assert sharded_s <= serial_s * (1.0 + MAX_OVERHEAD) + TIMER_SLACK_S

@@ -10,10 +10,14 @@ Installed as ``repro-gps``.  Subcommands:
 * ``sweep`` — fan the methodology out over a design-space grid
   (volume x substrate rule x thin-film process x tolerance class x
   technology Q model x NRE scenario x FoM weight vector) and print
-  Pareto-ready rows.  ``--engine serial|process|stacked`` and
-  ``--jobs N`` pick the execution engine (identical rows either way);
-  ``--cache-stats`` prints the per-table memo tally, merged across
-  workers.
+  Pareto-ready rows.  ``--engine serial|process|stacked|sharded|async``
+  plus ``--jobs N`` / ``--shards K`` pick the execution engine
+  (identical rows either way); ``--cache-stats`` prints the per-table
+  memo tally, merged across workers.  Cross-host sharding:
+  ``--shards K --shard-index I --shard-dir DIR`` evaluates one shard
+  and writes a portable artifact; ``--merge DIR`` reassembles shard
+  artifacts — produced on one host or many — into the canonical
+  report.
 """
 
 from __future__ import annotations
@@ -26,15 +30,29 @@ from typing import Optional, Sequence
 from .area.substrate import SUBSTRATE_RULES
 from .circuits.qfactor import Q_MODEL_SCENARIOS, SubstrateLossQModel
 from .core.decision import full_report
-from .core.executors import ENGINE_NAMES, resolve_executor
+from .core.executors import (
+    ENGINE_NAMES,
+    SHARDS_ENV,
+    resolve_executor,
+    shards_from_env,
+)
 from .core.figure_of_merit import FomWeights
+from .core.sharding import (
+    ShardedExecutor,
+    find_shard_artifacts,
+    merge_shard_artifacts,
+    shard_filename,
+    write_shard_artifact,
+)
 from .core.sweep import SweepGrid
 from .cost.calibration import calibrate_chip_costs
 from .cost.moe.builder import render_flow
+from .errors import SpecificationError
 from .gps.buildups import flow_for
 from .gps.study import (
     NRE_SCENARIOS,
     paper_comparison,
+    run_gps_shard,
     run_gps_study,
     run_gps_sweep,
 )
@@ -122,6 +140,32 @@ def _positive_int(raw: str) -> int:
             f"need a positive worker count, got {value}"
         )
     return value
+
+
+def _nonnegative_int(raw: str) -> int:
+    """Parse a non-negative integer argument (shard indices)."""
+    try:
+        value = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"{raw!r} is not an integer"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"need a non-negative index, got {value}"
+        )
+    return value
+
+
+def _sweep_error(message: str) -> "SystemExit":
+    """Abort the sweep subcommand with argparse's exit contract.
+
+    Bad engine or worker configuration — whether it arrived via flags
+    or the ``REPRO_SWEEP_*`` environment — must exit with code 2 and a
+    one-line message, never a traceback.
+    """
+    print(f"repro-gps sweep: error: {message}", file=sys.stderr)
+    return SystemExit(2)
 
 
 def _q_model_values(raw: str) -> tuple:
@@ -237,20 +281,8 @@ def _print_cache_stats(stats: dict) -> None:
         )
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
-    grid = SweepGrid(
-        volumes=args.volumes,
-        substrates=args.substrates,
-        processes=args.processes,
-        tolerances=args.tolerances,
-        q_models=args.q_models,
-        nres=args.nres,
-        fom_weights=args.fom_weights,
-    )
-    # Explicit flags win per argument; unset ones fall back to the
-    # REPRO_SWEEP_ENGINE / REPRO_SWEEP_JOBS environment defaults.
-    executor = resolve_executor(args.engine, args.jobs)
-    report = run_gps_sweep(grid, executor=executor)
+def _print_sweep_report(report, n_points: int, args) -> None:
+    """Render a sweep report (table or CSV), shared with --merge."""
     if args.csv:
         header = list(report.rows[0].as_dict())
         print(",".join(header))
@@ -269,9 +301,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 ),
                 file=sys.stderr,
             )
-        return 0
+        return
 
-    print(f"Design-space sweep: {len(grid)} points, {len(report.rows)} rows")
+    print(
+        f"Design-space sweep: {n_points} points, {len(report.rows)} rows"
+    )
     print(
         f"{'volume':>8} | {'substrate':>16} | {'process':>16} | "
         f"{'tolerance':>10} | {'q-model':>14} | {'nre':>10} | "
@@ -293,7 +327,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
     print("\nWinner counts (W = point winner, P = on Pareto front):")
     for name, count in sorted(report.winner_counts().items()):
-        print(f"  {name}: {count}/{len(grid)}")
+        print(f"  {name}: {count}/{n_points}")
     best = report.best_row()
     print(
         f"Best overall: {best.candidate} (FoM {best.figure_of_merit:.2f}) "
@@ -305,6 +339,148 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(f"Memoised sub-results: {hits} hits / {misses} misses")
     if args.cache_stats:
         _print_cache_stats(report.cache_stats)
+
+
+#: Grid-axis flags and their parser defaults: --merge takes the grid
+#: from the artifacts, so overriding any of these alongside it is a
+#: contradiction worth refusing (not silently ignoring).
+_GRID_AXIS_DEFAULTS = {
+    "volumes": (10_000.0,),
+    "substrates": (None,),
+    "processes": (None,),
+    "tolerances": (None,),
+    "q_models": (None,),
+    "nres": (None,),
+    "fom_weights": (None,),
+}
+
+
+def _cmd_sweep_merge(args: argparse.Namespace) -> int:
+    """The --merge path: reassemble shard artifacts into one report."""
+    if args.shards is not None or args.shard_index is not None:
+        raise _sweep_error(
+            "--merge combines existing shard artifacts; it cannot be "
+            "mixed with --shards/--shard-index"
+        )
+    overridden = [
+        "--" + name.replace("_", "-")
+        for name, default in _GRID_AXIS_DEFAULTS.items()
+        if getattr(args, name) != default
+    ]
+    if overridden:
+        raise _sweep_error(
+            "--merge reads the grid from the shard artifacts; drop "
+            + ", ".join(overridden)
+        )
+    if args.engine is not None or args.jobs is not None:
+        # Merging evaluates nothing, so an engine choice here is a
+        # misunderstanding worth surfacing, not ignoring.
+        raise _sweep_error(
+            "--merge does not evaluate anything; drop --engine/--jobs"
+        )
+    try:
+        paths = find_shard_artifacts(args.merge)
+        if not paths:
+            raise _sweep_error(
+                f"no shard artifacts (shard-*.json) in {args.merge}"
+            )
+        report = merge_shard_artifacts(paths)
+    except SpecificationError as exc:
+        raise _sweep_error(str(exc)) from None
+    n_points = sum(1 for row in report.rows if row.is_winner)
+    _print_sweep_report(report, n_points, args)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.merge is not None:
+        return _cmd_sweep_merge(args)
+
+    grid = SweepGrid(
+        volumes=args.volumes,
+        substrates=args.substrates,
+        processes=args.processes,
+        tolerances=args.tolerances,
+        q_models=args.q_models,
+        nres=args.nres,
+        fom_weights=args.fom_weights,
+    )
+    # Explicit flags win per argument; unset ones fall back to the
+    # REPRO_SWEEP_ENGINE / REPRO_SWEEP_JOBS / REPRO_SWEEP_SHARDS
+    # environment defaults.  A bad engine name or worker count —
+    # from either source — is a clean exit 2, not a traceback.
+    try:
+        executor = resolve_executor(args.engine, args.jobs, args.shards)
+        # The documented default for --shards is $REPRO_SWEEP_SHARDS;
+        # resolve it once so every path below honours it.
+        shards = (
+            args.shards if args.shards is not None else shards_from_env()
+        )
+    except SpecificationError as exc:
+        raise _sweep_error(str(exc)) from None
+
+    if args.shard_index is not None:
+        # Cross-host mode: evaluate one shard, write its artifact.
+        if shards is None:
+            raise _sweep_error(
+                f"--shard-index requires --shards (or ${SHARDS_ENV})"
+            )
+        if args.csv:
+            raise _sweep_error(
+                "--csv applies to full reports; a shard run only "
+                "writes its artifact (merge the shards, then --csv)"
+            )
+        # The shard's own points run through the resolved engine —
+        # unless that engine is the sharded one (the partitioning is
+        # already being done here), which falls back to serial.
+        inner = (
+            executor.inner
+            if isinstance(executor, ShardedExecutor)
+            else executor
+        )
+        try:
+            # Shard geometry (positive count, index in range) is
+            # validated by the sharding layer itself.
+            artifact = run_gps_shard(
+                grid,
+                shards=shards,
+                shard_index=args.shard_index,
+                executor=inner,
+            )
+        except SpecificationError as exc:
+            raise _sweep_error(str(exc)) from None
+        path = write_shard_artifact(
+            f"{args.shard_dir}/"
+            f"{shard_filename(shards, args.shard_index)}",
+            artifact,
+        )
+        print(
+            f"Shard {args.shard_index}/{shards}: "
+            f"{len(artifact.indices)} of {artifact.total_points} "
+            f"points ({artifact.fingerprint}) -> {path}"
+        )
+        if args.cache_stats:
+            print(
+                "cache: "
+                + " ".join(
+                    f"{name}={table['hits']}h/{table['misses']}m"
+                    for name, table in artifact.cache_state[
+                        "tables"
+                    ].items()
+                )
+            )
+        return 0
+
+    if shards is not None and not isinstance(executor, ShardedExecutor):
+        # --shards (or its env default) without --shard-index: shard
+        # in-process, routing each shard through whichever engine was
+        # selected.
+        try:
+            executor = ShardedExecutor(shards, inner=executor)
+        except SpecificationError as exc:
+            raise _sweep_error(str(exc)) from None
+    report = run_gps_sweep(grid, executor=executor)
+    _print_sweep_report(report, len(grid), args)
     return 0
 
 
@@ -433,8 +609,47 @@ def build_parser() -> argparse.ArgumentParser:
         type=_positive_int,
         default=None,
         help=(
-            "worker processes for --engine process "
-            "(default: CPU count or $REPRO_SWEEP_JOBS)"
+            "worker processes for --engine process / concurrent tasks "
+            "for --engine async (default: CPU count or "
+            "$REPRO_SWEEP_JOBS)"
+        ),
+    )
+    sweep.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=None,
+        help=(
+            "partition the grid into K content-addressed shards; "
+            "alone it runs all shards in-process (the sharded "
+            "engine), with --shard-index it runs exactly one "
+            "(default: $REPRO_SWEEP_SHARDS)"
+        ),
+    )
+    sweep.add_argument(
+        "--shard-index",
+        type=_nonnegative_int,
+        default=None,
+        help=(
+            "cross-host mode: evaluate only shard I of --shards and "
+            "write a portable artifact to --shard-dir"
+        ),
+    )
+    sweep.add_argument(
+        "--shard-dir",
+        default=".",
+        help=(
+            "directory shard artifacts are written to "
+            "(default: current directory)"
+        ),
+    )
+    sweep.add_argument(
+        "--merge",
+        default=None,
+        metavar="DIR",
+        help=(
+            "merge every shard-*.json artifact in DIR back into the "
+            "canonical sweep report (rows byte-identical to a serial "
+            "in-process sweep)"
         ),
     )
     sweep.add_argument(

@@ -14,15 +14,25 @@ scheduled.  The "how" is an :class:`Executor`:
   same-topology grid cells into chunks and assesses each chunk with one
   circuit-stacked ``(B, F, n, n)`` MNA solve
   (:func:`~repro.circuits.performance.assess_chain_many`), then runs the
-  per-point evaluation against the pre-seeded cache.
+  per-point evaluation against the pre-seeded cache;
+* :class:`AsyncExecutor` — schedules every grid point as an asyncio
+  task over a thread pool and streams cells back as they complete
+  (the engine behind :func:`~repro.core.sweep.stream_design_sweep`);
+* ``ShardedExecutor`` (:mod:`repro.core.sharding`) — partitions the
+  grid into content-addressed shards and runs each through an inner
+  engine; the same partitioning drives the cross-host shard → artifact
+  → merge flow.
 
 Every engine produces *identical* sweep rows — the stacked solves are
-bit-compatible with the per-circuit path and the process engine only
-repartitions the work — so engine choice is a pure scheduling decision:
-``repro-gps sweep --engine serial|process|stacked [--jobs N]``, or the
-``REPRO_SWEEP_ENGINE`` / ``REPRO_SWEEP_JOBS`` environment variables for
-anything that does not thread an executor through explicitly (this is
-how CI runs the whole test suite under the process engine).
+bit-compatible with the per-circuit path and the process, sharded and
+async engines only repartition or reorder the work — so engine choice
+is a pure scheduling decision:
+``repro-gps sweep --engine serial|process|stacked|sharded|async
+[--jobs N] [--shards K]``, or the ``REPRO_SWEEP_ENGINE`` /
+``REPRO_SWEEP_JOBS`` / ``REPRO_SWEEP_SHARDS`` environment variables
+for anything that does not thread an executor through explicitly (this
+is how CI runs the whole test suite under the process and sharded
+engines).
 
 Only the candidate *factory* crosses process boundaries, not the
 candidates: workers call it locally, so its closures (flow factories)
@@ -37,9 +47,18 @@ discipline and error transparency — are spelled out on the
 
 from __future__ import annotations
 
+import asyncio
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Optional, Protocol, Sequence
+import queue
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import (
+    Callable,
+    Iterator,
+    Optional,
+    Protocol,
+    Sequence,
+)
 
 from ..circuits.performance import assess_chain_many
 from ..errors import SpecificationError
@@ -57,9 +76,11 @@ from .sweep import (
 ENGINE_ENV = "REPRO_SWEEP_ENGINE"
 #: Environment variable giving the default worker count.
 JOBS_ENV = "REPRO_SWEEP_JOBS"
+#: Environment variable giving the sharded engine's shard count.
+SHARDS_ENV = "REPRO_SWEEP_SHARDS"
 
 #: The engine names :func:`make_executor` accepts.
-ENGINE_NAMES = ("serial", "process", "stacked")
+ENGINE_NAMES = ("serial", "process", "stacked", "sharded", "async")
 
 CandidateFactory = Callable[
     [DesignPoint], Sequence[CandidateBuildUp]
@@ -278,13 +299,222 @@ class ChunkedStackedExecutor:
         ]
 
 
-def make_executor(
-    name: str, jobs: Optional[int] = None
-) -> Executor:
-    """Build an engine by name (``serial`` / ``process`` / ``stacked``).
+class _SweepAbandoned(Exception):
+    """Internal: a queued evaluation noticed its consumer went away."""
 
-    ``jobs`` only applies to the process engine (worker count; defaults
-    to the CPU count).
+
+class AsyncExecutor:
+    """Evaluate independent grid points concurrently with asyncio.
+
+    Grid points are embarrassingly parallel, so the engine schedules
+    each one as an asyncio task that runs the evaluation on a thread
+    pool (the MNA-heavy part spends its time in LAPACK, which releases
+    the GIL) and gathers the cells back into canonical order.  Rows
+    are identical to the serial engine's: evaluation is deterministic
+    per point, so only the shared cache's hit/miss *tally* can vary
+    with completion order — two tasks racing on a cold key both
+    compute the same value — which the :class:`Executor` contract
+    explicitly permits.
+
+    The engine is also the streaming backend of
+    :func:`~repro.core.sweep.stream_design_sweep`:
+
+    * :meth:`iter_cells` yields ``(canonical_index, cell)`` pairs in
+      *completion* order while the sweep is still running;
+    * ``progress`` (a ``callback(done, total, cell)``) fires after
+      every completed point, whichever entry point drove the sweep.
+    """
+
+    name = "async"
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        progress: Optional[Callable[[int, int, SweepCell], None]] = None,
+    ) -> None:
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        if jobs < 1:
+            raise SpecificationError(
+                f"async engine needs at least 1 concurrent task, "
+                f"got {jobs}"
+            )
+        self.jobs = jobs
+        self.progress = progress
+
+    def _evaluate(
+        self,
+        index: int,
+        point: DesignPoint,
+        candidate_factory: CandidateFactory,
+        reference: int,
+        weights: FomWeights,
+        cache: EvaluationCache,
+        cancel: Optional[threading.Event],
+    ) -> tuple[int, SweepCell]:
+        if cancel is not None and cancel.is_set():
+            raise _SweepAbandoned()
+        cell = evaluate_cell(
+            point, candidate_factory(point), reference, weights, cache
+        )
+        return index, cell
+
+    async def _run(
+        self,
+        points: Sequence[DesignPoint],
+        candidate_factory: CandidateFactory,
+        reference: int,
+        weights: FomWeights,
+        cache: EvaluationCache,
+        emit: Optional[Callable[[int, SweepCell], None]],
+        cancel: Optional[threading.Event] = None,
+    ) -> list[SweepCell]:
+        loop = asyncio.get_running_loop()
+        cells: list[Optional[SweepCell]] = [None] * len(points)
+        done = 0
+        pool = ThreadPoolExecutor(max_workers=self.jobs)
+        try:
+            futures = [
+                loop.run_in_executor(
+                    pool,
+                    self._evaluate,
+                    index,
+                    point,
+                    candidate_factory,
+                    reference,
+                    weights,
+                    cache,
+                    cancel,
+                )
+                for index, point in enumerate(points)
+            ]
+            try:
+                for future in asyncio.as_completed(futures):
+                    index, cell = await future
+                    cells[index] = cell
+                    done += 1
+                    if self.progress is not None:
+                        self.progress(done, len(points), cell)
+                    if emit is not None:
+                        emit(index, cell)
+            except BaseException:
+                # A failed point must not wait for the whole queue:
+                # drop everything not yet started before re-raising
+                # (error transparency with a bounded exit).
+                for future in futures:
+                    future.cancel()
+                raise
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+        return cells
+
+    def run_sweep(
+        self,
+        points: Sequence[DesignPoint],
+        candidate_factory: CandidateFactory,
+        reference: int,
+        weights: FomWeights,
+        cache: EvaluationCache,
+    ) -> list[SweepCell]:
+        return asyncio.run(
+            self._run(
+                points, candidate_factory, reference, weights, cache, None
+            )
+        )
+
+    def iter_cells(
+        self,
+        points: Sequence[DesignPoint],
+        candidate_factory: CandidateFactory,
+        reference: int,
+        weights: FomWeights,
+        cache: EvaluationCache,
+    ) -> Iterator[tuple[int, SweepCell]]:
+        """Yield ``(canonical_index, cell)`` in completion order.
+
+        The asyncio loop runs on a helper thread and pushes completed
+        cells through a queue, so the caller iterates an ordinary
+        synchronous generator while evaluation continues in the
+        background.  Exceptions from the factory or the evaluation are
+        re-raised here; not-yet-started points are dropped first, so
+        the exit is bounded by the in-flight points only.  Closing the
+        generator early (``break``) likewise abandons the queued
+        remainder of the sweep instead of silently finishing it.
+        """
+        results: queue.SimpleQueue = queue.SimpleQueue()
+        abandoned = threading.Event()
+
+        def _drive() -> None:
+            try:
+                asyncio.run(
+                    self._run(
+                        points,
+                        candidate_factory,
+                        reference,
+                        weights,
+                        cache,
+                        lambda index, cell: results.put(
+                            ("cell", index, cell)
+                        ),
+                        cancel=abandoned,
+                    )
+                )
+            except BaseException as exc:  # noqa: BLE001 — re-raised below
+                results.put(("error", exc, None))
+            else:
+                results.put(("done", None, None))
+
+        thread = threading.Thread(
+            target=_drive, name="repro-async-sweep", daemon=True
+        )
+        thread.start()
+        try:
+            while True:
+                kind, first, second = results.get()
+                if kind == "cell":
+                    yield first, second
+                elif kind == "error":
+                    raise first
+                else:
+                    return
+        finally:
+            abandoned.set()
+            thread.join()
+
+
+def _int_env(name: str) -> Optional[int]:
+    """Parse an integer environment variable (None when unset/empty)."""
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise SpecificationError(
+            f"{name} must be an integer, got {raw!r}"
+        ) from None
+
+
+def shards_from_env() -> Optional[int]:
+    """The ``REPRO_SWEEP_SHARDS`` shard count, ``None`` when unset.
+
+    The CLI uses this to honour the environment default on paths that
+    need the *count* itself (cross-host ``--shard-index`` runs), not
+    just an engine built from it.
+    """
+    return _int_env(SHARDS_ENV)
+
+
+def make_executor(
+    name: str,
+    jobs: Optional[int] = None,
+    shards: Optional[int] = None,
+) -> Executor:
+    """Build an engine by name (one of :data:`ENGINE_NAMES`).
+
+    ``jobs`` applies to the process engine (worker count) and the
+    async engine (concurrent tasks); ``shards`` to the sharded engine
+    (partition count).  Both default to the CPU count.
     """
     normalized = (name or "serial").strip().lower()
     if normalized == "serial":
@@ -293,6 +523,12 @@ def make_executor(
         return MultiprocessExecutor(jobs)
     if normalized == "stacked":
         return ChunkedStackedExecutor()
+    if normalized == "async":
+        return AsyncExecutor(jobs)
+    if normalized == "sharded":
+        from .sharding import ShardedExecutor  # cycle-free at import
+
+        return ShardedExecutor(shards)
     raise SpecificationError(
         f"unknown sweep engine {name!r} "
         f"(choose from {', '.join(ENGINE_NAMES)})"
@@ -300,35 +536,34 @@ def make_executor(
 
 
 def resolve_executor(
-    engine: Optional[str] = None, jobs: Optional[int] = None
+    engine: Optional[str] = None,
+    jobs: Optional[int] = None,
+    shards: Optional[int] = None,
 ) -> Executor:
-    """Merge explicit engine/jobs choices with the environment defaults.
+    """Merge explicit engine choices with the environment defaults.
 
     Each argument independently falls back to its environment variable
-    when not given (``REPRO_SWEEP_ENGINE`` / ``REPRO_SWEEP_JOBS``), so
-    ``--jobs 4`` under an exported ``REPRO_SWEEP_ENGINE=process`` runs
-    four process workers, and ``--engine process`` alone picks up the
-    environment's worker count.
+    when not given (``REPRO_SWEEP_ENGINE`` / ``REPRO_SWEEP_JOBS`` /
+    ``REPRO_SWEEP_SHARDS``), so ``--jobs 4`` under an exported
+    ``REPRO_SWEEP_ENGINE=process`` runs four process workers, and
+    ``--engine process`` alone picks up the environment's worker
+    count.
     """
     if engine is None:
         engine = os.environ.get(ENGINE_ENV, "serial")
     if jobs is None:
-        jobs_raw = os.environ.get(JOBS_ENV, "").strip()
-        if jobs_raw:
-            try:
-                jobs = int(jobs_raw)
-            except ValueError:
-                raise SpecificationError(
-                    f"{JOBS_ENV} must be an integer, got {jobs_raw!r}"
-                ) from None
-    return make_executor(engine, jobs)
+        jobs = _int_env(JOBS_ENV)
+    if shards is None:
+        shards = _int_env(SHARDS_ENV)
+    return make_executor(engine, jobs, shards)
 
 
 def default_executor() -> Executor:
     """The engine named by the environment, serial when unset.
 
-    ``REPRO_SWEEP_ENGINE`` selects the engine and ``REPRO_SWEEP_JOBS``
-    the process-engine worker count — the hook that lets CI run the
+    ``REPRO_SWEEP_ENGINE`` selects the engine, ``REPRO_SWEEP_JOBS``
+    the process/async worker count and ``REPRO_SWEEP_SHARDS`` the
+    sharded engine's partition count — the hook that lets CI run the
     whole test suite under a non-default engine without touching call
     sites.
     """

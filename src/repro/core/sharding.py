@@ -1,0 +1,520 @@
+"""Cross-host sharding of design-space sweeps.
+
+The process engine (:mod:`repro.core.executors`) scales a sweep across
+the cores of *one* machine.  This module scales it across *hosts*: a
+grid is partitioned into content-addressed shards, each shard is
+executed anywhere — any machine, any inner
+:class:`~repro.core.executors.Executor` — and serialised to a portable
+JSON artifact, and the artifacts are deterministically merged back into
+the canonical row order, wherever they were produced:
+
+* :func:`grid_fingerprint` — a stable content hash of the resolved
+  grid.  It is computed over the *sorted* point representations, so
+  the same set of design points yields the same fingerprint no matter
+  how the grid's axes were ordered when it was built; every shard
+  artifact carries it, and merge refuses to combine artifacts from
+  different grids.  Because shard *indices* are order-dependent,
+  artifacts also carry an order-sensitive :func:`grid_order_digest`:
+  shards of the same grid enumerated in different axis orders are
+  rejected with a clear error instead of being mis-paired;
+* :func:`shard_indices` / :func:`run_shard` — partition the canonical
+  point order into ``shards`` contiguous, near-even runs and evaluate
+  one of them through any existing executor, returning a
+  :class:`ShardArtifact`;
+* :func:`write_shard_artifact` / :func:`read_shard_artifact` — the
+  JSON serialisation.  Python's JSON round-trips floats exactly
+  (``repr``-based), so rows reassembled from artifacts are
+  *byte-identical* to the rows the serial engine would have produced
+  in-process;
+* :func:`merge_shard_artifacts` — reassemble any combination of
+  artifacts into one :class:`~repro.core.sweep.SweepReport`, with
+  duplicate- and gap-detection (a missing or doubled shard is a
+  loud :class:`ShardMergeError`, never a silently wrong report) and
+  additive cache statistics that count a sub-result computed by two
+  cold shard caches only once in the merged ``entries`` tally;
+* :class:`ShardedExecutor` — the same partitioning as an in-process
+  :class:`~repro.core.executors.Executor`: shards run sequentially
+  through an inner engine against the caller's shared cache, so the
+  engine is byte-identical to serial with near-zero overhead
+  (``benchmarks/test_sharded_speed.py`` gates it at ≤ 10 %).
+
+The CLI surface is ``repro-gps sweep --shards K --shard-index I
+--shard-dir DIR`` (run one shard, write the artifact) and
+``repro-gps sweep --merge DIR`` (combine artifacts); see
+``docs/sweep-guide.md`` for the shard → scp → merge walkthrough.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
+
+from ..errors import SpecificationError
+from .executors import CandidateFactory, Executor, SerialExecutor
+from .figure_of_merit import FomWeights
+from .sweep import (
+    CACHE_TABLES,
+    DesignPoint,
+    EvaluationCache,
+    SweepCell,
+    SweepGrid,
+    SweepReport,
+    SweepRow,
+    rows_for_cell,
+)
+
+#: Artifact format identifier; bumped on incompatible payload changes.
+SHARD_FORMAT = "repro-sweep-shard/1"
+
+
+class ShardMergeError(SpecificationError):
+    """A shard artifact set cannot be (safely) merged."""
+
+
+def _point_reprs(points: Sequence[DesignPoint]) -> list[str]:
+    return [repr(point) for point in points]
+
+
+def grid_fingerprint(points: Sequence[DesignPoint]) -> str:
+    """Stable content hash of a resolved grid.
+
+    Hashes the *sorted* ``repr`` of every design point (the same
+    content key discipline :class:`~repro.core.sweep.EvaluationCache`
+    relies on), so the fingerprint identifies the grid's content
+    independently of axis ordering: a host that builds the same set of
+    points with its volume axis reversed still addresses the same
+    shard family.  Shard *indices* do depend on the order, which is
+    why artifacts additionally carry :func:`grid_order_digest` — merge
+    uses the fingerprint to recognise the grid and the order digest to
+    refuse index spaces that do not line up.
+    """
+    digest = hashlib.sha256()
+    for text in sorted(_point_reprs(points)):
+        digest.update(text.encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()[:16]
+
+
+def grid_order_digest(points: Sequence[DesignPoint]) -> str:
+    """Hash of the grid's *canonical order* (order-sensitive).
+
+    Two hosts that build the same point set with axes in different
+    orders share a :func:`grid_fingerprint` but disagree on which
+    canonical index names which point — merging their shards
+    index-wise would assemble a silently wrong report.  The order
+    digest catches exactly that: merge demands it match across
+    artifacts, so an axis-order mismatch is a loud error naming the
+    cause instead of a duplicated/missing design point.
+    """
+    digest = hashlib.sha256()
+    for text in _point_reprs(points):
+        digest.update(text.encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()[:16]
+
+
+def shard_indices(total: int, shards: int, shard_index: int) -> range:
+    """Canonical point indices of one shard.
+
+    The canonical order is split into ``shards`` contiguous, near-even
+    runs (the same front-loaded split the process engine uses, so
+    neighbouring points — which share memoised sub-results — stay
+    together).  Shards beyond the point count are legitimately empty:
+    four shards of a three-point grid produce one empty artifact that
+    merges cleanly.
+    """
+    if shards < 1:
+        raise SpecificationError(
+            f"shard count must be a positive integer, got {shards}"
+        )
+    if not (0 <= shard_index < shards):
+        raise SpecificationError(
+            f"shard index {shard_index} out of range for {shards} shards"
+        )
+    base, extra = divmod(total, shards)
+    start = shard_index * base + min(shard_index, extra)
+    stop = start + base + (1 if shard_index < extra else 0)
+    return range(start, stop)
+
+
+@dataclass(frozen=True)
+class ShardArtifact:
+    """One shard's results, ready to travel between hosts.
+
+    Carries everything a merge needs and nothing it does not: the grid
+    fingerprint (content addressing), the shard geometry, the rows of
+    every evaluated point keyed by canonical index, and the worker
+    cache's :meth:`~repro.core.sweep.EvaluationCache.portable_state`
+    (hit/miss counters plus entry-key digests — never cached values).
+    """
+
+    fingerprint: str
+    order_digest: str
+    shards: int
+    shard_index: int
+    total_points: int
+    indices: tuple[int, ...]
+    rows_per_point: tuple[tuple[SweepRow, ...], ...]
+    cache_state: dict
+
+    def __post_init__(self) -> None:
+        if len(self.indices) != len(self.rows_per_point):
+            raise SpecificationError(
+                f"shard artifact carries {len(self.indices)} indices "
+                f"but {len(self.rows_per_point)} row groups"
+            )
+
+
+def run_shard(
+    grid: Union[SweepGrid, Iterable[DesignPoint]],
+    candidate_factory: CandidateFactory,
+    shards: int,
+    shard_index: int,
+    reference: int = 0,
+    weights: Optional[FomWeights] = None,
+    cache: Optional[EvaluationCache] = None,
+    executor: Optional[Executor] = None,
+) -> ShardArtifact:
+    """Evaluate one shard of a grid and package it for merging.
+
+    The full grid is resolved locally (cheap — points are tiny frozen
+    dataclasses) so the shard knows its canonical indices and the
+    grid fingerprint; only the shard's own points are evaluated,
+    through ``executor`` (serial by default — any engine works, the
+    rows are identical either way).
+    """
+    points = grid.points() if isinstance(grid, SweepGrid) else list(grid)
+    if not points:
+        raise SpecificationError("design sweep needs at least one point")
+    if weights is None:
+        weights = FomWeights()
+    if cache is None:
+        cache = EvaluationCache()
+    if executor is None:
+        executor = SerialExecutor()
+    indices = shard_indices(len(points), shards, shard_index)
+    shard_points = [points[i] for i in indices]
+    cells: list[SweepCell] = []
+    if shard_points:
+        cells = executor.run_sweep(
+            shard_points, candidate_factory, reference, weights, cache
+        )
+    return ShardArtifact(
+        fingerprint=grid_fingerprint(points),
+        order_digest=grid_order_digest(points),
+        shards=shards,
+        shard_index=shard_index,
+        total_points=len(points),
+        indices=tuple(indices),
+        rows_per_point=tuple(
+            tuple(rows_for_cell(cell)) for cell in cells
+        ),
+        cache_state=cache.portable_state(),
+    )
+
+
+_ROW_FIELDS = tuple(field.name for field in fields(SweepRow))
+
+
+def artifact_to_payload(artifact: ShardArtifact) -> dict:
+    """The artifact as a JSON-ready dict (see :data:`SHARD_FORMAT`)."""
+    return {
+        "format": SHARD_FORMAT,
+        "fingerprint": artifact.fingerprint,
+        "order_digest": artifact.order_digest,
+        "shards": artifact.shards,
+        "shard_index": artifact.shard_index,
+        "total_points": artifact.total_points,
+        "cells": [
+            {
+                "index": index,
+                "rows": [row.as_dict() for row in rows],
+            }
+            for index, rows in zip(
+                artifact.indices, artifact.rows_per_point
+            )
+        ],
+        "cache": artifact.cache_state,
+    }
+
+
+def payload_to_artifact(payload: dict, source: str = "<payload>") -> ShardArtifact:
+    """Rebuild a :class:`ShardArtifact` from its JSON payload.
+
+    ``source`` names the artifact in error messages (the file path
+    when loaded from disk).
+    """
+    if not isinstance(payload, dict):
+        raise ShardMergeError(f"{source}: shard artifact is not an object")
+    declared = payload.get("format")
+    if declared != SHARD_FORMAT:
+        raise ShardMergeError(
+            f"{source}: unsupported shard format {declared!r} "
+            f"(expected {SHARD_FORMAT!r})"
+        )
+    try:
+        cells = payload["cells"]
+        indices = tuple(cell["index"] for cell in cells)
+        rows_per_point = tuple(
+            tuple(
+                SweepRow(**{name: record[name] for name in _ROW_FIELDS})
+                for record in cell["rows"]
+            )
+            for cell in cells
+        )
+        return ShardArtifact(
+            fingerprint=payload["fingerprint"],
+            order_digest=payload["order_digest"],
+            shards=payload["shards"],
+            shard_index=payload["shard_index"],
+            total_points=payload["total_points"],
+            indices=indices,
+            rows_per_point=rows_per_point,
+            cache_state=payload.get("cache", {}),
+        )
+    except (KeyError, TypeError) as exc:
+        raise ShardMergeError(
+            f"{source}: malformed shard artifact ({exc})"
+        ) from None
+
+
+def shard_filename(shards: int, shard_index: int) -> str:
+    """Canonical artifact filename: ``shard-0001-of-0004.json``."""
+    return f"shard-{shard_index:04d}-of-{shards:04d}.json"
+
+
+def write_shard_artifact(
+    path: Union[str, Path], artifact: ShardArtifact
+) -> Path:
+    """Serialise a shard artifact to ``path`` (JSON, exact floats)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(artifact_to_payload(artifact), handle)
+        handle.write("\n")
+    return path
+
+
+def read_shard_artifact(path: Union[str, Path]) -> ShardArtifact:
+    """Load one shard artifact, with path context on every failure."""
+    path = Path(path)
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise ShardMergeError(
+            f"cannot read shard artifact {path}: {exc}"
+        ) from None
+    except json.JSONDecodeError as exc:
+        raise ShardMergeError(
+            f"shard artifact {path} is not valid JSON: {exc}"
+        ) from None
+    return payload_to_artifact(payload, source=str(path))
+
+
+def find_shard_artifacts(directory: Union[str, Path]) -> list[Path]:
+    """All ``shard-*.json`` artifacts in a directory, sorted by name."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise ShardMergeError(
+            f"shard directory {directory} does not exist"
+        )
+    return sorted(directory.glob("shard-*.json"))
+
+
+def merge_cache_states(states: Iterable[dict]) -> dict:
+    """Fold shard cache states into one whole-sweep stats report.
+
+    Hit/miss counters are additive across shards (each lookup happened
+    exactly once, on some host); distinct entries are the *union* of
+    the per-shard entry-key digests, so a sub-result that two cold
+    shard caches both computed — the same content key, memoised
+    independently — counts once, exactly as it would have under one
+    shared in-process cache.  The result has the
+    :meth:`~repro.core.sweep.EvaluationCache.stats` shape.
+    """
+    hits = {name: 0 for name in CACHE_TABLES}
+    misses = {name: 0 for name in CACHE_TABLES}
+    keys: dict[str, set] = {name: set() for name in CACHE_TABLES}
+    for state in states:
+        tables = state.get("tables", {})
+        for name in CACHE_TABLES:
+            table = tables.get(name, {})
+            hits[name] += int(table.get("hits", 0))
+            misses[name] += int(table.get("misses", 0))
+            keys[name].update(table.get("keys", ()))
+    return {
+        "hits": sum(hits.values()),
+        "misses": sum(misses.values()),
+        "tables": {
+            name: {
+                "hits": hits[name],
+                "misses": misses[name],
+                "entries": len(keys[name]),
+            }
+            for name in CACHE_TABLES
+        },
+    }
+
+
+def _summarise_indices(indices: Sequence[int], limit: int = 20) -> str:
+    """Comma-list of point indices, capped so error messages stay
+    readable on huge grids."""
+    listed = ", ".join(str(i) for i in indices[:limit])
+    if len(indices) > limit:
+        listed += f", … and {len(indices) - limit} more"
+    return listed
+
+
+ArtifactLike = Union[ShardArtifact, str, Path]
+
+
+def _load(artifact: ArtifactLike) -> ShardArtifact:
+    if isinstance(artifact, ShardArtifact):
+        return artifact
+    return read_shard_artifact(artifact)
+
+
+def merge_shard_artifacts(
+    artifacts: Iterable[ArtifactLike],
+) -> SweepReport:
+    """Reassemble shard artifacts into one canonical sweep report.
+
+    Accepts in-memory artifacts, file paths, or a mix, in *any* order
+    — produced by one host or many.  The merge is deterministic: rows
+    come back in the canonical grid order whatever order the shards
+    ran or arrived in, byte-identical to a serial in-process sweep of
+    the same grid.
+
+    Raises
+    ------
+    ShardMergeError
+        If no artifacts are given, the artifacts fingerprint different
+        grids, disagree on the grid size, cover a canonical index
+        twice (duplicated shard), or leave indices uncovered (missing
+        shard).  The message names the offending indices so the
+        operator knows which shard to re-run or drop.
+    """
+    loaded = [_load(artifact) for artifact in artifacts]
+    if not loaded:
+        raise ShardMergeError("no shard artifacts to merge")
+
+    reference = loaded[0]
+    for artifact in loaded[1:]:
+        if artifact.fingerprint != reference.fingerprint:
+            raise ShardMergeError(
+                f"shard artifacts fingerprint different grids: "
+                f"{reference.fingerprint} (shard "
+                f"{reference.shard_index}/{reference.shards}) vs "
+                f"{artifact.fingerprint} (shard "
+                f"{artifact.shard_index}/{artifact.shards})"
+            )
+        if artifact.order_digest != reference.order_digest:
+            # Same point set, different canonical order: index-wise
+            # merging would pair rows with the wrong points.
+            raise ShardMergeError(
+                f"shard artifacts enumerate the same grid in a "
+                f"different point order (order digest "
+                f"{reference.order_digest} vs {artifact.order_digest}): "
+                f"re-run the shards with identically-ordered axes"
+            )
+        if artifact.total_points != reference.total_points:
+            raise ShardMergeError(
+                f"shard artifacts disagree on the grid size: "
+                f"{reference.total_points} vs {artifact.total_points} "
+                f"points"
+            )
+
+    total = reference.total_points
+    by_index: dict[int, tuple[SweepRow, ...]] = {}
+    duplicates: set[int] = set()
+    for artifact in loaded:
+        for index, rows in zip(artifact.indices, artifact.rows_per_point):
+            if not (0 <= index < total):
+                raise ShardMergeError(
+                    f"shard {artifact.shard_index}/{artifact.shards} "
+                    f"carries point index {index}, outside the "
+                    f"{total}-point grid"
+                )
+            if index in by_index:
+                duplicates.add(index)
+            else:
+                by_index[index] = rows
+    if duplicates:
+        raise ShardMergeError(
+            f"duplicated point indices across shard artifacts: "
+            f"{_summarise_indices(sorted(duplicates))} "
+            f"(the same shard was merged twice?)"
+        )
+    missing = [i for i in range(total) if i not in by_index]
+    if missing:
+        raise ShardMergeError(
+            f"missing point indices {_summarise_indices(missing)} of "
+            f"{total}: a shard artifact was not merged"
+        )
+
+    rows: list[SweepRow] = []
+    for index in range(total):
+        rows.extend(by_index[index])
+    return SweepReport(
+        cells=(),
+        rows=tuple(rows),
+        cache_stats=merge_cache_states(
+            artifact.cache_state for artifact in loaded
+        ),
+    )
+
+
+class ShardedExecutor:
+    """The shard partitioning as an in-process execution engine.
+
+    Partitions the grid with :func:`shard_indices` — exactly the runs
+    the cross-host flow would distribute — and evaluates each shard
+    sequentially through an inner engine against the caller's shared
+    cache.  Because the cache is shared, memoisation still spans
+    shard boundaries and the engine is byte-identical to serial with
+    only partition bookkeeping as overhead; the cold-cache cross-host
+    behaviour is exercised by :func:`run_shard` /
+    :func:`merge_shard_artifacts` instead.
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        shards: Optional[int] = None,
+        inner: Optional[Executor] = None,
+    ) -> None:
+        if shards is None:
+            shards = os.cpu_count() or 1
+        if shards < 1:
+            raise SpecificationError(
+                f"sharded engine needs at least 1 shard, got {shards}"
+            )
+        self.shards = shards
+        self.inner = inner if inner is not None else SerialExecutor()
+
+    def run_sweep(
+        self,
+        points: Sequence[DesignPoint],
+        candidate_factory: CandidateFactory,
+        reference: int,
+        weights: FomWeights,
+        cache: EvaluationCache,
+    ) -> list[SweepCell]:
+        cells: list[Optional[SweepCell]] = [None] * len(points)
+        for shard_index in range(self.shards):
+            indices = shard_indices(len(points), self.shards, shard_index)
+            shard_points = [points[i] for i in indices]
+            if not shard_points:
+                continue
+            shard_cells = self.inner.run_sweep(
+                shard_points, candidate_factory, reference, weights, cache
+            )
+            for index, cell in zip(indices, shard_cells):
+                cells[index] = cell
+        return cells

@@ -21,10 +21,15 @@ choices:
 
 *How* the grid is evaluated is pluggable: :func:`run_design_sweep`
 delegates scheduling to an execution engine
-(:mod:`repro.core.executors`) — serial, multi-process, or
-circuit-stacked batching — all of which produce identical rows.
-:class:`EvaluationCache` is mergeable so per-worker caches fold back
-into one whole-sweep stats report.
+(:mod:`repro.core.executors`) — serial, multi-process, circuit-stacked
+batching, in-process sharding (:mod:`repro.core.sharding`) or
+asyncio-based streaming — all of which produce identical rows.
+:func:`stream_design_sweep` is the generator surface: it yields
+:class:`StreamedCell` results as grid points finish instead of
+blocking on the whole grid.  :class:`EvaluationCache` is mergeable so
+per-worker caches fold back into one whole-sweep stats report, and
+exports a :meth:`~EvaluationCache.portable_state` payload so caches
+filled on *different hosts* can have their stats merged too.
 
 The subsystem is application-agnostic: a *candidate factory* maps each
 :class:`DesignPoint` to the list of
@@ -34,10 +39,11 @@ GPS adapter lives in :func:`repro.gps.study.sweep_candidates`.
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass, field
 from itertools import product
-from typing import Callable, Iterable, Optional, Sequence
+from typing import Callable, Iterable, Iterator, Optional, Sequence
 
 from ..area.placement import trivial_placement
 from ..area.substrate import SubstrateRule
@@ -251,6 +257,18 @@ class SweepGrid:
 CACHE_TABLES = ("performance", "area", "cost")
 
 
+def cache_key_digest(key: str) -> str:
+    """Short content digest of one cache key.
+
+    Shard artifacts carry the *digests* of a worker cache's entry keys
+    (never the cached values), so a cross-host merge can compute the
+    union of distinct entries — two shards that computed the same
+    sub-result count it once — without shipping the heavyweight
+    results themselves.
+    """
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()[:16]
+
+
 class EvaluationCache:
     """Content-keyed memo for the methodology's three sub-results.
 
@@ -337,6 +355,30 @@ class EvaluationCache:
                 table.setdefault(key, value)
             self._hits[name] += other._hits[name]
             self._misses[name] += other._misses[name]
+
+    def portable_state(self) -> dict:
+        """The cache's *stats* state as a JSON-ready payload.
+
+        Shard artifacts embed this instead of :meth:`stats`: hit/miss
+        counters per table plus the :func:`cache_key_digest` of every
+        entry key.  Merging shard artifacts sums the counters (stats
+        stay additive across hosts) and unions the digests, so an
+        entry computed independently by two shards — the same memoised
+        sub-result, recomputed because worker caches start cold — is
+        counted once in the merged ``entries`` tally.
+        """
+        return {
+            "tables": {
+                name: {
+                    "hits": self._hits[name],
+                    "misses": self._misses[name],
+                    "keys": sorted(
+                        cache_key_digest(key) for key in self._tables[name]
+                    ),
+                }
+                for name in CACHE_TABLES
+            }
+        }
 
     def stats(self) -> dict:
         """Hits/misses in total and per table.
@@ -467,11 +509,16 @@ class SweepReport:
     cache_stats: dict = field(default_factory=dict)
 
     def winner_counts(self) -> dict[str, int]:
-        """How often each candidate wins across the grid."""
+        """How often each candidate wins across the grid.
+
+        Computed from the rows (every grid point has exactly one
+        winning row), so it also works for reports reassembled from
+        shard artifacts, which carry rows but no ``cells``.
+        """
         counts: dict[str, int] = {}
-        for cell in self.cells:
-            name = cell.result.winner.assessment.name
-            counts[name] = counts.get(name, 0) + 1
+        for row in self.rows:
+            if row.is_winner:
+                counts[row.candidate] = counts.get(row.candidate, 0) + 1
         return counts
 
     def rows_for(self, candidate: str) -> list[SweepRow]:
@@ -485,7 +532,13 @@ class SweepReport:
         return max(self.rows, key=lambda row: row.figure_of_merit)
 
 
-def _rows_for_cell(cell: SweepCell) -> list[SweepRow]:
+def rows_for_cell(cell: SweepCell) -> list[SweepRow]:
+    """Flatten one evaluated grid cell into its Pareto-ready rows.
+
+    The canonical cell → rows mapping shared by :func:`run_design_sweep`,
+    the streaming generator and the shard artifact writer — whatever
+    path produced the cell, its rows are byte-identical.
+    """
     point = cell.point
     winner = cell.result.winner.assessment.name
     pareto = analyze_study(cell.result)
@@ -624,9 +677,76 @@ def run_design_sweep(
     )
     rows: list[SweepRow] = []
     for cell in cells:
-        rows.extend(_rows_for_cell(cell))
+        rows.extend(rows_for_cell(cell))
     return SweepReport(
         cells=tuple(cells),
         rows=tuple(rows),
         cache_stats=cache.stats(),
     )
+
+
+@dataclass(frozen=True)
+class StreamedCell:
+    """One grid cell as it streams out of an asynchronous sweep.
+
+    ``index`` is the cell's canonical position in the grid (the order
+    :class:`SerialExecutor` would have produced it in); cells arrive in
+    *completion* order, so a consumer that wants the canonical row
+    order sorts by index — or simply calls :func:`run_design_sweep`.
+    """
+
+    index: int
+    cell: SweepCell
+    rows: tuple[SweepRow, ...]
+
+
+def stream_design_sweep(
+    grid: SweepGrid | Iterable[DesignPoint],
+    candidate_factory: Callable[[DesignPoint], Sequence[CandidateBuildUp]],
+    reference: int = 0,
+    weights: Optional[FomWeights] = None,
+    cache: Optional[EvaluationCache] = None,
+    executor=None,
+) -> Iterator[StreamedCell]:
+    """The generator surface of :func:`run_design_sweep`.
+
+    Yields one :class:`StreamedCell` per grid point *as each point
+    finishes* instead of blocking until the whole grid is done.  With
+    an engine that evaluates points concurrently and supports
+    streaming (``iter_cells``, e.g.
+    :class:`~repro.core.executors.AsyncExecutor`, the default here),
+    cells arrive in completion order; any other
+    :class:`~repro.core.executors.Executor` is driven to completion
+    first and its cells are yielded in canonical order.
+
+    The rows of every yielded cell are byte-identical to the rows
+    :func:`run_design_sweep` would report for the same grid — streaming
+    changes *when* results become visible, never *what* they are.
+    """
+    points = grid.points() if isinstance(grid, SweepGrid) else list(grid)
+    if not points:
+        raise SpecificationError("design sweep needs at least one point")
+    if weights is None:
+        weights = FomWeights()
+    if cache is None:
+        cache = EvaluationCache()
+    if executor is None:
+        from .executors import AsyncExecutor  # cycle-free at import
+
+        executor = AsyncExecutor()
+
+    iter_cells = getattr(executor, "iter_cells", None)
+    if iter_cells is not None:
+        indexed = iter_cells(
+            points, candidate_factory, reference, weights, cache
+        )
+    else:
+        indexed = enumerate(
+            executor.run_sweep(
+                points, candidate_factory, reference, weights, cache
+            )
+        )
+    for index, cell in indexed:
+        yield StreamedCell(
+            index=index, cell=cell, rows=tuple(rows_for_cell(cell))
+        )

@@ -10,7 +10,7 @@ through this function.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Optional
+from typing import Iterable, Iterator, Mapping, Optional
 
 from ..area.substrate import LAMINATE_RULE, MCM_D_RULE, PCB_RULE
 from ..core.methodology import (
@@ -19,13 +19,16 @@ from ..core.methodology import (
     run_study,
 )
 from ..core.figure_of_merit import FomWeights
+from ..core.sharding import ShardArtifact, run_shard
 from ..core.sweep import (
     DesignPoint,
     EvaluationCache,
     NreScenario,
+    StreamedCell,
     SweepGrid,
     SweepReport,
     run_design_sweep,
+    stream_design_sweep,
 )
 from ..passives.thin_film import SUMMIT_PROCESS
 from . import data
@@ -252,6 +255,62 @@ def run_gps_sweep(
         reference=0,
         weights=weights,
         cache=cache,
+        executor=executor,
+    )
+
+
+def stream_gps_sweep(
+    grid: SweepGrid | Iterable[DesignPoint],
+    chip_costs: Optional[data.ChipCosts] = None,
+    weights: Optional[FomWeights] = None,
+    nre_scenario: Optional[Mapping[int, float]] = None,
+    cache: Optional[EvaluationCache] = None,
+    executor=None,
+) -> Iterator[StreamedCell]:
+    """Streaming variant of :func:`run_gps_sweep`.
+
+    Yields one :class:`~repro.core.sweep.StreamedCell` per grid point
+    as soon as it is evaluated (completion order under the async
+    engine, the default).  The rows streamed out are byte-identical to
+    the rows :func:`run_gps_sweep` reports for the same grid.
+    """
+    yield from stream_design_sweep(
+        grid,
+        GpsSweepFactory(chip_costs=chip_costs, nre_scenario=nre_scenario),
+        reference=0,
+        weights=weights,
+        cache=cache,
+        executor=executor,
+    )
+
+
+def run_gps_shard(
+    grid: SweepGrid | Iterable[DesignPoint],
+    shards: int,
+    shard_index: int,
+    chip_costs: Optional[data.ChipCosts] = None,
+    weights: Optional[FomWeights] = None,
+    nre_scenario: Optional[Mapping[int, float]] = None,
+    executor=None,
+) -> ShardArtifact:
+    """Evaluate one cross-host shard of a GPS design-space sweep.
+
+    Resolves the full grid locally, evaluates shard ``shard_index`` of
+    ``shards`` and returns the portable
+    :class:`~repro.core.sharding.ShardArtifact`; write it with
+    :func:`~repro.core.sharding.write_shard_artifact`, ship it
+    anywhere, and reassemble the canonical report with
+    :func:`~repro.core.sharding.merge_shard_artifacts` (the CLI flow:
+    ``repro-gps sweep --shards K --shard-index I --shard-dir DIR`` then
+    ``repro-gps sweep --merge DIR``).
+    """
+    return run_shard(
+        grid,
+        GpsSweepFactory(chip_costs=chip_costs, nre_scenario=nre_scenario),
+        shards=shards,
+        shard_index=shard_index,
+        reference=0,
+        weights=weights,
         executor=executor,
     )
 

@@ -2,9 +2,25 @@
 
 from __future__ import annotations
 
+import gc
+
 import pytest
 
 from repro.gps.study import run_gps_study, summary_rows
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Collect asyncio garbage before pytest's terminal summary.
+
+    The async sweep-engine tests leave cyclic event-loop garbage
+    behind; on CPython 3.11 a cycle collection that happens to trigger
+    *during* the hypothesis plugin's lazy ``ast.parse`` at terminal
+    summary dies with ``SystemError: AST constructor recursion depth
+    mismatch``.  Collecting here, at a safe point before the summary,
+    keeps subset runs (``pytest tests/core/test_executors.py``) green.
+    """
+    del session, exitstatus
+    gc.collect()
 
 
 @pytest.fixture(scope="session")

@@ -13,10 +13,13 @@ from __future__ import annotations
 import pytest
 
 from repro.core.executors import (
+    AsyncExecutor,
     ChunkedStackedExecutor,
     ENGINE_ENV,
+    ENGINE_NAMES,
     JOBS_ENV,
     MultiprocessExecutor,
+    SHARDS_ENV,
     SerialExecutor,
     _split_runs,
     default_executor,
@@ -74,6 +77,12 @@ class TestMakeExecutor:
         assert make_executor("serial").name == "serial"
         assert make_executor("process", 2).name == "process"
         assert make_executor("stacked").name == "stacked"
+        assert make_executor("sharded", shards=2).name == "sharded"
+        assert make_executor("async", 2).name == "async"
+
+    def test_every_registered_name_constructs(self):
+        for name in ENGINE_NAMES:
+            assert make_executor(name, jobs=2, shards=2).name == name
 
     def test_case_and_whitespace_tolerant(self):
         assert make_executor(" Serial ").name == "serial"
@@ -96,6 +105,12 @@ class TestMakeExecutor:
         with pytest.raises(SpecificationError):
             ChunkedStackedExecutor(0)
         assert ChunkedStackedExecutor(8).chunk_size == 8
+
+    def test_async_jobs_validated(self):
+        with pytest.raises(SpecificationError):
+            AsyncExecutor(0)
+        assert AsyncExecutor(3).jobs == 3
+        assert AsyncExecutor().jobs >= 1
 
 
 class TestDefaultExecutor:
@@ -137,6 +152,24 @@ class TestDefaultExecutor:
         executor = resolve_executor(engine="process", jobs=2)
         assert executor.jobs == 2
         assert resolve_executor(engine="serial").name == "serial"
+
+    def test_env_selects_sharded_engine_and_shard_count(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV, "sharded")
+        monkeypatch.setenv(SHARDS_ENV, "3")
+        executor = default_executor()
+        assert executor.name == "sharded"
+        assert executor.shards == 3
+
+    def test_bad_shards_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV, "sharded")
+        monkeypatch.setenv(SHARDS_ENV, "many")
+        with pytest.raises(SpecificationError):
+            default_executor()
+
+    def test_explicit_shards_beat_env(self, monkeypatch):
+        monkeypatch.setenv(SHARDS_ENV, "7")
+        executor = resolve_executor(engine="sharded", shards=2)
+        assert executor.shards == 2
 
 
 class TestSplitRuns:
@@ -243,3 +276,160 @@ class TestEnginesAgree:
         assert area["hits"] + area["misses"] == 2 * len(self.POINTS)
         assert area["entries"] == 2  # two distinct footprint sets
         assert stats["tables"]["cost"]["entries"] == 2 * len(self.POINTS)
+
+    def test_async_engine_matches_serial(self):
+        serial_cells, serial_rows = self._cells(SerialExecutor())
+        async_cells, async_rows = self._cells(AsyncExecutor(jobs=3))
+        assert async_rows == serial_rows
+        assert [c.point for c in async_cells] == [
+            c.point for c in serial_cells
+        ]
+
+
+class TestAsyncStreaming:
+    """The async engine's streaming and progress surfaces."""
+
+    POINTS = TestEnginesAgree.POINTS
+
+    def test_progress_callback_counts_every_point(self):
+        events = []
+        executor = AsyncExecutor(
+            jobs=2,
+            progress=lambda done, total, cell: events.append(
+                (done, total, cell.point)
+            ),
+        )
+        run_design_sweep(
+            self.POINTS, fixed_candidates, executor=executor
+        )
+        assert [done for done, _, _ in events] == list(
+            range(1, len(self.POINTS) + 1)
+        )
+        assert all(total == len(self.POINTS) for _, total, _ in events)
+        assert {point for _, _, point in events} == set(self.POINTS)
+
+    def test_iter_cells_yields_every_index_exactly_once(self):
+        executor = AsyncExecutor(jobs=3)
+        from repro.core.figure_of_merit import FomWeights
+
+        streamed = dict(
+            executor.iter_cells(
+                self.POINTS,
+                fixed_candidates,
+                0,
+                FomWeights(),
+                EvaluationCache(),
+            )
+        )
+        assert sorted(streamed) == list(range(len(self.POINTS)))
+        serial = SerialExecutor().run_sweep(
+            self.POINTS,
+            fixed_candidates,
+            0,
+            FomWeights(),
+            EvaluationCache(),
+        )
+        for index, cell in streamed.items():
+            assert cell.result.rows == serial[index].result.rows
+
+    def test_stream_design_sweep_rows_match_run_design_sweep(self):
+        from repro.core.sweep import stream_design_sweep
+
+        report = run_design_sweep(
+            self.POINTS, fixed_candidates, executor=SerialExecutor()
+        )
+        streamed = sorted(
+            stream_design_sweep(
+                self.POINTS,
+                fixed_candidates,
+                executor=AsyncExecutor(jobs=2),
+            ),
+            key=lambda item: item.index,
+        )
+        rows = tuple(row for item in streamed for row in item.rows)
+        assert rows == report.rows
+
+    def test_stream_design_sweep_falls_back_to_plain_executors(self):
+        from repro.core.sweep import stream_design_sweep
+
+        report = run_design_sweep(
+            self.POINTS, fixed_candidates, executor=SerialExecutor()
+        )
+        streamed = list(
+            stream_design_sweep(
+                self.POINTS, fixed_candidates, executor=SerialExecutor()
+            )
+        )
+        # Non-streaming engines yield in canonical order.
+        assert [item.index for item in streamed] == list(
+            range(len(self.POINTS))
+        )
+        rows = tuple(row for item in streamed for row in item.rows)
+        assert rows == report.rows
+
+    def test_errors_propagate_through_both_surfaces(self):
+        from repro.core.figure_of_merit import FomWeights
+        from repro.core.sweep import stream_design_sweep
+
+        def exploding_factory(point):
+            raise RuntimeError("boom at " + point.label())
+
+        with pytest.raises(RuntimeError, match="boom"):
+            AsyncExecutor(jobs=2).run_sweep(
+                self.POINTS[:2],
+                exploding_factory,
+                0,
+                FomWeights(),
+                EvaluationCache(),
+            )
+        with pytest.raises(RuntimeError, match="boom"):
+            list(
+                stream_design_sweep(
+                    self.POINTS[:2],
+                    exploding_factory,
+                    executor=AsyncExecutor(jobs=2),
+                )
+            )
+
+    def test_failure_does_not_run_the_whole_queue(self):
+        """An early error drops not-yet-started points before raising."""
+        from repro.core.figure_of_merit import FomWeights
+
+        import time
+
+        calls = []
+
+        def counting_exploder(point):
+            calls.append(point)
+            time.sleep(0.005)  # a realistically non-instant evaluation
+            raise RuntimeError("boom")
+
+        many = [DesignPoint(volume=float(v)) for v in range(1, 51)]
+        # One worker: the first task fails, and the queued remainder
+        # must be cancelled while it is still queued — not evaluated.
+        with pytest.raises(RuntimeError, match="boom"):
+            AsyncExecutor(jobs=1).run_sweep(
+                many, counting_exploder, 0, FomWeights(), EvaluationCache()
+            )
+        assert len(calls) < len(many)
+
+    def test_breaking_out_of_iter_cells_abandons_the_rest(self):
+        """A consumer that stops early must not drag the sweep along."""
+        from repro.core.figure_of_merit import FomWeights
+
+        import time
+
+        calls = []
+
+        def counting_factory(point):
+            calls.append(point)
+            time.sleep(0.005)  # keep the worker from outracing close()
+            return fixed_candidates(point)
+
+        many = [DesignPoint(volume=float(v)) for v in range(1, 51)]
+        iterator = AsyncExecutor(jobs=1).iter_cells(
+            many, counting_factory, 0, FomWeights(), EvaluationCache()
+        )
+        next(iterator)
+        iterator.close()  # the generator's finally joins the worker
+        assert len(calls) < len(many)

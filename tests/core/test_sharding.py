@@ -1,0 +1,389 @@
+"""The cross-host sharding layer.
+
+The load-bearing property, checked exhaustively with hypothesis: for
+*any* shard count and *any* order the shard artifacts come back in —
+including a round-trip through their JSON serialisation — the merged
+rows are byte-identical to what :class:`SerialExecutor` produces on
+the same grid.  Around it: content addressing (grid fingerprints),
+merge rejection of missing/duplicated/foreign shards with actionable
+messages, and the shard-merge semantics of the
+:class:`~repro.core.sweep.EvaluationCache` statistics (counters
+additive, shared entries counted once).
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.area.footprint import Footprint, MountKind
+from repro.area.substrate import PCB_RULE
+from repro.core.executors import SerialExecutor
+from repro.core.methodology import CandidateBuildUp
+from repro.core.sharding import (
+    SHARD_FORMAT,
+    ShardedExecutor,
+    ShardMergeError,
+    artifact_to_payload,
+    find_shard_artifacts,
+    grid_fingerprint,
+    merge_cache_states,
+    merge_shard_artifacts,
+    payload_to_artifact,
+    read_shard_artifact,
+    run_shard,
+    shard_filename,
+    shard_indices,
+    write_shard_artifact,
+)
+from repro.core.sweep import (
+    DesignPoint,
+    EvaluationCache,
+    run_design_sweep,
+)
+from repro.cost.moe.flow import ProductionFlow
+from repro.cost.moe.nodes import CarrierStep, TestStep
+from repro.errors import SpecificationError
+
+POINTS = [
+    DesignPoint(volume=volume)
+    for volume in (1e3, 2e3, 5e3, 1e4, 5e4, 1e5, 1e6)
+]
+
+
+def _flow(area_cm2: float) -> ProductionFlow:
+    """A minimal carrier-plus-test production flow."""
+    flow = ProductionFlow(name="toy")
+    flow.add(CarrierStep("ID1", "carrier", unit_cost=10.0 + area_cm2))
+    flow.add(TestStep("ID2", "test", test_cost=1.0))
+    return flow
+
+
+def fixed_candidates(point: DesignPoint) -> list[CandidateBuildUp]:
+    """Cheap two-candidate factory (no MNA), shared by every test."""
+    footprints = [Footprint("chip", 25.0, MountKind.PACKAGED)]
+    return [
+        CandidateBuildUp(
+            name="ref",
+            footprints=footprints,
+            substrate_rule=PCB_RULE,
+            flow_factory=_flow,
+            fixed_performance=1.0,
+        ),
+        CandidateBuildUp(
+            name="alt",
+            footprints=footprints * 2,
+            substrate_rule=PCB_RULE,
+            flow_factory=_flow,
+            fixed_performance=0.9,
+        ),
+    ]
+
+
+@functools.lru_cache(maxsize=1)
+def serial_rows() -> tuple:
+    """The reference rows every shard/merge combination must hit."""
+    report = run_design_sweep(
+        POINTS, fixed_candidates, executor=SerialExecutor()
+    )
+    return report.rows
+
+
+def make_artifacts(shards: int) -> list:
+    return [
+        run_shard(POINTS, fixed_candidates, shards=shards, shard_index=i)
+        for i in range(shards)
+    ]
+
+
+class TestShardIndices:
+    def test_partition_is_exact_and_ordered(self):
+        for shards in range(1, 11):
+            covered = [
+                i
+                for shard in range(shards)
+                for i in shard_indices(len(POINTS), shards, shard)
+            ]
+            assert covered == list(range(len(POINTS)))
+
+    def test_shards_beyond_points_are_empty(self):
+        assert list(shard_indices(2, 4, 3)) == []
+        assert len(shard_indices(2, 4, 0)) == 1
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(SpecificationError):
+            shard_indices(5, 0, 0)
+        with pytest.raises(SpecificationError):
+            shard_indices(5, 2, 2)
+        with pytest.raises(SpecificationError):
+            shard_indices(5, 2, -1)
+
+
+class TestFingerprint:
+    def test_invariant_under_point_reordering(self):
+        """Axis reordering must not change the grid's shard address."""
+        assert grid_fingerprint(POINTS) == grid_fingerprint(
+            list(reversed(POINTS))
+        )
+
+    def test_different_grids_differ(self):
+        other = POINTS[:-1] + [DesignPoint(volume=7e7)]
+        assert grid_fingerprint(POINTS) != grid_fingerprint(other)
+
+
+class TestMergeIdentity:
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_any_shard_count_and_order_merges_byte_identical(self, data):
+        """The tentpole property: shards → merge == serial, exactly."""
+        shards = data.draw(st.integers(1, 9), label="shards")
+        artifacts = make_artifacts(shards)
+        order = data.draw(
+            st.permutations(range(shards)), label="artifact order"
+        )
+        merged = merge_shard_artifacts([artifacts[i] for i in order])
+        assert merged.rows == serial_rows()
+
+    @settings(max_examples=15, deadline=None)
+    @given(shards=st.integers(1, 6))
+    def test_json_round_trip_preserves_every_byte(self, shards):
+        """Artifacts survive serialisation with exact floats."""
+        artifacts = [
+            payload_to_artifact(
+                json.loads(json.dumps(artifact_to_payload(artifact)))
+            )
+            for artifact in make_artifacts(shards)
+        ]
+        merged = merge_shard_artifacts(artifacts)
+        assert merged.rows == serial_rows()
+
+    def test_mixed_producers_merge(self):
+        """Shards cut with different executors still merge identically."""
+        first = run_shard(
+            POINTS, fixed_candidates, shards=2, shard_index=0,
+            executor=ShardedExecutor(shards=2),
+        )
+        second = run_shard(
+            POINTS, fixed_candidates, shards=2, shard_index=1
+        )
+        merged = merge_shard_artifacts([second, first])
+        assert merged.rows == serial_rows()
+
+    def test_file_round_trip(self, tmp_path):
+        for artifact in make_artifacts(3):
+            write_shard_artifact(
+                tmp_path
+                / shard_filename(artifact.shards, artifact.shard_index),
+                artifact,
+            )
+        paths = find_shard_artifacts(tmp_path)
+        assert [p.name for p in paths] == [
+            "shard-0000-of-0003.json",
+            "shard-0001-of-0003.json",
+            "shard-0002-of-0003.json",
+        ]
+        merged = merge_shard_artifacts(paths)
+        assert merged.rows == serial_rows()
+        # A merged report has no cells, but winner counts still work
+        # (one winning row per grid point).
+        assert sum(merged.winner_counts().values()) == len(POINTS)
+
+    def test_empty_shards_merge_cleanly(self):
+        """More shards than points: trailing artifacts carry nothing."""
+        two_points = POINTS[:2]
+        artifacts = [
+            run_shard(two_points, fixed_candidates, shards=4, shard_index=i)
+            for i in range(4)
+        ]
+        assert [len(a.indices) for a in artifacts] == [1, 1, 0, 0]
+        merged = merge_shard_artifacts(artifacts)
+        reference = run_design_sweep(
+            two_points, fixed_candidates, executor=SerialExecutor()
+        )
+        assert merged.rows == reference.rows
+
+
+class TestMergeRejection:
+    def test_empty_artifact_set(self):
+        with pytest.raises(ShardMergeError, match="no shard artifacts"):
+            merge_shard_artifacts([])
+
+    def test_missing_shard_names_the_gap(self):
+        artifacts = make_artifacts(3)
+        with pytest.raises(ShardMergeError) as excinfo:
+            merge_shard_artifacts([artifacts[0], artifacts[2]])
+        message = str(excinfo.value)
+        assert "missing" in message
+        missing = list(artifacts[1].indices)
+        assert ", ".join(str(i) for i in missing) in message
+
+    def test_duplicated_shard_names_the_indices(self):
+        artifacts = make_artifacts(2)
+        with pytest.raises(ShardMergeError) as excinfo:
+            merge_shard_artifacts(
+                [artifacts[0], artifacts[0], artifacts[1]]
+            )
+        message = str(excinfo.value)
+        assert "duplicated" in message
+        assert str(artifacts[0].indices[0]) in message
+
+    def test_reordered_grid_rejected_by_order_digest(self):
+        """Same point set, different axis order: indices don't line up.
+
+        The fingerprint matches (content addressing is order-blind),
+        so without the order digest this would merge into a silently
+        wrong report — volume 1e3 twice, 1e6 never.
+        """
+        reordered = list(reversed(POINTS))
+        ours = run_shard(POINTS, fixed_candidates, shards=2, shard_index=0)
+        theirs = run_shard(
+            reordered, fixed_candidates, shards=2, shard_index=1
+        )
+        assert ours.fingerprint == theirs.fingerprint
+        with pytest.raises(ShardMergeError, match="different point order"):
+            merge_shard_artifacts([ours, theirs])
+
+    def test_foreign_grid_rejected_by_fingerprint(self):
+        other_points = POINTS[:-1] + [DesignPoint(volume=7e7)]
+        ours = make_artifacts(2)
+        theirs = run_shard(
+            other_points, fixed_candidates, shards=2, shard_index=1
+        )
+        with pytest.raises(ShardMergeError, match="different grids"):
+            merge_shard_artifacts([ours[0], theirs])
+
+    def test_grid_size_disagreement_rejected(self):
+        # Same fingerprint is impossible for different sizes, so build
+        # the conflict directly at the payload level.
+        artifacts = make_artifacts(2)
+        payload = artifact_to_payload(artifacts[1])
+        payload["total_points"] = 99
+        payload["fingerprint"] = artifacts[0].fingerprint
+        payload["order_digest"] = artifacts[0].order_digest
+        with pytest.raises(ShardMergeError, match="grid size"):
+            merge_shard_artifacts(
+                [artifacts[0], payload_to_artifact(payload)]
+            )
+
+    def test_out_of_range_index_rejected(self):
+        artifact = make_artifacts(1)[0]
+        payload = artifact_to_payload(artifact)
+        payload["cells"][0]["index"] = len(POINTS) + 3
+        with pytest.raises(ShardMergeError, match="outside"):
+            merge_shard_artifacts([payload_to_artifact(payload)])
+
+    def test_unknown_format_rejected(self):
+        payload = artifact_to_payload(make_artifacts(1)[0])
+        payload["format"] = "repro-sweep-shard/99"
+        with pytest.raises(ShardMergeError, match=SHARD_FORMAT):
+            payload_to_artifact(payload)
+
+    def test_unreadable_file_rejected(self, tmp_path):
+        path = tmp_path / "shard-0000-of-0001.json"
+        path.write_text("not json{", encoding="utf-8")
+        with pytest.raises(ShardMergeError, match="not valid JSON"):
+            read_shard_artifact(path)
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(ShardMergeError, match="does not exist"):
+            find_shard_artifacts(tmp_path / "nope")
+
+
+class TestCacheStateMerge:
+    """EvaluationCache statistics under cross-host shard merge."""
+
+    def test_counters_additive_and_shared_entries_counted_once(self):
+        # Both shards place the same two footprint sets (all volumes
+        # share them), so each cold shard cache recomputes the same
+        # two area entries: misses add up, the union stays at 2.
+        artifacts = make_artifacts(2)
+        merged = merge_shard_artifacts(artifacts)
+        area = merged.cache_stats["tables"]["area"]
+        assert area["misses"] == 4  # 2 candidates x 2 cold shard caches
+        assert area["entries"] == 2  # ...but only 2 distinct sub-results
+        # Cost keys depend on volume: every point's two evaluations
+        # are distinct, nothing collapses.
+        cost = merged.cache_stats["tables"]["cost"]
+        assert cost["misses"] == 2 * len(POINTS)
+        assert cost["entries"] == 2 * len(POINTS)
+        # Totals mirror the per-table tallies.
+        tables = merged.cache_stats["tables"].values()
+        assert merged.cache_stats["hits"] == sum(
+            table["hits"] for table in tables
+        )
+
+    def test_merged_stats_match_in_process_merge(self):
+        """Artifact-level stats == EvaluationCache.merge of the caches."""
+        caches = [EvaluationCache() for _ in range(2)]
+        artifacts = [
+            run_shard(
+                POINTS,
+                fixed_candidates,
+                shards=2,
+                shard_index=i,
+                cache=caches[i],
+            )
+            for i in range(2)
+        ]
+        parent = EvaluationCache()
+        for cache in caches:
+            parent.merge(cache)
+        via_artifacts = merge_cache_states(
+            artifact.cache_state for artifact in artifacts
+        )
+        assert via_artifacts == parent.stats()
+
+    def test_portable_state_digests_entries(self):
+        cache = EvaluationCache()
+        cache.cost("flowA", 1.0, lambda: "a")
+        cache.cost("flowA", 1.0, lambda: "a")
+        state = cache.portable_state()
+        cost = state["tables"]["cost"]
+        assert cost["hits"] == 1 and cost["misses"] == 1
+        assert len(cost["keys"]) == 1
+        # Digests, not raw keys: nothing content-bearing leaves the host.
+        assert "flowA" not in cost["keys"][0]
+
+
+class TestShardedExecutor:
+    def test_matches_serial_for_every_shard_count(self):
+        for shards in (1, 2, 3, 7, 12):
+            report = run_design_sweep(
+                POINTS,
+                fixed_candidates,
+                executor=ShardedExecutor(shards=shards),
+            )
+            assert report.rows == serial_rows()
+
+    def test_shared_cache_spans_shard_boundaries(self):
+        """In-process sharding keeps memoisation across shards."""
+        cache = EvaluationCache()
+        run_design_sweep(
+            POINTS,
+            fixed_candidates,
+            cache=cache,
+            executor=ShardedExecutor(shards=3),
+        )
+        serial_cache = EvaluationCache()
+        run_design_sweep(
+            POINTS,
+            fixed_candidates,
+            cache=serial_cache,
+            executor=SerialExecutor(),
+        )
+        assert cache.stats() == serial_cache.stats()
+
+    def test_shard_count_validated(self):
+        with pytest.raises(SpecificationError):
+            ShardedExecutor(shards=0)
+        assert ShardedExecutor(shards=5).shards == 5
+        assert ShardedExecutor().shards >= 1
+
+    def test_inner_engine_is_pluggable(self):
+        inner = SerialExecutor()
+        executor = ShardedExecutor(shards=2, inner=inner)
+        assert executor.inner is inner

@@ -1,0 +1,121 @@
+"""Differential harness: every engine x every Q scenario, same bytes.
+
+This is the systematic replacement for the ad-hoc per-engine
+comparisons that used to live in ``test_engines.py``: one parametrised
+matrix that runs a small GPS sweep through *every* execution engine
+(process, stacked, sharded, async — serial is the reference) under
+*every* Q-model scenario class (constant-Q, dispersive, custom
+``tan=``) and asserts the rows are byte-identical to the serial
+engine — dataclass equality on ``SweepRow`` compares every float
+exactly, not approximately.
+
+The cross-host path gets the same treatment: shard artifacts cut from
+the scenario grids, round-tripped through JSON, must merge back to the
+serial bytes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.circuits.qfactor import (
+    MEASURED_SUMMIT_TABLE,
+    SubstrateLossQModel,
+)
+from repro.core.executors import make_executor
+from repro.core.sharding import (
+    ShardedExecutor,
+    artifact_to_payload,
+    merge_shard_artifacts,
+    payload_to_artifact,
+)
+from repro.core.sweep import SweepGrid
+from repro.gps.study import run_gps_shard, run_gps_sweep
+from repro.passives.tolerance import PRECISION_CLASS
+
+#: Engine name -> factory.  Serial is the reference, not a column.
+ENGINES = {
+    "process": lambda: make_executor("process", jobs=2),
+    "stacked": lambda: make_executor("stacked"),
+    "sharded": lambda: ShardedExecutor(shards=3),
+    "async": lambda: make_executor("async", jobs=2),
+}
+
+#: Scenario name -> grid.  One grid per Q-model class the engines must
+#: reproduce: the constant-Q golden path, genuinely dispersive models
+#: (frequency-dependent Q re-evaluated at every stamped frequency),
+#: and a custom ``tan=`` loss tangent; each grid carries a second axis
+#: so sharding and async scheduling have real work to repartition.
+SCENARIO_GRIDS = {
+    "constant-q": SweepGrid(volumes=(1_000.0, 100_000.0)),
+    "dispersive": SweepGrid(
+        volumes=(1_000.0,),
+        q_models=(SubstrateLossQModel(), MEASURED_SUMMIT_TABLE),
+    ),
+    "custom-tan": SweepGrid(
+        volumes=(1_000.0,),
+        q_models=(SubstrateLossQModel(tan_delta_ref=0.02),),
+        tolerances=(None, PRECISION_CLASS),
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def serial_reports():
+    """The serial-engine reference rows, one report per scenario."""
+    return {
+        scenario: run_gps_sweep(grid, executor=make_executor("serial"))
+        for scenario, grid in SCENARIO_GRIDS.items()
+    }
+
+
+class TestEngineMatrix:
+    @pytest.mark.parametrize("engine", sorted(ENGINES))
+    @pytest.mark.parametrize("scenario", sorted(SCENARIO_GRIDS))
+    def test_rows_byte_identical_to_serial(
+        self, serial_reports, engine, scenario
+    ):
+        report = run_gps_sweep(
+            SCENARIO_GRIDS[scenario], executor=ENGINES[engine]()
+        )
+        reference = serial_reports[scenario]
+        assert report.rows == reference.rows
+        assert [cell.point for cell in report.cells] == [
+            cell.point for cell in reference.cells
+        ]
+
+    def test_scenarios_genuinely_differ(self, serial_reports):
+        """The matrix is not vacuous: each scenario moves the numbers."""
+        performances = {
+            scenario: tuple(
+                row.performance for row in report.rows
+            )
+            for scenario, report in serial_reports.items()
+        }
+        assert len(set(performances.values())) == len(performances)
+
+
+class TestCrossHostMatrix:
+    """Shard -> JSON -> merge must hit the same bytes as serial."""
+
+    @pytest.mark.parametrize("scenario", sorted(SCENARIO_GRIDS))
+    def test_merged_artifacts_byte_identical_to_serial(
+        self, serial_reports, scenario
+    ):
+        grid = SCENARIO_GRIDS[scenario]
+        artifacts = [
+            payload_to_artifact(
+                json.loads(
+                    json.dumps(
+                        artifact_to_payload(
+                            run_gps_shard(grid, shards=2, shard_index=i)
+                        )
+                    )
+                )
+            )
+            for i in range(2)
+        ]
+        merged = merge_shard_artifacts(reversed(artifacts))
+        assert merged.rows == serial_reports[scenario].rows

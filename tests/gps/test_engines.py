@@ -1,111 +1,37 @@
 """Execution engines must not move a digit of the GPS reproduction.
 
-The acceptance contract of the engine layer: serial, process and
-stacked scheduling produce **byte-identical** sweep rows (every float
-exactly equal, not approximately).  This holds because the stacked
-``(B, F, n, n)`` solves are bit-compatible with the per-circuit path
-(LAPACK factorises each matrix independently of the batch shape) and
-the process engine only repartitions the grid.
+The systematic engine x scenario identity matrix lives in
+``test_engine_matrix.py`` (every engine, every Q-model scenario,
+byte-identical rows).  What remains here is the anchor to the golden
+files and the process-engine pickling contract:
 
-The golden files themselves (``tests/gps/goldens/``) are exercised by
-``test_goldens.py`` through the serial study path; here the same
-numbers are pinned across engines, including at the paper's design
-point.
+* at the paper's own design point, every engine reproduces the
+  golden-locked study numbers exactly;
+* the GPS candidate factory survives the process boundary.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.circuits.qfactor import (
-    MEASURED_SUMMIT_TABLE,
-    SubstrateLossQModel,
-)
-from repro.core.executors import make_executor
-from repro.core.figure_of_merit import FomWeights
-from repro.core.sweep import DesignPoint, SweepGrid
+from repro.core.executors import ENGINE_NAMES, make_executor
+from repro.core.sweep import DesignPoint
 from repro.gps.study import (
     GpsSweepFactory,
-    NRE_SCENARIOS,
     run_gps_study,
     run_gps_sweep,
 )
-from repro.passives.thin_film import SI3N4_PROCESS
-from repro.passives.tolerance import PRECISION_CLASS
-
-GRID = SweepGrid(
-    volumes=(1_000.0, 100_000.0),
-    processes=(None, SI3N4_PROCESS),
-    tolerances=(None, PRECISION_CLASS),
-)
-
-#: The three scenario axes together, with a dispersive Q model in the
-#: mix — the grid every engine must reproduce byte-for-byte.
-SCENARIO_GRID = SweepGrid(
-    volumes=(1_000.0,),
-    q_models=(None, SubstrateLossQModel(), MEASURED_SUMMIT_TABLE),
-    nres=(None, NRE_SCENARIOS["zero"]),
-    fom_weights=(None, FomWeights(performance=2.0, size=1.0, cost=0.5)),
-)
 
 
-@pytest.fixture(scope="module")
-def serial_report():
-    return run_gps_sweep(GRID, executor=make_executor("serial"))
-
-
-@pytest.fixture(scope="module")
-def serial_scenario_report():
-    return run_gps_sweep(SCENARIO_GRID, executor=make_executor("serial"))
-
-
-class TestEngineIdentity:
-    @pytest.mark.parametrize("engine", ["process", "stacked"])
-    def test_rows_byte_identical_to_serial(self, serial_report, engine):
-        jobs = 2 if engine == "process" else None
-        report = run_gps_sweep(
-            GRID, executor=make_executor(engine, jobs)
-        )
-        # Dataclass equality on SweepRow compares every float exactly:
-        # identical bytes, not tolerances.
-        assert report.rows == serial_report.rows
-        assert [c.point for c in report.cells] == [
-            c.point for c in serial_report.cells
-        ]
-
-    @pytest.mark.parametrize("engine", ["process", "stacked"])
-    def test_scenario_axes_byte_identical_across_engines(
-        self, serial_scenario_report, engine
-    ):
-        """Q-model / NRE / weights axes under every engine, same bytes.
-
-        The Q axis carries dispersive (frequency-dependent) models, so
-        this also pins that the stacked engine's family solves are
-        bit-compatible with the per-circuit path for dispersive
-        elements.
-        """
-        jobs = 2 if engine == "process" else None
-        report = run_gps_sweep(
-            SCENARIO_GRID, executor=make_executor(engine, jobs)
-        )
-        assert report.rows == serial_scenario_report.rows
-        # The axes genuinely vary: every combination appears in rows.
-        labels = {
-            (r.q_model, r.nre, r.weights)
-            for r in serial_scenario_report.rows
-        }
-        assert len(labels) == 12
-
-    @pytest.mark.parametrize(
-        "engine", ["serial", "process", "stacked"]
-    )
+class TestPaperPointIdentity:
+    @pytest.mark.parametrize("engine", ENGINE_NAMES)
     def test_paper_point_matches_study_under_every_engine(self, engine):
         """Zero-NRE sweep at the paper's point == the golden-locked study."""
         study = run_gps_study()
         report = run_gps_sweep(
             [DesignPoint()],
             nre_scenario={i: 0.0 for i in (1, 2, 3, 4)},
-            executor=make_executor(engine, 2),
+            executor=make_executor(engine, jobs=2, shards=2),
         )
         (cell,) = report.cells
         for study_row, sweep_row in zip(study.rows, cell.result.rows):

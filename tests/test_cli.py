@@ -256,12 +256,18 @@ class TestSweepEngines:
             if not line.startswith("Memoised sub-results")
         ]
 
-    @pytest.mark.parametrize("engine", ["serial", "process", "stacked"])
+    @pytest.mark.parametrize(
+        "engine", ["serial", "process", "stacked", "sharded", "async"]
+    )
     def test_engines_print_identical_tables(self, engine, capsys):
         assert main(["sweep", "--engine", "serial"]) == 0
         reference = self._table_lines(capsys.readouterr().out)
         argv = ["sweep", "--engine", engine]
         if engine == "process":
+            argv += ["--jobs", "2"]
+        elif engine == "sharded":
+            argv += ["--shards", "2"]
+        elif engine == "async":
             argv += ["--jobs", "2"]
         assert main(argv) == 0
         assert self._table_lines(capsys.readouterr().out) == reference
@@ -309,3 +315,238 @@ class TestSweepEngines:
         with pytest.raises(SystemExit) as excinfo:
             main(["sweep", "--jobs", jobs])
         assert excinfo.value.code == 2
+
+
+class TestSweepEnvironmentErrors:
+    """Bad REPRO_SWEEP_* values must exit 2 with a message, not dump a
+    traceback — the regression behind the engine-resolution try/except
+    in ``_cmd_sweep``."""
+
+    def test_unknown_env_engine_exits_2(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_SWEEP_ENGINE", "quantum")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "error" in err
+        assert "quantum" in err
+        assert "serial" in err  # the message names the alternatives
+
+    def test_zero_env_jobs_exits_2(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_SWEEP_ENGINE", "process")
+        monkeypatch.setenv("REPRO_SWEEP_JOBS", "0")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep"])
+        assert excinfo.value.code == 2
+        assert "at least 1 worker" in capsys.readouterr().err
+
+    def test_non_integer_env_jobs_exits_2(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_SWEEP_ENGINE", "process")
+        monkeypatch.setenv("REPRO_SWEEP_JOBS", "many")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep"])
+        assert excinfo.value.code == 2
+        assert "REPRO_SWEEP_JOBS" in capsys.readouterr().err
+
+    def test_bad_env_shards_exits_2(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_SWEEP_ENGINE", "sharded")
+        monkeypatch.setenv("REPRO_SWEEP_SHARDS", "abc")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep"])
+        assert excinfo.value.code == 2
+        assert "REPRO_SWEEP_SHARDS" in capsys.readouterr().err
+
+
+class TestShardCli:
+    """The cross-host surface: --shards/--shard-index/--shard-dir/--merge."""
+
+    GRID = ["--volumes", "1e3,1e4"]
+
+    def _shard(self, tmp_path, index, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    *self.GRID,
+                    "--shards",
+                    "2",
+                    "--shard-index",
+                    str(index),
+                    "--shard-dir",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert f"Shard {index}/2" in out
+        return out
+
+    def test_shard_then_merge_matches_direct_sweep(self, tmp_path, capsys):
+        assert main(["sweep", *self.GRID, "--csv"]) == 0
+        reference = capsys.readouterr().out
+        self._shard(tmp_path, 0, capsys)
+        self._shard(tmp_path, 1, capsys)
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "shard-0000-of-0002.json",
+            "shard-0001-of-0002.json",
+        ]
+        assert main(["sweep", "--merge", str(tmp_path), "--csv"]) == 0
+        assert capsys.readouterr().out == reference
+
+    def test_merge_prints_the_standard_table(self, tmp_path, capsys):
+        self._shard(tmp_path, 0, capsys)
+        self._shard(tmp_path, 1, capsys)
+        assert main(["sweep", "--merge", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Design-space sweep: 2 points, 8 rows" in out
+        assert "Winner counts" in out
+        assert "Best overall:" in out
+
+    def test_merge_with_missing_shard_exits_2(self, tmp_path, capsys):
+        self._shard(tmp_path, 0, capsys)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--merge", str(tmp_path)])
+        assert excinfo.value.code == 2
+        assert "missing" in capsys.readouterr().err
+
+    def test_merge_empty_directory_exits_2(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--merge", str(tmp_path)])
+        assert excinfo.value.code == 2
+        assert "no shard artifacts" in capsys.readouterr().err
+
+    def test_merge_missing_directory_exits_2(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--merge", str(tmp_path / "nope")])
+        assert excinfo.value.code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_shard_index_requires_shards(self, monkeypatch, capsys):
+        # With $REPRO_SWEEP_SHARDS exported, --shard-index alone is
+        # legitimate (the env supplies the count) — so clear it.
+        monkeypatch.delenv("REPRO_SWEEP_SHARDS", raising=False)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--shard-index", "0"])
+        assert excinfo.value.code == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_shard_index_honours_env_shard_count(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """--shards documents $REPRO_SWEEP_SHARDS as its default."""
+        monkeypatch.setenv("REPRO_SWEEP_SHARDS", "2")
+        assert (
+            main(
+                [
+                    "sweep",
+                    *self.GRID,
+                    "--shard-index",
+                    "1",
+                    "--shard-dir",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        assert "Shard 1/2" in capsys.readouterr().out
+        assert (tmp_path / "shard-0001-of-0002.json").exists()
+
+    def test_merge_rejects_grid_axis_flags(self, tmp_path, capsys):
+        """Axis flags alongside --merge would be silently ignored."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "sweep",
+                    "--merge",
+                    str(tmp_path),
+                    "--volumes",
+                    "1e5,1e6",
+                ]
+            )
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--volumes" in err
+        assert "from the shard artifacts" in err
+
+    def test_merge_rejects_engine_flags(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["sweep", "--merge", str(tmp_path), "--engine", "process"]
+            )
+        assert excinfo.value.code == 2
+        assert "--engine" in capsys.readouterr().err
+
+    def test_shard_run_rejects_csv(self, tmp_path, capsys):
+        """A shard run writes an artifact, not rows: --csv would lie."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "sweep",
+                    "--shards",
+                    "2",
+                    "--shard-index",
+                    "0",
+                    "--shard-dir",
+                    str(tmp_path),
+                    "--csv",
+                ]
+            )
+        assert excinfo.value.code == 2
+        assert "--csv" in capsys.readouterr().err
+
+    def test_env_shards_alone_shards_in_process(
+        self, monkeypatch, capsys
+    ):
+        """$REPRO_SWEEP_SHARDS is the documented --shards default."""
+        assert main(["sweep"]) == 0
+        reference = capsys.readouterr().out
+        monkeypatch.setenv("REPRO_SWEEP_SHARDS", "2")
+        assert main(["sweep"]) == 0
+        assert capsys.readouterr().out == reference
+
+    def test_shard_index_out_of_range_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--shards", "2", "--shard-index", "2"])
+        assert excinfo.value.code == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_negative_shard_index_rejected(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--shards", "2", "--shard-index", "-1"])
+        assert excinfo.value.code == 2
+
+    def test_merge_excludes_shard_flags(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "sweep",
+                    "--merge",
+                    str(tmp_path),
+                    "--shards",
+                    "2",
+                ]
+            )
+        assert excinfo.value.code == 2
+        assert "cannot be mixed" in capsys.readouterr().err
+
+    def test_shard_run_honours_cache_stats(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    *self.GRID,
+                    "--shards",
+                    "2",
+                    "--shard-index",
+                    "0",
+                    "--shard-dir",
+                    str(tmp_path),
+                    "--cache-stats",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "cache:" in out
+        assert "performance=" in out
