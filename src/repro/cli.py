@@ -15,9 +15,10 @@ Installed as ``repro-gps``.  Subcommands:
   (identical rows either way); ``--cache-stats`` prints the per-table
   memo tally, merged across workers.  Cross-host sharding:
   ``--shards K --shard-index I --shard-dir DIR`` evaluates one shard
-  and writes a portable artifact; ``--merge DIR`` reassembles shard
-  artifacts — produced on one host or many — into the canonical
-  report.
+  and writes a portable artifact (``--resume`` skips the evaluation
+  when a valid artifact for the same grid and shard already exists);
+  ``--merge DIR`` reassembles shard artifacts — produced on one host
+  or many — into the canonical report.
 """
 
 from __future__ import annotations
@@ -25,6 +26,7 @@ from __future__ import annotations
 import argparse
 import math
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 from .area.substrate import SUBSTRATE_RULES
@@ -39,8 +41,12 @@ from .core.executors import (
 from .core.figure_of_merit import FomWeights
 from .core.sharding import (
     ShardedExecutor,
+    ShardMergeError,
     find_shard_artifacts,
+    grid_fingerprint,
+    grid_order_digest,
     merge_shard_artifacts,
+    read_shard_artifact,
     shard_filename,
     write_shard_artifact,
 )
@@ -284,11 +290,11 @@ def _print_cache_stats(stats: dict) -> None:
 def _print_sweep_report(report, n_points: int, args) -> None:
     """Render a sweep report (table or CSV), shared with --merge."""
     if args.csv:
-        header = list(report.rows[0].as_dict())
-        print(",".join(header))
-        for row in report.rows:
-            record = row.as_dict()
-            print(",".join(str(record[key]) for key in header))
+        # Columnar export: the frame formats whole columns at once
+        # (byte-identical to the historical per-row str() path).
+        print(report.frame.csv_header())
+        for line in report.frame.csv_lines():
+            print(line)
         if args.cache_stats:
             # Keep stdout pure CSV; the tally goes to stderr.
             print(
@@ -355,12 +361,47 @@ _GRID_AXIS_DEFAULTS = {
 }
 
 
+def _resumable_artifact(
+    path: Path, grid: SweepGrid, shards: int, shard_index: int
+) -> Optional[str]:
+    """Fingerprint of a valid, matching artifact at ``path`` (or None).
+
+    The ``--resume`` check: an artifact counts as "already evaluated"
+    only when it parses, fingerprints the *same resolved grid* in the
+    same canonical order, and covers exactly the requested shard of
+    the requested partition.  Anything else — unreadable file, foreign
+    grid, different shard geometry — means the shard must be
+    (re-)evaluated; resuming never risks a silently wrong artifact.
+    """
+    if not path.exists():
+        return None
+    try:
+        artifact = read_shard_artifact(path)
+    except ShardMergeError:
+        return None
+    points = grid.points()
+    if (
+        artifact.fingerprint == grid_fingerprint(points)
+        and artifact.order_digest == grid_order_digest(points)
+        and artifact.shards == shards
+        and artifact.shard_index == shard_index
+        and artifact.total_points == len(points)
+    ):
+        return artifact.fingerprint
+    return None
+
+
 def _cmd_sweep_merge(args: argparse.Namespace) -> int:
     """The --merge path: reassemble shard artifacts into one report."""
     if args.shards is not None or args.shard_index is not None:
         raise _sweep_error(
             "--merge combines existing shard artifacts; it cannot be "
             "mixed with --shards/--shard-index"
+        )
+    if args.resume:
+        raise _sweep_error(
+            "--resume skips an already-evaluated shard run; it does "
+            "not apply to --merge"
         )
     overridden = [
         "--" + name.replace("_", "-")
@@ -387,7 +428,8 @@ def _cmd_sweep_merge(args: argparse.Namespace) -> int:
         report = merge_shard_artifacts(paths)
     except SpecificationError as exc:
         raise _sweep_error(str(exc)) from None
-    n_points = sum(1 for row in report.rows if row.is_winner)
+    # Every grid point has exactly one winning row.
+    n_points = int(report.frame.column("is_winner").sum())
     _print_sweep_report(report, n_points, args)
     return 0
 
@@ -419,6 +461,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     except SpecificationError as exc:
         raise _sweep_error(str(exc)) from None
 
+    if args.resume and args.shard_index is None:
+        raise _sweep_error(
+            "--resume needs a shard run to resume; give "
+            "--shard-index (and --shards)"
+        )
+
     if args.shard_index is not None:
         # Cross-host mode: evaluate one shard, write its artifact.
         if shards is None:
@@ -430,6 +478,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 "--csv applies to full reports; a shard run only "
                 "writes its artifact (merge the shards, then --csv)"
             )
+        artifact_path = Path(args.shard_dir) / shard_filename(
+            shards, args.shard_index
+        )
+        if args.resume:
+            fingerprint = _resumable_artifact(
+                artifact_path, grid, shards, args.shard_index
+            )
+            if fingerprint is not None:
+                print(
+                    f"Shard {args.shard_index}/{shards}: valid "
+                    f"artifact for this grid ({fingerprint}) already "
+                    f"at {artifact_path}, skipping re-evaluation"
+                )
+                return 0
         # The shard's own points run through the resolved engine —
         # unless that engine is the sharded one (the partitioning is
         # already being done here), which falls back to serial.
@@ -449,11 +511,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             )
         except SpecificationError as exc:
             raise _sweep_error(str(exc)) from None
-        path = write_shard_artifact(
-            f"{args.shard_dir}/"
-            f"{shard_filename(shards, args.shard_index)}",
-            artifact,
-        )
+        path = write_shard_artifact(artifact_path, artifact)
         print(
             f"Shard {args.shard_index}/{shards}: "
             f"{len(artifact.indices)} of {artifact.total_points} "
@@ -640,6 +698,15 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "directory shard artifacts are written to "
             "(default: current directory)"
+        ),
+    )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "with --shard-index: if --shard-dir already holds a valid "
+            "artifact for this exact grid and shard (fingerprint "
+            "match), skip re-evaluation and exit 0"
         ),
     )
     sweep.add_argument(

@@ -23,10 +23,12 @@ scheduled.  The "how" is an :class:`Executor`:
   engine; the same partitioning drives the cross-host shard → artifact
   → merge flow.
 
-Every engine produces *identical* sweep rows — the stacked solves are
+Every engine produces *identical* cells — the stacked solves are
 bit-compatible with the per-circuit path and the process, sharded and
-async engines only repartition or reorder the work — so engine choice
-is a pure scheduling decision:
+async engines only repartition or reorder the work — so the columnar
+:class:`~repro.core.resultframe.ResultFrame` a sweep report assembles
+from those cells (and its row bridge) is byte-identical whatever
+engine ran, and engine choice is a pure scheduling decision:
 ``repro-gps sweep --engine serial|process|stacked|sharded|async
 [--jobs N] [--shards K]``, or the ``REPRO_SWEEP_ENGINE`` /
 ``REPRO_SWEEP_JOBS`` / ``REPRO_SWEEP_SHARDS`` environment variables
@@ -100,9 +102,11 @@ class Executor(Protocol):
       order, regardless of the internal evaluation order.
     * **Result identity** — the returned cells must equal what
       :class:`SerialExecutor` produces for the same inputs, float for
-      float.  Engines are pure scheduling decisions; they may not
-      change *what* is computed (``tests/gps/test_engines.py`` pins
-      row-for-row byte identity on the GPS study).
+      float: the :class:`~repro.core.resultframe.ResultFrame` built
+      from them must be byte-identical column for column.  Engines are
+      pure scheduling decisions; they may not change *what* is
+      computed (``tests/gps/test_engine_matrix.py`` pins frame/row
+      byte identity on the GPS study for every engine × scenario).
     * **Cache folding** — any worker- or batch-local
       :class:`~repro.core.sweep.EvaluationCache` state must be folded
       back into the ``cache`` argument (via

@@ -7,6 +7,18 @@ every axis and strictly better on one)?  A build-up dominated on all
 three axes can be discarded regardless of how the axes are weighted —
 which is exactly what happens to the paper's full-IP solution 3, beaten
 by solution 4 on performance, size *and* cost.
+
+Dominance itself is computed *vectorised*, by two kernels with one
+semantics: :func:`first_dominators` broadcasts the three objective
+arrays against themselves in bounded blocks and attributes the first
+dominator per point (what :func:`pareto_front` needs);
+:func:`nondominated_mask` answers only "who is on the front" by
+successive O(front × n) filtering — the kernel behind
+:meth:`repro.core.resultframe.ResultFrame.pareto_mask` on large
+frames.  :func:`pareto_front_pointwise` keeps the original per-point
+loop as the reference implementation (the same discipline as
+``repro.circuits.twoport.sweep_pointwise``); all three are locked
+equivalent by hypothesis in ``tests/core/test_resultframe.py``.
 """
 
 from __future__ import annotations
@@ -14,8 +26,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from ..errors import SpecificationError
 from .methodology import StudyResult, StudyRow
+
+#: Upper bound on ``n_points * block`` in the blocked dominance sweep —
+#: caps the transient boolean broadcast buffers at a few megabytes
+#: regardless of how many rows the caller throws at it.
+_BLOCK_BUDGET = 4_000_000
 
 
 @dataclass(frozen=True)
@@ -89,8 +108,148 @@ def _to_point(row: StudyRow) -> ParetoPoint:
     )
 
 
+def first_dominators(
+    performance, size, cost
+) -> np.ndarray:
+    """Index of the first dominating point per point (``-1``: none).
+
+    The attribution kernel behind :func:`pareto_front` (a mask alone
+    is cheaper — use :func:`nondominated_mask` for that).  Point *i*
+    dominates point *j* when it is at least as good on every objective
+    (``performance`` maximised, ``size`` and ``cost`` minimised) and
+    strictly better on one; the result matches the order the original
+    per-point loop reported dominators in — the *lowest* dominating
+    index — so the vectorised and pointwise paths name the same
+    dominator.
+
+    The pairwise comparison is evaluated in blocks of columns so the
+    transient boolean broadcast buffers stay a few megabytes whatever
+    ``n`` is; the arithmetic is still exact float comparison, never a
+    tolerance.
+    """
+    perf = np.ascontiguousarray(performance, dtype=np.float64)
+    size = np.ascontiguousarray(size, dtype=np.float64)
+    cost = np.ascontiguousarray(cost, dtype=np.float64)
+    if not (perf.shape == size.shape == cost.shape) or perf.ndim != 1:
+        raise SpecificationError(
+            "dominance needs three equally-long 1-D objective arrays, "
+            f"got shapes {perf.shape}, {size.shape}, {cost.shape}"
+        )
+    n = perf.shape[0]
+    dominator = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return dominator
+    block = max(1, min(n, _BLOCK_BUDGET // n))
+    for start in range(0, n, block):
+        stop = min(start + block, n)
+        p, s, c = perf[start:stop], size[start:stop], cost[start:stop]
+        # dominates[i, j]: row point i dominates column point start+j.
+        at_least = (
+            (perf[:, None] >= p[None, :])
+            & (size[:, None] <= s[None, :])
+            & (cost[:, None] <= c[None, :])
+        )
+        strictly = (
+            (perf[:, None] > p[None, :])
+            | (size[:, None] < s[None, :])
+            | (cost[:, None] < c[None, :])
+        )
+        dominates = at_least & strictly
+        found = dominates.any(axis=0)
+        first = dominates.argmax(axis=0)
+        view = dominator[start:stop]
+        view[found] = first[found]
+    return dominator
+
+
+def nondominated_mask(performance, size, cost) -> np.ndarray:
+    """Boolean mask of the Pareto-optimal points (vectorised).
+
+    Successive non-dominated filtering: scan the surviving points in
+    order and discard everything the scanned point dominates, so each
+    pass is one vectorised comparison against the (shrinking) survivor
+    set and the total cost is O(front_size × n) — *not* the full n²
+    pairwise matrix :func:`first_dominators` evaluates (that one also
+    attributes a dominator per point, which the mask does not need).
+    Exact duplicates of a front point survive, matching the scalar
+    definition: equal points never dominate each other.
+
+    Equivalence with the per-point reference loop is hypothesis-locked
+    in ``tests/core/test_resultframe.py``.
+    """
+    perf = np.asarray(performance, dtype=np.float64)
+    size = np.asarray(size, dtype=np.float64)
+    cost = np.asarray(cost, dtype=np.float64)
+    if not (perf.shape == size.shape == cost.shape) or perf.ndim != 1:
+        raise SpecificationError(
+            "dominance needs three equally-long 1-D objective arrays, "
+            f"got shapes {perf.shape}, {size.shape}, {cost.shape}"
+        )
+    # Orient every objective for minimisation.
+    objectives = np.column_stack([-perf, size, cost])
+    n = objectives.shape[0]
+    alive = np.arange(n)
+    scan = 0
+    while scan < objectives.shape[0]:
+        pivot = objectives[scan]
+        # Drop exactly the points the pivot dominates: at least as
+        # good everywhere, strictly better somewhere.  The literal
+        # scalar definition, so duplicates survive (never strictly
+        # better) and NaN-bearing rows/pivots survive too (every NaN
+        # comparison is False on both sides) — identical verdicts to
+        # :func:`first_dominators` and the pointwise loop.
+        dominated = np.all(pivot <= objectives, axis=1) & np.any(
+            pivot < objectives, axis=1
+        )
+        keep = ~dominated
+        objectives = objectives[keep]
+        alive = alive[keep]
+        scan = int(np.count_nonzero(keep[:scan])) + 1
+    mask = np.zeros(n, dtype=bool)
+    mask[alive] = True
+    return mask
+
+
+def _analysis_from_dominators(
+    points: Sequence[ParetoPoint], dominator: np.ndarray
+) -> ParetoAnalysis:
+    front: list[ParetoPoint] = []
+    dominated: list[tuple[ParetoPoint, str]] = []
+    for point, index in zip(points, dominator.tolist()):
+        if index < 0:
+            front.append(point)
+        else:
+            dominated.append((point, points[index].name))
+    return ParetoAnalysis(front=tuple(front), dominated=tuple(dominated))
+
+
 def pareto_front(points: Sequence[ParetoPoint]) -> ParetoAnalysis:
-    """Partition points into the Pareto front and the dominated set."""
+    """Partition points into the Pareto front and the dominated set.
+
+    Vectorised over all points at once (:func:`first_dominators`);
+    byte-identical to :func:`pareto_front_pointwise`, which keeps the
+    original per-point loop as the reference implementation.
+    """
+    if not points:
+        raise SpecificationError("pareto_front needs at least one point")
+    dominator = first_dominators(
+        [point.performance for point in points],
+        [point.size_ratio for point in points],
+        [point.cost_ratio for point in points],
+    )
+    return _analysis_from_dominators(points, dominator)
+
+
+def pareto_front_pointwise(
+    points: Sequence[ParetoPoint],
+) -> ParetoAnalysis:
+    """The original O(n²) per-point dominance loop.
+
+    Kept as the reference implementation :func:`pareto_front` must
+    reproduce exactly — the same discipline as the pointwise MNA sweep
+    (``repro.circuits.twoport.sweep_pointwise``) — and as the
+    row-object baseline of ``benchmarks/test_frame_speed.py``.
+    """
     if not points:
         raise SpecificationError("pareto_front needs at least one point")
     front: list[ParetoPoint] = []

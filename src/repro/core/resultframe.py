@@ -1,0 +1,432 @@
+"""Columnar sweep results: the :class:`ResultFrame` spine.
+
+Every layer above the per-point evaluation — executors, cross-host
+shard merging, reporting, CSV export — used to funnel its output
+through Python lists of :class:`SweepRow` dataclasses, re-scanned
+object by object at every merge, Pareto pass, winner count and export.
+This module replaces that representation with a single
+structure-of-arrays container: one typed numpy column per
+:class:`SweepRow` field (float64 for metrics, object for labels, bool
+for flags), so 10k–1M-row sweeps concatenate, sort, filter, rank and
+serialise at numpy speed.
+
+Design rules the rest of the stack relies on:
+
+* **The row bridge is exact.**  ``from_rows(to_rows(frame)) == frame``
+  and ``to_rows(from_rows(rows)) == rows`` bit for bit: float columns
+  are stored as float64 (the same IEEE double a :class:`SweepRow`
+  field holds), labels as Python strings in object columns, flags as
+  numpy bools — nothing is rounded, truncated or interned on the way
+  through.  Public row-based APIs (``SweepReport.rows``, shard-merge
+  identity tests, the GPS goldens) sit on this bridge.
+* **Serialisation round-trips floats exactly.**  ``to_json_columns``
+  emits Python floats (``repr``-based JSON formatting), and
+  ``csv_lines`` formats with ``str(float)`` — byte-identical to what
+  the row-object path printed, locked by
+  ``tests/core/test_resultframe.py``.
+* **Column order is :class:`SweepRow` field order**, so a frame's CSV
+  header matches the historical ``SweepRow.as_dict`` key order.
+
+The vectorised dominance kernel behind :meth:`ResultFrame.pareto_mask`
+lives in :mod:`repro.core.pareto`
+(:func:`~repro.core.pareto.nondominated_mask`, successive O(front × n)
+filtering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import SpecificationError
+from .pareto import nondominated_mask
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One Pareto-ready row: a candidate at a grid point.
+
+    Flat on purpose — every field is a scalar or short string, so the
+    rows dump straight into a CSV, a dataframe, or the CLI table.  The
+    columnar twin is :class:`ResultFrame`; the two convert losslessly
+    in both directions.
+    """
+
+    volume: float
+    substrate: str
+    process: str
+    tolerance: str
+    q_model: str
+    nre: str
+    weights: str
+    candidate: str
+    performance: float
+    area_percent: float
+    cost_percent: float
+    figure_of_merit: float
+    is_winner: bool
+    on_pareto_front: bool
+
+    def as_dict(self) -> dict:
+        """The row as a plain dict (CSV/dataframe-ready)."""
+        return {
+            "volume": self.volume,
+            "substrate": self.substrate,
+            "process": self.process,
+            "tolerance": self.tolerance,
+            "q_model": self.q_model,
+            "nre": self.nre,
+            "weights": self.weights,
+            "candidate": self.candidate,
+            "performance": self.performance,
+            "area_percent": self.area_percent,
+            "cost_percent": self.cost_percent,
+            "figure_of_merit": self.figure_of_merit,
+            "is_winner": self.is_winner,
+            "on_pareto_front": self.on_pareto_front,
+        }
+
+
+#: Frame column order == :class:`SweepRow` field order (and hence the
+#: historical CSV header order).
+COLUMN_ORDER: tuple[str, ...] = tuple(
+    field.name for field in fields(SweepRow)
+)
+
+#: Metric columns stored as float64.
+FLOAT_COLUMNS: tuple[str, ...] = (
+    "volume",
+    "performance",
+    "area_percent",
+    "cost_percent",
+    "figure_of_merit",
+)
+
+#: Axis/label columns stored as Python strings in object arrays.
+LABEL_COLUMNS: tuple[str, ...] = (
+    "substrate",
+    "process",
+    "tolerance",
+    "q_model",
+    "nre",
+    "weights",
+    "candidate",
+)
+
+#: Flag columns stored as numpy bools.
+BOOL_COLUMNS: tuple[str, ...] = ("is_winner", "on_pareto_front")
+
+_COLUMN_DTYPES: dict[str, object] = {
+    **{name: np.float64 for name in FLOAT_COLUMNS},
+    **{name: object for name in LABEL_COLUMNS},
+    **{name: np.bool_ for name in BOOL_COLUMNS},
+}
+
+assert set(COLUMN_ORDER) == set(_COLUMN_DTYPES)
+
+
+def _check_bool_values(name: str, values) -> None:
+    """Reject non-bool flag values before the numpy cast.
+
+    ``np.asarray(values, dtype=bool)`` would happily coerce strings and
+    numbers by truthiness (``"false"`` → True), turning a corrupt shard
+    artifact into a silently wrong report; a flag column must hold
+    actual booleans.
+    """
+    raw = np.asarray(values)
+    if raw.dtype == np.bool_ or raw.size == 0:
+        return
+    if raw.dtype == object and all(
+        isinstance(value, (bool, np.bool_)) for value in raw
+    ):
+        return
+    raise SpecificationError(
+        f"result frame column {name!r} must hold booleans, got "
+        f"dtype {raw.dtype}"
+    )
+
+
+class ResultFrame:
+    """Structure-of-arrays container for sweep results.
+
+    Construct via :meth:`from_rows`, :meth:`from_columns` or
+    :meth:`concat`; frames are immutable (columns are read-only numpy
+    arrays), so views handed out by :meth:`column` are safe to share.
+    """
+
+    __slots__ = ("_columns",)
+
+    def __init__(self, columns: Mapping[str, np.ndarray]) -> None:
+        missing = [name for name in COLUMN_ORDER if name not in columns]
+        extra = [name for name in columns if name not in _COLUMN_DTYPES]
+        if missing or extra:
+            raise SpecificationError(
+                f"result frame needs exactly the SweepRow columns; "
+                f"missing {missing}, unexpected {extra}"
+            )
+        converted: dict[str, np.ndarray] = {}
+        length = None
+        for name in COLUMN_ORDER:
+            if name in BOOL_COLUMNS:
+                _check_bool_values(name, columns[name])
+            array = np.asarray(columns[name], dtype=_COLUMN_DTYPES[name])
+            if array.ndim != 1:
+                raise SpecificationError(
+                    f"result frame column {name!r} must be 1-D, got "
+                    f"shape {array.shape}"
+                )
+            if length is None:
+                length = array.shape[0]
+            elif array.shape[0] != length:
+                raise SpecificationError(
+                    f"result frame column {name!r} has {array.shape[0]} "
+                    f"entries, expected {length}"
+                )
+            if array.flags.writeable or array.base is not None:
+                # Copy anything writeable *or* not owning its data: a
+                # read-only view still aliases a caller buffer whose
+                # base can mutate under the frame.
+                array = array.copy()
+                array.flags.writeable = False
+            converted[name] = array
+        object.__setattr__(self, "_columns", converted)
+
+    # -- construction -------------------------------------------------
+
+    @classmethod
+    def _wrap(cls, columns: dict[str, np.ndarray]) -> "ResultFrame":
+        """Adopt freshly-built arrays without the validating copy.
+
+        Internal fast path for :meth:`concat` / :meth:`take` /
+        :meth:`filter`, whose numpy outputs are already owned, typed
+        and equal-length; the arrays are only marked read-only.
+        """
+        for array in columns.values():
+            array.flags.writeable = False
+        frame = object.__new__(cls)
+        object.__setattr__(frame, "_columns", columns)
+        return frame
+
+    @classmethod
+    def empty(cls) -> "ResultFrame":
+        """A zero-row frame (the identity element of :meth:`concat`)."""
+        return cls({name: [] for name in COLUMN_ORDER})
+
+    @classmethod
+    def from_rows(cls, rows: Iterable[SweepRow]) -> "ResultFrame":
+        """Build a frame from row objects (the bridge in)."""
+        rows = list(rows)
+        return cls(
+            {
+                name: [getattr(row, name) for row in rows]
+                for name in COLUMN_ORDER
+            }
+        )
+
+    @classmethod
+    def from_columns(
+        cls, columns: Mapping[str, Sequence]
+    ) -> "ResultFrame":
+        """Build a frame from per-column value sequences."""
+        return cls(dict(columns))
+
+    @classmethod
+    def concat(
+        cls, frames: Sequence["ResultFrame"]
+    ) -> "ResultFrame":
+        """Vectorised concatenation of frames (empty list -> empty)."""
+        frames = list(frames)
+        if not frames:
+            return cls.empty()
+        if len(frames) == 1:
+            return frames[0]
+        return cls._wrap(
+            {
+                name: np.concatenate(
+                    [frame._columns[name] for frame in frames]
+                )
+                for name in COLUMN_ORDER
+            }
+        )
+
+    # -- basic protocol ----------------------------------------------
+
+    def __len__(self) -> int:
+        return self._columns[COLUMN_ORDER[0]].shape[0]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ResultFrame):
+            return NotImplemented
+        if len(self) != len(other):
+            return False
+        return all(
+            np.array_equal(self._columns[name], other._columns[name])
+            for name in COLUMN_ORDER
+        )
+
+    def __repr__(self) -> str:
+        return f"ResultFrame({len(self)} rows x {len(COLUMN_ORDER)} columns)"
+
+    def column(self, name: str) -> np.ndarray:
+        """Read-only view of one column."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise SpecificationError(
+                f"unknown result column {name!r} "
+                f"(choose from {', '.join(COLUMN_ORDER)})"
+            ) from None
+
+    # -- row bridge ---------------------------------------------------
+
+    def row(self, index: int) -> SweepRow:
+        """One row as a :class:`SweepRow` (Python scalars, bit-exact)."""
+        n = len(self)
+        if not (-n <= index < n):
+            raise SpecificationError(
+                f"row index {index} out of range for {n}-row frame"
+            )
+        return SweepRow(
+            *(
+                self._columns[name][index].item()
+                if name not in LABEL_COLUMNS
+                else self._columns[name][index]
+                for name in COLUMN_ORDER
+            )
+        )
+
+    def to_rows(self) -> tuple[SweepRow, ...]:
+        """The whole frame as row objects (the bridge out).
+
+        ``tolist()`` converts float64 back to the identical Python
+        float and numpy bools to Python bools; label columns already
+        hold Python strings — so
+        ``ResultFrame.from_rows(rows).to_rows() == tuple(rows)``
+        exactly.
+        """
+        columns = [
+            self._columns[name].tolist() for name in COLUMN_ORDER
+        ]
+        return tuple(SweepRow(*values) for values in zip(*columns))
+
+    # -- vectorised transforms ---------------------------------------
+
+    def take(self, indices) -> "ResultFrame":
+        """A new frame of the given rows, in the given order."""
+        indices = np.asarray(indices, dtype=np.intp)
+        return ResultFrame._wrap(
+            {
+                name: self._columns[name][indices]
+                for name in COLUMN_ORDER
+            }
+        )
+
+    def filter(self, mask) -> "ResultFrame":
+        """Rows where the boolean ``mask`` is true, original order."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (len(self),):
+            raise SpecificationError(
+                f"filter mask has shape {mask.shape}, expected "
+                f"({len(self)},)"
+            )
+        return ResultFrame._wrap(
+            {name: self._columns[name][mask] for name in COLUMN_ORDER}
+        )
+
+    def sort(self, by: Sequence[str]) -> "ResultFrame":
+        """Stable sort by the given columns (first key is primary)."""
+        if not by:
+            raise SpecificationError("sort needs at least one column")
+        keys = [self.column(name) for name in reversed(list(by))]
+        # Object (label) columns lexsort fine: they hold plain strings.
+        return self.take(np.lexsort(keys))
+
+    # -- vectorised queries ------------------------------------------
+
+    def pareto_mask(self) -> np.ndarray:
+        """Mask of rows no other row dominates (vectorised dominance).
+
+        Orientation matches the per-cell study analysis: performance is
+        maximised, ``area_percent`` and ``cost_percent`` minimised.
+        Over a whole-sweep frame this is the *global* front; filter to
+        one grid point first to reproduce the per-point
+        ``on_pareto_front`` flag.
+        """
+        return nondominated_mask(
+            self._columns["performance"],
+            self._columns["area_percent"],
+            self._columns["cost_percent"],
+        )
+
+    def winner_counts(self) -> dict[str, int]:
+        """How often each candidate carries the ``is_winner`` flag."""
+        winners = self._columns["candidate"][self._columns["is_winner"]]
+        if winners.shape[0] == 0:
+            return {}
+        names, counts = np.unique(winners.astype(str), return_counts=True)
+        return {
+            str(name): int(count)
+            for name, count in zip(names, counts)
+        }
+
+    def best_index(self) -> int:
+        """Index of the highest-FoM row (first on ties, like ``max``)."""
+        if len(self) == 0:
+            raise SpecificationError("empty sweep report")
+        return int(np.argmax(self._columns["figure_of_merit"]))
+
+    # -- serialisation ------------------------------------------------
+
+    def to_json_columns(self) -> dict[str, list]:
+        """The columns as JSON-ready lists (exact float round-trip).
+
+        ``tolist()`` yields Python floats/bools/strings; Python's JSON
+        encoder formats floats with ``repr``, which round-trips every
+        IEEE double exactly.
+        """
+        return {
+            name: self._columns[name].tolist() for name in COLUMN_ORDER
+        }
+
+    @classmethod
+    def from_json_columns(
+        cls, payload: Mapping[str, Sequence]
+    ) -> "ResultFrame":
+        """Rebuild a frame from its :meth:`to_json_columns` payload."""
+        if not isinstance(payload, Mapping):
+            raise SpecificationError(
+                "result frame payload must be a column mapping"
+            )
+        return cls({name: payload[name] for name in payload})
+
+    @staticmethod
+    def csv_header() -> str:
+        """The CSV header line (SweepRow field order)."""
+        return ",".join(COLUMN_ORDER)
+
+    def rendered_columns(
+        self, names: Sequence[str] = ()
+    ) -> list[list[str]]:
+        """Each selected column as display strings (all when empty).
+
+        THE formatting contract, shared by the CSV export and the
+        text/markdown table renderers: floats via ``str(float)``
+        (repr-shortest, exact round-trip), flags as ``True``/``False``,
+        labels verbatim — exactly what ``str(value)`` over
+        ``row.as_dict()`` values produced.  Columns are materialised
+        once with ``tolist()``, so there is no per-cell attribute or
+        dict traffic.
+        """
+        return [
+            [str(value) for value in self.column(name).tolist()]
+            for name in (names if names else COLUMN_ORDER)
+        ]
+
+    def csv_lines(self) -> list[str]:
+        """One CSV line per row, byte-identical to the row-object path
+        (see :meth:`rendered_columns` for the formatting contract)."""
+        return [
+            ",".join(parts) for parts in zip(*self.rendered_columns())
+        ]

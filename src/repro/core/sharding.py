@@ -22,16 +22,20 @@ the canonical row order, wherever they were produced:
   one of them through any existing executor, returning a
   :class:`ShardArtifact`;
 * :func:`write_shard_artifact` / :func:`read_shard_artifact` — the
-  JSON serialisation.  Python's JSON round-trips floats exactly
-  (``repr``-based), so rows reassembled from artifacts are
-  *byte-identical* to the rows the serial engine would have produced
-  in-process;
+  JSON serialisation.  Artifacts carry the shard's results as the
+  *columnar* payload of a :class:`~repro.core.resultframe.ResultFrame`
+  (one list per typed column, not one object per row); Python's JSON
+  round-trips floats exactly (``repr``-based), so frames reassembled
+  from artifacts are *byte-identical* to what the serial engine would
+  have produced in-process;
 * :func:`merge_shard_artifacts` — reassemble any combination of
-  artifacts into one :class:`~repro.core.sweep.SweepReport`, with
-  duplicate- and gap-detection (a missing or doubled shard is a
-  loud :class:`ShardMergeError`, never a silently wrong report) and
-  additive cache statistics that count a sub-result computed by two
-  cold shard caches only once in the merged ``entries`` tally;
+  artifacts into one :class:`~repro.core.sweep.SweepReport` with a
+  single vectorised frame concatenation + stable sort into canonical
+  point order, with duplicate- and gap-detection (a missing or doubled
+  shard is a loud :class:`ShardMergeError`, never a silently wrong
+  report) and additive cache statistics that count a sub-result
+  computed by two cold shard caches only once in the merged
+  ``entries`` tally;
 * :class:`ShardedExecutor` — the same partitioning as an in-process
   :class:`~repro.core.executors.Executor`: shards run sequentially
   through an inner engine against the caller's shared cache, so the
@@ -39,9 +43,11 @@ the canonical row order, wherever they were produced:
   (``benchmarks/test_sharded_speed.py`` gates it at ≤ 10 %).
 
 The CLI surface is ``repro-gps sweep --shards K --shard-index I
---shard-dir DIR`` (run one shard, write the artifact) and
-``repro-gps sweep --merge DIR`` (combine artifacts); see
-``docs/sweep-guide.md`` for the shard → scp → merge walkthrough.
+--shard-dir DIR`` (run one shard, write the artifact; add ``--resume``
+to skip the run when a valid artifact for the same grid and shard is
+already there) and ``repro-gps sweep --merge DIR`` (combine
+artifacts); see ``docs/sweep-guide.md`` for the shard → scp → merge
+walkthrough.
 """
 
 from __future__ import annotations
@@ -49,13 +55,16 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from dataclasses import dataclass, fields
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Optional, Sequence, Union
+
+import numpy as np
 
 from ..errors import SpecificationError
 from .executors import CandidateFactory, Executor, SerialExecutor
 from .figure_of_merit import FomWeights
+from .resultframe import ResultFrame
 from .sweep import (
     CACHE_TABLES,
     DesignPoint,
@@ -63,12 +72,13 @@ from .sweep import (
     SweepCell,
     SweepGrid,
     SweepReport,
-    SweepRow,
-    rows_for_cell,
+    frame_for_cells,
 )
 
 #: Artifact format identifier; bumped on incompatible payload changes.
-SHARD_FORMAT = "repro-sweep-shard/1"
+#: Version 2 replaced the per-row ``cells`` objects with the columnar
+#: :class:`~repro.core.resultframe.ResultFrame` payload.
+SHARD_FORMAT = "repro-sweep-shard/2"
 
 
 class ShardMergeError(SpecificationError):
@@ -146,10 +156,13 @@ class ShardArtifact:
     """One shard's results, ready to travel between hosts.
 
     Carries everything a merge needs and nothing it does not: the grid
-    fingerprint (content addressing), the shard geometry, the rows of
-    every evaluated point keyed by canonical index, and the worker
-    cache's :meth:`~repro.core.sweep.EvaluationCache.portable_state`
-    (hit/miss counters plus entry-key digests — never cached values).
+    fingerprint (content addressing), the shard geometry, the shard's
+    results as one columnar
+    :class:`~repro.core.resultframe.ResultFrame` (``frame``, with
+    ``row_counts[k]`` rows belonging to canonical point
+    ``indices[k]``, in order), and the worker cache's
+    :meth:`~repro.core.sweep.EvaluationCache.portable_state` (hit/miss
+    counters plus entry-key digests — never cached values).
     """
 
     fingerprint: str
@@ -158,15 +171,62 @@ class ShardArtifact:
     shard_index: int
     total_points: int
     indices: tuple[int, ...]
-    rows_per_point: tuple[tuple[SweepRow, ...], ...]
+    row_counts: tuple[int, ...]
+    frame: ResultFrame
     cache_state: dict
 
     def __post_init__(self) -> None:
-        if len(self.indices) != len(self.rows_per_point):
+        for label, value, minimum in (
+            ("shards", self.shards, 1),
+            ("shard_index", self.shard_index, 0),
+            ("total_points", self.total_points, 0),
+        ):
+            # Exact ints only: a string would crash the merge's index
+            # comparisons with a raw numpy error, a float pass silently.
+            if (
+                not isinstance(value, int)
+                or isinstance(value, bool)
+                or value < minimum
+            ):
+                raise SpecificationError(
+                    f"shard artifact {label} must be an integer "
+                    f">= {minimum}, got {value!r}"
+                )
+        if len(self.indices) != len(self.row_counts):
             raise SpecificationError(
                 f"shard artifact carries {len(self.indices)} indices "
-                f"but {len(self.rows_per_point)} row groups"
+                f"but {len(self.row_counts)} row counts"
             )
+        for label, values in (
+            ("index", self.indices),
+            ("row count", self.row_counts),
+        ):
+            for value in values:
+                # Exact non-negative ints only: a float would silently
+                # truncate (and a negative count crash) in the int64
+                # cast :meth:`point_of_row` feeds to ``np.repeat``.
+                if (
+                    not isinstance(value, int)
+                    or isinstance(value, bool)
+                    or value < 0
+                ):
+                    raise SpecificationError(
+                        f"shard artifact {label}s must be non-negative "
+                        f"integers, got {value!r}"
+                    )
+        if sum(self.row_counts) != len(self.frame):
+            raise SpecificationError(
+                f"shard artifact row counts sum to "
+                f"{sum(self.row_counts)} but the frame carries "
+                f"{len(self.frame)} rows"
+            )
+
+    def point_of_row(self) -> np.ndarray:
+        """Canonical point index of every frame row (vectorised)."""
+        return np.repeat(
+            np.asarray(self.indices, dtype=np.int64),
+            np.asarray(self.row_counts, dtype=np.int64),
+        )
 
 
 def run_shard(
@@ -210,18 +270,22 @@ def run_shard(
         shard_index=shard_index,
         total_points=len(points),
         indices=tuple(indices),
-        rows_per_point=tuple(
-            tuple(rows_for_cell(cell)) for cell in cells
-        ),
+        row_counts=tuple(len(cell.result.rows) for cell in cells),
+        frame=frame_for_cells(cells),
         cache_state=cache.portable_state(),
     )
 
 
-_ROW_FIELDS = tuple(field.name for field in fields(SweepRow))
-
-
 def artifact_to_payload(artifact: ShardArtifact) -> dict:
-    """The artifact as a JSON-ready dict (see :data:`SHARD_FORMAT`)."""
+    """The artifact as a JSON-ready dict (see :data:`SHARD_FORMAT`).
+
+    The shard's results travel as the frame's columnar payload —
+    ``columns`` maps each :class:`~repro.core.resultframe.SweepRow`
+    field to one flat value list — plus ``indices``/``row_counts``
+    assigning runs of rows to canonical grid points.  Floats are
+    emitted with ``repr`` by the JSON encoder, so the round-trip is
+    exact.
+    """
     return {
         "format": SHARD_FORMAT,
         "fingerprint": artifact.fingerprint,
@@ -229,15 +293,9 @@ def artifact_to_payload(artifact: ShardArtifact) -> dict:
         "shards": artifact.shards,
         "shard_index": artifact.shard_index,
         "total_points": artifact.total_points,
-        "cells": [
-            {
-                "index": index,
-                "rows": [row.as_dict() for row in rows],
-            }
-            for index, rows in zip(
-                artifact.indices, artifact.rows_per_point
-            )
-        ],
+        "indices": list(artifact.indices),
+        "row_counts": list(artifact.row_counts),
+        "columns": artifact.frame.to_json_columns(),
         "cache": artifact.cache_state,
     }
 
@@ -257,26 +315,20 @@ def payload_to_artifact(payload: dict, source: str = "<payload>") -> ShardArtifa
             f"(expected {SHARD_FORMAT!r})"
         )
     try:
-        cells = payload["cells"]
-        indices = tuple(cell["index"] for cell in cells)
-        rows_per_point = tuple(
-            tuple(
-                SweepRow(**{name: record[name] for name in _ROW_FIELDS})
-                for record in cell["rows"]
-            )
-            for cell in cells
-        )
         return ShardArtifact(
             fingerprint=payload["fingerprint"],
             order_digest=payload["order_digest"],
             shards=payload["shards"],
             shard_index=payload["shard_index"],
             total_points=payload["total_points"],
-            indices=indices,
-            rows_per_point=rows_per_point,
+            indices=tuple(payload["indices"]),
+            row_counts=tuple(payload["row_counts"]),
+            frame=ResultFrame.from_json_columns(payload["columns"]),
             cache_state=payload.get("cache", {}),
         )
-    except (KeyError, TypeError) as exc:
+    except (KeyError, TypeError, ValueError, SpecificationError) as exc:
+        # ValueError covers wrong-typed column values (numpy's cast
+        # failures); everything malformed surfaces as ShardMergeError.
         raise ShardMergeError(
             f"{source}: malformed shard artifact ({exc})"
         ) from None
@@ -388,7 +440,11 @@ def merge_shard_artifacts(
     — produced by one host or many.  The merge is deterministic: rows
     come back in the canonical grid order whatever order the shards
     ran or arrived in, byte-identical to a serial in-process sweep of
-    the same grid.
+    the same grid.  Reassembly is columnar: one vectorised
+    :meth:`~repro.core.resultframe.ResultFrame.concat` over the shard
+    frames followed by a stable sort on the canonical point index —
+    no per-row object is ever materialised, so merging hundreds of
+    10k-row artifacts costs numpy passes, not Python loops.
 
     Raises
     ------
@@ -430,39 +486,51 @@ def merge_shard_artifacts(
             )
 
     total = reference.total_points
-    by_index: dict[int, tuple[SweepRow, ...]] = {}
-    duplicates: set[int] = set()
     for artifact in loaded:
-        for index, rows in zip(artifact.indices, artifact.rows_per_point):
-            if not (0 <= index < total):
-                raise ShardMergeError(
-                    f"shard {artifact.shard_index}/{artifact.shards} "
-                    f"carries point index {index}, outside the "
-                    f"{total}-point grid"
-                )
-            if index in by_index:
-                duplicates.add(index)
-            else:
-                by_index[index] = rows
-    if duplicates:
+        indices = np.asarray(artifact.indices, dtype=np.int64)
+        if indices.size and (
+            indices.min() < 0 or indices.max() >= total
+        ):
+            outside = int(
+                indices[(indices < 0) | (indices >= total)][0]
+            )
+            raise ShardMergeError(
+                f"shard {artifact.shard_index}/{artifact.shards} "
+                f"carries point index {outside}, outside the "
+                f"{total}-point grid"
+            )
+
+    all_indices = np.concatenate(
+        [np.asarray(a.indices, dtype=np.int64) for a in loaded]
+    )
+    covered, counts = np.unique(all_indices, return_counts=True)
+    duplicates = covered[counts > 1]
+    if duplicates.size:
         raise ShardMergeError(
             f"duplicated point indices across shard artifacts: "
-            f"{_summarise_indices(sorted(duplicates))} "
+            f"{_summarise_indices(duplicates.tolist())} "
             f"(the same shard was merged twice?)"
         )
-    missing = [i for i in range(total) if i not in by_index]
-    if missing:
+    if covered.size != total:
+        coverage = np.zeros(total, dtype=bool)
+        coverage[covered] = True
+        missing = np.flatnonzero(~coverage).tolist()
         raise ShardMergeError(
             f"missing point indices {_summarise_indices(missing)} of "
             f"{total}: a shard artifact was not merged"
         )
 
-    rows: list[SweepRow] = []
-    for index in range(total):
-        rows.extend(by_index[index])
+    # Vectorised reassembly: concatenate the shard frames (whatever
+    # order they arrived in), then stable-sort rows by their canonical
+    # point index.  Each point lives in exactly one artifact and its
+    # rows are contiguous there, so the stable sort reproduces the
+    # serial row order exactly.
+    merged = ResultFrame.concat([a.frame for a in loaded])
+    point_of_row = np.concatenate([a.point_of_row() for a in loaded])
+    merged = merged.take(np.argsort(point_of_row, kind="stable"))
     return SweepReport(
         cells=(),
-        rows=tuple(rows),
+        frame=merged,
         cache_stats=merge_cache_states(
             artifact.cache_state for artifact in loaded
         ),

@@ -14,10 +14,12 @@ choices:
   assessment (the MNA-heavy part), the placement and the cost evaluation
   are each cached by content key, so e.g. a volume axis of five values
   re-solves no circuit and re-places no substrate;
-* :class:`SweepReport` — Pareto-ready rows (one per candidate per grid
-  point) plus per-point winners and Pareto-front membership, consumed by
-  the ``repro-gps sweep`` CLI subcommand and exportable as CSV-style
-  dicts.
+* :class:`SweepReport` — the sweep's results as a columnar
+  :class:`~repro.core.resultframe.ResultFrame` (one row per candidate
+  per grid point, with per-point winners and Pareto-front membership),
+  consumed by the ``repro-gps sweep`` CLI subcommand; the
+  :attr:`~SweepReport.rows` property bridges back to
+  :class:`~repro.core.resultframe.SweepRow` objects bit-for-bit.
 
 *How* the grid is evaluated is pluggable: :func:`run_design_sweep`
 delegates scheduling to an execution engine
@@ -42,6 +44,7 @@ from __future__ import annotations
 import hashlib
 import math
 from dataclasses import dataclass, field
+from functools import cached_property
 from itertools import product
 from typing import Callable, Iterable, Iterator, Optional, Sequence
 
@@ -60,6 +63,7 @@ from .methodology import (
     study_from_assessments,
 )
 from .pareto import analyze_study
+from .resultframe import COLUMN_ORDER, ResultFrame, SweepRow
 
 
 @dataclass(frozen=True)
@@ -452,51 +456,16 @@ class SweepCell:
 
 
 @dataclass(frozen=True)
-class SweepRow:
-    """One Pareto-ready row: a candidate at a grid point.
-
-    Flat on purpose — every field is a scalar or short string, so the
-    rows dump straight into a CSV, a dataframe, or the CLI table.
-    """
-
-    volume: float
-    substrate: str
-    process: str
-    tolerance: str
-    q_model: str
-    nre: str
-    weights: str
-    candidate: str
-    performance: float
-    area_percent: float
-    cost_percent: float
-    figure_of_merit: float
-    is_winner: bool
-    on_pareto_front: bool
-
-    def as_dict(self) -> dict:
-        """The row as a plain dict (CSV/dataframe-ready)."""
-        return {
-            "volume": self.volume,
-            "substrate": self.substrate,
-            "process": self.process,
-            "tolerance": self.tolerance,
-            "q_model": self.q_model,
-            "nre": self.nre,
-            "weights": self.weights,
-            "candidate": self.candidate,
-            "performance": self.performance,
-            "area_percent": self.area_percent,
-            "cost_percent": self.cost_percent,
-            "figure_of_merit": self.figure_of_merit,
-            "is_winner": self.is_winner,
-            "on_pareto_front": self.on_pareto_front,
-        }
-
-
-@dataclass(frozen=True)
 class SweepReport:
     """Everything a design-space sweep produced.
+
+    Results live in a columnar
+    :class:`~repro.core.resultframe.ResultFrame` (``frame``): winner
+    counts, best-row lookup and candidate filters are vectorised
+    column operations, so they stay cheap on reports merged from
+    hundreds of shards.  The :attr:`rows` property is the row-object
+    bridge — bit-identical :class:`~repro.core.resultframe.SweepRow`
+    tuples, materialised on first use — kept for per-row consumers.
 
     ``cache_stats`` carries :meth:`EvaluationCache.stats`: flat
     ``hits`` / ``misses`` totals plus a ``tables`` breakdown per
@@ -505,69 +474,96 @@ class SweepReport:
     """
 
     cells: tuple[SweepCell, ...]
-    rows: tuple[SweepRow, ...]
+    frame: ResultFrame
     cache_stats: dict = field(default_factory=dict)
+
+    @cached_property
+    def rows(self) -> tuple[SweepRow, ...]:
+        """The frame as row objects (bit-exact bridge, memoised)."""
+        return self.frame.to_rows()
 
     def winner_counts(self) -> dict[str, int]:
         """How often each candidate wins across the grid.
 
-        Computed from the rows (every grid point has exactly one
-        winning row), so it also works for reports reassembled from
-        shard artifacts, which carry rows but no ``cells``.
+        A vectorised count over the frame's ``is_winner`` /
+        ``candidate`` columns (every grid point has exactly one winning
+        row), so it also works for reports reassembled from shard
+        artifacts, which carry the frame but no ``cells``.
         """
-        counts: dict[str, int] = {}
-        for row in self.rows:
-            if row.is_winner:
-                counts[row.candidate] = counts.get(row.candidate, 0) + 1
-        return counts
+        return self.frame.winner_counts()
 
     def rows_for(self, candidate: str) -> list[SweepRow]:
-        """All grid rows of one candidate."""
-        return [row for row in self.rows if row.candidate == candidate]
+        """All grid rows of one candidate (vectorised filter)."""
+        mask = self.frame.column("candidate") == candidate
+        return list(self.frame.filter(mask).to_rows())
 
     def best_row(self) -> SweepRow:
         """The single highest-FoM row of the whole sweep."""
-        if not self.rows:
-            raise SpecificationError("empty sweep report")
-        return max(self.rows, key=lambda row: row.figure_of_merit)
+        return self.frame.row(self.frame.best_index())
+
+
+def _cell_row_values(cell: SweepCell) -> Iterator[tuple]:
+    """Per-candidate value tuples of one cell, in SweepRow field order.
+
+    The single canonical cell → values mapping shared by
+    :func:`rows_for_cell` (row objects) and :func:`frame_for_cells`
+    (columns) — whatever representation a path materialises, the
+    underlying values are identical.
+    """
+    point = cell.point
+    winner = cell.result.winner.assessment.name
+    pareto = analyze_study(cell.result)
+    substrate = point.substrate.name if point.substrate else "paper"
+    process = point.process.name if point.process else "paper"
+    tolerance = point.tolerance.name if point.tolerance else "paper"
+    q_model = point.q_model_label()
+    nre = point.nre_label()
+    weights = point.weights_label()
+    for study_row in cell.result.rows:
+        name = study_row.assessment.name
+        yield (
+            point.volume,
+            substrate,
+            process,
+            tolerance,
+            q_model,
+            nre,
+            weights,
+            name,
+            study_row.fom.performance,
+            study_row.area_percent,
+            study_row.cost_percent,
+            study_row.fom.figure_of_merit,
+            name == winner,
+            pareto.is_on_front(name),
+        )
 
 
 def rows_for_cell(cell: SweepCell) -> list[SweepRow]:
     """Flatten one evaluated grid cell into its Pareto-ready rows.
 
-    The canonical cell → rows mapping shared by :func:`run_design_sweep`,
-    the streaming generator and the shard artifact writer — whatever
-    path produced the cell, its rows are byte-identical.
+    The row-object view of :func:`_cell_row_values`; per-row consumers
+    (and the streaming bridge) use this, bulk paths build a
+    :class:`~repro.core.resultframe.ResultFrame` with
+    :func:`frame_for_cells` instead.
     """
-    point = cell.point
-    winner = cell.result.winner.assessment.name
-    pareto = analyze_study(cell.result)
-    rows = []
-    for study_row in cell.result.rows:
-        name = study_row.assessment.name
-        rows.append(
-            SweepRow(
-                volume=point.volume,
-                substrate=(
-                    point.substrate.name if point.substrate else "paper"
-                ),
-                process=point.process.name if point.process else "paper",
-                tolerance=(
-                    point.tolerance.name if point.tolerance else "paper"
-                ),
-                q_model=point.q_model_label(),
-                nre=point.nre_label(),
-                weights=point.weights_label(),
-                candidate=name,
-                performance=study_row.fom.performance,
-                area_percent=study_row.area_percent,
-                cost_percent=study_row.cost_percent,
-                figure_of_merit=study_row.fom.figure_of_merit,
-                is_winner=name == winner,
-                on_pareto_front=pareto.is_on_front(name),
-            )
-        )
-    return rows
+    return [SweepRow(*values) for values in _cell_row_values(cell)]
+
+
+def frame_for_cells(cells: Sequence[SweepCell]) -> ResultFrame:
+    """Flatten evaluated grid cells into one columnar result frame.
+
+    The canonical cells → frame mapping shared by
+    :func:`run_design_sweep`, the streaming generator and the shard
+    artifact writer — whatever path produced the cells, the frame (and
+    hence its row bridge) is byte-identical.
+    """
+    columns: dict[str, list] = {name: [] for name in COLUMN_ORDER}
+    for cell in cells:
+        for values in _cell_row_values(cell):
+            for name, value in zip(COLUMN_ORDER, values):
+                columns[name].append(value)
+    return ResultFrame.from_columns(columns)
 
 
 def evaluate_cell(
@@ -675,12 +671,9 @@ def run_design_sweep(
     cells = executor.run_sweep(
         points, candidate_factory, reference, weights, cache
     )
-    rows: list[SweepRow] = []
-    for cell in cells:
-        rows.extend(rows_for_cell(cell))
     return SweepReport(
         cells=tuple(cells),
-        rows=tuple(rows),
+        frame=frame_for_cells(cells),
         cache_stats=cache.stats(),
     )
 
@@ -693,11 +686,19 @@ class StreamedCell:
     :class:`SerialExecutor` would have produced it in); cells arrive in
     *completion* order, so a consumer that wants the canonical row
     order sorts by index — or simply calls :func:`run_design_sweep`.
+    ``frame`` carries the cell's results columnar (concatenate streamed
+    frames with :meth:`ResultFrame.concat` for an incremental report);
+    :attr:`rows` is the row-object bridge.
     """
 
     index: int
     cell: SweepCell
-    rows: tuple[SweepRow, ...]
+    frame: ResultFrame
+
+    @cached_property
+    def rows(self) -> tuple[SweepRow, ...]:
+        """The cell's frame as row objects (bit-exact bridge)."""
+        return self.frame.to_rows()
 
 
 def stream_design_sweep(
@@ -748,5 +749,5 @@ def stream_design_sweep(
         )
     for index, cell in indexed:
         yield StreamedCell(
-            index=index, cell=cell, rows=tuple(rows_for_cell(cell))
+            index=index, cell=cell, frame=frame_for_cells([cell])
         )

@@ -247,7 +247,9 @@ def run_gps_sweep(
 
     The reference is implementation 1 (PCB/SMD) at every grid point, as
     in the paper.  ``executor`` selects the execution engine
-    (:mod:`repro.core.executors`); all engines produce identical rows.
+    (:mod:`repro.core.executors`); all engines produce an identical
+    columnar :attr:`~repro.core.sweep.SweepReport.frame` (and hence
+    identical bridged rows).
     """
     return run_design_sweep(
         grid,
@@ -271,8 +273,10 @@ def stream_gps_sweep(
 
     Yields one :class:`~repro.core.sweep.StreamedCell` per grid point
     as soon as it is evaluated (completion order under the async
-    engine, the default).  The rows streamed out are byte-identical to
-    the rows :func:`run_gps_sweep` reports for the same grid.
+    engine, the default).  Each carries its results as a per-cell
+    :class:`~repro.core.resultframe.ResultFrame` (plus the bridged
+    ``rows``), byte-identical to the slice :func:`run_gps_sweep`
+    reports for the same grid.
     """
     yield from stream_design_sweep(
         grid,
@@ -297,7 +301,9 @@ def run_gps_shard(
 
     Resolves the full grid locally, evaluates shard ``shard_index`` of
     ``shards`` and returns the portable
-    :class:`~repro.core.sharding.ShardArtifact`; write it with
+    :class:`~repro.core.sharding.ShardArtifact` (results stored as a
+    columnar :class:`~repro.core.resultframe.ResultFrame` payload);
+    write it with
     :func:`~repro.core.sharding.write_shard_artifact`, ship it
     anywhere, and reassemble the canonical report with
     :func:`~repro.core.sharding.merge_shard_artifacts` (the CLI flow:

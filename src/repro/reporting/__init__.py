@@ -5,15 +5,18 @@ from .markdown import (
     markdown_table,
     paper_vs_measured_table,
     study_report_markdown,
+    sweep_frame_markdown,
 )
-from .tables import Table, TableError, format_percent_map
+from .tables import Table, TableError, format_percent_map, frame_table
 
 __all__ = [
     "MarkdownError",
     "Table",
     "TableError",
     "format_percent_map",
+    "frame_table",
     "markdown_table",
     "paper_vs_measured_table",
     "study_report_markdown",
+    "sweep_frame_markdown",
 ]

@@ -3,6 +3,10 @@
 Produces the EXPERIMENTS.md-style paper-vs-measured tables and full
 study reports as GitHub-flavoured markdown, so downstream users can drop
 the output of their own trade-off studies straight into documentation.
+:func:`sweep_frame_markdown` does the same for design-space sweep
+results, rendering the columnar
+:class:`~repro.core.resultframe.ResultFrame` directly (bulk column
+formatting, vectorised winner counts) instead of iterating row objects.
 """
 
 from __future__ import annotations
@@ -10,6 +14,7 @@ from __future__ import annotations
 from typing import Mapping, Sequence
 
 from ..core.methodology import StudyResult
+from ..core.resultframe import COLUMN_ORDER, ResultFrame
 from ..errors import ReproError
 
 
@@ -123,4 +128,34 @@ def study_report_markdown(result: StudyResult, title: str = "") -> str:
 
     parts.append("\n## Decision\n")
     parts.append(recommendation(result))
+    return "\n".join(parts)
+
+
+def sweep_frame_markdown(frame: ResultFrame, title: str = "") -> str:
+    """A design-space sweep result frame as a markdown report.
+
+    One table row per sweep row (frame columns formatted in bulk, the
+    same exact-float contract as the CSV export) followed by the
+    vectorised winner-count summary — the markdown twin of
+    ``repro-gps sweep``'s text output, for dropping sweep results into
+    documentation.
+    """
+    if len(frame) == 0:
+        raise MarkdownError("cannot render an empty sweep frame")
+    parts: list[str] = []
+    if title:
+        parts.append(f"# {title}\n")
+    parts.append(
+        markdown_table(
+            COLUMN_ORDER, list(zip(*frame.rendered_columns()))
+        )
+    )
+    counts = frame.winner_counts()
+    parts.append("")
+    parts.append(
+        "Winners: "
+        + ", ".join(
+            f"{name} ({count})" for name, count in sorted(counts.items())
+        )
+    )
     return "\n".join(parts)

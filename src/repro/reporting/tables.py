@@ -1,7 +1,9 @@
 """Minimal text-table rendering (no external table dependency offline).
 
 Used by the decision reports and the benchmark harness to print the
-paper's tables in aligned monospace form.
+paper's tables in aligned monospace form.  :func:`frame_table` renders
+a columnar sweep :class:`~repro.core.resultframe.ResultFrame` directly
+— columns are formatted in bulk, no per-row objects.
 """
 
 from __future__ import annotations
@@ -9,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from ..core.resultframe import COLUMN_ORDER, ResultFrame
 from ..errors import ReproError
 
 
@@ -77,3 +80,23 @@ class Table:
 def format_percent_map(values: dict[int, float]) -> str:
     """Render ``{1: 100.0, 2: 79.0}`` as ``"1: 100%  2: 79%"``."""
     return "  ".join(f"{key}: {value:.0f}%" for key, value in values.items())
+
+
+def frame_table(
+    frame: ResultFrame,
+    columns: Sequence[str] = (),
+    title: str = "",
+) -> Table:
+    """A text :class:`Table` of a columnar sweep result frame.
+
+    ``columns`` selects and orders the frame columns to show (all of
+    them, in :data:`~repro.core.resultframe.COLUMN_ORDER`, when empty).
+    Cells are formatted column-at-a-time with the frame's CSV
+    formatting contract (``str(float)`` exact floats, ``True``/``False``
+    flags), so a rendered cell always round-trips to the stored value.
+    """
+    names = list(columns) if columns else list(COLUMN_ORDER)
+    table = Table(columns=tuple(names), title=title)
+    for cells in zip(*frame.rendered_columns(names)):
+        table.add_row(*cells)
+    return table

@@ -272,9 +272,83 @@ class TestMergeRejection:
     def test_out_of_range_index_rejected(self):
         artifact = make_artifacts(1)[0]
         payload = artifact_to_payload(artifact)
-        payload["cells"][0]["index"] = len(POINTS) + 3
+        payload["indices"][0] = len(POINTS) + 3
         with pytest.raises(ShardMergeError, match="outside"):
             merge_shard_artifacts([payload_to_artifact(payload)])
+
+    def test_row_count_frame_mismatch_rejected(self):
+        """Row counts must tie every frame row to a grid point."""
+        artifact = make_artifacts(1)[0]
+        payload = artifact_to_payload(artifact)
+        payload["row_counts"][0] += 1
+        with pytest.raises(ShardMergeError, match="malformed"):
+            payload_to_artifact(payload)
+
+    def test_missing_column_rejected(self):
+        """A columnar payload without every SweepRow column is junk."""
+        artifact = make_artifacts(1)[0]
+        payload = artifact_to_payload(artifact)
+        del payload["columns"]["figure_of_merit"]
+        with pytest.raises(ShardMergeError, match="malformed"):
+            payload_to_artifact(payload)
+
+    def test_ragged_columns_rejected(self):
+        artifact = make_artifacts(1)[0]
+        payload = artifact_to_payload(artifact)
+        payload["columns"]["volume"].append(1.0)
+        with pytest.raises(ShardMergeError, match="malformed"):
+            payload_to_artifact(payload)
+
+    def test_wrong_typed_column_values_rejected(self):
+        """A non-numeric metric cell is a ShardMergeError, not a
+        numpy ValueError traceback."""
+        artifact = make_artifacts(1)[0]
+        payload = artifact_to_payload(artifact)
+        payload["columns"]["volume"][0] = "abc"
+        with pytest.raises(ShardMergeError, match="malformed"):
+            payload_to_artifact(payload)
+
+    def test_wrong_typed_geometry_rejected(self):
+        """String/float shards, shard_index or total_points must die in
+        validation, not crash the merge's numpy comparisons."""
+        artifact = make_artifacts(1)[0]
+        payload = artifact_to_payload(artifact)
+        for field_name, bad in (
+            ("total_points", "12"),
+            ("total_points", 12.0),
+            ("shards", 0),
+            ("shard_index", -1),
+            ("shard_index", "0"),
+        ):
+            corrupt = json.loads(json.dumps(payload))
+            corrupt[field_name] = bad
+            with pytest.raises(ShardMergeError, match="malformed"):
+                payload_to_artifact(corrupt)
+
+    def test_negative_or_float_row_counts_rejected(self):
+        """Counts feed np.repeat: a negative or fractional count must
+        die in validation, not crash (or silently truncate) the merge."""
+        artifact = make_artifacts(1)[0]
+        payload = artifact_to_payload(artifact)
+        for bad_first in (-1, 2.5, "2"):
+            corrupt = json.loads(json.dumps(payload))
+            counts = corrupt["row_counts"]
+            counts[0] = bad_first
+            # Rebalance so the sum check alone cannot catch the -1.
+            if bad_first == -1:
+                counts[1] += 3
+            with pytest.raises(ShardMergeError, match="malformed"):
+                payload_to_artifact(corrupt)
+
+    def test_non_bool_flag_values_rejected(self):
+        """'false' must not truthiness-coerce into a True winner flag."""
+        artifact = make_artifacts(1)[0]
+        payload = artifact_to_payload(artifact)
+        payload["columns"]["is_winner"] = [
+            "false" for _ in payload["columns"]["is_winner"]
+        ]
+        with pytest.raises(ShardMergeError, match="malformed"):
+            payload_to_artifact(payload)
 
     def test_unknown_format_rejected(self):
         payload = artifact_to_payload(make_artifacts(1)[0])

@@ -4,12 +4,50 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core.resultframe import COLUMN_ORDER, ResultFrame, SweepRow
 from repro.reporting.markdown import (
     MarkdownError,
     markdown_table,
     paper_vs_measured_table,
     study_report_markdown,
+    sweep_frame_markdown,
 )
+
+
+class TestSweepFrameMarkdown:
+    def _frame(self) -> ResultFrame:
+        return ResultFrame.from_rows(
+            [
+                SweepRow(1e3, "s", "p", "t", "q", "n", "w", "A",
+                         1.0, 100.0, 100.0, 1.0, True, True),
+                SweepRow(1e3, "s", "p", "t", "q", "n", "w", "B",
+                         0.9, 80.0, 85.0, 1.32, False, True),
+                SweepRow(1e4, "s", "p", "t", "q", "n", "w", "B",
+                         0.9, 80.0, 70.0, 1.6, True, True),
+            ]
+        )
+
+    def test_renders_table_and_winner_summary(self):
+        text = sweep_frame_markdown(self._frame(), title="My sweep")
+        lines = text.splitlines()
+        assert lines[0] == "# My sweep"
+        header = next(line for line in lines if line.startswith("|"))
+        assert header == "| " + " | ".join(COLUMN_ORDER) + " |"
+        assert "Winners: A (1), B (1)" in text
+        assert "| 1.32 |" in text  # exact-float cell formatting
+
+    def test_one_table_row_per_sweep_row(self):
+        text = sweep_frame_markdown(self._frame())
+        table_rows = [
+            line
+            for line in text.splitlines()
+            if line.startswith("|") and "---" not in line
+        ]
+        assert len(table_rows) == 1 + 3  # header + rows
+
+    def test_empty_frame_rejected(self):
+        with pytest.raises(MarkdownError):
+            sweep_frame_markdown(ResultFrame.empty())
 
 
 class TestMarkdownTable:

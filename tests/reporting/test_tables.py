@@ -4,7 +4,24 @@ from __future__ import annotations
 
 import pytest
 
-from repro.reporting.tables import Table, TableError, format_percent_map
+from repro.core.resultframe import COLUMN_ORDER, ResultFrame, SweepRow
+from repro.reporting.tables import (
+    Table,
+    TableError,
+    format_percent_map,
+    frame_table,
+)
+
+
+def _sample_frame() -> ResultFrame:
+    return ResultFrame.from_rows(
+        [
+            SweepRow(1e3, "s", "p", "t", "q", "n", "w", "A",
+                     1.0, 100.0, 100.0, 1.0, True, True),
+            SweepRow(1e4, "s", "p", "t", "q", "n", "w", "B",
+                     0.9, 80.0, 85.0, 1.32, False, True),
+        ]
+    )
 
 
 class TestTable:
@@ -44,3 +61,29 @@ class TestTable:
 def test_format_percent_map():
     text = format_percent_map({1: 100.0, 4: 37.0})
     assert text == "1: 100%  4: 37%"
+
+
+class TestFrameTable:
+    def test_all_columns_by_default(self):
+        table = frame_table(_sample_frame())
+        assert tuple(table.columns) == COLUMN_ORDER
+        assert len(table) == 2
+        rendered = table.render()
+        assert "figure_of_merit" in rendered
+        assert "1.32" in rendered
+
+    def test_column_selection_and_order(self):
+        table = frame_table(
+            _sample_frame(), columns=("candidate", "volume")
+        )
+        assert tuple(table.columns) == ("candidate", "volume")
+        assert table.rows == [("A", "1000.0"), ("B", "10000.0")]
+
+    def test_cells_use_the_exact_float_contract(self):
+        table = frame_table(_sample_frame(), columns=("figure_of_merit",))
+        assert table.rows == [("1.0",), ("1.32",)]
+
+    def test_empty_frame_renders_header_only(self):
+        table = frame_table(ResultFrame.empty())
+        assert len(table) == 0
+        assert table.render().splitlines()[0].startswith("volume")

@@ -530,6 +530,93 @@ class TestShardCli:
         assert excinfo.value.code == 2
         assert "cannot be mixed" in capsys.readouterr().err
 
+    def test_resume_skips_a_completed_shard(self, tmp_path, capsys):
+        """A valid artifact for the same grid+shard short-circuits."""
+        self._shard(tmp_path, 0, capsys)
+        artifact = tmp_path / "shard-0000-of-0002.json"
+        before = artifact.read_bytes()
+        assert (
+            main(
+                [
+                    "sweep",
+                    *self.GRID,
+                    "--shards",
+                    "2",
+                    "--shard-index",
+                    "0",
+                    "--shard-dir",
+                    str(tmp_path),
+                    "--resume",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "skipping re-evaluation" in out
+        assert artifact.read_bytes() == before
+
+    def test_resume_reevaluates_on_grid_mismatch(self, tmp_path, capsys):
+        """An artifact from a *different* grid must not be trusted."""
+        self._shard(tmp_path, 0, capsys)
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--volumes",
+                    "1e5,1e6",  # different grid, same shard geometry
+                    "--shards",
+                    "2",
+                    "--shard-index",
+                    "0",
+                    "--shard-dir",
+                    str(tmp_path),
+                    "--resume",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "skipping" not in out
+        assert "Shard 0/2" in out
+
+    def test_resume_reevaluates_a_corrupt_artifact(self, tmp_path, capsys):
+        path = tmp_path / "shard-0000-of-0002.json"
+        path.write_text("not json{", encoding="utf-8")
+        assert (
+            main(
+                [
+                    "sweep",
+                    *self.GRID,
+                    "--shards",
+                    "2",
+                    "--shard-index",
+                    "0",
+                    "--shard-dir",
+                    str(tmp_path),
+                    "--resume",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "skipping" not in out
+        # The corrupt artifact was replaced by a real one.
+        from repro.core.sharding import read_shard_artifact
+
+        assert read_shard_artifact(path).shard_index == 0
+
+    def test_resume_requires_a_shard_run(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--resume"])
+        assert excinfo.value.code == 2
+        assert "--shard-index" in capsys.readouterr().err
+
+    def test_resume_rejected_with_merge(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--merge", str(tmp_path), "--resume"])
+        assert excinfo.value.code == 2
+        assert "--resume" in capsys.readouterr().err
+
     def test_shard_run_honours_cache_stats(self, tmp_path, capsys):
         assert (
             main(
