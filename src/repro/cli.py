@@ -18,7 +18,15 @@ Installed as ``repro-gps``.  Subcommands:
   and writes a portable artifact (``--resume`` skips the evaluation
   when a valid artifact for the same grid and shard already exists);
   ``--merge DIR`` reassembles shard artifacts — produced on one host
-  or many — into the canonical report.
+  or many — into the canonical report.  Running the sweep as a
+  *service* instead of by hand: ``--queue-init MANIFEST --shards K``
+  writes a work-queue manifest next to the shard directory, then any
+  number of ``--queue MANIFEST`` workers claim, evaluate and retry
+  shards until the queue drains;
+* ``gather DIR`` — merge the shard artifacts in DIR into the canonical
+  report; ``--watch`` keeps polling (with live progress on stderr)
+  while queue workers are still filling the directory, merging each
+  artifact the moment it atomically appears.
 """
 
 from __future__ import annotations
@@ -39,9 +47,12 @@ from .core.executors import (
     shards_from_env,
 )
 from .core.figure_of_merit import FomWeights
+from .core.gather import GatherError, gather_directory, watch_directory
+from .core.queue import manifest_for_grid, read_manifest, write_manifest
 from .core.sharding import (
     ShardedExecutor,
     ShardMergeError,
+    artifact_matches,
     find_shard_artifacts,
     grid_fingerprint,
     grid_order_digest,
@@ -58,6 +69,7 @@ from .gps.buildups import flow_for
 from .gps.study import (
     NRE_SCENARIOS,
     paper_comparison,
+    run_gps_queue_worker,
     run_gps_shard,
     run_gps_study,
     run_gps_sweep,
@@ -144,6 +156,21 @@ def _positive_int(raw: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(
             f"need a positive worker count, got {value}"
+        )
+    return value
+
+
+def _positive_float(raw: str) -> float:
+    """Parse a strictly positive, finite float argument (durations)."""
+    try:
+        value = float(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"{raw!r} is not a number"
+        ) from None
+    if not math.isfinite(value) or value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"need a positive finite number of seconds, got {raw!r}"
         )
     return value
 
@@ -348,8 +375,9 @@ def _print_sweep_report(report, n_points: int, args) -> None:
 
 
 #: Grid-axis flags and their parser defaults: --merge takes the grid
-#: from the artifacts, so overriding any of these alongside it is a
-#: contradiction worth refusing (not silently ignoring).
+#: from the artifacts and --queue takes it from the manifest, so
+#: overriding any of these alongside either is a contradiction worth
+#: refusing (not silently ignoring).
 _GRID_AXIS_DEFAULTS = {
     "volumes": (10_000.0,),
     "substrates": (None,),
@@ -359,6 +387,110 @@ _GRID_AXIS_DEFAULTS = {
     "nres": (None,),
     "fom_weights": (None,),
 }
+
+
+def _registry_token(value, registry: dict, axis: str) -> str:
+    """The CLI token that names ``value`` on a registry-backed axis."""
+    if value is None:
+        return "paper"
+    for name, candidate in registry.items():
+        if candidate is value or candidate == value:
+            return name
+    raise SpecificationError(
+        f"cannot name {axis} value {value!r} in a queue manifest"
+    )
+
+
+def _axis_spec(values, registry: dict, axis: str) -> str:
+    return ",".join(
+        _registry_token(value, registry, axis) for value in values
+    )
+
+
+def _q_model_spec(values) -> str:
+    """Q-model axis tokens; custom loss models become ``tan=<repr>``."""
+    tokens = []
+    for value in values:
+        if value is None:
+            tokens.append("paper")
+            continue
+        for name, candidate in Q_MODEL_SCENARIOS.items():
+            if candidate is value or candidate == value:
+                tokens.append(name)
+                break
+        else:
+            tokens.append(f"tan={value.tan_delta_ref!r}")
+    return ",".join(tokens)
+
+
+def _fom_weight_spec(values) -> str:
+    return ",".join(
+        "paper"
+        if value is None
+        else f"{value.performance!r}:{value.size!r}:{value.cost!r}"
+        for value in values
+    )
+
+
+def _grid_spec_from_args(args: argparse.Namespace) -> dict:
+    """Serialise the parsed grid axes back into their CLI token lists.
+
+    Stored in the queue manifest so every worker rebuilds *exactly*
+    the grid the queue was initialised for — ``repr()`` round-trips
+    floats bit-exactly, and registry axes are stored by name.  The
+    fingerprint check in the worker is the belt to this braces.
+    """
+    return {
+        "volumes": ",".join(repr(volume) for volume in args.volumes),
+        "substrates": _axis_spec(
+            args.substrates, SUBSTRATE_RULES, "substrate"
+        ),
+        "processes": _axis_spec(
+            args.processes, THIN_FILM_PROCESSES, "process"
+        ),
+        "tolerances": _axis_spec(
+            args.tolerances, TOLERANCE_CLASSES, "tolerance"
+        ),
+        "q_models": _q_model_spec(args.q_models),
+        "nres": _axis_spec(args.nres, NRE_SCENARIOS, "NRE scenario"),
+        "fom_weights": _fom_weight_spec(args.fom_weights),
+    }
+
+
+def _grid_from_spec(spec, source: str) -> SweepGrid:
+    """Rebuild the sweep grid from a manifest's ``grid_spec`` tokens."""
+    if not isinstance(spec, dict):
+        raise SpecificationError(
+            f"{source} carries no grid_spec, so the worker cannot "
+            f"rebuild the grid; re-run --queue-init (or drive the "
+            f"queue through the API with an explicit grid)"
+        )
+    try:
+        return SweepGrid(
+            volumes=_volume_values(str(spec["volumes"])),
+            substrates=_axis_values(
+                str(spec["substrates"]), SUBSTRATE_RULES, "substrate"
+            ),
+            processes=_axis_values(
+                str(spec["processes"]), THIN_FILM_PROCESSES, "process"
+            ),
+            tolerances=_axis_values(
+                str(spec["tolerances"]), TOLERANCE_CLASSES, "tolerance"
+            ),
+            q_models=_q_model_values(str(spec["q_models"])),
+            nres=_axis_values(
+                str(spec["nres"]), NRE_SCENARIOS, "NRE scenario"
+            ),
+            fom_weights=_fom_weight_values(str(spec["fom_weights"])),
+        )
+    except KeyError as exc:
+        raise SpecificationError(
+            f"{source}: grid_spec is missing axis {exc.args[0]!r}"
+        ) from None
+    except argparse.ArgumentTypeError as exc:
+        raise SpecificationError(
+            f"{source}: bad grid_spec ({exc})"
+        ) from None
 
 
 def _resumable_artifact(
@@ -380,19 +512,188 @@ def _resumable_artifact(
     except ShardMergeError:
         return None
     points = grid.points()
-    if (
-        artifact.fingerprint == grid_fingerprint(points)
-        and artifact.order_digest == grid_order_digest(points)
-        and artifact.shards == shards
-        and artifact.shard_index == shard_index
-        and artifact.total_points == len(points)
+    if artifact_matches(
+        artifact,
+        fingerprint=grid_fingerprint(points),
+        order_digest=grid_order_digest(points),
+        shards=shards,
+        shard_index=shard_index,
+        total_points=len(points),
     ):
         return artifact.fingerprint
     return None
 
 
+def _cmd_sweep_queue_init(args: argparse.Namespace) -> int:
+    """The --queue-init path: write the work-queue manifest."""
+    if args.queue is not None:
+        raise _sweep_error(
+            "--queue-init writes the manifest, --queue runs a worker "
+            "against it; one invocation does one or the other"
+        )
+    if args.shard_index is not None:
+        raise _sweep_error(
+            "--queue-init partitions the whole grid; drop --shard-index"
+        )
+    if args.resume:
+        raise _sweep_error(
+            "the queue always skips shards with valid artifacts; "
+            "--resume does not apply to --queue-init"
+        )
+    if args.csv:
+        raise _sweep_error(
+            "--queue-init evaluates nothing; --csv applies to reports "
+            "(gather the finished queue instead)"
+        )
+    if args.engine is not None or args.jobs is not None:
+        raise _sweep_error(
+            "--queue-init evaluates nothing; give --engine/--jobs to "
+            "the workers (sweep --queue)"
+        )
+    try:
+        shards = (
+            args.shards if args.shards is not None else shards_from_env()
+        )
+    except SpecificationError as exc:
+        raise _sweep_error(str(exc)) from None
+    if shards is None:
+        raise _sweep_error(
+            f"--queue-init needs the partition geometry; give "
+            f"--shards (or ${SHARDS_ENV})"
+        )
+    grid = SweepGrid(
+        volumes=args.volumes,
+        substrates=args.substrates,
+        processes=args.processes,
+        tolerances=args.tolerances,
+        q_models=args.q_models,
+        nres=args.nres,
+        fom_weights=args.fom_weights,
+    )
+    try:
+        manifest = manifest_for_grid(
+            grid,
+            shards=shards,
+            lease_ttl=(
+                args.lease_ttl if args.lease_ttl is not None else 300.0
+            ),
+            max_attempts=(
+                args.max_attempts if args.max_attempts is not None else 3
+            ),
+            grid_spec=_grid_spec_from_args(args),
+        )
+        path = write_manifest(args.queue_init, manifest)
+    except SpecificationError as exc:
+        raise _sweep_error(str(exc)) from None
+    print(
+        f"Queue manifest: {len(grid)} points in {shards} shards "
+        f"({manifest.fingerprint}) -> {path}"
+    )
+    print(
+        f"  lease TTL {manifest.lease_ttl:g}s, max attempts "
+        f"{manifest.max_attempts}; start workers with "
+        f"`repro-gps sweep --queue {path}`"
+    )
+    return 0
+
+
+def _cmd_sweep_queue(args: argparse.Namespace) -> int:
+    """The --queue path: run one worker until nothing is claimable."""
+    overridden = [
+        "--" + name.replace("_", "-")
+        for name, default in _GRID_AXIS_DEFAULTS.items()
+        if getattr(args, name) != default
+    ]
+    if overridden:
+        raise _sweep_error(
+            "--queue rebuilds the grid from the manifest; drop "
+            + ", ".join(overridden)
+        )
+    if args.shards is not None or args.shard_index is not None:
+        raise _sweep_error(
+            "--queue takes the partition geometry from the manifest; "
+            "drop --shards/--shard-index"
+        )
+    if args.resume:
+        raise _sweep_error(
+            "the queue always skips shards with valid artifacts; "
+            "--resume is implied by --queue"
+        )
+    if args.csv:
+        raise _sweep_error(
+            "a queue worker writes shard artifacts, not a report; "
+            "gather the shard directory for --csv"
+        )
+    if args.lease_ttl is not None or args.max_attempts is not None:
+        raise _sweep_error(
+            "--lease-ttl/--max-attempts are set at --queue-init time; "
+            "the manifest already records the queue policy"
+        )
+    try:
+        manifest = read_manifest(args.queue)
+        grid = _grid_from_spec(
+            manifest.grid_spec, source=f"queue manifest {args.queue}"
+        )
+        # The worker's own points run through the resolved engine;
+        # the sharded engine would re-partition what the queue already
+        # partitioned, so it degrades to its inner engine (exactly as
+        # in the --shard-index path).
+        executor = resolve_executor(args.engine, args.jobs, manifest.shards)
+    except SpecificationError as exc:
+        raise _sweep_error(str(exc)) from None
+    inner = (
+        executor.inner
+        if isinstance(executor, ShardedExecutor)
+        else executor
+    )
+
+    def on_event(kind: str, shard_index: int, detail: str) -> None:
+        print(f"shard {shard_index}/{manifest.shards} {kind}: {detail}")
+
+    try:
+        report = run_gps_queue_worker(
+            args.queue, grid, executor=inner, on_event=on_event
+        )
+    except SpecificationError as exc:
+        raise _sweep_error(str(exc)) from None
+    print(
+        f"Queue worker done: {len(report.evaluated)} evaluated, "
+        f"{len(report.skipped)} skipped, "
+        f"{len(report.failures)} failed attempts"
+    )
+    if report.exhausted:
+        exhausted = ", ".join(str(index) for index in report.exhausted)
+        print(
+            f"repro-gps sweep: shards exhausted after "
+            f"{manifest.max_attempts} attempts: {exhausted}",
+            file=sys.stderr,
+        )
+        return 1
+    if report.outstanding:
+        outstanding = ", ".join(
+            str(index) for index in report.outstanding
+        )
+        print(
+            f"  outstanding shards (leased or retrying elsewhere): "
+            f"{outstanding}"
+        )
+    else:
+        print("  queue drained: every shard artifact is in place")
+    return 0
+
+
 def _cmd_sweep_merge(args: argparse.Namespace) -> int:
     """The --merge path: reassemble shard artifacts into one report."""
+    if args.queue_init is not None or args.queue is not None:
+        raise _sweep_error(
+            "--merge combines finished artifacts; drop "
+            "--queue-init/--queue"
+        )
+    if args.lease_ttl is not None or args.max_attempts is not None:
+        raise _sweep_error(
+            "--lease-ttl/--max-attempts set the queue policy; they "
+            "need --queue-init"
+        )
     if args.shards is not None or args.shard_index is not None:
         raise _sweep_error(
             "--merge combines existing shard artifacts; it cannot be "
@@ -437,6 +738,15 @@ def _cmd_sweep_merge(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.merge is not None:
         return _cmd_sweep_merge(args)
+    if args.queue_init is not None:
+        return _cmd_sweep_queue_init(args)
+    if args.queue is not None:
+        return _cmd_sweep_queue(args)
+    if args.lease_ttl is not None or args.max_attempts is not None:
+        raise _sweep_error(
+            "--lease-ttl/--max-attempts set the queue policy; they "
+            "need --queue-init"
+        )
 
     grid = SweepGrid(
         volumes=args.volumes,
@@ -539,6 +849,87 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             raise _sweep_error(str(exc)) from None
     report = run_gps_sweep(grid, executor=executor)
     _print_sweep_report(report, len(grid), args)
+    return 0
+
+
+def _gather_error(message: str) -> "SystemExit":
+    """Abort the gather subcommand with argparse's exit contract."""
+    print(f"repro-gps gather: error: {message}", file=sys.stderr)
+    return SystemExit(2)
+
+
+def _cmd_gather(args: argparse.Namespace) -> int:
+    """Merge a shard directory — one-shot, or watching workers live.
+
+    Exit codes separate *asking wrong* from *not done yet*: bad flag
+    combinations or an unreadable manifest exit 2 (usage), while an
+    incomplete directory, a timeout or a rejected artifact exit 1
+    with a one-line reason — the right signal for a supervisor
+    restarting the watch.
+    """
+    if not args.watch:
+        if args.poll is not None:
+            raise _gather_error(
+                "--poll paces the watch loop; it needs --watch"
+            )
+        if args.timeout is not None:
+            raise _gather_error(
+                "--timeout bounds the watch loop; it needs --watch"
+            )
+    expected = None
+    if args.manifest is not None:
+        try:
+            expected = read_manifest(args.manifest)
+        except SpecificationError as exc:
+            raise _gather_error(str(exc)) from None
+
+    last_progress: list = [None]
+
+    def on_snapshot(snapshot) -> None:
+        state = (
+            snapshot.covered_points,
+            snapshot.shards_seen,
+            snapshot.pending,
+            snapshot.rejected,
+        )
+        if state == last_progress[0]:
+            return
+        last_progress[0] = state
+        total_points = (
+            snapshot.total_points if snapshot.total_points else "?"
+        )
+        total_shards = (
+            snapshot.total_shards if snapshot.total_shards else "?"
+        )
+        line = (
+            f"gather: {snapshot.covered_points}/{total_points} points, "
+            f"shards {len(snapshot.shards_seen)}/{total_shards}"
+        )
+        if snapshot.pending:
+            line += f", {len(snapshot.pending)} in flight"
+        for name, reason in snapshot.rejected:
+            line += f"; rejected {name}: {reason}"
+        # Progress is chatter, not output: stdout stays pure for the
+        # final table/CSV.
+        print(line, file=sys.stderr)
+
+    try:
+        if args.watch:
+            report = watch_directory(
+                args.directory,
+                expected=expected,
+                poll=args.poll if args.poll is not None else 0.5,
+                timeout=args.timeout,
+                on_snapshot=on_snapshot,
+            )
+        else:
+            report = gather_directory(args.directory, expected=expected)
+    except GatherError as exc:
+        print(f"repro-gps gather: {exc}", file=sys.stderr)
+        return 1
+    # Every grid point has exactly one winning row.
+    n_points = int(report.frame.column("is_winner").sum())
+    _print_sweep_report(report, n_points, args)
     return 0
 
 
@@ -720,6 +1111,46 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sweep.add_argument(
+        "--queue-init",
+        default=None,
+        metavar="MANIFEST",
+        help=(
+            "write a work-queue manifest for this grid cut into "
+            "--shards shards; workers then run `sweep --queue "
+            "MANIFEST` and coordinate through the manifest's directory"
+        ),
+    )
+    sweep.add_argument(
+        "--queue",
+        default=None,
+        metavar="MANIFEST",
+        help=(
+            "run a queue worker: claim, evaluate and atomically "
+            "publish shards (skipping valid artifacts, retrying "
+            "failures, stealing expired leases) until nothing is "
+            "claimable; exits 1 if any shard exhausted its attempts"
+        ),
+    )
+    sweep.add_argument(
+        "--lease-ttl",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "with --queue-init: seconds before a worker's shard lease "
+            "expires and may be stolen (default 300)"
+        ),
+    )
+    sweep.add_argument(
+        "--max-attempts",
+        type=_positive_int,
+        default=None,
+        help=(
+            "with --queue-init: failed evaluations of one shard "
+            "before the queue declares it exhausted (default 3)"
+        ),
+    )
+    sweep.add_argument(
         "--cache-stats",
         action="store_true",
         help=(
@@ -728,6 +1159,65 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sweep.set_defaults(func=_cmd_sweep)
+
+    gather = sub.add_parser(
+        "gather",
+        help="merge shard artifacts into the canonical sweep report",
+    )
+    gather.add_argument(
+        "directory",
+        metavar="DIR",
+        help="shard directory (where the queue workers publish)",
+    )
+    gather.add_argument(
+        "--watch",
+        action="store_true",
+        help=(
+            "poll DIR while workers are still filling it, merging "
+            "each artifact as it lands (progress on stderr), until "
+            "the sweep is fully gathered"
+        ),
+    )
+    gather.add_argument(
+        "--poll",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="with --watch: seconds between directory scans (default 0.5)",
+    )
+    gather.add_argument(
+        "--timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "with --watch: give up (exit 1, naming the missing "
+            "points) after this many seconds"
+        ),
+    )
+    gather.add_argument(
+        "--manifest",
+        default=None,
+        metavar="MANIFEST",
+        help=(
+            "pin the expected grid and partition to a queue manifest "
+            "(default: the first artifact seen becomes the reference)"
+        ),
+    )
+    gather.add_argument(
+        "--csv",
+        action="store_true",
+        help="emit the merged rows as CSV instead of a table",
+    )
+    gather.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help=(
+            "print per-table EvaluationCache hits/misses, merged "
+            "across workers"
+        ),
+    )
+    gather.set_defaults(func=_cmd_gather)
     return parser
 
 

@@ -27,7 +27,13 @@ the canonical row order, wherever they were produced:
   (one list per typed column, not one object per row); Python's JSON
   round-trips floats exactly (``repr``-based), so frames reassembled
   from artifacts are *byte-identical* to what the serial engine would
-  have produced in-process;
+  have produced in-process.  Writes are **atomic**: the payload is
+  written to a ``.tmp`` sibling (the :data:`~ArtifactState.PENDING`
+  state), fsynced, and renamed into place with :func:`os.replace`, so
+  a concurrent reader — the incremental gather service polls shard
+  directories — can never observe a half-written artifact, and a host
+  killed mid-write leaves at most a stale temp file, never a torn
+  destination;
 * :func:`merge_shard_artifacts` — reassemble any combination of
   artifacts into one :class:`~repro.core.sweep.SweepReport` with a
   single vectorised frame concatenation + stable sort into canonical
@@ -52,6 +58,7 @@ walkthrough.
 
 from __future__ import annotations
 
+import enum
 import hashlib
 import json
 import os
@@ -339,15 +346,79 @@ def shard_filename(shards: int, shard_index: int) -> str:
     return f"shard-{shard_index:04d}-of-{shards:04d}.json"
 
 
+class ArtifactState(enum.Enum):
+    """Durability state of one shard artifact path.
+
+    The write protocol gives every artifact exactly three observable
+    states, which is what lets watchers poll a shard directory safely:
+
+    * ``ABSENT`` — neither the artifact nor its temp sibling exists;
+      the shard has not been attempted (or its temp file was cleaned);
+    * ``PENDING`` — only the ``.tmp`` sibling exists: a writer is
+      mid-serialisation, or died there.  Never read it; a retry will
+      atomically replace it;
+    * ``COMPLETE`` — the destination path exists.  Because the only
+      way it comes into existence is :func:`os.replace` of a fully
+      written, fsynced temp file, existence *is* completeness: a
+      reader that can open it sees every byte.
+    """
+
+    ABSENT = "absent"
+    PENDING = "pending"
+    COMPLETE = "complete"
+
+
+def pending_path(path: Union[str, Path]) -> Path:
+    """The temp sibling an in-flight artifact write uses.
+
+    Named ``<artifact>.tmp`` so it never matches the ``shard-*.json``
+    glob :func:`find_shard_artifacts` (and hence merge/gather) scan.
+    """
+    path = Path(path)
+    return path.with_name(path.name + ".tmp")
+
+
+def artifact_state(path: Union[str, Path]) -> ArtifactState:
+    """Classify an artifact path (see :class:`ArtifactState`)."""
+    path = Path(path)
+    if path.exists():
+        return ArtifactState.COMPLETE
+    if pending_path(path).exists():
+        return ArtifactState.PENDING
+    return ArtifactState.ABSENT
+
+
 def write_shard_artifact(
     path: Union[str, Path], artifact: ShardArtifact
 ) -> Path:
-    """Serialise a shard artifact to ``path`` (JSON, exact floats)."""
+    """Serialise a shard artifact to ``path`` (JSON, exact floats).
+
+    The write is atomic with respect to concurrent readers: the
+    payload goes to the :func:`pending_path` temp sibling first, is
+    flushed and fsynced there, and only then renamed over ``path``
+    with :func:`os.replace`.  A reader polling the directory therefore
+    sees either no artifact or a complete one — never a prefix — and a
+    writer killed at any instant leaves the destination untouched
+    (including a previous valid artifact it was about to replace).
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w", encoding="utf-8") as handle:
-        json.dump(artifact_to_payload(artifact), handle)
-        handle.write("\n")
+    tmp = pending_path(path)
+    try:
+        with tmp.open("w", encoding="utf-8") as handle:
+            json.dump(artifact_to_payload(artifact), handle)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        # Best-effort cleanup: a failed write must not leave a stale
+        # PENDING file claiming a writer is still at work.
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
     return path
 
 
@@ -365,7 +436,56 @@ def read_shard_artifact(path: Union[str, Path]) -> ShardArtifact:
         raise ShardMergeError(
             f"shard artifact {path} is not valid JSON: {exc}"
         ) from None
+    except UnicodeDecodeError as exc:
+        # A write torn mid multi-byte character (pre-atomic writers,
+        # foreign tools) must surface as a merge error, not a
+        # UnicodeDecodeError traceback.
+        raise ShardMergeError(
+            f"shard artifact {path} is not valid UTF-8 "
+            f"(truncated write?): {exc}"
+        ) from None
     return payload_to_artifact(payload, source=str(path))
+
+
+def artifact_matches(
+    artifact: ShardArtifact,
+    *,
+    fingerprint: str,
+    order_digest: str,
+    shards: int,
+    shard_index: int,
+    total_points: int,
+) -> bool:
+    """Does an artifact cover exactly this shard of this grid?
+
+    The single validity predicate behind ``--resume``'s skip-if-valid,
+    the work queue's "already done" check and the gather service's
+    artifact validation: the artifact must fingerprint the same grid in
+    the same canonical order and describe exactly the requested shard
+    of the requested partition.
+    """
+    return (
+        artifact.fingerprint == fingerprint
+        and artifact.order_digest == order_digest
+        and artifact.shards == shards
+        and artifact.shard_index == shard_index
+        and artifact.total_points == total_points
+    )
+
+
+def find_pending_artifacts(directory: Union[str, Path]) -> list[Path]:
+    """All in-flight (``PENDING``) artifact temp files in a directory.
+
+    Watchers use this for progress display only — a pending file means
+    a writer is (or was) mid-serialisation; its content is unreadable
+    by contract.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise ShardMergeError(
+            f"shard directory {directory} does not exist"
+        )
+    return sorted(directory.glob("shard-*.json.tmp"))
 
 
 def find_shard_artifacts(directory: Union[str, Path]) -> list[Path]:

@@ -19,6 +19,7 @@ from ..core.methodology import (
     run_study,
 )
 from ..core.figure_of_merit import FomWeights
+from ..core.queue import QueueWorkerReport, run_queue_worker
 from ..core.sharding import ShardArtifact, run_shard
 from ..core.sweep import (
     DesignPoint,
@@ -318,6 +319,40 @@ def run_gps_shard(
         reference=0,
         weights=weights,
         executor=executor,
+    )
+
+
+def run_gps_queue_worker(
+    manifest_path,
+    grid: SweepGrid | Iterable[DesignPoint],
+    chip_costs: Optional[data.ChipCosts] = None,
+    weights: Optional[FomWeights] = None,
+    nre_scenario: Optional[Mapping[int, float]] = None,
+    executor=None,
+    **queue_options,
+) -> QueueWorkerReport:
+    """Drain one GPS sweep work queue as a resumable worker.
+
+    The service counterpart of :func:`run_gps_shard`: instead of
+    evaluating one fixed shard, the worker claims, evaluates and
+    atomically publishes shards from the manifest-driven queue
+    (:mod:`repro.core.queue`) until nothing is claimable — skipping
+    shards with valid artifacts, retrying failed ones and stealing
+    expired leases from dead or straggling hosts.  ``queue_options``
+    pass through to :func:`~repro.core.queue.run_queue_worker`
+    (``owner``, ``clock``, ``on_event``).  The CLI flow is
+    ``repro-gps sweep --queue-init MANIFEST --shards K`` once, then
+    ``repro-gps sweep --queue MANIFEST`` on every worker host, with
+    ``repro-gps gather DIR --watch`` merging results as they land.
+    """
+    return run_queue_worker(
+        manifest_path,
+        grid,
+        GpsSweepFactory(chip_costs=chip_costs, nre_scenario=nre_scenario),
+        reference=0,
+        weights=weights,
+        executor=executor,
+        **queue_options,
     )
 
 

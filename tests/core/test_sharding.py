@@ -24,16 +24,22 @@ from repro.area.footprint import Footprint, MountKind
 from repro.area.substrate import PCB_RULE
 from repro.core.executors import SerialExecutor
 from repro.core.methodology import CandidateBuildUp
+from repro.core.gather import gather_directory
+from repro.core.queue import manifest_for_grid, run_queue_worker, write_manifest
 from repro.core.sharding import (
     SHARD_FORMAT,
+    ArtifactState,
     ShardedExecutor,
     ShardMergeError,
+    artifact_state,
     artifact_to_payload,
+    find_pending_artifacts,
     find_shard_artifacts,
     grid_fingerprint,
     merge_cache_states,
     merge_shard_artifacts,
     payload_to_artifact,
+    pending_path,
     read_shard_artifact,
     run_shard,
     shard_filename,
@@ -365,6 +371,199 @@ class TestMergeRejection:
     def test_missing_directory_rejected(self, tmp_path):
         with pytest.raises(ShardMergeError, match="does not exist"):
             find_shard_artifacts(tmp_path / "nope")
+
+
+class TestAtomicWrite:
+    """The torn-artifact fix: publication is rename, never in place.
+
+    The regression these tests pin down: the old writer streamed JSON
+    straight into the destination, so a concurrent reader (or a crash)
+    could observe a prefix of the file — valid-looking bytes, torn
+    payload.  With the tmp + ``os.replace`` protocol the destination
+    path must be absent or fully valid at every instant, no matter
+    where the writer dies.
+    """
+
+    def _truncating_dump(self, monkeypatch, after_chars: int):
+        """Make the artifact serialiser die mid-write (simulated kill)."""
+        import repro.core.sharding as sharding_module
+
+        real_dump = json.dump
+
+        def torn_dump(payload, handle, **kwargs):
+            text = json.dumps(payload, **kwargs)
+            handle.write(text[:after_chars])
+            raise RuntimeError("injected kill mid-serialisation")
+
+        monkeypatch.setattr(sharding_module.json, "dump", torn_dump)
+        return real_dump
+
+    def test_interrupted_write_leaves_destination_absent(
+        self, tmp_path, monkeypatch
+    ):
+        artifact = make_artifacts(1)[0]
+        path = tmp_path / shard_filename(1, 0)
+        self._truncating_dump(monkeypatch, after_chars=40)
+        with pytest.raises(RuntimeError, match="injected kill"):
+            write_shard_artifact(path, artifact)
+        # Absent-or-fully-valid: the destination never existed, and
+        # the failed write cleaned up its temp file too.
+        assert artifact_state(path) is ArtifactState.ABSENT
+        assert not path.exists()
+        assert not pending_path(path).exists()
+
+    def test_interrupted_overwrite_preserves_previous_artifact(
+        self, tmp_path, monkeypatch
+    ):
+        """Replacing a valid artifact can only succeed or change nothing."""
+        artifact = make_artifacts(1)[0]
+        path = tmp_path / shard_filename(1, 0)
+        write_shard_artifact(path, artifact)
+        before = path.read_bytes()
+        self._truncating_dump(monkeypatch, after_chars=40)
+        with pytest.raises(RuntimeError, match="injected kill"):
+            write_shard_artifact(path, artifact)
+        assert path.read_bytes() == before
+        merged = merge_shard_artifacts([read_shard_artifact(path)])
+        assert merged.rows == serial_rows()
+
+    def test_state_protocol_absent_pending_complete(self, tmp_path):
+        artifact = make_artifacts(1)[0]
+        path = tmp_path / shard_filename(1, 0)
+        assert artifact_state(path) is ArtifactState.ABSENT
+        # A writer mid-flight: only the temp sibling exists.
+        pending_path(path).write_text('{"form', encoding="utf-8")
+        assert artifact_state(path) is ArtifactState.PENDING
+        # Readers scanning the directory must not pick the temp file
+        # up as an artifact — that is the whole point of the suffix.
+        assert find_shard_artifacts(tmp_path) == []
+        assert [p.name for p in find_pending_artifacts(tmp_path)] == [
+            "shard-0000-of-0001.json.tmp"
+        ]
+        write_shard_artifact(path, artifact)
+        assert artifact_state(path) is ArtifactState.COMPLETE
+        assert find_shard_artifacts(tmp_path) == [path]
+
+    def test_write_read_round_trip_after_interruption(
+        self, tmp_path, monkeypatch
+    ):
+        """A retried write after a kill produces a fully valid artifact."""
+        artifact = make_artifacts(1)[0]
+        path = tmp_path / shard_filename(1, 0)
+        self._truncating_dump(monkeypatch, after_chars=10)
+        with pytest.raises(RuntimeError):
+            write_shard_artifact(path, artifact)
+        monkeypatch.undo()
+        write_shard_artifact(path, artifact)
+        assert read_shard_artifact(path).indices == artifact.indices
+
+    def test_torn_multibyte_utf8_is_merge_error(self, tmp_path):
+        """A file cut mid multi-byte character (legacy torn write) must
+        raise ShardMergeError, not a UnicodeDecodeError traceback."""
+        path = tmp_path / shard_filename(1, 0)
+        artifact = make_artifacts(1)[0]
+        write_shard_artifact(path, artifact)
+        data = path.read_bytes()
+        # Truncate mid multi-byte sequence: append a lone continuation
+        # lead byte so decoding (not just JSON parsing) fails.
+        path.write_bytes(data[: len(data) // 2] + b"\xc2")
+        with pytest.raises(ShardMergeError, match="not valid UTF-8"):
+            read_shard_artifact(path)
+
+
+class _FaultPlanFactory:
+    """Candidate factory that raises per a shard -> remaining-failures
+    plan, simulating evaluations that die partway through the queue."""
+
+    def __init__(self, plan: dict, n_points: int, shards: int):
+        self.plan = plan
+        self.shard_of_point = {}
+        for shard in range(shards):
+            for index in shard_indices(n_points, shards, shard):
+                self.shard_of_point[index] = shard
+
+    def __call__(self, point):
+        index = next(
+            i for i, candidate in enumerate(POINTS) if candidate == point
+        )
+        shard = self.shard_of_point[index]
+        if self.plan.get(shard, 0) > 0:
+            self.plan[shard] -= 1
+            raise RuntimeError(f"injected fault on shard {shard}")
+        return fixed_candidates(point)
+
+
+class TestQueueFaultMatrix:
+    """Kill/retry fault matrix over the queue + gather service tier.
+
+    For any shard count, any per-shard injected-failure plan (within
+    the retry budget) and optionally a dead worker's leftovers (stale
+    lease + torn artifact), a worker draining the queue followed by a
+    directory gather must reproduce the serial engine's bytes exactly
+    — failure order can cost retries, never correctness.
+    """
+
+    @settings(max_examples=12, deadline=None)
+    @given(data=st.data())
+    def test_gather_byte_identical_to_serial_under_faults(
+        self, data, tmp_path_factory
+    ):
+        shards = data.draw(st.integers(1, 5), label="shards")
+        plan = {
+            shard: data.draw(
+                st.integers(0, 2), label=f"failures[{shard}]"
+            )
+            for shard in range(shards)
+        }
+        dead_worker_shard = data.draw(
+            st.one_of(st.none(), st.integers(0, shards - 1)),
+            label="dead worker shard",
+        )
+        directory = tmp_path_factory.mktemp("queue")
+        manifest = manifest_for_grid(POINTS, shards=shards, max_attempts=3)
+        manifest_path = write_manifest(
+            directory / "manifest.json", manifest
+        )
+        if dead_worker_shard is not None:
+            # A worker that died mid-shard: its lease expired long ago
+            # and (pre-atomic-writes) it left torn bytes behind.  The
+            # artifact name is claim-blocking only if it validates —
+            # junk must be stolen and atomically replaced.
+            lease = directory / (
+                f"lease-{dead_worker_shard:04d}-of-{shards:04d}.json"
+            )
+            lease.write_text(
+                json.dumps(
+                    {"owner": "dead-host:1", "token": "t0", "expires": 1.0}
+                ),
+                encoding="utf-8",
+            )
+            torn = directory / shard_filename(shards, dead_worker_shard)
+            torn.write_text('{"format": "repro-sw', encoding="utf-8")
+        factory = _FaultPlanFactory(dict(plan), len(POINTS), shards)
+        report = run_queue_worker(manifest_path, POINTS, factory)
+        assert report.queue_drained
+        assert not report.exhausted
+        assert len(report.failures) == sum(plan.values())
+        merged = gather_directory(directory, expected=manifest)
+        assert merged.rows == serial_rows()
+
+    def test_exhausted_shard_is_reported_not_raised(self, tmp_path):
+        """A shard that fails more than max_attempts times poisons
+        itself, not the fleet: the worker finishes the rest."""
+        shards = 3
+        manifest_path = write_manifest(
+            tmp_path / "manifest.json",
+            manifest_for_grid(POINTS, shards=shards, max_attempts=2),
+        )
+        factory = _FaultPlanFactory({1: 99}, len(POINTS), shards)
+        report = run_queue_worker(manifest_path, POINTS, factory)
+        assert report.exhausted == (1,)
+        assert report.outstanding == (1,)
+        assert not report.queue_drained
+        assert sorted(report.evaluated) == [0, 2]
+        # The retry budget bounds the damage.
+        assert len(report.failures) == 2
 
 
 class TestCacheStateMerge:

@@ -25,6 +25,8 @@ from repro.circuits.qfactor import (
     SubstrateLossQModel,
 )
 from repro.core.executors import make_executor
+from repro.core.gather import gather_directory
+from repro.core.queue import manifest_for_grid, write_manifest
 from repro.core.sharding import (
     ShardedExecutor,
     artifact_to_payload,
@@ -32,7 +34,11 @@ from repro.core.sharding import (
     payload_to_artifact,
 )
 from repro.core.sweep import SweepGrid
-from repro.gps.study import run_gps_shard, run_gps_sweep
+from repro.gps.study import (
+    run_gps_queue_worker,
+    run_gps_shard,
+    run_gps_sweep,
+)
 from repro.passives.tolerance import PRECISION_CLASS
 
 #: Engine name -> factory.  Serial is the reference, not a column.
@@ -119,3 +125,41 @@ class TestCrossHostMatrix:
         ]
         merged = merge_shard_artifacts(reversed(artifacts))
         assert merged.rows == serial_reports[scenario].rows
+
+
+class TestQueueFabricMatrix:
+    """Queue worker + incremental gather must hit the serial bytes.
+
+    The service tier gets the same differential treatment as the
+    engines: a manifest-driven queue drained through each engine,
+    gathered from the shard directory, must reproduce the serial rows
+    exactly — scenario coverage rides on the serial column, engine
+    coverage on the smallest dispersive grid.
+    """
+
+    def _drain_and_gather(self, tmp_path, grid, executor):
+        manifest = manifest_for_grid(grid, shards=2)
+        manifest_path = write_manifest(tmp_path / "manifest.json", manifest)
+        report = run_gps_queue_worker(
+            manifest_path, grid, executor=executor
+        )
+        assert report.queue_drained
+        return gather_directory(tmp_path, expected=manifest)
+
+    @pytest.mark.parametrize("scenario", sorted(SCENARIO_GRIDS))
+    def test_gathered_queue_byte_identical_per_scenario(
+        self, serial_reports, scenario, tmp_path
+    ):
+        gathered = self._drain_and_gather(
+            tmp_path, SCENARIO_GRIDS[scenario], make_executor("serial")
+        )
+        assert gathered.rows == serial_reports[scenario].rows
+
+    @pytest.mark.parametrize("engine", sorted(ENGINES))
+    def test_gathered_queue_byte_identical_per_engine(
+        self, serial_reports, engine, tmp_path
+    ):
+        gathered = self._drain_and_gather(
+            tmp_path, SCENARIO_GRIDS["dispersive"], ENGINES[engine]()
+        )
+        assert gathered.rows == serial_reports["dispersive"].rows

@@ -15,10 +15,16 @@ from repro.cli import build_parser, main
 class TestParser:
     def test_subcommands_exist(self):
         parser = build_parser()
-        for command in ("study", "flow", "compare", "calibrate", "sweep"):
-            args = parser.parse_args(
-                [command, "2"] if command == "flow" else [command]
-            )
+        operands = {"flow": ["2"], "gather": ["."]}
+        for command in (
+            "study",
+            "flow",
+            "compare",
+            "calibrate",
+            "sweep",
+            "gather",
+        ):
+            args = parser.parse_args([command, *operands.get(command, [])])
             assert hasattr(args, "func")
 
     def test_flow_requires_valid_implementation(self):
@@ -637,3 +643,392 @@ class TestShardCli:
         out = capsys.readouterr().out
         assert "cache:" in out
         assert "performance=" in out
+
+
+class TestMergeTornArtifact:
+    """--merge on damaged artifacts: one-line exit 2, never a traceback."""
+
+    GRID = ["--volumes", "1e3,1e4"]
+
+    def _shards(self, tmp_path, capsys):
+        for index in (0, 1):
+            assert (
+                main(
+                    [
+                        "sweep",
+                        *self.GRID,
+                        "--shards",
+                        "2",
+                        "--shard-index",
+                        str(index),
+                        "--shard-dir",
+                        str(tmp_path),
+                    ]
+                )
+                == 0
+            )
+        capsys.readouterr()
+
+    def test_truncated_artifact_exits_2(self, tmp_path, capsys):
+        self._shards(tmp_path, capsys)
+        path = tmp_path / "shard-0001-of-0002.json"
+        path.write_bytes(path.read_bytes()[:50])
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--merge", str(tmp_path)])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "not valid JSON" in err
+        assert path.name in err
+
+    def test_torn_multibyte_utf8_exits_2(self, tmp_path, capsys):
+        """The regression: a write cut mid multi-byte character used to
+        escape as a UnicodeDecodeError traceback (exit 1)."""
+        self._shards(tmp_path, capsys)
+        path = tmp_path / "shard-0001-of-0002.json"
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2] + b"\xc2")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--merge", str(tmp_path)])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "not valid UTF-8" in err
+        assert "Traceback" not in err
+
+    def test_foreign_format_artifact_exits_2(self, tmp_path, capsys):
+        self._shards(tmp_path, capsys)
+        path = tmp_path / "shard-0000-of-0002.json"
+        payload = path.read_text(encoding="utf-8").replace(
+            "repro-sweep-shard/2", "alien-format/7"
+        )
+        path.write_text(payload, encoding="utf-8")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--merge", str(tmp_path)])
+        assert excinfo.value.code == 2
+        assert "alien-format/7" in capsys.readouterr().err
+
+
+class TestQueueCli:
+    """The service surface: sweep --queue-init / --queue."""
+
+    GRID = ["--volumes", "1e3,1e4"]
+
+    def _init(self, tmp_path, capsys, extra=()):
+        manifest = tmp_path / "manifest.json"
+        assert (
+            main(
+                [
+                    "sweep",
+                    *self.GRID,
+                    "--queue-init",
+                    str(manifest),
+                    "--shards",
+                    "2",
+                    *extra,
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Queue manifest: 2 points in 2 shards" in out
+        return manifest
+
+    def test_init_then_worker_then_gather_matches_sweep(
+        self, tmp_path, capsys
+    ):
+        assert main(["sweep", *self.GRID, "--csv"]) == 0
+        reference = capsys.readouterr().out
+        manifest = self._init(tmp_path, capsys)
+        assert main(["sweep", "--queue", str(manifest)]) == 0
+        out = capsys.readouterr().out
+        assert "2 evaluated" in out
+        assert "queue drained" in out
+        assert main(["gather", str(tmp_path), "--csv"]) == 0
+        assert capsys.readouterr().out == reference
+
+    def test_second_worker_skips_and_exits_0(self, tmp_path, capsys):
+        manifest = self._init(tmp_path, capsys)
+        assert main(["sweep", "--queue", str(manifest)]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "--queue", str(manifest)]) == 0
+        out = capsys.readouterr().out
+        assert "0 evaluated, 2 skipped" in out
+
+    def test_queue_policy_lands_in_the_manifest(self, tmp_path, capsys):
+        manifest = self._init(
+            tmp_path,
+            capsys,
+            extra=["--lease-ttl", "7.5", "--max-attempts", "5"],
+        )
+        text = manifest.read_text(encoding="utf-8")
+        assert '"lease_ttl": 7.5' in text
+        assert '"max_attempts": 5' in text
+
+    def test_init_requires_shards(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_SWEEP_SHARDS", raising=False)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--queue-init", str(tmp_path / "m.json")])
+        assert excinfo.value.code == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_init_rejects_engine_flags(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "sweep",
+                    "--queue-init",
+                    str(tmp_path / "m.json"),
+                    "--shards",
+                    "2",
+                    "--engine",
+                    "process",
+                ]
+            )
+        assert excinfo.value.code == 2
+        assert "--engine" in capsys.readouterr().err
+
+    def test_init_and_queue_are_mutually_exclusive(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "sweep",
+                    "--queue-init",
+                    str(tmp_path / "m.json"),
+                    "--queue",
+                    str(tmp_path / "m.json"),
+                    "--shards",
+                    "2",
+                ]
+            )
+        assert excinfo.value.code == 2
+        assert "one or the other" in capsys.readouterr().err
+
+    def test_worker_rejects_grid_axis_flags(self, tmp_path, capsys):
+        manifest = self._init(tmp_path, capsys)
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["sweep", "--queue", str(manifest), "--volumes", "1e5"]
+            )
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--volumes" in err
+        assert "from the manifest" in err
+
+    def test_worker_rejects_shard_flags(self, tmp_path, capsys):
+        manifest = self._init(tmp_path, capsys)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--queue", str(manifest), "--shards", "4"])
+        assert excinfo.value.code == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_worker_rejects_csv(self, tmp_path, capsys):
+        manifest = self._init(tmp_path, capsys)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--queue", str(manifest), "--csv"])
+        assert excinfo.value.code == 2
+        assert "gather" in capsys.readouterr().err
+
+    def test_worker_rejects_queue_policy_flags(self, tmp_path, capsys):
+        manifest = self._init(tmp_path, capsys)
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["sweep", "--queue", str(manifest), "--lease-ttl", "5"]
+            )
+        assert excinfo.value.code == 2
+        assert "--queue-init" in capsys.readouterr().err
+
+    def test_policy_flags_need_a_queue(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--lease-ttl", "5"])
+        assert excinfo.value.code == 2
+        assert "--queue-init" in capsys.readouterr().err
+
+    def test_worker_with_missing_manifest_exits_2(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--queue", str(tmp_path / "nope.json")])
+        assert excinfo.value.code == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_worker_refuses_manifest_without_grid_spec(
+        self, tmp_path, capsys
+    ):
+        """An API-written manifest has no grid_spec: the CLI worker
+        cannot rebuild the grid and must say so, not guess."""
+        from repro.core.queue import manifest_for_grid, write_manifest
+        from repro.core.sweep import SweepGrid
+
+        manifest = manifest_for_grid(
+            SweepGrid(volumes=(1e3, 1e4)), shards=2
+        )
+        path = write_manifest(tmp_path / "manifest.json", manifest)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--queue", str(path)])
+        assert excinfo.value.code == 2
+        assert "grid_spec" in capsys.readouterr().err
+
+    def test_manifest_grid_spec_round_trips_every_axis(
+        self, tmp_path, capsys
+    ):
+        """Registry axes, custom tan= and weight triples all survive
+        the manifest round trip: worker output == direct sweep."""
+        grid_flags = [
+            "--volumes",
+            "1e3",
+            "--substrates",
+            "paper",
+            "--tolerances",
+            "paper,precision",
+            "--q-models",
+            "tan=0.012",
+            "--fom-weights",
+            "2:1:0.5",
+        ]
+        assert main(["sweep", *grid_flags, "--csv"]) == 0
+        reference = capsys.readouterr().out
+        manifest = tmp_path / "manifest.json"
+        assert (
+            main(
+                [
+                    "sweep",
+                    *grid_flags,
+                    "--queue-init",
+                    str(manifest),
+                    "--shards",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        assert main(["sweep", "--queue", str(manifest)]) == 0
+        capsys.readouterr()
+        assert main(["gather", str(tmp_path), "--csv"]) == 0
+        assert capsys.readouterr().out == reference
+
+
+class TestGatherCli:
+    """The gather subcommand: one-shot merges and the watch loop."""
+
+    GRID = ["--volumes", "1e3,1e4"]
+
+    def _filled_queue(self, tmp_path, capsys):
+        manifest = tmp_path / "manifest.json"
+        assert (
+            main(
+                [
+                    "sweep",
+                    *self.GRID,
+                    "--queue-init",
+                    str(manifest),
+                    "--shards",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        assert main(["sweep", "--queue", str(manifest)]) == 0
+        capsys.readouterr()
+        return manifest
+
+    def test_gather_prints_the_standard_table(self, tmp_path, capsys):
+        self._filled_queue(tmp_path, capsys)
+        assert main(["gather", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Design-space sweep: 2 points, 8 rows" in out
+        assert "Best overall:" in out
+
+    def test_gather_with_manifest_pins_the_grid(self, tmp_path, capsys):
+        manifest = self._filled_queue(tmp_path, capsys)
+        assert (
+            main(
+                ["gather", str(tmp_path), "--manifest", str(manifest)]
+            )
+            == 0
+        )
+        assert "Design-space sweep" in capsys.readouterr().out
+
+    def test_incomplete_directory_exits_1(self, tmp_path, capsys):
+        """Not-done-yet is exit 1 (retryable), not exit 2 (usage)."""
+        assert (
+            main(
+                [
+                    "sweep",
+                    *self.GRID,
+                    "--shards",
+                    "2",
+                    "--shard-index",
+                    "0",
+                    "--shard-dir",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["gather", str(tmp_path)]) == 1
+        assert "missing point indices" in capsys.readouterr().err
+
+    def test_missing_directory_exits_1(self, tmp_path, capsys):
+        assert main(["gather", str(tmp_path / "nope")]) == 1
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_poll_and_timeout_need_watch(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["gather", str(tmp_path), "--poll", "1"])
+        assert excinfo.value.code == 2
+        assert "--watch" in capsys.readouterr().err
+        with pytest.raises(SystemExit) as excinfo:
+            main(["gather", str(tmp_path), "--timeout", "1"])
+        assert excinfo.value.code == 2
+        assert "--watch" in capsys.readouterr().err
+
+    def test_bad_manifest_exits_2(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "gather",
+                    str(tmp_path),
+                    "--manifest",
+                    str(tmp_path / "nope.json"),
+                ]
+            )
+        assert excinfo.value.code == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_watch_on_a_complete_directory_returns_at_once(
+        self, tmp_path, capsys
+    ):
+        """A watch over an already-drained queue needs zero sleeps."""
+        self._filled_queue(tmp_path, capsys)
+        assert (
+            main(
+                [
+                    "gather",
+                    str(tmp_path),
+                    "--watch",
+                    "--timeout",
+                    "5",
+                    "--csv",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "gather: 2/2 points" in captured.err
+        assert captured.out.startswith("volume,")
+
+    def test_watch_timeout_exits_1(self, tmp_path, capsys):
+        tmp_path.mkdir(exist_ok=True)
+        assert (
+            main(
+                [
+                    "gather",
+                    str(tmp_path),
+                    "--watch",
+                    "--poll",
+                    "0.01",
+                    "--timeout",
+                    "0.05",
+                ]
+            )
+            == 1
+        )
+        assert "timed out" in capsys.readouterr().err
