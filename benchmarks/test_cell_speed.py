@@ -1,0 +1,111 @@
+"""Speed gate: the batched family fill must be ≥ 5x the scalar fill.
+
+The PR that vectorised the per-cell assessment spine claims a sweep
+over a volume-heavy grid walks each production flow **once per volume
+family** (one batched ``evaluate_batch`` call) instead of once per
+point, runs the candidate factory once per family instead of once per
+point, and broadcasts the placements — while producing bit-identical
+rows.  This benchmark pins that claim on a 64-volume × 2-tolerance GPS
+grid (128 points, 512 rows):
+
+* **scalar fill** (the per-point reference, still shipped as
+  ``fill="scalar"``): every point builds its candidates, resolves the
+  memo and walks all four production flows;
+* **batched fill** (the default, ``fill="batch"``): two volume
+  families, each assessed by one batched flow walk per candidate.
+
+Both sides start from the same warm cache — performance and placement
+already memoised by a throwaway volume, so the MNA solves are off the
+clock on *both* paths and the gate times the assessment spine itself,
+not the circuit engine.  The frames must be byte-identical before any
+timing matters; the batched fill must be at least ``MIN_SPEEDUP``
+times faster.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+
+import numpy as np
+
+from repro.core.figure_of_merit import FomWeights
+from repro.core.sweep import (
+    EvaluationCache,
+    SweepGrid,
+    evaluate_cells,
+    frame_for_cells,
+)
+from repro.gps.study import sweep_candidates
+from repro.passives.tolerance import PRECISION_CLASS
+
+#: The acceptance criterion: batched vs scalar per-cell speedup.
+MIN_SPEEDUP = 5.0
+
+N_VOLUMES = 64
+
+GRID = SweepGrid(
+    volumes=tuple(float(v) for v in np.geomspace(1e2, 1e7, N_VOLUMES)),
+    tolerances=(None, PRECISION_CLASS),
+)
+
+#: A volume outside the grid: warming with it memoises performance and
+#: placement for every family without pre-computing any timed cost.
+WARM_GRID = SweepGrid(
+    volumes=(123.0,), tolerances=(None, PRECISION_CLASS)
+)
+
+
+def _warm_cache() -> EvaluationCache:
+    cache = EvaluationCache()
+    evaluate_cells(
+        WARM_GRID.points(),
+        sweep_candidates,
+        0,
+        FomWeights(),
+        cache,
+        fill="scalar",
+    )
+    return cache
+
+
+def _best_of(fn, repeats: int) -> tuple[float, object]:
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_batched_fill_is_5x_the_scalar_fill():
+    """≥ 5x on a 128-point volume-heavy grid, identical rows."""
+    warm = _warm_cache()
+    points = GRID.points()
+
+    def run(fill):
+        return evaluate_cells(
+            points,
+            sweep_candidates,
+            0,
+            FomWeights(),
+            copy.deepcopy(warm),
+            fill=fill,
+        )
+
+    scalar_s, scalar_cells = _best_of(lambda: run("scalar"), repeats=2)
+    batch_s, batch_cells = _best_of(lambda: run("batch"), repeats=5)
+
+    scalar_frame = frame_for_cells(scalar_cells)
+    batch_frame = frame_for_cells(batch_cells)
+    assert batch_frame.csv_lines() == scalar_frame.csv_lines()
+    assert batch_frame.to_rows() == scalar_frame.to_rows()
+
+    speedup = scalar_s / batch_s
+    print(
+        f"\n{len(points)}-cell assessment: scalar fill "
+        f"{1e3 * scalar_s:.0f} ms, batched fill {1e3 * batch_s:.0f} ms "
+        f"-> {speedup:.1f}x (gate {MIN_SPEEDUP}x)"
+    )
+    assert speedup >= MIN_SPEEDUP

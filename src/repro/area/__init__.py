@@ -16,6 +16,7 @@ from .placement import (
     area_breakdown,
     area_ratio,
     trivial_placement,
+    trivial_placement_batch,
 )
 from .substrate import (
     LAMINATE_RULE,
@@ -54,4 +55,5 @@ __all__ = [
     "area_breakdown",
     "area_ratio",
     "trivial_placement",
+    "trivial_placement_batch",
 ]

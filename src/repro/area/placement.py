@@ -104,6 +104,37 @@ def trivial_placement(
     )
 
 
+def trivial_placement_batch(
+    families: Sequence[Sequence[Footprint]],
+    rule: SubstrateRule,
+    laminate: Optional[LaminateRule] = None,
+) -> list[AreaReport]:
+    """:func:`trivial_placement` over many footprint families at once.
+
+    All families share one sizing rule (and optional laminate), so the
+    component-area arithmetic broadcasts across a ``(K, N)`` matrix
+    (:meth:`~repro.area.substrate.SubstrateRule.size_batch`) — one
+    placement call for a whole tolerance/process family of candidates.
+    Each returned report is bit-identical to calling
+    :func:`trivial_placement` on that family alone.
+    """
+    families = [list(family) for family in families]
+    for family in families:
+        if not family:
+            raise PlacementError("cannot place an empty component list")
+    substrates = rule.size_batch(families)
+    return [
+        AreaReport(
+            substrate=substrate,
+            package=(
+                laminate.size(substrate) if laminate is not None else None
+            ),
+            breakdown_mm2=area_breakdown(family),
+        )
+        for family, substrate in zip(families, substrates)
+    ]
+
+
 @dataclass
 class PlacedRect:
     """One placed rectangle in a shelf layout."""

@@ -20,7 +20,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Sequence
+
+import numpy as np
 
 from ..errors import PlacementError
 from .footprint import Footprint, MountKind
@@ -87,6 +89,49 @@ class SubstrateRule:
             packed_area_mm2=packed,
             side_mm=side,
         )
+
+    def size_batch(
+        self, families: Sequence[Sequence[Footprint]]
+    ) -> list["SubstrateSize"]:
+        """Apply the sizing rule to many footprint families at once.
+
+        The component-area vectors of all families are packed into one
+        zero-padded ``(K, N)`` matrix, the SMD overhead applied with a
+        single ``np.where``, and the per-family totals accumulated
+        column by column — the same left-fold the scalar ``sum`` in
+        :meth:`size` performs (numpy's pairwise ``np.sum`` would round
+        differently), so every returned :class:`SubstrateSize` is
+        bit-identical to calling :meth:`size` on that family alone.
+        """
+        if not families:
+            return []
+        rows = len(families)
+        width = max(len(family) for family in families)
+        areas = np.zeros((rows, width), dtype=np.float64)
+        smd = np.zeros((rows, width), dtype=bool)
+        for row, family in enumerate(families):
+            for col, footprint in enumerate(family):
+                areas[row, col] = footprint.area_mm2
+                smd[row, col] = footprint.mount is MountKind.SMD
+        effective = np.where(smd, areas * self.smd_footprint_factor, areas)
+        totals = np.zeros(rows, dtype=np.float64)
+        for col in range(width):
+            totals += effective[:, col]
+        if not np.all(totals > 0):
+            raise PlacementError(
+                f"substrate {self.name!r} has no components to place"
+            )
+        packed = totals * self.packing_factor
+        sides = np.sqrt(packed) + 2.0 * self.edge_clearance_mm
+        return [
+            SubstrateSize(
+                rule=self,
+                component_area_mm2=float(total),
+                packed_area_mm2=float(packed_area),
+                side_mm=float(side),
+            )
+            for total, packed_area, side in zip(totals, packed, sides)
+        ]
 
 
 @dataclass(frozen=True)

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import argparse
 import math
+import os
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
@@ -61,7 +62,7 @@ from .core.sharding import (
     shard_filename,
     write_shard_artifact,
 )
-from .core.sweep import SweepGrid
+from .core.sweep import BATCH_FILL_ENV, SweepGrid, batch_fill_enabled
 from .cost.calibration import calibrate_chip_costs
 from .cost.moe.builder import render_flow
 from .errors import SpecificationError
@@ -736,6 +737,26 @@ def _cmd_sweep_merge(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.fill is None:
+        return _cmd_sweep_resolved(args)
+    # --fill wins over $REPRO_SWEEP_BATCH for this invocation only:
+    # the env var is set for the duration of the sweep (it reaches
+    # process-engine workers through the inherited environment) and
+    # restored afterwards.
+    previous = os.environ.get(BATCH_FILL_ENV)
+    os.environ[BATCH_FILL_ENV] = (
+        "1" if args.fill == "batch" else "0"
+    )
+    try:
+        return _cmd_sweep_resolved(args)
+    finally:
+        if previous is None:
+            os.environ.pop(BATCH_FILL_ENV, None)
+        else:
+            os.environ[BATCH_FILL_ENV] = previous
+
+
+def _cmd_sweep_resolved(args: argparse.Namespace) -> int:
     if args.merge is not None:
         return _cmd_sweep_merge(args)
     if args.queue_init is not None:
@@ -762,6 +783,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     # environment defaults.  A bad engine name or worker count —
     # from either source — is a clean exit 2, not a traceback.
     try:
+        # Validate the batch-fill switch up front so a bad
+        # $REPRO_SWEEP_BATCH exits 2 like every other bad env default.
+        batch_fill_enabled()
         executor = resolve_executor(args.engine, args.jobs, args.shards)
         # The documented default for --shards is $REPRO_SWEEP_SHARDS;
         # resolve it once so every path below honours it.
@@ -1051,6 +1075,17 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "execution engine (identical rows either way); defaults to "
             "$REPRO_SWEEP_ENGINE or serial"
+        ),
+    )
+    sweep.add_argument(
+        "--fill",
+        choices=("batch", "scalar"),
+        default=None,
+        help=(
+            "per-cell fill strategy: 'batch' walks each production "
+            "flow once per volume family, 'scalar' keeps the "
+            "per-point reference path (identical rows either way); "
+            "defaults to $REPRO_SWEEP_BATCH or batch"
         ),
     )
     sweep.add_argument(

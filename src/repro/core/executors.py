@@ -117,8 +117,12 @@ class Executor(Protocol):
       *values* may not.
     * **Factory discipline** — ``candidate_factory`` may be called at
       most once per point per process, from whichever process evaluates
-      that point.  Engines that cross process boundaries ship the
-      factory itself (it must pickle), never the candidates it returns.
+      that point; when the factory declares ``volume_invariant = True``
+      (see :func:`~repro.core.sweep.evaluate_cells`) an engine may
+      instead call it once per *volume family* and share the result
+      across the family's points.  Engines that cross process
+      boundaries ship the factory itself (it must pickle), never the
+      candidates it returns.
     * **Error transparency** — exceptions raised by the factory or the
       evaluation propagate to the caller; an engine must not swallow a
       failed point and return a partial result.

@@ -26,7 +26,7 @@ from ..area.substrate import LaminateRule, SubstrateRule
 from ..area.footprint import Footprint
 from ..circuits.performance import ChainPerformance, assess_chain
 from ..circuits.synthesis import QModel
-from ..cost.moe.analytic import evaluate
+from ..cost.moe.analytic import evaluate, evaluate_batch
 from ..cost.moe.flow import ProductionFlow
 from ..cost.moe.report import CostReport
 from ..errors import SpecificationError
@@ -162,6 +162,40 @@ def assess_candidate(
         chain=chain,
         area=area,
         cost=cost,
+    )
+
+
+def assess_candidate_batch(
+    candidate: CandidateBuildUp, volumes: Sequence[float]
+) -> tuple[BuildUpAssessment, ...]:
+    """Methodology steps 2-4 for one candidate over a volume family.
+
+    Performance and placement are volume-independent, so they run once;
+    the cost step runs as a single batched flow walk
+    (:func:`~repro.cost.moe.analytic.evaluate_batch`).  Bit-identical
+    to ``[assess_candidate(candidate, v) for v in volumes]``, one
+    assessment per volume.
+    """
+    if candidate.fixed_performance is not None:
+        performance = candidate.fixed_performance
+        chain: Optional[ChainPerformance] = None
+    else:
+        chain = assess_chain(candidate.filter_assignments)
+        performance = chain.score
+    area = trivial_placement(
+        candidate.footprints, candidate.substrate_rule, candidate.laminate
+    )
+    flow = candidate.flow_factory(area.substrate_area_cm2)
+    batch = evaluate_batch(flow, volumes)
+    return tuple(
+        BuildUpAssessment(
+            name=candidate.name,
+            performance=performance,
+            chain=chain,
+            area=area,
+            cost=report,
+        )
+        for report in batch.to_reports()
     )
 
 

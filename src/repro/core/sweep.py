@@ -43,15 +43,16 @@ from __future__ import annotations
 
 import hashlib
 import math
+import os
 from dataclasses import dataclass, field
 from functools import cached_property
 from itertools import product
 from typing import Callable, Iterable, Iterator, Optional, Sequence
 
-from ..area.placement import trivial_placement
+from ..area.placement import trivial_placement, trivial_placement_batch
 from ..area.substrate import SubstrateRule
 from ..circuits.performance import ChainPerformance, assess_chain
-from ..cost.moe.analytic import evaluate
+from ..cost.moe.analytic import evaluate, evaluate_batch
 from ..errors import SpecificationError
 from ..passives.thin_film import ThinFilmProcess
 from ..passives.tolerance import ToleranceClass
@@ -328,13 +329,68 @@ class EvaluationCache:
         """
         self._tables["performance"].setdefault(key, chain)
 
+    @staticmethod
+    def area_key(footprints, rule, laminate) -> str:
+        """The content key of one placement call."""
+        return f"{rule!r}|{laminate!r}|{footprints!r}"
+
     def area(self, footprints, rule, laminate, compute):
-        key = f"{rule!r}|{laminate!r}|{footprints!r}"
-        return self._get("area", key, compute)
+        return self._get(
+            "area", self.area_key(footprints, rule, laminate), compute
+        )
+
+    def has_area(self, key: str) -> bool:
+        """True when a placement result is already cached under ``key``."""
+        return key in self._tables["area"]
+
+    def seed_area(self, key: str, report) -> None:
+        """Insert a precomputed placement without counting hit/miss.
+
+        The batched fill path places whole candidate families through
+        one broadcast call ahead of the per-point evaluation and seeds
+        them here; the later lookups then count as ordinary hits —
+        exactly the :meth:`seed_performance` discipline.
+        """
+        self._tables["area"].setdefault(key, report)
 
     def cost(self, flow, volume: float, compute):
         key = f"{volume!r}|{flow!r}"
         return self._get("cost", key, compute)
+
+    def cost_batch(self, flow, volumes: Sequence[float], compute_missing):
+        """Resolve one flow's cost reports at many volumes together.
+
+        Counts exactly as ``len(volumes)`` single :meth:`cost` lookups
+        would — a hit per already-cached volume, a miss per computed
+        one — but all missing volumes are produced by a single
+        ``compute_missing(missing_volumes)`` call (one batched flow
+        walk) instead of one evaluation each.
+        """
+        flow_repr = repr(flow)
+        keys = [f"{volume!r}|{flow_repr}" for volume in volumes]
+        table = self._tables["cost"]
+        pending: dict[str, float] = {}
+        for key, volume in zip(keys, volumes):
+            if key not in table and key not in pending:
+                pending[key] = volume
+        if pending:
+            computed = compute_missing(list(pending.values()))
+            for key, report in zip(pending, computed):
+                table[key] = report
+        self._misses["cost"] += len(pending)
+        self._hits["cost"] += len(keys) - len(pending)
+        return [table[key] for key in keys]
+
+    def count_reuse(self, name: str, count: int) -> None:
+        """Tally ``count`` extra hits on one table.
+
+        The batched fill resolves a volume-invariant sub-result once per
+        family instead of once per point; this keeps the hit counters
+        reporting the per-point lookups the scalar fill would have made,
+        so cache stats stay comparable across fills.
+        """
+        if count > 0:
+            self._hits[name] += count
 
     @property
     def hits(self) -> int:
@@ -601,19 +657,263 @@ def evaluate_cell(
     return SweepCell(point=point, result=result)
 
 
-def evaluate_cells(
+#: Environment switch for the batched family fill (default: enabled).
+BATCH_FILL_ENV = "REPRO_SWEEP_BATCH"
+
+#: Values accepted by :envvar:`REPRO_SWEEP_BATCH`, by meaning.
+_BATCH_FILL_ON = ("", "1", "true", "on", "batch")
+_BATCH_FILL_OFF = ("0", "false", "off", "scalar")
+
+
+def batch_fill_enabled() -> bool:
+    """Whether :envvar:`REPRO_SWEEP_BATCH` allows the batched fill."""
+    raw = os.environ.get(BATCH_FILL_ENV, "").strip().lower()
+    if raw in _BATCH_FILL_ON:
+        return True
+    if raw in _BATCH_FILL_OFF:
+        return False
+    raise SpecificationError(
+        f"{BATCH_FILL_ENV} must be one of "
+        "1/0/true/false/on/off/batch/scalar, got "
+        f"{os.environ[BATCH_FILL_ENV]!r}"
+    )
+
+
+def family_runs(points: Sequence[DesignPoint]) -> list[list[int]]:
+    """Group point positions into volume families.
+
+    Two points belong to one family when every axis except the volume
+    agrees (by content ``repr``, the cache-key discipline) — such
+    points share candidates, performance and placement, differing only
+    in the cost step's volume.  Grid enumeration is volume-major
+    (volume varies *slowest*), so a family's members are strided across
+    the run, not adjacent; positions within each family keep run order.
+    """
+    families: dict[tuple, list[int]] = {}
+    for position, point in enumerate(points):
+        key = (
+            repr(point.substrate),
+            repr(point.process),
+            repr(point.tolerance),
+            repr(point.q_model),
+            repr(point.nre),
+            repr(point.weights),
+        )
+        families.setdefault(key, []).append(position)
+    return list(families.values())
+
+
+def assess_candidate_family_cached(
+    candidate: CandidateBuildUp,
+    volumes: Sequence[float],
+    cache: EvaluationCache,
+) -> list[BuildUpAssessment]:
+    """Steps 2-4 for one candidate across a volume family, memoised.
+
+    The volume-invariant sub-results (performance, placement) are
+    resolved through the cache **once** and re-counted as hits for the
+    remaining volumes (:meth:`EvaluationCache.count_reuse`), so the
+    stats match the per-point lookups of the scalar fill; the cost step
+    resolves all volumes through one :meth:`EvaluationCache.cost_batch`
+    call backed by a single batched flow walk.  Produces assessments
+    bit-identical to ``[assess_candidate_cached(candidate, v, cache)
+    for v in volumes]``.
+    """
+    reuse = len(volumes) - 1
+    if candidate.fixed_performance is not None:
+        performance = candidate.fixed_performance
+        chain: Optional[ChainPerformance] = None
+    else:
+        chain = cache.performance(
+            candidate.filter_assignments,
+            lambda: assess_chain(candidate.filter_assignments),
+        )
+        cache.count_reuse("performance", reuse)
+        performance = chain.score
+    area = cache.area(
+        candidate.footprints,
+        candidate.substrate_rule,
+        candidate.laminate,
+        lambda: trivial_placement(
+            candidate.footprints,
+            candidate.substrate_rule,
+            candidate.laminate,
+        ),
+    )
+    cache.count_reuse("area", reuse)
+    flow = candidate.flow_factory(area.substrate_area_cm2)
+    costs = cache.cost_batch(
+        flow,
+        volumes,
+        lambda missing: evaluate_batch(flow, missing).to_reports(),
+    )
+    return [
+        BuildUpAssessment(
+            name=candidate.name,
+            performance=performance,
+            chain=chain,
+            area=area,
+            cost=cost,
+        )
+        for cost in costs
+    ]
+
+
+def evaluate_family(
+    points: Sequence[DesignPoint],
+    candidates: Sequence[CandidateBuildUp],
+    reference: int,
+    weights: FomWeights,
+    cache: EvaluationCache,
+) -> list[SweepCell]:
+    """Evaluate a whole volume family of grid points in one pass.
+
+    All points share one candidate list (the family key excludes only
+    the volume); each candidate is assessed across the whole volume
+    axis at once and the per-point ranking (step 5) is applied last.
+    Returns one cell per point, in the order given, each bit-identical
+    to :func:`evaluate_cell` at that point.
+    """
+    candidates = list(candidates)
+    if not candidates:
+        raise SpecificationError(
+            f"candidate factory returned no candidates at "
+            f"{points[0].label()}"
+        )
+    if not (0 <= reference < len(candidates)):
+        raise SpecificationError(
+            f"reference index {reference} out of range for "
+            f"{len(candidates)} candidates"
+        )
+    volumes = [point.volume for point in points]
+    per_candidate = [
+        assess_candidate_family_cached(candidate, volumes, cache)
+        for candidate in candidates
+    ]
+    cells = []
+    for column, point in enumerate(points):
+        assessments = [family[column] for family in per_candidate]
+        effective = point.weights if point.weights is not None else weights
+        result = study_from_assessments(assessments, reference, effective)
+        cells.append(SweepCell(point=point, result=result))
+    return cells
+
+
+def _seed_family_placements(
+    family_candidates: Sequence[Sequence[CandidateBuildUp]],
+    cache: EvaluationCache,
+) -> None:
+    """Pre-place every not-yet-cached candidate with broadcast calls.
+
+    Candidates are grouped by (rule, laminate) so each group is one
+    :func:`~repro.area.placement.trivial_placement_batch` call; results
+    are seeded without counting (:meth:`EvaluationCache.seed_area`), so
+    the later per-family lookups tally as ordinary hits.
+    """
+    pending: dict[str, CandidateBuildUp] = {}
+    for candidates in family_candidates:
+        for candidate in candidates:
+            key = EvaluationCache.area_key(
+                candidate.footprints,
+                candidate.substrate_rule,
+                candidate.laminate,
+            )
+            if not cache.has_area(key) and key not in pending:
+                pending[key] = candidate
+    groups: dict[str, list[tuple[str, CandidateBuildUp]]] = {}
+    for key, candidate in pending.items():
+        group_key = f"{candidate.substrate_rule!r}|{candidate.laminate!r}"
+        groups.setdefault(group_key, []).append((key, candidate))
+    for entries in groups.values():
+        rule = entries[0][1].substrate_rule
+        laminate = entries[0][1].laminate
+        reports = trivial_placement_batch(
+            [candidate.footprints for _, candidate in entries],
+            rule,
+            laminate,
+        )
+        for (key, _), report in zip(entries, reports):
+            cache.seed_area(key, report)
+
+
+def evaluate_cells_batched(
     points: Sequence[DesignPoint],
     candidate_factory: Callable[[DesignPoint], Sequence[CandidateBuildUp]],
     reference: int,
     weights: FomWeights,
     cache: EvaluationCache,
 ) -> list[SweepCell]:
+    """The batched fill: evaluate a run of points family by family.
+
+    Points are grouped into volume families (:func:`family_runs`); the
+    candidate factory runs **once per family** — it must therefore be
+    volume-invariant, see :func:`evaluate_cells` — placements are
+    broadcast ahead of the evaluation, and each family is assessed with
+    one batched flow walk per (candidate, flow).  The returned cells
+    are in run order and bit-identical to the scalar fill.
+    """
+    runs = family_runs(points)
+    family_points = [[points[position] for position in run] for run in runs]
+    family_candidates = [
+        list(candidate_factory(family[0])) for family in family_points
+    ]
+    _seed_family_placements(family_candidates, cache)
+    cells: list[Optional[SweepCell]] = [None] * len(points)
+    for run, family, candidates in zip(
+        runs, family_points, family_candidates
+    ):
+        for position, cell in zip(
+            run, evaluate_family(family, candidates, reference, weights, cache)
+        ):
+            cells[position] = cell
+    return cells
+
+
+def evaluate_cells(
+    points: Sequence[DesignPoint],
+    candidate_factory: Callable[[DesignPoint], Sequence[CandidateBuildUp]],
+    reference: int,
+    weights: FomWeights,
+    cache: EvaluationCache,
+    fill: Optional[str] = None,
+) -> list[SweepCell]:
     """Evaluate a run of grid points in order, sharing one cache.
 
     The serial engine's whole job, and the per-worker body of the
     process engine (each worker runs this over its slice with a fresh
     cache that is merged back afterwards).
+
+    ``fill`` selects how the run is filled:
+
+    * ``None`` (default) — the batched fill when
+      :envvar:`REPRO_SWEEP_BATCH` allows it (it does by default) *and*
+      the candidate factory declares ``volume_invariant = True``
+      (meaning it returns equal candidates for points differing only in
+      volume — :class:`~repro.gps.study.GpsSweepFactory` does); the
+      scalar reference fill otherwise.
+    * ``"batch"`` — force the batched fill (caller vouches for the
+      factory's volume-invariance).
+    * ``"scalar"`` — force the per-point reference fill.
+
+    Both fills produce bit-identical cells; the batched fill walks each
+    production flow once per family instead of once per point.
     """
+    if fill is None:
+        use_batch = batch_fill_enabled() and getattr(
+            candidate_factory, "volume_invariant", False
+        )
+    elif fill == "batch":
+        use_batch = True
+    elif fill == "scalar":
+        use_batch = False
+    else:
+        raise SpecificationError(
+            f"fill must be one of None/'batch'/'scalar', got {fill!r}"
+        )
+    if use_batch:
+        return evaluate_cells_batched(
+            points, candidate_factory, reference, weights, cache
+        )
     return [
         evaluate_cell(
             point, candidate_factory(point), reference, weights, cache

@@ -10,6 +10,7 @@ from .sensitivity import (
     Knob,
     Sensitivity,
     rank_cost_drivers,
+    rank_cost_drivers_pointwise,
     sensitivity_of,
 )
 from .yieldmodels import (
@@ -36,6 +37,7 @@ __all__ = [
     "calibrate_chip_costs",
     "compound_yield",
     "rank_cost_drivers",
+    "rank_cost_drivers_pointwise",
     "sensitivity_of",
     "defect_probability",
 ]

@@ -7,7 +7,12 @@ Eq. (1) cost roll-up, evaluated either analytically
 (:func:`~repro.cost.moe.simulate.simulate`).
 """
 
-from .analytic import evaluate
+from .analytic import (
+    CostReportBatch,
+    evaluate,
+    evaluate_batch,
+    final_costs_for_variants,
+)
 from .builder import FlowBuilder, flow_node_summary, render_flow
 from .flow import ProductionFlow
 from .nodes import (
@@ -28,6 +33,7 @@ __all__ = [
     "AttachStep",
     "CarrierStep",
     "CostReport",
+    "CostReportBatch",
     "CostTag",
     "FlowBuilder",
     "InspectStep",
@@ -39,7 +45,9 @@ __all__ = [
     "TestStep",
     "UnitState",
     "evaluate",
+    "evaluate_batch",
     "fig5_row",
+    "final_costs_for_variants",
     "flow_node_summary",
     "render_flow",
     "simulate",

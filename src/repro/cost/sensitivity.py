@@ -11,6 +11,14 @@ elasticity of the final cost per shipped unit:
 computed by central finite differences over the analytic evaluator.
 Applied to the GPS build-ups it quantifies the paper's §4.3 narrative —
 e.g. that build-up 3's final cost is dominated by the substrate yield.
+
+:func:`rank_cost_drivers` evaluates all ``K`` knobs with **one batched
+flow walk per finite-difference side**
+(:func:`~repro.cost.moe.analytic.final_costs_for_variants` with
+``(K,)``-shaped state) instead of ``2 * K`` scalar re-evaluations;
+:func:`rank_cost_drivers_pointwise` keeps the scalar loop as the
+bit-identical reference, mirroring the ``sweep_pointwise`` /
+``pareto_front_pointwise`` discipline.
 """
 
 from __future__ import annotations
@@ -20,7 +28,7 @@ from dataclasses import dataclass, replace
 from typing import Optional
 
 from ..errors import CostModelError
-from .moe.analytic import evaluate
+from .moe.analytic import evaluate, final_costs_for_variants
 from .moe.flow import ProductionFlow
 from .moe.nodes import AttachStep, CarrierStep, ProcessStep, Step, TestStep
 
@@ -142,12 +150,7 @@ def sensitivity_of(
             f"cannot compute elasticity at zero base value for "
             f"{step.name!r} {knob.value}"
         )
-    delta = base * relative_step
-    upper = base + delta
-    lower = base - delta
-    if knob in (Knob.YIELD, Knob.COVERAGE) and upper > 1.0:
-        upper = 1.0
-        lower = 1.0 - 2.0 * delta
+    upper, lower = _perturbation_bounds(base, knob, relative_step)
     f_upper = _evaluate_with(flow, index, _with_knob(step, knob, upper))
     f_lower = _evaluate_with(flow, index, _with_knob(step, knob, lower))
     f_base = evaluate(flow).final_cost_per_shipped
@@ -161,24 +164,112 @@ def sensitivity_of(
     )
 
 
-def rank_cost_drivers(
-    flow: ProductionFlow, relative_step: float = 0.01
-) -> list[Sensitivity]:
-    """All applicable (step, knob) elasticities, largest magnitude first.
+def _perturbation_bounds(
+    base: float, knob: Knob, relative_step: float
+) -> tuple[float, float]:
+    """The central-difference evaluation points around one knob value.
+
+    Yields and coverages are perturbed toward the interior of ``(0, 1]``
+    when a symmetric step would leave the domain.
+    """
+    delta = base * relative_step
+    upper = base + delta
+    lower = base - delta
+    if knob in (Knob.YIELD, Knob.COVERAGE) and upper > 1.0:
+        upper = 1.0
+        lower = 1.0 - 2.0 * delta
+    return upper, lower
+
+
+def _applicable_knobs(flow: ProductionFlow) -> list[tuple[int, Step, Knob, float]]:
+    """Every (step index, step, knob, base value) worth perturbing.
 
     Knobs at trivial values (zero cost, perfect yield) are skipped —
     their elasticity is zero or undefined.
     """
-    results: list[Sensitivity] = []
-    for step in flow.steps:
+    knobs: list[tuple[int, Step, Knob, float]] = []
+    for index, step in enumerate(flow.steps):
         for knob in Knob:
             base = _read_knob(step, knob)
             if base is None or base == 0.0:
                 continue
             if knob in (Knob.YIELD, Knob.COVERAGE) and base == 1.0:
                 continue
-            results.append(
-                sensitivity_of(flow, step.node_id, knob, relative_step)
+            knobs.append((index, step, knob, base))
+    return knobs
+
+
+def rank_cost_drivers(
+    flow: ProductionFlow, relative_step: float = 0.01
+) -> list[Sensitivity]:
+    """All applicable (step, knob) elasticities, largest magnitude first.
+
+    Knobs at trivial values (zero cost, perfect yield) are skipped —
+    their elasticity is zero or undefined.  All ``K`` knobs are
+    evaluated with one batched flow walk per finite-difference side
+    (``(K,)``-shaped state in
+    :func:`~repro.cost.moe.analytic.final_costs_for_variants`) instead
+    of ``2 * K`` scalar evaluations; the result is bit-identical to
+    :func:`rank_cost_drivers_pointwise`.
+    """
+    if not (0.0 < relative_step < 0.5):
+        raise CostModelError(
+            f"relative step must lie in (0, 0.5), got {relative_step}"
+        )
+    knobs = _applicable_knobs(flow)
+    if not knobs:
+        return []
+    bounds = [
+        _perturbation_bounds(base, knob, relative_step)
+        for _, _, knob, base in knobs
+    ]
+    f_upper = final_costs_for_variants(
+        flow,
+        [
+            (index, _with_knob(step, knob, upper))
+            for (index, step, knob, _), (upper, _) in zip(knobs, bounds)
+        ],
+    )
+    f_lower = final_costs_for_variants(
+        flow,
+        [
+            (index, _with_knob(step, knob, lower))
+            for (index, step, knob, _), (_, lower) in zip(knobs, bounds)
+        ],
+    )
+    f_base = evaluate(flow).final_cost_per_shipped
+    results: list[Sensitivity] = []
+    for lane, ((_, step, knob, base), (upper, lower)) in enumerate(
+        zip(knobs, bounds)
+    ):
+        derivative = (float(f_upper[lane]) - float(f_lower[lane])) / (
+            upper - lower
+        )
+        results.append(
+            Sensitivity(
+                node_id=step.node_id,
+                step_name=step.name,
+                knob=knob,
+                base_value=base,
+                elasticity=derivative * base / f_base,
             )
+        )
+    results.sort(key=lambda s: abs(s.elasticity), reverse=True)
+    return results
+
+
+def rank_cost_drivers_pointwise(
+    flow: ProductionFlow, relative_step: float = 0.01
+) -> list[Sensitivity]:
+    """Scalar reference for :func:`rank_cost_drivers`.
+
+    One full flow re-evaluation per knob per finite-difference side,
+    exactly as the batched ranking performs them elementwise — the test
+    suite asserts the two agree bit-for-bit.
+    """
+    results = [
+        sensitivity_of(flow, step.node_id, knob, relative_step)
+        for _, step, knob, _ in _applicable_knobs(flow)
+    ]
     results.sort(key=lambda s: abs(s.elasticity), reverse=True)
     return results

@@ -11,15 +11,44 @@ area-based substrate yield laws (Poisson, Murphy, Seeds) used for
 ablations — a large integrated-passives substrate yields worse than a
 small one at the same defect density, an effect the flat Table 2 numbers
 average away.
+
+Every law broadcasts: ``yield_for_area`` / ``effective`` /
+:func:`compound_yield` accept numpy arrays and return elementwise
+results bit-identical to looping the scalar call over the same values.
+To guarantee that, the scalar path routes through the *same* numpy
+kernels (``np.exp`` may differ from ``math.exp`` by one ulp, so mixing
+the two would break the equivalence).
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
 
 from ..errors import CostModelError
 from ..units import check_yield
+
+#: Scalar-or-array argument/return type of the broadcasting laws.
+ArrayLike = Union[float, np.ndarray]
+
+
+def _validated_areas(area_cm2: ArrayLike) -> tuple[np.ndarray, bool]:
+    """Coerce an area argument to a float64 array, rejecting ``<= 0``.
+
+    Returns ``(flat_array, is_scalar)``; callers compute elementwise and
+    either return the reshaped array or, for scalar input, the single
+    Python float — so scalars and arrays share one code path and hence
+    identical IEEE-754 operations.
+    """
+    areas = np.asarray(area_cm2, dtype=np.float64)
+    is_scalar = areas.ndim == 0
+    flat = np.atleast_1d(areas)
+    if flat.size and not np.all(flat > 0):
+        bad = flat[~(flat > 0)][0]
+        raise CostModelError(f"area must be positive, got {bad}")
+    return flat if is_scalar else flat.reshape(areas.shape), is_scalar
 
 
 @dataclass(frozen=True)
@@ -31,9 +60,14 @@ class StepYield:
     def __post_init__(self) -> None:
         check_yield(self.value, "step yield")
 
-    def effective(self, operations: int = 1) -> float:
-        """Step-level yield is independent of the operation count."""
-        del operations
+    def effective(self, operations: ArrayLike = 1) -> ArrayLike:
+        """Step-level yield is independent of the operation count.
+
+        An array of operation counts broadcasts to an array of (equal)
+        yields, so the step laws are interchangeable in batched code.
+        """
+        if isinstance(operations, np.ndarray):
+            return np.full(operations.shape, self.value, dtype=np.float64)
         return self.value
 
 
@@ -50,8 +84,21 @@ class PerOperationYield:
     def __post_init__(self) -> None:
         check_yield(self.value, "per-operation yield")
 
-    def effective(self, operations: int = 1) -> float:
+    def effective(self, operations: ArrayLike = 1) -> ArrayLike:
         """Compound yield over ``operations`` independent operations."""
+        if isinstance(operations, np.ndarray):
+            if operations.size and np.any(operations < 0):
+                bad = operations[operations < 0][0]
+                raise CostModelError(
+                    f"operation count cannot be negative, got {bad}"
+                )
+            # np.power special-cases integer exponents (repeated
+            # squaring) and can differ from Python's ``**`` by an ulp;
+            # route every element through the scalar operator instead.
+            flat = operations.reshape(-1).tolist()
+            return np.asarray(
+                [self.value**count for count in flat], dtype=np.float64
+            ).reshape(operations.shape)
         if operations < 0:
             raise CostModelError(
                 f"operation count cannot be negative, got {operations}"
@@ -79,11 +126,11 @@ class PoissonYield:
                 f"{self.defect_density_per_cm2}"
             )
 
-    def yield_for_area(self, area_cm2: float) -> float:
-        """Yield of a substrate of ``area_cm2``."""
-        if area_cm2 <= 0:
-            raise CostModelError(f"area must be positive, got {area_cm2}")
-        return math.exp(-area_cm2 * self.defect_density_per_cm2)
+    def yield_for_area(self, area_cm2: ArrayLike) -> ArrayLike:
+        """Yield of substrates of ``area_cm2`` (scalar or array)."""
+        areas, is_scalar = _validated_areas(area_cm2)
+        result = np.exp(-areas * self.defect_density_per_cm2)
+        return float(result[0]) if is_scalar else result
 
     @classmethod
     def from_reference(
@@ -100,7 +147,7 @@ class PoissonYield:
             raise CostModelError(
                 f"reference area must be positive, got {reference_area_cm2}"
             )
-        density = -math.log(reference_yield) / reference_area_cm2
+        density = -float(np.log(reference_yield)) / reference_area_cm2
         return cls(defect_density_per_cm2=density)
 
 
@@ -117,14 +164,55 @@ class MurphyYield:
                 f"{self.defect_density_per_cm2}"
             )
 
-    def yield_for_area(self, area_cm2: float) -> float:
-        """Yield of a substrate of ``area_cm2``."""
-        if area_cm2 <= 0:
-            raise CostModelError(f"area must be positive, got {area_cm2}")
-        ad = area_cm2 * self.defect_density_per_cm2
-        if ad == 0:
-            return 1.0
-        return ((1.0 - math.exp(-ad)) / ad) ** 2
+    def yield_for_area(self, area_cm2: ArrayLike) -> ArrayLike:
+        """Yield of substrates of ``area_cm2`` (scalar or array)."""
+        areas, is_scalar = _validated_areas(area_cm2)
+        ad = np.atleast_1d(areas * self.defect_density_per_cm2)
+        result = np.ones_like(ad)
+        defective = ad != 0
+        result[defective] = (
+            (1.0 - np.exp(-ad[defective])) / ad[defective]
+        ) ** 2
+        if is_scalar:
+            return float(result[0])
+        return result.reshape(areas.shape)
+
+    @classmethod
+    def from_reference(
+        cls, reference_yield: float, reference_area_cm2: float
+    ) -> "MurphyYield":
+        """Derive the defect density from one (yield, area) observation.
+
+        Murphy's law has no closed-form inverse; ``x = A * D0`` solves
+        ``((1 - e^-x) / x)^2 = Y`` by bisection — the left side falls
+        monotonically from 1 (``x -> 0``) toward 0, so the root is
+        unique and bracketing is trivial.
+        """
+        check_yield(reference_yield, "reference yield")
+        if reference_area_cm2 <= 0:
+            raise CostModelError(
+                f"reference area must be positive, got {reference_area_cm2}"
+            )
+        if reference_yield == 1.0:
+            return cls(defect_density_per_cm2=0.0)
+
+        def murphy(x: float) -> float:
+            return ((1.0 - float(np.exp(-x))) / x) ** 2
+
+        lower = 0.0
+        upper = 1.0
+        while murphy(upper) > reference_yield:
+            upper *= 2.0
+        for _ in range(200):
+            mid = 0.5 * (lower + upper)
+            if mid in (lower, upper):
+                break
+            if murphy(mid) > reference_yield:
+                lower = mid
+            else:
+                upper = mid
+        root = 0.5 * (lower + upper)
+        return cls(defect_density_per_cm2=root / reference_area_cm2)
 
 
 @dataclass(frozen=True)
@@ -140,23 +228,43 @@ class SeedsYield:
                 f"{self.defect_density_per_cm2}"
             )
 
-    def yield_for_area(self, area_cm2: float) -> float:
-        """Yield of a substrate of ``area_cm2``."""
-        if area_cm2 <= 0:
-            raise CostModelError(f"area must be positive, got {area_cm2}")
-        return 1.0 / (1.0 + area_cm2 * self.defect_density_per_cm2)
+    def yield_for_area(self, area_cm2: ArrayLike) -> ArrayLike:
+        """Yield of substrates of ``area_cm2`` (scalar or array)."""
+        areas, is_scalar = _validated_areas(area_cm2)
+        result = 1.0 / (1.0 + areas * self.defect_density_per_cm2)
+        return float(result[0]) if is_scalar else result
+
+    @classmethod
+    def from_reference(
+        cls, reference_yield: float, reference_area_cm2: float
+    ) -> "SeedsYield":
+        """Derive the defect density from one (yield, area) observation.
+
+        Seeds' law inverts in closed form: ``D0 = (1/Y - 1) / A``.
+        """
+        check_yield(reference_yield, "reference yield")
+        if reference_area_cm2 <= 0:
+            raise CostModelError(
+                f"reference area must be positive, got {reference_area_cm2}"
+            )
+        density = (1.0 / reference_yield - 1.0) / reference_area_cm2
+        return cls(defect_density_per_cm2=density)
 
 
-def compound_yield(*yields: float) -> float:
-    """Product of independent yields, each validated."""
-    result = 1.0
+def compound_yield(*yields: ArrayLike) -> ArrayLike:
+    """Product of independent yields, each validated.
+
+    Scalars and arrays mix freely; arrays broadcast elementwise, so the
+    result is bit-identical to compounding each lane separately.
+    """
+    result: ArrayLike = 1.0
     for value in yields:
         check_yield(value)
-        result *= value
+        result = result * value
     return result
 
 
-def defect_probability(yield_value: float) -> float:
+def defect_probability(yield_value: ArrayLike) -> ArrayLike:
     """Probability of at least one fault given a yield."""
     check_yield(yield_value)
     return 1.0 - yield_value

@@ -217,6 +217,12 @@ def sweep_candidates(
     return result
 
 
+#: ``sweep_candidates`` never reads ``point.volume``, so the batched
+#: fill may call it once per volume family (it is also usable directly
+#: as a candidate factory in serial sweeps).
+sweep_candidates.volume_invariant = True
+
+
 @dataclass(frozen=True)
 class GpsSweepFactory:
     """Picklable candidate factory for the GPS design-space sweep.
@@ -227,7 +233,17 @@ class GpsSweepFactory:
     build-up candidates locally in whichever process evaluates the grid
     point (the candidates' own flow-factory closures therefore never
     cross a process boundary).
+
+    ``volume_invariant`` declares that :func:`sweep_candidates` never
+    reads ``point.volume`` (volume is consumed by the sweep's cost
+    step, not by candidate construction), which lets
+    :func:`~repro.core.sweep.evaluate_cells` run the factory once per
+    volume family and batch the cost evaluation across the family.
     """
+
+    #: Candidates depend on every axis except the volume — the batched
+    #: fill contract (see :func:`repro.core.sweep.evaluate_cells`).
+    volume_invariant = True
 
     chip_costs: Optional[data.ChipCosts] = None
     nre_scenario: Optional[Mapping[int, float]] = None

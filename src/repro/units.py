@@ -19,6 +19,8 @@ from __future__ import annotations
 import math
 import re
 
+import numpy as np
+
 from .errors import UnitError
 
 #: SI prefix -> multiplier.  ``u`` is accepted as an ASCII micro sign.
@@ -187,18 +189,27 @@ def fraction(percentage: float) -> float:
     return percentage / 100.0
 
 
-def check_yield(value: float, name: str = "yield") -> float:
+def check_yield(value, name: str = "yield"):
     """Validate that ``value`` is a usable yield fraction in ``(0, 1]``.
 
-    Returns the value unchanged so it can be used inline::
+    Accepts a scalar or a numpy array (the broadcasting yield laws
+    validate whole families at once); an array passes when *every*
+    element lies in ``(0, 1]``.  Returns the value unchanged so it can
+    be used inline::
 
         self.yield_ = check_yield(yield_)
 
     Raises
     ------
     UnitError
-        If the value lies outside ``(0, 1]``.
+        If the value (or any array element) lies outside ``(0, 1]``.
     """
+    if isinstance(value, np.ndarray):
+        in_range = (0.0 < value) & (value <= 1.0)
+        if value.size and not bool(np.all(in_range)):
+            bad = value[~in_range][0]
+            raise UnitError(f"{name} must lie in (0, 1], got {bad}")
+        return value
     if not (0.0 < value <= 1.0):
         raise UnitError(f"{name} must lie in (0, 1], got {value}")
     return value

@@ -14,6 +14,7 @@ from repro.area.placement import (
     area_breakdown,
     area_ratio,
     trivial_placement,
+    trivial_placement_batch,
 )
 from repro.area.substrate import LAMINATE_RULE, MCM_D_RULE, PCB_RULE
 from repro.errors import PlacementError
@@ -61,6 +62,66 @@ class TestTrivialPlacement:
             [fp(1.0, MountKind.SMD), fp(2.0, MountKind.SMD)]
         )
         assert totals == {"smd": 3.0}
+
+
+class TestTrivialPlacementBatch:
+    def families(self):
+        """Ragged mixed-mount families, including a single-component
+        one, exercising the zero-padded batch path."""
+        return [
+            [fp(100.0)],
+            [
+                fp(10.0, MountKind.SMD, "r1"),
+                fp(20.0, MountKind.SMD, "r2"),
+                fp(5.0, MountKind.INTEGRATED, "l"),
+            ],
+            [fp(3.75, MountKind.SMD, f"c{i}") for i in range(50)]
+            + [fp(88.0, MountKind.WIRE_BOND, "chip")],
+        ]
+
+    def test_bit_identical_to_looped_scalar(self):
+        for rule, laminate in (
+            (PCB_RULE, None),
+            (MCM_D_RULE, None),
+            (MCM_D_RULE, LAMINATE_RULE),
+        ):
+            batched = trivial_placement_batch(
+                self.families(), rule, laminate
+            )
+            looped = [
+                trivial_placement(family, rule, laminate)
+                for family in self.families()
+            ]
+            assert len(batched) == len(looped)
+            for fast, slow in zip(batched, looped):
+                assert fast.substrate.side_mm == slow.substrate.side_mm
+                assert (
+                    fast.substrate.component_area_mm2
+                    == slow.substrate.component_area_mm2
+                )
+                assert (
+                    fast.substrate.packed_area_mm2
+                    == slow.substrate.packed_area_mm2
+                )
+                assert fast.final_area_mm2 == slow.final_area_mm2
+                assert fast.breakdown_mm2 == slow.breakdown_mm2
+                if laminate is None:
+                    assert fast.package is None
+                else:
+                    assert fast.package.area_mm2 == slow.package.area_mm2
+
+    def test_empty_family_rejected(self):
+        with pytest.raises(PlacementError):
+            trivial_placement_batch([[fp(1.0)], []], PCB_RULE)
+
+    def test_no_families_is_empty(self):
+        assert trivial_placement_batch([], PCB_RULE) == []
+
+    def test_generator_input_accepted(self):
+        batched = trivial_placement_batch(
+            (family for family in self.families()), PCB_RULE
+        )
+        assert len(batched) == 3
 
 
 class TestShelfPlacer:

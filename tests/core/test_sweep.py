@@ -11,11 +11,16 @@ from repro.circuits.qfactor import (
 )
 from repro.core.executors import SerialExecutor
 from repro.core.figure_of_merit import FomWeights
+from repro.core.methodology import assess_candidate, assess_candidate_batch
 from repro.core.sweep import (
+    BATCH_FILL_ENV,
     DesignPoint,
     EvaluationCache,
     NreScenario,
     SweepGrid,
+    batch_fill_enabled,
+    evaluate_cells,
+    family_runs,
     run_design_sweep,
 )
 from repro.errors import SpecificationError
@@ -190,6 +195,163 @@ class TestRunDesignSweep:
         assert report.rows_for(IMPL4) == [
             row for row in report.rows if row.candidate == IMPL4
         ]
+
+
+class TestBatchedFill:
+    GRID = SweepGrid(
+        volumes=(500.0, 1e4, 1e5),
+        tolerances=(None, PRECISION_CLASS),
+    )
+
+    def test_env_gate_parsing(self, monkeypatch):
+        for raw, expected in (
+            ("", True),
+            ("1", True),
+            ("true", True),
+            ("on", True),
+            ("batch", True),
+            ("0", False),
+            ("false", False),
+            ("off", False),
+            ("scalar", False),
+        ):
+            monkeypatch.setenv(BATCH_FILL_ENV, raw)
+            assert batch_fill_enabled() is expected
+        monkeypatch.delenv(BATCH_FILL_ENV)
+        assert batch_fill_enabled() is True
+
+    def test_env_gate_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv(BATCH_FILL_ENV, "bogus")
+        with pytest.raises(SpecificationError, match=BATCH_FILL_ENV):
+            batch_fill_enabled()
+
+    def test_family_runs_groups_across_volume_major_stride(self):
+        points = self.GRID.points()
+        families = family_runs(points)
+        # 3 volumes x 2 tolerances: two families of three points each,
+        # strided across the run because volume varies slowest.
+        assert sorted(pos for family in families for pos in family) == (
+            list(range(len(points)))
+        )
+        assert len(families) == 2
+        for family in families:
+            assert len(family) == 3
+            tolerances = {repr(points[pos].tolerance) for pos in family}
+            assert len(tolerances) == 1
+            volumes = [points[pos].volume for pos in family]
+            assert len(set(volumes)) == 3
+
+    def test_fills_produce_bit_identical_rows(self):
+        batched = evaluate_cells(
+            self.GRID.points(),
+            sweep_candidates,
+            0,
+            FomWeights(),
+            EvaluationCache(),
+            fill="batch",
+        )
+        scalar = evaluate_cells(
+            self.GRID.points(),
+            sweep_candidates,
+            0,
+            FomWeights(),
+            EvaluationCache(),
+            fill="scalar",
+        )
+        assert len(batched) == len(scalar)
+        for fast, slow in zip(batched, scalar):
+            assert fast.point == slow.point
+            for fast_row, slow_row in zip(
+                fast.result.rows, slow.result.rows
+            ):
+                assert fast_row.fom == slow_row.fom
+                assert fast_row.assessment.cost == slow_row.assessment.cost
+                assert (
+                    fast_row.assessment.area.final_area_mm2
+                    == slow_row.assessment.area.final_area_mm2
+                )
+
+    def test_fills_report_equal_stat_totals(self):
+        """Hit/miss *splits* may differ between the fills (the batched
+        fill seeds placements ahead of the lookups) but the totals per
+        table may not — every sub-result is still resolved exactly
+        once per point."""
+        batch_cache = EvaluationCache()
+        scalar_cache = EvaluationCache()
+        evaluate_cells(
+            self.GRID.points(),
+            sweep_candidates,
+            0,
+            FomWeights(),
+            batch_cache,
+            fill="batch",
+        )
+        evaluate_cells(
+            self.GRID.points(),
+            sweep_candidates,
+            0,
+            FomWeights(),
+            scalar_cache,
+            fill="scalar",
+        )
+        fast, slow = batch_cache.stats(), scalar_cache.stats()
+        for table in fast["tables"]:
+            assert (
+                fast["tables"][table]["hits"]
+                + fast["tables"][table]["misses"]
+            ) == (
+                slow["tables"][table]["hits"]
+                + slow["tables"][table]["misses"]
+            )
+
+    def test_bad_fill_rejected(self):
+        with pytest.raises(SpecificationError, match="fill"):
+            evaluate_cells(
+                [DesignPoint()],
+                sweep_candidates,
+                0,
+                FomWeights(),
+                EvaluationCache(),
+                fill="vector",
+            )
+
+    def test_env_gate_controls_default_fill(self, monkeypatch):
+        """With the env off, the default fill runs scalar — same rows."""
+        monkeypatch.setenv(BATCH_FILL_ENV, "0")
+        off = run_gps_sweep(self.GRID)
+        monkeypatch.setenv(BATCH_FILL_ENV, "1")
+        on = run_gps_sweep(self.GRID)
+        assert on.rows == off.rows
+
+    def test_unknown_factory_stays_scalar(self, monkeypatch):
+        """A factory without the volume_invariant marker must not be
+        re-grouped even when the env allows batching."""
+        calls = []
+
+        def counting_factory(point):
+            calls.append(point)
+            return sweep_candidates(point)
+
+        monkeypatch.setenv(BATCH_FILL_ENV, "1")
+        points = self.GRID.points()
+        evaluate_cells(
+            points,
+            counting_factory,
+            0,
+            FomWeights(),
+            EvaluationCache(),
+        )
+        # Scalar fill: the factory runs once per point, not per family.
+        assert len(calls) == len(points)
+
+    def test_assess_candidate_batch_matches_looped(self):
+        volumes = (500.0, 1e4, 1e5)
+        for candidate in sweep_candidates(DesignPoint()):
+            batched = assess_candidate_batch(candidate, volumes)
+            looped = tuple(
+                assess_candidate(candidate, volume) for volume in volumes
+            )
+            assert batched == looped
 
 
 class TestGpsAxes:

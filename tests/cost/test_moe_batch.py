@@ -1,0 +1,289 @@
+"""Batch/scalar equivalence of the vectorised assessment spine.
+
+The batched fast paths (`evaluate_batch`, `final_costs_for_variants`,
+array yield laws) must be **bit-identical** to the scalar references —
+not approximately equal.  Hypothesis generates random production flows
+(every step type, optional rework), random volume families and random
+area arrays; every `CostReport` field (including `cost_by_tag` and the
+per-step reports) is compared with exact dataclass equality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cost.moe.analytic import (
+    evaluate,
+    evaluate_batch,
+    final_costs_for_variants,
+)
+from repro.cost.moe.flow import ProductionFlow
+from repro.cost.moe.nodes import (
+    AttachStep,
+    CarrierStep,
+    ProcessStep,
+    ReworkPolicy,
+    TestStep,
+)
+from repro.cost.yieldmodels import (
+    MurphyYield,
+    PerOperationYield,
+    PoissonYield,
+    SeedsYield,
+    StepYield,
+    compound_yield,
+)
+from repro.errors import FlowError
+
+# Yields and coverages stay off the degenerate corners so every
+# generated flow ships units (lost == 1 needs faulty == coverage == 1
+# with no rework).
+costs = st.floats(min_value=0.0, max_value=500.0)
+yields = st.floats(min_value=0.5, max_value=1.0)
+coverages = st.floats(min_value=0.0, max_value=0.999)
+volumes = st.lists(
+    st.floats(min_value=1e-3, max_value=1e9),
+    min_size=1,
+    max_size=8,
+)
+
+
+@st.composite
+def flows(draw) -> ProductionFlow:
+    """A random production flow exercising every step type."""
+    steps = [
+        CarrierStep(
+            "ID0",
+            "carrier",
+            unit_cost=draw(costs),
+            carrier_yield=draw(yields),
+        )
+    ]
+    for index in range(draw(st.integers(min_value=0, max_value=3))):
+        kind = draw(st.sampled_from(["process", "attach", "test"]))
+        node_id = f"ID{index + 1}"
+        if kind == "process":
+            steps.append(
+                ProcessStep(
+                    node_id,
+                    f"process {index}",
+                    unit_cost=draw(costs),
+                    process_yield=draw(yields),
+                )
+            )
+        elif kind == "attach":
+            steps.append(
+                AttachStep(
+                    node_id,
+                    f"attach {index}",
+                    quantity=draw(st.integers(min_value=0, max_value=20)),
+                    component_cost=draw(costs),
+                    component_yield=draw(yields),
+                    attach_cost=draw(costs),
+                    attach_yield=draw(yields),
+                    per_operation=draw(st.booleans()),
+                )
+            )
+        else:
+            rework = None
+            if draw(st.booleans()):
+                rework = ReworkPolicy(
+                    attempt_cost=draw(costs),
+                    success_probability=draw(
+                        st.floats(min_value=0.1, max_value=1.0)
+                    ),
+                    max_attempts=draw(st.integers(min_value=1, max_value=4)),
+                )
+            steps.append(
+                TestStep(
+                    node_id,
+                    f"test {index}",
+                    test_cost=draw(costs),
+                    coverage=draw(coverages),
+                    rework=rework,
+                )
+            )
+    steps.append(
+        TestStep("IDF", "final test", test_cost=draw(costs), coverage=1.0)
+    )
+    flow = ProductionFlow(
+        name="random", nre=draw(st.floats(min_value=0.0, max_value=1e6))
+    )
+    flow.steps = steps
+    return flow
+
+
+class TestEvaluateBatch:
+    @settings(max_examples=120, deadline=None)
+    @given(flows(), volumes)
+    def test_bit_identical_to_looped_evaluate(self, flow, family):
+        batch = evaluate_batch(flow, family)
+        looped = tuple(evaluate(flow, volume) for volume in family)
+        # Frozen-dataclass equality compares every CostReport field —
+        # cost_by_tag dicts and the per-step StepReport tuples included
+        # — with exact float equality.
+        assert batch.to_reports() == looped
+
+    @settings(max_examples=60, deadline=None)
+    @given(flows(), volumes)
+    def test_columns_match_scalar_fields(self, flow, family):
+        batch = evaluate_batch(flow, family)
+        assert len(batch) == len(family)
+        for column, volume in enumerate(family):
+            report = evaluate(flow, volume)
+            assert batch.started_units[column] == report.started_units
+            assert batch.shipped_units[column] == report.shipped_units
+            assert batch.scrapped_units[column] == report.scrapped_units
+            assert batch.nre_per_shipped[column] == report.nre_per_shipped
+            assert (
+                batch.final_cost_per_shipped[column]
+                == report.final_cost_per_shipped
+            )
+            step_matrix = batch.step_units_processed
+            for row, step_report in enumerate(report.steps):
+                assert step_matrix[row, column] == (
+                    step_report.units_processed
+                )
+
+    def test_rejects_empty_family(self):
+        flow = ProductionFlow(name="empty-family")
+        flow.steps = [
+            CarrierStep("ID0", "carrier", 1.0, 0.9),
+            TestStep("ID1", "test", 1.0, 1.0),
+        ]
+        with pytest.raises(FlowError, match="at least one volume"):
+            evaluate_batch(flow, [])
+
+    def test_rejects_nonpositive_volume(self):
+        flow = ProductionFlow(name="bad-volume")
+        flow.steps = [
+            CarrierStep("ID0", "carrier", 1.0, 0.9),
+            TestStep("ID1", "test", 1.0, 1.0),
+        ]
+        with pytest.raises(FlowError, match="volume must be positive"):
+            evaluate_batch(flow, [1e3, 0.0])
+
+
+class TestVariantBatch:
+    @settings(max_examples=60, deadline=None)
+    @given(flows(), st.floats(min_value=1.0, max_value=1e6))
+    def test_bit_identical_to_rebuilt_flows(self, flow, volume):
+        from dataclasses import replace
+
+        variants = []
+        for index, step in enumerate(flow.steps):
+            if isinstance(step, CarrierStep):
+                variants.append(
+                    (index, replace(step, unit_cost=step.unit_cost + 1.0))
+                )
+            elif isinstance(step, TestStep):
+                variants.append(
+                    (index, replace(step, coverage=step.coverage / 2.0))
+                )
+        batched = final_costs_for_variants(flow, variants, volume=volume)
+        for lane, (index, replacement) in enumerate(variants):
+            modified = ProductionFlow(name=flow.name, nre=flow.nre)
+            modified.steps = list(flow.steps)
+            modified.steps[index] = replacement
+            scalar = evaluate(modified, volume=volume)
+            assert float(batched[lane]) == scalar.final_cost_per_shipped
+
+    def test_rejects_type_change(self):
+        flow = ProductionFlow(name="typed")
+        flow.steps = [
+            CarrierStep("ID0", "carrier", 1.0, 0.9),
+            TestStep("ID1", "test", 1.0, 1.0),
+        ]
+        with pytest.raises(FlowError, match="keep its type"):
+            final_costs_for_variants(
+                flow, [(0, ProcessStep("ID0", "carrier", 1.0, 0.9))]
+            )
+
+    def test_empty_variant_list(self):
+        flow = ProductionFlow(name="empty")
+        flow.steps = [
+            CarrierStep("ID0", "carrier", 1.0, 0.9),
+            TestStep("ID1", "test", 1.0, 1.0),
+        ]
+        assert final_costs_for_variants(flow, []).shape == (0,)
+
+
+#: Edge areas the array laws must agree on: denormal-adjacent, tiny,
+#: paper-sized, huge.
+EDGE_AREAS = (1e-300, 1e-12, 1e-3, 0.5, 7.0, 123.456, 1e6, 1e12)
+
+
+class TestArrayYieldLaws:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.floats(min_value=0.0, max_value=5.0),
+        st.lists(
+            st.floats(min_value=1e-6, max_value=1e4),
+            min_size=1,
+            max_size=12,
+        ),
+    )
+    def test_laws_elementwise_equal_scalar(self, density, areas):
+        array = np.asarray(areas, dtype=np.float64)
+        for law in (
+            PoissonYield(density),
+            MurphyYield(density),
+            SeedsYield(density),
+        ):
+            vectorised = law.yield_for_area(array)
+            assert isinstance(vectorised, np.ndarray)
+            for index, area in enumerate(areas):
+                assert vectorised[index] == law.yield_for_area(area)
+
+    def test_edge_areas_elementwise_equal_scalar(self):
+        array = np.asarray(EDGE_AREAS, dtype=np.float64)
+        for law in (
+            PoissonYield(0.015),
+            MurphyYield(0.015),
+            SeedsYield(0.015),
+            PoissonYield(0.0),
+            MurphyYield(0.0),
+        ):
+            vectorised = law.yield_for_area(array)
+            for index, area in enumerate(EDGE_AREAS):
+                assert vectorised[index] == law.yield_for_area(area)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.floats(min_value=0.5, max_value=1.0),
+        st.lists(
+            st.integers(min_value=0, max_value=500),
+            min_size=1,
+            max_size=8,
+        ),
+    )
+    def test_effective_elementwise_equal_scalar(self, value, operations):
+        counts = np.asarray(operations)
+        for law in (StepYield(value), PerOperationYield(value)):
+            vectorised = law.effective(counts)
+            assert isinstance(vectorised, np.ndarray)
+            for index, count in enumerate(operations):
+                assert vectorised[index] == law.effective(count)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=0.5, max_value=1.0),
+            min_size=2,
+            max_size=4,
+        ),
+        st.lists(
+            st.floats(min_value=0.5, max_value=1.0),
+            min_size=1,
+            max_size=6,
+        ),
+    )
+    def test_compound_yield_broadcasts(self, scalars, lanes):
+        array = np.asarray(lanes, dtype=np.float64)
+        vectorised = compound_yield(*scalars, array)
+        assert isinstance(vectorised, np.ndarray)
+        for index, lane in enumerate(lanes):
+            assert vectorised[index] == compound_yield(*scalars, lane)

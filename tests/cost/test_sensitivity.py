@@ -5,7 +5,12 @@ from __future__ import annotations
 import pytest
 
 from repro.cost.moe import FlowBuilder
-from repro.cost.sensitivity import Knob, rank_cost_drivers, sensitivity_of
+from repro.cost.sensitivity import (
+    Knob,
+    rank_cost_drivers,
+    rank_cost_drivers_pointwise,
+    sensitivity_of,
+)
 from repro.errors import CostModelError
 from repro.gps.buildups import flow_for
 
@@ -81,6 +86,68 @@ class TestRanking:
         drivers = rank_cost_drivers(toy_flow())
         magnitudes = [abs(d.elasticity) for d in drivers]
         assert magnitudes == sorted(magnitudes, reverse=True)
+
+
+class TestZeroBaseline:
+    def test_zero_base_cost_raises_named_error(self):
+        """Regression: a finite-difference elasticity at a zero base
+        value would divide by zero; the error must name the step and
+        knob instead of propagating a warning or a NaN."""
+        flow = (
+            FlowBuilder("free-carrier")
+            .carrier("freebie", cost=0.0, yield_=0.9)
+            .attach("chip", 1, 100.0, 0.95, 0.1, 0.99)
+            .test("final", cost=5.0, coverage=0.99)
+            .build()
+        )
+        with pytest.raises(CostModelError, match="zero base value"):
+            sensitivity_of(flow, "ID0", Knob.COST)
+        with pytest.raises(CostModelError, match="freebie"):
+            sensitivity_of(flow, "ID0", Knob.COST)
+
+    def test_ranking_skips_zero_base_knobs(self):
+        """rank_cost_drivers must silently skip the knobs that
+        sensitivity_of would reject."""
+        flow = (
+            FlowBuilder("free-carrier")
+            .carrier("freebie", cost=0.0, yield_=0.9)
+            .attach("chip", 1, 100.0, 0.95, 0.1, 0.99)
+            .test("final", cost=5.0, coverage=0.99)
+            .build()
+        )
+        drivers = rank_cost_drivers(flow)
+        assert drivers  # the non-trivial knobs still rank
+        assert all(
+            not (d.node_id == "ID0" and d.knob is Knob.COST)
+            for d in drivers
+        )
+
+
+class TestBatchedRankingEquivalence:
+    def test_toy_flow_matches_pointwise_exactly(self):
+        batched = rank_cost_drivers(toy_flow())
+        pointwise = rank_cost_drivers_pointwise(toy_flow())
+        assert len(batched) == len(pointwise)
+        for fast, slow in zip(batched, pointwise):
+            assert fast.node_id == slow.node_id
+            assert fast.knob is slow.knob
+            assert fast.base_value == slow.base_value
+            assert fast.elasticity == slow.elasticity
+
+    def test_gps_flows_match_pointwise_exactly(self):
+        for implementation in (1, 2, 3, 4):
+            batched = rank_cost_drivers(flow_for(implementation))
+            pointwise = rank_cost_drivers_pointwise(
+                flow_for(implementation)
+            )
+            assert [
+                (d.node_id, d.knob, d.elasticity) for d in batched
+            ] == [(d.node_id, d.knob, d.elasticity) for d in pointwise]
+
+    def test_bad_step_size_rejected_by_both(self):
+        for ranker in (rank_cost_drivers, rank_cost_drivers_pointwise):
+            with pytest.raises(CostModelError):
+                ranker(toy_flow(), relative_step=0.9)
 
 
 class TestGpsDrivers:

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
@@ -98,6 +99,112 @@ class TestAreaLaws:
     def test_rejects_negative_density(self):
         with pytest.raises(CostModelError):
             MurphyYield(-0.1)
+
+
+class TestFromReference:
+    @given(
+        st.floats(min_value=0.05, max_value=0.999),
+        st.floats(min_value=0.1, max_value=50.0),
+    )
+    def test_murphy_roundtrip(self, reference_yield, area):
+        model = MurphyYield.from_reference(reference_yield, area)
+        assert model.yield_for_area(area) == pytest.approx(
+            reference_yield, abs=1e-12
+        )
+
+    @given(
+        st.floats(min_value=0.05, max_value=0.999),
+        st.floats(min_value=0.1, max_value=50.0),
+    )
+    def test_seeds_roundtrip(self, reference_yield, area):
+        model = SeedsYield.from_reference(reference_yield, area)
+        assert model.yield_for_area(area) == pytest.approx(
+            reference_yield, abs=1e-12
+        )
+
+    def test_perfect_reference_gives_zero_density(self):
+        for law in (PoissonYield, MurphyYield, SeedsYield):
+            model = law.from_reference(1.0, 7.0)
+            assert model.defect_density_per_cm2 == 0.0
+
+    def test_laws_calibrated_to_same_point_still_ordered(self):
+        """Calibrated through (7 cm^2, 90 %), the tails keep the
+        Poisson < Murphy < Seeds order at larger area."""
+        poisson = PoissonYield.from_reference(0.90, 7.0)
+        murphy = MurphyYield.from_reference(0.90, 7.0)
+        seeds = SeedsYield.from_reference(0.90, 7.0)
+        assert (
+            poisson.yield_for_area(20.0)
+            < murphy.yield_for_area(20.0)
+            < seeds.yield_for_area(20.0)
+        )
+
+    def test_rejects_invalid_reference(self):
+        for factory in (
+            PoissonYield.from_reference,
+            MurphyYield.from_reference,
+            SeedsYield.from_reference,
+        ):
+            with pytest.raises((CostModelError, UnitError)):
+                factory(0.0, 7.0)
+            with pytest.raises((CostModelError, UnitError)):
+                factory(1.2, 7.0)
+            with pytest.raises(CostModelError):
+                factory(0.9, 0.0)
+
+
+class TestArrayBroadcasting:
+    AREAS = (1e-300, 1e-6, 0.5, 7.0, 123.4, 1e6)
+
+    def test_area_laws_match_scalar_bitwise(self):
+        areas = np.asarray(self.AREAS, dtype=np.float64)
+        for model in (
+            PoissonYield(0.015),
+            MurphyYield(0.015),
+            SeedsYield(0.015),
+            MurphyYield(0.0),
+        ):
+            vectorised = model.yield_for_area(areas)
+            assert isinstance(vectorised, np.ndarray)
+            for index, area in enumerate(self.AREAS):
+                assert vectorised[index] == model.yield_for_area(area)
+
+    def test_scalar_input_returns_python_float(self):
+        result = PoissonYield(0.015).yield_for_area(7.0)
+        assert type(result) is float
+
+    def test_array_shape_preserved(self):
+        areas = np.asarray(self.AREAS).reshape(2, 3)
+        assert PoissonYield(0.015).yield_for_area(areas).shape == (2, 3)
+
+    def test_rejects_array_with_bad_area(self):
+        with pytest.raises(CostModelError, match="area must be positive"):
+            PoissonYield(0.1).yield_for_area(np.asarray([1.0, -2.0, 3.0]))
+        with pytest.raises(CostModelError, match="area must be positive"):
+            SeedsYield(0.1).yield_for_area(np.asarray([0.0]))
+
+    def test_effective_matches_scalar_bitwise(self):
+        counts = np.asarray([0, 1, 87, 212, 500])
+        for law in (StepYield(0.933), PerOperationYield(0.9999)):
+            vectorised = law.effective(counts)
+            assert isinstance(vectorised, np.ndarray)
+            for index, count in enumerate(counts.tolist()):
+                assert vectorised[index] == law.effective(count)
+
+    def test_effective_rejects_negative_array(self):
+        with pytest.raises(CostModelError, match="cannot be negative"):
+            PerOperationYield(0.9).effective(np.asarray([1, -2]))
+
+    def test_compound_yield_broadcasts_bitwise(self):
+        lanes = np.asarray([0.7, 0.85, 1.0])
+        vectorised = compound_yield(0.9, lanes, 0.95)
+        assert isinstance(vectorised, np.ndarray)
+        for index, lane in enumerate(lanes.tolist()):
+            assert vectorised[index] == compound_yield(0.9, lane, 0.95)
+
+    def test_compound_yield_rejects_bad_array(self):
+        with pytest.raises(UnitError):
+            compound_yield(0.9, np.asarray([0.9, 1.2]))
 
 
 class TestHelpers:

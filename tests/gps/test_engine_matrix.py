@@ -92,6 +92,25 @@ class TestEngineMatrix:
             cell.point for cell in reference.cells
         ]
 
+    @pytest.mark.parametrize("scenario", sorted(SCENARIO_GRIDS))
+    def test_scalar_fill_byte_identical_to_batched(
+        self, serial_reports, scenario, monkeypatch
+    ):
+        """The serial reference runs the batched family fill by
+        default; forcing the scalar per-point fill through the env gate
+        must hit the same bytes under every scenario class."""
+        from repro.core.sweep import BATCH_FILL_ENV
+
+        monkeypatch.setenv(BATCH_FILL_ENV, "0")
+        report = run_gps_sweep(
+            SCENARIO_GRIDS[scenario], executor=make_executor("serial")
+        )
+        reference = serial_reports[scenario]
+        assert report.rows == reference.rows
+        assert [cell.point for cell in report.cells] == [
+            cell.point for cell in reference.cells
+        ]
+
     def test_scenarios_genuinely_differ(self, serial_reports):
         """The matrix is not vacuous: each scenario moves the numbers."""
         performances = {

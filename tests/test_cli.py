@@ -248,6 +248,63 @@ class TestSweepCommand:
             assert record[6] == "1:1:0"
 
 
+class TestSweepFill:
+    """The --fill flag and the REPRO_SWEEP_BATCH env gate."""
+
+    ARGS = ["sweep", "--csv", "--volumes", "1e3,1e4", "--tolerances",
+            "paper,precision"]
+
+    def test_scalar_fill_csv_identical_to_default(self, capsys):
+        assert main(self.ARGS) == 0
+        reference = capsys.readouterr().out
+        assert main(self.ARGS + ["--fill", "scalar"]) == 0
+        assert capsys.readouterr().out == reference
+        assert main(self.ARGS + ["--fill", "batch"]) == 0
+        assert capsys.readouterr().out == reference
+
+    def test_invalid_fill_rejected(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--fill", "vector"])
+        assert excinfo.value.code == 2
+
+    def test_bad_env_gate_exits_2(self, capsys, monkeypatch):
+        from repro.core.sweep import BATCH_FILL_ENV
+
+        monkeypatch.setenv(BATCH_FILL_ENV, "bogus")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep"])
+        assert excinfo.value.code == 2
+        assert "REPRO_SWEEP_BATCH" in capsys.readouterr().err
+
+    def test_fill_flag_restores_env(self, capsys, monkeypatch):
+        """--fill must not leak its env override past the command."""
+        import os
+
+        from repro.core.sweep import BATCH_FILL_ENV
+
+        monkeypatch.delenv(BATCH_FILL_ENV, raising=False)
+        assert main(self.ARGS + ["--fill", "scalar"]) == 0
+        capsys.readouterr()
+        assert BATCH_FILL_ENV not in os.environ
+
+        monkeypatch.setenv(BATCH_FILL_ENV, "1")
+        assert main(self.ARGS + ["--fill", "scalar"]) == 0
+        capsys.readouterr()
+        assert os.environ[BATCH_FILL_ENV] == "1"
+
+    def test_scalar_fill_env_csv_identical_to_default(
+        self, capsys, monkeypatch
+    ):
+        from repro.core.sweep import BATCH_FILL_ENV
+
+        monkeypatch.delenv(BATCH_FILL_ENV, raising=False)
+        assert main(self.ARGS) == 0
+        reference = capsys.readouterr().out
+        monkeypatch.setenv(BATCH_FILL_ENV, "0")
+        assert main(self.ARGS) == 0
+        assert capsys.readouterr().out == reference
+
+
 class TestSweepEngines:
     """The --engine / --jobs / --cache-stats surface."""
 
