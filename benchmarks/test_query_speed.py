@@ -1,0 +1,103 @@
+"""Speed gate: a warehouse re-rank must be ≥ 100x a fresh sweep.
+
+The PR that introduced the frame warehouse and query service claims
+decision queries are answered in O(ms) from stored frames instead of
+re-running the sweep.  This benchmark pins that claim on a real GPS
+warehouse of ≥ 10k rows (2500 grid points × 4 implementations):
+
+* **re-sweep path** (what you'd do without the warehouse): run
+  :func:`~repro.gps.study.run_gps_sweep` over the full grid with the
+  user's FoM weights — every MoE flow walked, every yield law
+  evaluated again;
+* **re-rank path** (what the query tier does):
+  :func:`~repro.core.queryservice.rerank_frame` over the warm
+  in-memory :class:`~repro.core.warehouse.DecisionFrame` — three
+  scalar-``pow`` column passes and a per-cell first-max, nothing else.
+
+Byte-identity is asserted **first**: the re-ranked frame must equal
+the fresh sweep's frame on the exact JSON column serialisation (equal
+IEEE doubles), because a fast wrong answer is worthless.  Then the
+re-rank must be at least ``MIN_SPEEDUP`` times faster, best-of-N
+against best-of-N.  The warm end-to-end query path (manifest re-read,
+memoised frame, filter, serialise) is reported alongside for the
+O(ms) narrative.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.figure_of_merit import FomWeights
+from repro.core.queryservice import QueryService, rerank_frame
+from repro.core.sweep import SweepGrid
+from repro.core.warehouse import load_warehouse
+from repro.gps.study import (
+    NRE_SCENARIOS,
+    build_gps_warehouse,
+    run_gps_sweep,
+)
+from repro.passives.tolerance import TOLERANCE_CLASSES
+
+#: The acceptance criterion: stored re-rank vs full re-sweep.
+MIN_SPEEDUP = 100.0
+
+#: 625 volumes × 2 tolerances × 2 NRE labels = 2500 points, 10k rows.
+GRID = SweepGrid(
+    volumes=tuple(np.geomspace(1e2, 1e7, 625).tolist()),
+    tolerances=(None, TOLERANCE_CLASSES["precision"]),
+    nres=(None, NRE_SCENARIOS["zero"]),
+)
+
+#: The user ask being re-ranked: performance weighted double.
+WEIGHTS = FomWeights(performance=2.0, size=1.0, cost=1.0)
+
+
+def _best_of(fn, repeats: int) -> tuple[float, object]:
+    """Minimum wall-clock of ``repeats`` runs, plus the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_warehouse_rerank_is_100x_a_fresh_sweep(tmp_path):
+    directory = tmp_path / "gps-warehouse"
+    build_gps_warehouse(directory, GRID)
+    dframe = load_warehouse(directory)
+    assert len(dframe) >= 10_000
+
+    # Correctness gates speed: byte-identical frames or no timing.
+    fresh = run_gps_sweep(GRID, weights=WEIGHTS)
+    reranked = rerank_frame(dframe, WEIGHTS)
+    assert reranked.to_json_columns() == fresh.frame.to_json_columns()
+
+    sweep_s, _ = _best_of(
+        lambda: run_gps_sweep(GRID, weights=WEIGHTS), repeats=3
+    )
+    rerank_s, _ = _best_of(
+        lambda: rerank_frame(dframe, WEIGHTS), repeats=5
+    )
+
+    # The warm end-to-end query path, for the O(ms) narrative.
+    service = QueryService(directory)
+    request = {"kind": "winners", "fom_weights": "2:1:1"}
+    service.execute(request)  # prime the frame memo
+    query_s, payload = _best_of(
+        lambda: service.execute(request), repeats=5
+    )
+    assert sum(payload["winner_counts"].values()) == 2500
+
+    speedup = sweep_s / rerank_s
+    print(
+        f"\nre-rank vs re-sweep on {len(dframe)} rows: "
+        f"sweep {sweep_s * 1e3:.1f} ms, "
+        f"re-rank {rerank_s * 1e3:.2f} ms "
+        f"-> {speedup:.0f}x (gate {MIN_SPEEDUP:.0f}x); "
+        f"warm winners query end-to-end {query_s * 1e3:.2f} ms"
+    )
+    assert speedup >= MIN_SPEEDUP

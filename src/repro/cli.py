@@ -63,12 +63,25 @@ from .core.sharding import (
     write_shard_artifact,
 )
 from .core.sweep import BATCH_FILL_ENV, SweepGrid, batch_fill_enabled
+from .core.queryservice import (
+    QUERY_KINDS,
+    SENSITIVITY_AXES,
+    QueryError,
+    QueryService,
+    response_bytes,
+    serve_warehouse,
+)
+from .core.warehouse import (
+    ingest_shard_directory,
+    read_warehouse_manifest,
+)
 from .cost.calibration import calibrate_chip_costs
 from .cost.moe.builder import render_flow
 from .errors import SpecificationError
 from .gps.buildups import flow_for
 from .gps.study import (
     NRE_SCENARIOS,
+    build_gps_warehouse,
     paper_comparison,
     run_gps_queue_worker,
     run_gps_shard,
@@ -957,6 +970,222 @@ def _cmd_gather(args: argparse.Namespace) -> int:
     return 0
 
 
+def _warehouse_error(message: str) -> "SystemExit":
+    """Abort a warehouse subcommand with argparse's exit contract.
+
+    Bad asks — contradictory flags, a missing manifest, a fingerprint
+    that does not match the warehouse — exit 2 with a one-line
+    message, never a traceback.
+    """
+    print(f"repro-gps warehouse: error: {message}", file=sys.stderr)
+    return SystemExit(2)
+
+
+def _check_warehouse_fingerprint(directory, pin: Optional[str]):
+    """The warehouse manifest, with an optional ``--fingerprint`` pin."""
+    try:
+        manifest = read_warehouse_manifest(directory)
+    except SpecificationError as exc:
+        raise _warehouse_error(str(exc)) from None
+    if pin is not None and manifest.fingerprint != pin:
+        raise _warehouse_error(
+            f"warehouse {directory} holds grid fingerprint "
+            f"{manifest.fingerprint}, not {pin}; point at the right "
+            f"warehouse or drop --fingerprint"
+        )
+    return manifest
+
+
+def _cmd_warehouse_build(args: argparse.Namespace) -> int:
+    """Materialise a sweep into frame files (fresh run or shard ingest)."""
+    if args.from_shards is not None:
+        overridden = [
+            "--" + name.replace("_", "-")
+            for name, default in _GRID_AXIS_DEFAULTS.items()
+            if getattr(args, name) != default
+        ]
+        if overridden:
+            raise _warehouse_error(
+                "--from-shards reads the grid from the shard "
+                "artifacts; drop " + ", ".join(overridden)
+            )
+        if args.engine is not None or args.jobs is not None:
+            raise _warehouse_error(
+                "--from-shards ingests finished artifacts without "
+                "evaluating anything; drop --engine/--jobs"
+            )
+        try:
+            manifest, appended, skipped = ingest_shard_directory(
+                args.directory, args.from_shards
+            )
+        except SpecificationError as exc:
+            raise _warehouse_error(str(exc)) from None
+        for name in appended:
+            print(f"appended {name}")
+        for name in skipped:
+            print(f"skipped {name} (already covered)")
+    else:
+        grid = SweepGrid(
+            volumes=args.volumes,
+            substrates=args.substrates,
+            processes=args.processes,
+            tolerances=args.tolerances,
+            q_models=args.q_models,
+            nres=args.nres,
+            fom_weights=args.fom_weights,
+        )
+        try:
+            executor = resolve_executor(args.engine, args.jobs, None)
+            manifest = build_gps_warehouse(
+                args.directory,
+                grid,
+                executor=executor,
+                grid_spec=_grid_spec_from_args(args),
+            )
+        except SpecificationError as exc:
+            raise _warehouse_error(str(exc)) from None
+    rows = sum(entry.rows for entry in manifest.frames)
+    state = "complete" if manifest.complete else "partial"
+    print(
+        f"warehouse {args.directory}: fingerprint "
+        f"{manifest.fingerprint}, revision {manifest.revision}, "
+        f"{manifest.covered_points}/{manifest.total_points} points, "
+        f"{rows} rows in {len(manifest.frames)} frame files ({state})"
+    )
+    return 0
+
+
+def _cmd_warehouse_serve(args: argparse.Namespace) -> int:
+    """Put a warehouse behind ``POST /query`` until interrupted."""
+    _check_warehouse_fingerprint(args.directory, args.fingerprint)
+    try:
+        server = serve_warehouse(
+            args.directory, host=args.host, port=args.port
+        )
+    except SpecificationError as exc:
+        raise _warehouse_error(str(exc)) from None
+    except OSError as exc:
+        raise _warehouse_error(
+            f"cannot bind {args.host}:{args.port}: {exc}"
+        ) from None
+    host, port = server.server_address[:2]
+    print(
+        f"serving warehouse {args.directory} at http://{host}:{port} "
+        f"(POST /query, GET /manifest, GET /health; Ctrl-C stops)",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def _cmd_warehouse_query(args: argparse.Namespace) -> int:
+    """Answer one decision query and print the canonical JSON response.
+
+    The same bytes the HTTP server would send for the equivalent
+    ``POST /query`` — scripts can mix both surfaces and diff freely.
+    """
+    _check_warehouse_fingerprint(args.directory, args.fingerprint)
+    request: dict = {"kind": args.kind}
+    where: dict = {}
+    for flag, axis in (
+        ("volume", "volume"),
+        ("substrate", "substrate"),
+        ("process", "process"),
+        ("tolerance", "tolerance"),
+        ("q_model", "q_model"),
+        ("nre", "nre"),
+        ("weights_label", "weights"),
+        ("candidate", "candidate"),
+    ):
+        value = getattr(args, flag)
+        if value is not None:
+            where[axis] = value
+    if where:
+        request["where"] = where
+    if args.query_fom_weights is not None:
+        request["fom_weights"] = args.query_fom_weights
+    if args.axis is not None:
+        request["axis"] = args.axis
+    try:
+        payload = QueryService(args.directory).execute(request)
+    except QueryError as exc:
+        raise _warehouse_error(str(exc)) from None
+    except SpecificationError as exc:
+        raise _warehouse_error(str(exc)) from None
+    sys.stdout.write(response_bytes(payload).decode("utf-8"))
+    return 0
+
+
+def _add_grid_axis_arguments(parser: argparse.ArgumentParser) -> None:
+    """The seven sweep-grid axis flags, shared verbatim by ``sweep``
+    and ``warehouse build`` (same tokens, same defaults, same grid)."""
+    parser.add_argument(
+        "--volumes",
+        type=_volume_values,
+        default=(10_000.0,),
+        help="comma-separated production volumes, e.g. 1e3,1e4,1e5",
+    )
+    parser.add_argument(
+        "--substrates",
+        type=lambda raw: _axis_values(raw, SUBSTRATE_RULES, "substrate"),
+        default=(None,),
+        help=(
+            "comma-separated MCM substrate rules: paper, "
+            + ", ".join(sorted(SUBSTRATE_RULES))
+        ),
+    )
+    parser.add_argument(
+        "--processes",
+        type=lambda raw: _axis_values(raw, THIN_FILM_PROCESSES, "process"),
+        default=(None,),
+        help=(
+            "comma-separated thin-film processes: paper, "
+            + ", ".join(sorted(THIN_FILM_PROCESSES))
+        ),
+    )
+    parser.add_argument(
+        "--tolerances",
+        type=lambda raw: _axis_values(raw, TOLERANCE_CLASSES, "tolerance"),
+        default=(None,),
+        help=(
+            "comma-separated tolerance classes: paper, "
+            + ", ".join(sorted(TOLERANCE_CLASSES))
+        ),
+    )
+    parser.add_argument(
+        "--q-models",
+        type=_q_model_values,
+        default=(None,),
+        help=(
+            "comma-separated technology Q models: paper, tan=<value>, "
+            + ", ".join(sorted(Q_MODEL_SCENARIOS))
+        ),
+    )
+    parser.add_argument(
+        "--nres",
+        type=lambda raw: _axis_values(raw, NRE_SCENARIOS, "NRE scenario"),
+        default=(None,),
+        help=(
+            "comma-separated NRE scenarios: paper, "
+            + ", ".join(sorted(NRE_SCENARIOS))
+        ),
+    )
+    parser.add_argument(
+        "--fom-weights",
+        type=_fom_weight_values,
+        default=(None,),
+        help=(
+            "comma-separated FoM weight vectors as perf:size:cost "
+            "(e.g. 1:1:1,2:1:0.5); paper = the plain product"
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro-gps`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -1003,66 +1232,7 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep",
         help="design-space sweep (volume x substrate x process x tolerance)",
     )
-    sweep.add_argument(
-        "--volumes",
-        type=_volume_values,
-        default=(10_000.0,),
-        help="comma-separated production volumes, e.g. 1e3,1e4,1e5",
-    )
-    sweep.add_argument(
-        "--substrates",
-        type=lambda raw: _axis_values(raw, SUBSTRATE_RULES, "substrate"),
-        default=(None,),
-        help=(
-            "comma-separated MCM substrate rules: paper, "
-            + ", ".join(sorted(SUBSTRATE_RULES))
-        ),
-    )
-    sweep.add_argument(
-        "--processes",
-        type=lambda raw: _axis_values(raw, THIN_FILM_PROCESSES, "process"),
-        default=(None,),
-        help=(
-            "comma-separated thin-film processes: paper, "
-            + ", ".join(sorted(THIN_FILM_PROCESSES))
-        ),
-    )
-    sweep.add_argument(
-        "--tolerances",
-        type=lambda raw: _axis_values(raw, TOLERANCE_CLASSES, "tolerance"),
-        default=(None,),
-        help=(
-            "comma-separated tolerance classes: paper, "
-            + ", ".join(sorted(TOLERANCE_CLASSES))
-        ),
-    )
-    sweep.add_argument(
-        "--q-models",
-        type=_q_model_values,
-        default=(None,),
-        help=(
-            "comma-separated technology Q models: paper, tan=<value>, "
-            + ", ".join(sorted(Q_MODEL_SCENARIOS))
-        ),
-    )
-    sweep.add_argument(
-        "--nres",
-        type=lambda raw: _axis_values(raw, NRE_SCENARIOS, "NRE scenario"),
-        default=(None,),
-        help=(
-            "comma-separated NRE scenarios: paper, "
-            + ", ".join(sorted(NRE_SCENARIOS))
-        ),
-    )
-    sweep.add_argument(
-        "--fom-weights",
-        type=_fom_weight_values,
-        default=(None,),
-        help=(
-            "comma-separated FoM weight vectors as perf:size:cost "
-            "(e.g. 1:1:1,2:1:0.5); paper = the plain product"
-        ),
-    )
+    _add_grid_axis_arguments(sweep)
     sweep.add_argument(
         "--csv",
         action="store_true",
@@ -1253,6 +1423,160 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     gather.set_defaults(func=_cmd_gather)
+
+    warehouse = sub.add_parser(
+        "warehouse",
+        help=(
+            "materialise sweeps into a frame warehouse and answer "
+            "decision queries in O(ms)"
+        ),
+    )
+    warehouse_sub = warehouse.add_subparsers(
+        dest="warehouse_command", required=True
+    )
+
+    build = warehouse_sub.add_parser(
+        "build",
+        help=(
+            "run the sweep (or ingest shard artifacts) and publish "
+            "content-addressed frame files plus a manifest"
+        ),
+    )
+    build.add_argument(
+        "directory",
+        metavar="DIR",
+        help="warehouse directory (created if missing)",
+    )
+    _add_grid_axis_arguments(build)
+    build.add_argument(
+        "--from-shards",
+        default=None,
+        metavar="SHARD_DIR",
+        help=(
+            "append every shard-*.json artifact in SHARD_DIR instead "
+            "of evaluating; resumable — already-covered shards are "
+            "skipped, new ones appended atomically"
+        ),
+    )
+    build.add_argument(
+        "--engine",
+        choices=ENGINE_NAMES,
+        default=None,
+        help=(
+            "execution engine for a fresh build (identical frames "
+            "either way); defaults to $REPRO_SWEEP_ENGINE or serial"
+        ),
+    )
+    build.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=None,
+        help=(
+            "worker processes / concurrent tasks for the chosen "
+            "engine (default: CPU count or $REPRO_SWEEP_JOBS)"
+        ),
+    )
+    build.set_defaults(func=_cmd_warehouse_build)
+
+    serve = warehouse_sub.add_parser(
+        "serve",
+        help="serve a warehouse over HTTP (POST /query, stdlib only)",
+    )
+    serve.add_argument(
+        "directory", metavar="DIR", help="warehouse directory"
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port",
+        type=_nonnegative_int,
+        default=8527,
+        help="bind port; 0 picks an ephemeral port (default 8527)",
+    )
+    serve.add_argument(
+        "--fingerprint",
+        default=None,
+        help=(
+            "refuse to serve unless the warehouse holds exactly this "
+            "grid fingerprint"
+        ),
+    )
+    serve.set_defaults(func=_cmd_warehouse_serve)
+
+    query = warehouse_sub.add_parser(
+        "query",
+        help=(
+            "answer one decision query and print the canonical JSON "
+            "response (the HTTP server's exact bytes)"
+        ),
+    )
+    query.add_argument(
+        "directory", metavar="DIR", help="warehouse directory"
+    )
+    query.add_argument(
+        "--kind",
+        choices=QUERY_KINDS,
+        required=True,
+        help="what to ask the warehouse",
+    )
+    query.add_argument(
+        "--fom-weights",
+        dest="query_fom_weights",
+        default=None,
+        metavar="P:S:C",
+        help=(
+            "user FoM weight vector perf:size:cost (required for "
+            "--kind rerank; optional re-rank for winners/best/"
+            "sensitivity)"
+        ),
+    )
+    query.add_argument(
+        "--axis",
+        choices=SENSITIVITY_AXES,
+        default=None,
+        help="with --kind sensitivity: the axis to slice along",
+    )
+    query.add_argument(
+        "--volume",
+        type=float,
+        default=None,
+        help="pin the volume axis (exact value, e.g. 1e4)",
+    )
+    query.add_argument(
+        "--substrate", default=None, help="pin the substrate label"
+    )
+    query.add_argument(
+        "--process", default=None, help="pin the process label"
+    )
+    query.add_argument(
+        "--tolerance", default=None, help="pin the tolerance label"
+    )
+    query.add_argument(
+        "--q-model", default=None, help="pin the Q-model label"
+    )
+    query.add_argument(
+        "--nre", default=None, help="pin the NRE-scenario label"
+    )
+    query.add_argument(
+        "--weights-label",
+        default=None,
+        help="pin the per-point FoM-weights label (e.g. paper)",
+    )
+    query.add_argument(
+        "--candidate", default=None, help="pin the candidate name"
+    )
+    query.add_argument(
+        "--fingerprint",
+        default=None,
+        help=(
+            "refuse to answer unless the warehouse holds exactly this "
+            "grid fingerprint"
+        ),
+    )
+    query.set_defaults(func=_cmd_warehouse_query)
     return parser
 
 

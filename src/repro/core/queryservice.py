@@ -1,0 +1,638 @@
+"""O(ms) decision queries over a frame warehouse: the online tier.
+
+The offline tier (:mod:`repro.core.warehouse`) materialises sweeps
+into content-addressed frame files; this module answers the paper's
+decision questions against those frames with pure column operations —
+no circuit is solved, no substrate placed, no flow walked:
+
+* ``pareto`` — the stored per-point Pareto rows, filtered by axes;
+* ``rerank`` — the whole frame re-ranked under *user* FoM weights.
+  The frame-level lift of the PR-3 invariant: ranking weights touch
+  only ``figure_of_merit`` and ``is_winner``, so re-ranking stored
+  rows equals re-running the sweep with those weights, byte for byte
+  (the differential harness in ``tests/core/test_queryservice.py``
+  locks this);
+* ``winners`` / ``best`` — winner tallies and the single
+  highest-FoM row, optionally under user weights;
+* ``sensitivity`` — how the winner and FoM landscape move along one
+  axis with every other axis pinned;
+* ``manifest`` — what the warehouse covers.
+
+Numerical discipline: the re-rank kernel routes ``pow`` through the
+scalar ``**`` operator per element (``np.power``'s SIMD path drifts by
+1 ulp on a few percent of inputs — the same reason
+:mod:`repro.cost.yieldmodels` computes its powers scalar), while the
+reciprocal and product steps vectorise safely (elementwise division
+and multiplication are correctly rounded).  The only fast paths are
+exponent ``0.0`` (``pow(x, 0) == 1.0`` exactly, even for ``0``/NaN)
+and ``1.0`` (``pow(x, 1) == x`` exactly).
+
+The HTTP surface is a stdlib ``ThreadingHTTPServer``: ``POST /query``
+with a JSON body, ``GET /manifest``, ``GET /health``.  Responses are
+canonical JSON (sorted keys, no whitespace, exact floats) — the same
+bytes :meth:`QueryService.execute` produces in-process, which is what
+the golden fixtures and the CI differential replay pin.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Mapping, Optional, Union
+
+import numpy as np
+
+from ..errors import SpecificationError
+from .figure_of_merit import FomWeights
+from .resultframe import (
+    COLUMN_ORDER,
+    ResultFrame,
+    group_first_max,
+    group_starts,
+)
+from .warehouse import (
+    DecisionFrame,
+    FrameCache,
+    WarehouseManifest,
+    canonical_json,
+    load_warehouse,
+    read_warehouse_manifest,
+)
+
+#: Every query kind the service answers.
+QUERY_KINDS = (
+    "manifest",
+    "pareto",
+    "rerank",
+    "winners",
+    "best",
+    "sensitivity",
+)
+
+#: Axes a ``where`` filter may pin (frame columns).
+FILTER_AXES = (
+    "volume",
+    "substrate",
+    "process",
+    "tolerance",
+    "q_model",
+    "nre",
+    "weights",
+    "candidate",
+)
+
+#: Axes a sensitivity query may slice along (grid axes, not candidate).
+SENSITIVITY_AXES = (
+    "volume",
+    "substrate",
+    "process",
+    "tolerance",
+    "q_model",
+    "nre",
+    "weights",
+)
+
+#: Top-level request keys the service understands.
+_REQUEST_KEYS = frozenset({"kind", "where", "fom_weights", "axis"})
+
+
+class QueryError(SpecificationError):
+    """The query asks something the warehouse cannot answer."""
+
+
+def parse_fom_weights(value) -> FomWeights:
+    """User FoM weights from a request value.
+
+    Accepts a ``perf:size:cost`` string (``paper`` = all ones), a
+    three-number list, or an existing :class:`FomWeights`.
+    """
+    if isinstance(value, FomWeights):
+        return value
+    if isinstance(value, str):
+        token = value.strip().lower()
+        if token == "paper":
+            return FomWeights()
+        parts = token.split(":")
+        if len(parts) != 3:
+            raise QueryError(
+                f"fom_weights {value!r} must be perf:size:cost "
+                f"(e.g. 2:1:1) or 'paper'"
+            )
+        try:
+            numbers = [float(part) for part in parts]
+        except ValueError:
+            raise QueryError(
+                f"fom_weights {value!r} must be three numbers"
+            ) from None
+    elif isinstance(value, (list, tuple)) and len(value) == 3:
+        numbers = []
+        for part in value:
+            if isinstance(part, bool) or not isinstance(
+                part, (int, float)
+            ):
+                raise QueryError(
+                    f"fom_weights entries must be numbers, got {part!r}"
+                )
+            numbers.append(float(part))
+    else:
+        raise QueryError(
+            f"fom_weights must be 'perf:size:cost' or a three-number "
+            f"list, got {value!r}"
+        )
+    try:
+        return FomWeights(
+            performance=numbers[0], size=numbers[1], cost=numbers[2]
+        )
+    except SpecificationError as exc:
+        raise QueryError(str(exc)) from None
+
+
+def _pow_column(values: np.ndarray, exponent: float) -> np.ndarray:
+    """Elementwise ``value ** exponent`` with scalar-operator bits.
+
+    ``np.power`` disagrees with Python's ``**`` by 1 ulp on a few
+    percent of inputs (different libm paths), which would break the
+    byte-identity contract with :func:`~repro.core.figure_of_merit.
+    figure_of_merit`; the loop stays off the hot path because a re-rank
+    runs it three times over one frame.  Exponents ``0.0`` and ``1.0``
+    short-circuit exactly (``pow(x, 0) == 1.0`` for every double
+    including NaN, ``pow(x, 1) == x``).
+    """
+    if exponent == 0.0:
+        return np.ones(values.shape[0], dtype=np.float64)
+    if exponent == 1.0:
+        return values.astype(np.float64, copy=True)
+    return np.asarray(
+        [value**exponent for value in values.tolist()], dtype=np.float64
+    )
+
+
+def weighted_fom(
+    performance: np.ndarray,
+    size_ratio: np.ndarray,
+    cost_ratio: np.ndarray,
+    weights: FomWeights,
+) -> np.ndarray:
+    """Vector twin of :func:`~repro.core.figure_of_merit.figure_of_merit`.
+
+    Same operations in the same order per element — scalar ``pow``
+    bits, correctly-rounded elementwise reciprocal and product — so
+    every output double matches the scalar formula exactly.
+    """
+    performance = np.asarray(performance, dtype=np.float64)
+    if performance.size and not np.all(performance >= 0.0):
+        raise QueryError(
+            "stored performance column holds negative or NaN values; "
+            "the warehouse frame is corrupt"
+        )
+    return (
+        _pow_column(performance, weights.performance)
+        * _pow_column(
+            1.0 / np.asarray(size_ratio, dtype=np.float64), weights.size
+        )
+        * _pow_column(
+            1.0 / np.asarray(cost_ratio, dtype=np.float64), weights.cost
+        )
+    )
+
+
+def rerank_frame(
+    dframe: DecisionFrame, weights: FomWeights
+) -> ResultFrame:
+    """The stored frame re-ranked under sweep-wide user weights.
+
+    Byte-identical to re-running the sweep with ``weights`` as the
+    sweep-wide default: points on the frame's weights *axis* (a
+    non-``paper`` ``weights`` label) keep their own per-point ranking —
+    exactly as :func:`~repro.core.sweep.evaluate_cell` would — while
+    every ``paper``-label point is re-scored from the stored FoM
+    inputs.  Winners are recomputed per cell with the first-max rule
+    :func:`~repro.core.figure_of_merit.rank_buildups` uses, broadcast
+    by winner *name* (the stored semantics: every row sharing the
+    winning candidate's name carries the flag).
+    """
+    frame = dframe.frame
+    fom = frame.column("figure_of_merit").copy()
+    paper = frame.column("weights") == "paper"
+    if np.any(paper):
+        recomputed = weighted_fom(
+            frame.column("performance"),
+            dframe.size_ratio,
+            dframe.cost_ratio,
+            weights,
+        )
+        fom[paper] = recomputed[paper]
+    n = len(frame)
+    if n:
+        point = dframe.point_of_row()
+        starts = group_starts(point)
+        lengths = np.diff(np.append(starts, n))
+        first = group_first_max(point, fom)
+        winner_names = np.repeat(
+            frame.column("candidate")[first], lengths
+        )
+        is_winner = frame.column("candidate") == winner_names
+    else:
+        is_winner = np.zeros(0, dtype=np.bool_)
+    columns = {name: frame.column(name) for name in COLUMN_ORDER}
+    columns["figure_of_merit"] = fom
+    columns["is_winner"] = np.asarray(is_winner, dtype=np.bool_)
+    return ResultFrame.from_columns(columns)
+
+
+def _validate_where(where) -> dict:
+    """Normalise and validate a request's ``where`` axis filters."""
+    if where is None:
+        return {}
+    if not isinstance(where, Mapping):
+        raise QueryError("where must be an object of axis filters")
+    normalised: dict = {}
+    for axis, value in where.items():
+        if axis not in FILTER_AXES:
+            raise QueryError(
+                f"unknown filter axis {axis!r} (choose from "
+                f"{', '.join(FILTER_AXES)})"
+            )
+        if axis == "volume":
+            if isinstance(value, bool) or not isinstance(
+                value, (int, float)
+            ):
+                raise QueryError(
+                    f"volume filter must be a number, got {value!r}"
+                )
+            normalised[axis] = float(value)
+        else:
+            if not isinstance(value, str):
+                raise QueryError(
+                    f"{axis} filter must be a string, got {value!r}"
+                )
+            normalised[axis] = value
+    return normalised
+
+
+def _where_mask(frame: ResultFrame, where: dict) -> np.ndarray:
+    """Boolean row mask of the axis filters (exact equality)."""
+    mask = np.ones(len(frame), dtype=bool)
+    for axis, value in where.items():
+        mask &= frame.column(axis) == value
+    return mask
+
+
+class QueryService:
+    """Answer decision queries against one warehouse directory.
+
+    Thread-safe: the manifest is re-read per query (so an append by a
+    concurrent writer becomes visible at the next query — never
+    mid-response), and the merged frame is memoised keyed by the
+    manifest's content-addressed frame list, backed by the
+    :class:`~repro.core.warehouse.FrameCache` LRU for the per-file
+    loads.  All query work on the hot path is numpy column ops.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        cache: Optional[FrameCache] = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.cache = cache if cache is not None else FrameCache()
+        self._lock = threading.Lock()
+        self._memo_key: Optional[tuple] = None
+        self._memo: Optional[DecisionFrame] = None
+
+    def state(self) -> tuple[WarehouseManifest, DecisionFrame]:
+        """The current manifest and its merged decision frame."""
+        manifest = read_warehouse_manifest(self.directory)
+        key = tuple(
+            (entry.file, entry.digest) for entry in manifest.frames
+        )
+        with self._lock:
+            if self._memo_key == key and self._memo is not None:
+                return manifest, self._memo
+        dframe = load_warehouse(
+            self.directory, manifest=manifest, cache=self.cache
+        )
+        with self._lock:
+            self._memo_key = key
+            self._memo = dframe
+        return manifest, dframe
+
+    # -- request handling ---------------------------------------------
+
+    def execute(self, request) -> dict:
+        """Answer one query request (a JSON-shaped mapping).
+
+        Returns the JSON-ready response payload; raises
+        :class:`QueryError` on any malformed or contradictory ask (the
+        CLI maps that to exit 2, the HTTP layer to status 400).
+        """
+        if not isinstance(request, Mapping):
+            raise QueryError("query request must be a JSON object")
+        unknown = sorted(set(request) - _REQUEST_KEYS)
+        if unknown:
+            raise QueryError(
+                f"unknown request keys {', '.join(map(repr, unknown))} "
+                f"(allowed: {', '.join(sorted(_REQUEST_KEYS))})"
+            )
+        kind = request.get("kind")
+        if kind not in QUERY_KINDS:
+            raise QueryError(
+                f"unknown query kind {kind!r} (choose from "
+                f"{', '.join(QUERY_KINDS)})"
+            )
+        where = _validate_where(request.get("where"))
+        raw_weights = request.get("fom_weights")
+        axis = request.get("axis")
+        if axis is not None and kind != "sensitivity":
+            raise QueryError(
+                f"axis applies to sensitivity queries only, not "
+                f"{kind!r}"
+            )
+        if kind == "manifest" and (where or raw_weights is not None):
+            raise QueryError(
+                "manifest queries take no filters or weights"
+            )
+        if kind == "pareto" and raw_weights is not None:
+            raise QueryError(
+                "the Pareto front is weight-independent; drop "
+                "fom_weights (re-rank with kind='rerank' instead)"
+            )
+        if kind == "rerank" and raw_weights is None:
+            raise QueryError(
+                "rerank needs fom_weights (perf:size:cost)"
+            )
+
+        manifest, dframe = self.state()
+        if kind == "manifest":
+            return self._manifest_response(manifest)
+
+        weights = (
+            parse_fom_weights(raw_weights)
+            if raw_weights is not None
+            else None
+        )
+        effective = (
+            rerank_frame(dframe, weights)
+            if weights is not None
+            else dframe.frame
+        )
+        mask = _where_mask(effective, where)
+
+        if kind == "pareto":
+            selected = effective.filter(
+                mask & effective.column("on_pareto_front")
+            )
+            return self._envelope(
+                kind,
+                manifest,
+                rows=selected.to_json_columns(),
+                count=len(selected),
+            )
+        if kind == "rerank":
+            selected = effective.filter(mask)
+            return self._envelope(
+                kind,
+                manifest,
+                fom_weights=[
+                    weights.performance,
+                    weights.size,
+                    weights.cost,
+                ],
+                rows=selected.to_json_columns(),
+                count=len(selected),
+                winner_counts=selected.winner_counts(),
+                best=(
+                    selected.row(selected.best_index()).as_dict()
+                    if len(selected)
+                    else None
+                ),
+            )
+        if kind == "winners":
+            selected = effective.filter(mask)
+            points = np.unique(dframe.point_of_row()[mask])
+            return self._envelope(
+                kind,
+                manifest,
+                winner_counts=selected.winner_counts(),
+                points=int(points.size),
+                count=len(selected),
+            )
+        if kind == "best":
+            selected = effective.filter(mask)
+            if not len(selected):
+                raise QueryError(
+                    "no stored rows match the filters; loosen the "
+                    "where clause"
+                )
+            return self._envelope(
+                kind,
+                manifest,
+                best=selected.row(selected.best_index()).as_dict(),
+            )
+        return self._sensitivity_response(
+            manifest, dframe, effective, mask, where, axis
+        )
+
+    def _sensitivity_response(
+        self,
+        manifest: WarehouseManifest,
+        dframe: DecisionFrame,
+        effective: ResultFrame,
+        mask: np.ndarray,
+        where: dict,
+        axis,
+    ) -> dict:
+        if axis is None:
+            raise QueryError(
+                f"sensitivity needs an axis (choose from "
+                f"{', '.join(SENSITIVITY_AXES)})"
+            )
+        if axis not in SENSITIVITY_AXES:
+            raise QueryError(
+                f"unknown sensitivity axis {axis!r} (choose from "
+                f"{', '.join(SENSITIVITY_AXES)})"
+            )
+        if axis in where:
+            raise QueryError(
+                f"sensitivity slices along {axis!r}; do not also pin "
+                f"it in where"
+            )
+        selected = effective.filter(mask)
+        if not len(selected):
+            raise QueryError(
+                "no stored rows match the filters; loosen the where "
+                "clause"
+            )
+        point_ids = dframe.point_of_row()[mask]
+        column = selected.column(axis)
+        values = list(dict.fromkeys(column.tolist()))
+        slices = []
+        for value in values:
+            vmask = column == value
+            points = np.unique(point_ids[vmask])
+            if points.size != 1:
+                raise QueryError(
+                    f"sensitivity slice {axis}={value!r} covers "
+                    f"{points.size} grid points; pin the remaining "
+                    f"axes in where so each slice is one point"
+                )
+            sub = selected.filter(vmask)
+            winners = sub.column("candidate")[sub.column("is_winner")]
+            slices.append(
+                {
+                    "value": value,
+                    "winner": str(winners[0]),
+                    "fom": {
+                        str(name): float(fom)
+                        for name, fom in zip(
+                            sub.column("candidate").tolist(),
+                            sub.column("figure_of_merit").tolist(),
+                        )
+                    },
+                }
+            )
+        return self._envelope(
+            "sensitivity",
+            manifest,
+            axis=axis,
+            slices=slices,
+            count=len(selected),
+        )
+
+    def _envelope(
+        self, kind: str, manifest: WarehouseManifest, **fields
+    ) -> dict:
+        return {
+            "kind": kind,
+            "fingerprint": manifest.fingerprint,
+            "revision": manifest.revision,
+            **fields,
+        }
+
+    def _manifest_response(self, manifest: WarehouseManifest) -> dict:
+        return {
+            "kind": "manifest",
+            "fingerprint": manifest.fingerprint,
+            "order_digest": manifest.order_digest,
+            "revision": manifest.revision,
+            "total_points": manifest.total_points,
+            "covered_points": manifest.covered_points,
+            "complete": manifest.complete,
+            "frames": [
+                {
+                    "file": entry.file,
+                    "digest": entry.digest,
+                    "points": len(entry.indices),
+                    "rows": entry.rows,
+                }
+                for entry in manifest.frames
+            ],
+            "grid_spec": manifest.grid_spec,
+        }
+
+
+def response_bytes(payload: dict) -> bytes:
+    """A response payload as the canonical wire bytes.
+
+    THE byte-identity surface: the HTTP server, the CLI ``query`` verb
+    and the golden fixtures all serialise through here.
+    """
+    return (canonical_json(payload) + "\n").encode("utf-8")
+
+
+class _QueryHandler(BaseHTTPRequestHandler):
+    server_version = "repro-warehouse/1"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib name
+        """Silence per-request stderr chatter (tests and CI replay)."""
+
+    def _send(self, status: int, payload: dict) -> None:
+        body = response_bytes(payload)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path == "/health":
+            try:
+                manifest = read_warehouse_manifest(
+                    self.server.service.directory
+                )
+            except SpecificationError as exc:
+                self._send(500, {"status": "error", "error": str(exc)})
+                return
+            self._send(
+                200, {"status": "ok", "revision": manifest.revision}
+            )
+        elif self.path == "/manifest":
+            self._dispatch({"kind": "manifest"})
+        else:
+            self._send(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path != "/query":
+            self._send(404, {"error": f"unknown path {self.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            length = 0
+        body = self.rfile.read(length)
+        try:
+            request = json.loads(body)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            self._send(
+                400, {"error": f"request body is not valid JSON: {exc}"}
+            )
+            return
+        self._dispatch(request)
+
+    def _dispatch(self, request) -> None:
+        try:
+            payload = self.server.service.execute(request)
+        except QueryError as exc:
+            self._send(400, {"error": str(exc)})
+        except SpecificationError as exc:
+            # Warehouse-side trouble (manifest vanished, frame file
+            # corrupt): the server's fault bucket, not the client's.
+            self._send(500, {"error": str(exc)})
+        else:
+            self._send(200, payload)
+
+
+class WarehouseServer(ThreadingHTTPServer):
+    """One warehouse directory behind ``POST /query``.
+
+    Thread-per-request on purpose: queries are read-only column ops
+    over immutable frames, so concurrent handlers share the
+    :class:`QueryService` (and its LRU) without coordination beyond
+    the service's own locks.
+    """
+
+    daemon_threads = True
+
+    def __init__(self, address, service: QueryService) -> None:
+        super().__init__(address, _QueryHandler)
+        self.service = service
+
+
+def serve_warehouse(
+    directory: Union[str, Path],
+    host: str = "127.0.0.1",
+    port: int = 0,
+    cache: Optional[FrameCache] = None,
+) -> WarehouseServer:
+    """Bind a query server to a warehouse (``port=0`` = ephemeral).
+
+    Validates the warehouse up front — a missing or corrupt manifest
+    fails here, at bind time, not on the first request.  The caller
+    runs ``serve_forever()`` (the CLI ``warehouse serve`` verb does).
+    """
+    service = QueryService(directory, cache=cache)
+    read_warehouse_manifest(directory)
+    return WarehouseServer((host, port), service)

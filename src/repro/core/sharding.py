@@ -80,6 +80,7 @@ from .sweep import (
     SweepGrid,
     SweepReport,
     frame_for_cells,
+    ratio_columns_for_cells,
 )
 
 #: Artifact format identifier; bumped on incompatible payload changes.
@@ -181,6 +182,12 @@ class ShardArtifact:
     row_counts: tuple[int, ...]
     frame: ResultFrame
     cache_state: dict
+    #: Optional per-row FoM input ratios (``size_ratio`` /
+    #: ``cost_ratio`` → one float tuple each, aligned with the frame).
+    #: Written by every current :func:`run_shard`; ``None`` on
+    #: artifacts produced before the warehouse tier existed — merge
+    #: does not need them, the warehouse appender does.
+    ratios: Optional[dict] = None
 
     def __post_init__(self) -> None:
         for label, value, minimum in (
@@ -227,6 +234,34 @@ class ShardArtifact:
                 f"{sum(self.row_counts)} but the frame carries "
                 f"{len(self.frame)} rows"
             )
+        if self.ratios is not None:
+            if not isinstance(self.ratios, dict) or set(self.ratios) != {
+                "size_ratio",
+                "cost_ratio",
+            }:
+                raise SpecificationError(
+                    "shard artifact ratios must map exactly "
+                    "size_ratio and cost_ratio to value lists, got "
+                    f"{self.ratios!r:.120}"
+                )
+            for name, values in self.ratios.items():
+                if len(values) != len(self.frame):
+                    raise SpecificationError(
+                        f"shard artifact {name} carries {len(values)} "
+                        f"values but the frame carries "
+                        f"{len(self.frame)} rows"
+                    )
+                for value in values:
+                    # Exact floats only: the warehouse re-rank kernel
+                    # divides by these, so a string or bool must fail
+                    # here, not as a numpy cast surprise later.
+                    if isinstance(value, bool) or not isinstance(
+                        value, (int, float)
+                    ):
+                        raise SpecificationError(
+                            f"shard artifact {name} values must be "
+                            f"numbers, got {value!r}"
+                        )
 
     def point_of_row(self) -> np.ndarray:
         """Canonical point index of every frame row (vectorised)."""
@@ -280,6 +315,7 @@ def run_shard(
         row_counts=tuple(len(cell.result.rows) for cell in cells),
         frame=frame_for_cells(cells),
         cache_state=cache.portable_state(),
+        ratios=ratio_columns_for_cells(cells),
     )
 
 
@@ -293,7 +329,7 @@ def artifact_to_payload(artifact: ShardArtifact) -> dict:
     emitted with ``repr`` by the JSON encoder, so the round-trip is
     exact.
     """
-    return {
+    payload = {
         "format": SHARD_FORMAT,
         "fingerprint": artifact.fingerprint,
         "order_digest": artifact.order_digest,
@@ -305,6 +341,13 @@ def artifact_to_payload(artifact: ShardArtifact) -> dict:
         "columns": artifact.frame.to_json_columns(),
         "cache": artifact.cache_state,
     }
+    if artifact.ratios is not None:
+        # Additive, still format 2: readers without warehouse support
+        # ignore the key, old artifacts without it stay loadable.
+        payload["ratios"] = {
+            name: list(values) for name, values in artifact.ratios.items()
+        }
+    return payload
 
 
 def payload_to_artifact(payload: dict, source: str = "<payload>") -> ShardArtifact:
@@ -322,6 +365,15 @@ def payload_to_artifact(payload: dict, source: str = "<payload>") -> ShardArtifa
             f"(expected {SHARD_FORMAT!r})"
         )
     try:
+        raw_ratios = payload.get("ratios")
+        ratios = None
+        if raw_ratios is not None:
+            if not isinstance(raw_ratios, dict):
+                raise TypeError("ratios must be an object")
+            ratios = {
+                str(name): tuple(values)
+                for name, values in raw_ratios.items()
+            }
         return ShardArtifact(
             fingerprint=payload["fingerprint"],
             order_digest=payload["order_digest"],
@@ -332,6 +384,7 @@ def payload_to_artifact(payload: dict, source: str = "<payload>") -> ShardArtifa
             row_counts=tuple(payload["row_counts"]),
             frame=ResultFrame.from_json_columns(payload["columns"]),
             cache_state=payload.get("cache", {}),
+            ratios=ratios,
         )
     except (KeyError, TypeError, ValueError, SpecificationError) as exc:
         # ValueError covers wrong-typed column values (numpy's cast

@@ -622,6 +622,29 @@ def frame_for_cells(cells: Sequence[SweepCell]) -> ResultFrame:
     return ResultFrame.from_columns(columns)
 
 
+def ratio_columns_for_cells(
+    cells: Sequence[SweepCell],
+) -> dict[str, tuple[float, ...]]:
+    """The per-row FoM *input* ratios, aligned with :func:`frame_for_cells`.
+
+    The frame stores ``area_percent`` / ``cost_percent`` — the rounded
+    doubles ``fl(100 * ratio)`` — from which the underlying ratios
+    cannot be recovered (``(100.0 * x) / 100.0 != x`` for a measurable
+    fraction of doubles, and the map is not even injective).  Anything
+    that re-ranks stored rows under new FoM weights byte-identically to
+    a fresh sweep therefore needs the ratios themselves; the warehouse
+    tier (:mod:`repro.core.warehouse`) persists these two auxiliary
+    columns next to the frame for exactly that.
+    """
+    size: list[float] = []
+    cost: list[float] = []
+    for cell in cells:
+        for study_row in cell.result.rows:
+            size.append(study_row.fom.size_ratio)
+            cost.append(study_row.fom.cost_ratio)
+    return {"size_ratio": tuple(size), "cost_ratio": tuple(cost)}
+
+
 def evaluate_cell(
     point: DesignPoint,
     candidates: Sequence[CandidateBuildUp],

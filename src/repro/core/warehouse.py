@@ -1,0 +1,876 @@
+"""On-disk frame warehouse: sweeps become the offline indexing tier.
+
+The sweep subsystem answers "what happens across the grid?" by
+evaluating the grid — seconds to hours of MNA solves, placements and
+flow walks.  The paper's end product, however, is a *decision* query:
+"given my volume, spec and technology menu, what do I build?".  This
+module materialises finished sweeps into a directory of
+content-addressed **frame files** plus a small **manifest**, so the
+online tier (:mod:`repro.core.queryservice`) can answer Pareto,
+re-rank, winner-count, best-candidate and sensitivity queries in
+milliseconds against memory-loaded columns instead of re-running
+anything.
+
+Layout of a warehouse directory::
+
+    warehouse.json            # the manifest (atomically republished)
+    frame-<digest>.json       # immutable content-addressed frame files
+
+Design rules:
+
+* **Frames carry the re-rank basis.**  Each
+  :class:`DecisionFrame` stores the 14 ``SweepRow`` columns *plus* the
+  ``size_ratio`` / ``cost_ratio`` FoM inputs — the percent columns are
+  ``fl(100 * ratio)`` and cannot be inverted, so without the ratios no
+  stored frame could be re-ranked byte-identically to a fresh sweep.
+* **Frame files are immutable and content-addressed.**  The filename
+  embeds a SHA-256 digest of the canonical JSON payload; a file, once
+  published, never changes.  That is what makes the reader's LRU cache
+  (:class:`FrameCache`) trivially coherent: a cached entry can never go
+  stale, eviction only bounds memory.
+* **Publication is atomic** (the shard-artifact discipline from
+  :mod:`repro.core.queue` / :mod:`repro.core.sharding`): frame files
+  and the manifest are written to a ``.tmp`` sibling, fsynced and
+  renamed into place.  An append writes the new frame file *first* and
+  only then republishes the manifest referencing it, so a concurrent
+  reader sees either the old manifest (old frames, all readable) or
+  the new one (new frame already durable) — never a torn state.
+* **Appends are incremental and idempotent.**  Shard artifacts from a
+  queue run (:func:`append_shard_artifact`,
+  :func:`ingest_shard_directory`) land one frame file each; an
+  artifact whose points are already covered is skipped, overlapping
+  or foreign-grid artifacts are refused loudly.
+* **Nothing in a warehouse is time-stamped or host-stamped.**  The
+  same sweep produces byte-identical warehouse bytes anywhere, which
+  is what lets the golden-response tests pin whole query payloads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+from ..errors import SpecificationError
+from .figure_of_merit import FomWeights
+from .queue import _write_json_atomic
+from .resultframe import ResultFrame
+from .sharding import (
+    ShardArtifact,
+    find_shard_artifacts,
+    grid_fingerprint,
+    grid_order_digest,
+    read_shard_artifact,
+)
+from .sweep import (
+    DesignPoint,
+    EvaluationCache,
+    SweepCell,
+    SweepGrid,
+    frame_for_cells,
+    ratio_columns_for_cells,
+    run_design_sweep,
+)
+
+#: Manifest format identifier; bumped on incompatible layout changes.
+WAREHOUSE_FORMAT = "repro-warehouse/1"
+
+#: Frame-file format identifier.
+FRAME_FORMAT = "repro-warehouse-frame/1"
+
+#: The manifest filename inside a warehouse directory.
+MANIFEST_NAME = "warehouse.json"
+
+#: The auxiliary ratio columns every decision frame carries.
+RATIO_COLUMNS = ("size_ratio", "cost_ratio")
+
+
+class WarehouseError(SpecificationError):
+    """The warehouse cannot be (safely) read or written."""
+
+
+def canonical_json(payload) -> str:
+    """Deterministic JSON text: sorted keys, no whitespace, exact floats.
+
+    The single serialisation used for content digests *and* query
+    responses, so "byte-identical" means the same thing everywhere.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+# -- the decision frame -----------------------------------------------
+
+
+@dataclass(frozen=True, eq=False)
+class DecisionFrame:
+    """A warehouse frame: sweep rows plus their re-rank basis columns.
+
+    ``frame`` holds the 14 :class:`~repro.core.resultframe.SweepRow`
+    columns; ``size_ratio`` / ``cost_ratio`` are the FoM inputs the
+    percent columns cannot recover.  ``indices`` / ``row_counts``
+    assign runs of rows to canonical grid points, exactly like a shard
+    artifact — ``row_counts[k]`` consecutive rows belong to point
+    ``indices[k]``.
+    """
+
+    frame: ResultFrame
+    size_ratio: np.ndarray
+    cost_ratio: np.ndarray
+    indices: tuple[int, ...]
+    row_counts: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        for name in RATIO_COLUMNS:
+            try:
+                array = np.asarray(getattr(self, name), dtype=np.float64)
+            except (TypeError, ValueError) as exc:
+                raise WarehouseError(
+                    f"decision frame {name} is not numeric: {exc}"
+                ) from None
+            if array.ndim != 1 or array.shape[0] != len(self.frame):
+                raise WarehouseError(
+                    f"decision frame {name} must be one value per row "
+                    f"({len(self.frame)}), got shape {array.shape}"
+                )
+            if array.size and (
+                not np.all(np.isfinite(array)) or np.any(array <= 0.0)
+            ):
+                # The re-rank kernel computes 1/ratio and raises it to
+                # a power; zero or NaN here would turn a corrupt frame
+                # file into silently wrong rankings.
+                raise WarehouseError(
+                    f"decision frame {name} values must be positive "
+                    f"finite numbers"
+                )
+            if array.flags.writeable or array.base is not None:
+                array = array.copy()
+            array.flags.writeable = False
+            object.__setattr__(self, name, array)
+        if len(self.indices) != len(self.row_counts):
+            raise WarehouseError(
+                f"decision frame carries {len(self.indices)} indices "
+                f"but {len(self.row_counts)} row counts"
+            )
+        for label, values in (
+            ("index", self.indices),
+            ("row count", self.row_counts),
+        ):
+            for value in values:
+                if (
+                    not isinstance(value, int)
+                    or isinstance(value, bool)
+                    or value < 0
+                ):
+                    raise WarehouseError(
+                        f"decision frame {label}s must be non-negative "
+                        f"integers, got {value!r}"
+                    )
+        if sum(self.row_counts) != len(self.frame):
+            raise WarehouseError(
+                f"decision frame row counts sum to "
+                f"{sum(self.row_counts)} but the frame carries "
+                f"{len(self.frame)} rows"
+            )
+
+    def __len__(self) -> int:
+        return len(self.frame)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DecisionFrame):
+            return NotImplemented
+        return (
+            self.frame == other.frame
+            and np.array_equal(self.size_ratio, other.size_ratio)
+            and np.array_equal(self.cost_ratio, other.cost_ratio)
+            and self.indices == other.indices
+            and self.row_counts == other.row_counts
+        )
+
+    def point_of_row(self) -> np.ndarray:
+        """Canonical point index of every frame row (vectorised)."""
+        return np.repeat(
+            np.asarray(self.indices, dtype=np.int64),
+            np.asarray(self.row_counts, dtype=np.int64),
+        )
+
+
+def decision_frame_for_cells(
+    cells: Sequence[SweepCell], indices: Iterable[int]
+) -> DecisionFrame:
+    """Package evaluated cells (at the given canonical indices)."""
+    cells = list(cells)
+    ratios = ratio_columns_for_cells(cells)
+    return DecisionFrame(
+        frame=frame_for_cells(cells),
+        size_ratio=np.asarray(ratios["size_ratio"], dtype=np.float64),
+        cost_ratio=np.asarray(ratios["cost_ratio"], dtype=np.float64),
+        indices=tuple(indices),
+        row_counts=tuple(len(cell.result.rows) for cell in cells),
+    )
+
+
+def decision_frame_from_artifact(artifact: ShardArtifact) -> DecisionFrame:
+    """Adopt a shard artifact's results as a decision frame.
+
+    Requires the artifact's optional ``ratios`` section (every current
+    :func:`~repro.core.sharding.run_shard` writes it); an old artifact
+    without it cannot support byte-exact re-ranking, so the refusal
+    names the fix instead of degrading silently.
+    """
+    if artifact.ratios is None:
+        raise WarehouseError(
+            f"shard artifact {artifact.shard_index}/{artifact.shards} "
+            f"carries no size/cost ratio columns (written before the "
+            f"warehouse tier existed?); re-run the shard to regenerate "
+            f"the artifact"
+        )
+    return DecisionFrame(
+        frame=artifact.frame,
+        size_ratio=np.asarray(
+            artifact.ratios["size_ratio"], dtype=np.float64
+        ),
+        cost_ratio=np.asarray(
+            artifact.ratios["cost_ratio"], dtype=np.float64
+        ),
+        indices=artifact.indices,
+        row_counts=artifact.row_counts,
+    )
+
+
+def merge_decision_frames(
+    frames: Sequence[DecisionFrame],
+) -> DecisionFrame:
+    """Merge decision frames into canonical point order (vectorised).
+
+    The warehouse twin of
+    :func:`~repro.core.sharding.merge_shard_artifacts`' reassembly: one
+    frame concat plus a stable sort on the canonical point index, with
+    the ratio columns carried through the same permutation.  Frames
+    must cover disjoint point sets.
+    """
+    frames = list(frames)
+    if not frames:
+        return DecisionFrame(
+            frame=ResultFrame.empty(),
+            size_ratio=np.empty(0, dtype=np.float64),
+            cost_ratio=np.empty(0, dtype=np.float64),
+            indices=(),
+            row_counts=(),
+        )
+    if len(frames) == 1:
+        return frames[0]
+    pairs = [
+        (index, count)
+        for frame in frames
+        for index, count in zip(frame.indices, frame.row_counts)
+    ]
+    seen = set()
+    for index, _ in pairs:
+        if index in seen:
+            raise WarehouseError(
+                f"decision frames overlap on point index {index}"
+            )
+        seen.add(index)
+    pairs.sort()
+    point_of_row = np.concatenate(
+        [frame.point_of_row() for frame in frames]
+    )
+    order = np.argsort(point_of_row, kind="stable")
+    return DecisionFrame(
+        frame=ResultFrame.concat([f.frame for f in frames]).take(order),
+        size_ratio=np.concatenate([f.size_ratio for f in frames])[order],
+        cost_ratio=np.concatenate([f.cost_ratio for f in frames])[order],
+        indices=tuple(index for index, _ in pairs),
+        row_counts=tuple(count for _, count in pairs),
+    )
+
+
+# -- frame files ------------------------------------------------------
+
+
+def frame_payload(
+    dframe: DecisionFrame,
+    *,
+    fingerprint: str,
+    order_digest: str,
+    total_points: int,
+) -> dict:
+    """One frame file's JSON payload (exact floats, no timestamps)."""
+    return {
+        "format": FRAME_FORMAT,
+        "fingerprint": fingerprint,
+        "order_digest": order_digest,
+        "total_points": total_points,
+        "indices": list(dframe.indices),
+        "row_counts": list(dframe.row_counts),
+        "columns": dframe.frame.to_json_columns(),
+        "ratios": {
+            "size_ratio": dframe.size_ratio.tolist(),
+            "cost_ratio": dframe.cost_ratio.tolist(),
+        },
+    }
+
+
+def frame_digest(payload: dict) -> str:
+    """Content digest of a frame payload (canonical-JSON SHA-256)."""
+    return hashlib.sha256(
+        canonical_json(payload).encode("utf-8")
+    ).hexdigest()[:16]
+
+
+def frame_filename(digest: str) -> str:
+    """Canonical content-addressed frame filename."""
+    return f"frame-{digest}.json"
+
+
+def read_warehouse_frame(
+    path: Union[str, Path], expected_digest: Optional[str] = None
+) -> DecisionFrame:
+    """Load one frame file, verifying its content digest.
+
+    With ``expected_digest`` (what the manifest records) the payload is
+    re-digested after parsing — a frame file that was tampered with,
+    truncated by a non-atomic writer or mispaired with its name is a
+    loud :class:`WarehouseError`, never silently wrong rows.
+    """
+    path = Path(path)
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise WarehouseError(
+            f"cannot read warehouse frame {path}: {exc}"
+        ) from None
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise WarehouseError(
+            f"warehouse frame {path} is not valid JSON "
+            f"(truncated write?): {exc}"
+        ) from None
+    if not isinstance(payload, dict):
+        raise WarehouseError(
+            f"warehouse frame {path} is not an object"
+        )
+    declared = payload.get("format")
+    if declared != FRAME_FORMAT:
+        raise WarehouseError(
+            f"{path}: unsupported frame format {declared!r} "
+            f"(expected {FRAME_FORMAT!r})"
+        )
+    if expected_digest is not None:
+        actual = frame_digest(payload)
+        if actual != expected_digest:
+            raise WarehouseError(
+                f"{path}: frame content digest {actual} does not match "
+                f"the manifest's {expected_digest} (tampered or "
+                f"mispaired frame file)"
+            )
+    try:
+        ratios = payload["ratios"]
+        return DecisionFrame(
+            frame=ResultFrame.from_json_columns(payload["columns"]),
+            size_ratio=np.asarray(
+                ratios["size_ratio"], dtype=np.float64
+            ),
+            cost_ratio=np.asarray(
+                ratios["cost_ratio"], dtype=np.float64
+            ),
+            indices=tuple(payload["indices"]),
+            row_counts=tuple(payload["row_counts"]),
+        )
+    except (KeyError, TypeError, ValueError, SpecificationError) as exc:
+        raise WarehouseError(
+            f"{path}: malformed warehouse frame ({exc})"
+        ) from None
+
+
+# -- the manifest -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FrameEntry:
+    """One frame file as the manifest records it."""
+
+    file: str
+    digest: str
+    indices: tuple[int, ...]
+    rows: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.file, str) or "/" in self.file:
+            raise WarehouseError(
+                f"frame entry file must be a bare filename, got "
+                f"{self.file!r}"
+            )
+        if not isinstance(self.rows, int) or isinstance(
+            self.rows, bool
+        ) or self.rows < 0:
+            raise WarehouseError(
+                f"frame entry rows must be a non-negative integer, "
+                f"got {self.rows!r}"
+            )
+        for value in self.indices:
+            if (
+                not isinstance(value, int)
+                or isinstance(value, bool)
+                or value < 0
+            ):
+                raise WarehouseError(
+                    f"frame entry indices must be non-negative "
+                    f"integers, got {value!r}"
+                )
+
+
+@dataclass(frozen=True)
+class WarehouseManifest:
+    """Everything the online tier needs to know about a warehouse.
+
+    ``revision`` increments on every append, so a reader can cheaply
+    tell whether anything changed; ``frames`` lists the
+    content-addressed frame files with the canonical point indices
+    each covers.  ``grid_spec`` optionally carries the CLI axis tokens
+    (the queue-manifest discipline) so tooling can rebuild the grid.
+    """
+
+    fingerprint: str
+    order_digest: str
+    total_points: int
+    revision: int
+    frames: tuple[FrameEntry, ...] = ()
+    grid_spec: Optional[dict] = None
+
+    def __post_init__(self) -> None:
+        for label, value, minimum in (
+            ("total_points", self.total_points, 1),
+            ("revision", self.revision, 1),
+        ):
+            if (
+                not isinstance(value, int)
+                or isinstance(value, bool)
+                or value < minimum
+            ):
+                raise WarehouseError(
+                    f"warehouse manifest {label} must be an integer "
+                    f">= {minimum}, got {value!r}"
+                )
+        seen: set[int] = set()
+        for entry in self.frames:
+            for index in entry.indices:
+                if index >= self.total_points:
+                    raise WarehouseError(
+                        f"warehouse frame {entry.file} carries point "
+                        f"index {index}, outside the "
+                        f"{self.total_points}-point grid"
+                    )
+                if index in seen:
+                    raise WarehouseError(
+                        f"warehouse frames overlap on point index "
+                        f"{index}"
+                    )
+                seen.add(index)
+
+    @property
+    def covered_points(self) -> int:
+        """How many canonical grid points the frames cover."""
+        return sum(len(entry.indices) for entry in self.frames)
+
+    @property
+    def complete(self) -> bool:
+        """True when every grid point is covered."""
+        return self.covered_points == self.total_points
+
+
+def manifest_to_payload(manifest: WarehouseManifest) -> dict:
+    """The manifest as a JSON-ready dict."""
+    payload = {
+        "format": WAREHOUSE_FORMAT,
+        "fingerprint": manifest.fingerprint,
+        "order_digest": manifest.order_digest,
+        "total_points": manifest.total_points,
+        "revision": manifest.revision,
+        "frames": [
+            {
+                "file": entry.file,
+                "digest": entry.digest,
+                "indices": list(entry.indices),
+                "rows": entry.rows,
+            }
+            for entry in manifest.frames
+        ],
+    }
+    if manifest.grid_spec is not None:
+        payload["grid_spec"] = manifest.grid_spec
+    return payload
+
+
+def payload_to_manifest(
+    payload: dict, source: str = "<payload>"
+) -> WarehouseManifest:
+    """Rebuild a :class:`WarehouseManifest` from its JSON payload."""
+    if not isinstance(payload, dict):
+        raise WarehouseError(
+            f"{source}: warehouse manifest is not an object"
+        )
+    declared = payload.get("format")
+    if declared != WAREHOUSE_FORMAT:
+        raise WarehouseError(
+            f"{source}: unsupported warehouse format {declared!r} "
+            f"(expected {WAREHOUSE_FORMAT!r})"
+        )
+    grid_spec = payload.get("grid_spec")
+    if grid_spec is not None and not isinstance(grid_spec, dict):
+        raise WarehouseError(
+            f"{source}: warehouse manifest grid_spec must be an object"
+        )
+    try:
+        return WarehouseManifest(
+            fingerprint=payload["fingerprint"],
+            order_digest=payload["order_digest"],
+            total_points=payload["total_points"],
+            revision=payload["revision"],
+            frames=tuple(
+                FrameEntry(
+                    file=entry["file"],
+                    digest=entry["digest"],
+                    indices=tuple(entry["indices"]),
+                    rows=entry["rows"],
+                )
+                for entry in payload.get("frames", ())
+            ),
+            grid_spec=grid_spec,
+        )
+    except (KeyError, TypeError, SpecificationError) as exc:
+        raise WarehouseError(
+            f"{source}: malformed warehouse manifest ({exc})"
+        ) from None
+
+
+def manifest_path(directory: Union[str, Path]) -> Path:
+    """The manifest path inside a warehouse directory."""
+    return Path(directory) / MANIFEST_NAME
+
+
+def read_warehouse_manifest(
+    directory: Union[str, Path],
+) -> WarehouseManifest:
+    """Load the manifest of a warehouse directory."""
+    path = manifest_path(directory)
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise WarehouseError(
+            f"cannot read warehouse manifest {path}: {exc} "
+            f"(is {directory} a warehouse? build one with "
+            f"`repro-gps warehouse build`)"
+        ) from None
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise WarehouseError(
+            f"warehouse manifest {path} is not valid JSON: {exc}"
+        ) from None
+    return payload_to_manifest(payload, source=str(path))
+
+
+def _publish_manifest(
+    directory: Union[str, Path], manifest: WarehouseManifest
+) -> WarehouseManifest:
+    _write_json_atomic(
+        manifest_path(directory), manifest_to_payload(manifest)
+    )
+    return manifest
+
+
+# -- the writer -------------------------------------------------------
+
+
+def _resolve_points(
+    grid: Union[SweepGrid, Iterable[DesignPoint]],
+) -> list[DesignPoint]:
+    points = grid.points() if isinstance(grid, SweepGrid) else list(grid)
+    if not points:
+        raise WarehouseError("a warehouse needs at least one grid point")
+    return points
+
+
+def init_warehouse(
+    directory: Union[str, Path],
+    grid: Union[SweepGrid, Iterable[DesignPoint]],
+    *,
+    grid_spec: Optional[dict] = None,
+) -> WarehouseManifest:
+    """Create an empty warehouse for a grid (revision 1, no frames).
+
+    Refuses to re-initialise an existing warehouse: frames already
+    published there would silently become unreachable orphans.
+    """
+    points = _resolve_points(grid)
+    path = manifest_path(directory)
+    if path.exists():
+        raise WarehouseError(
+            f"warehouse already initialised at {path}; append with "
+            f"--from-shards / append_shard_artifact, or build into a "
+            f"fresh directory"
+        )
+    return _publish_manifest(
+        directory,
+        WarehouseManifest(
+            fingerprint=grid_fingerprint(points),
+            order_digest=grid_order_digest(points),
+            total_points=len(points),
+            revision=1,
+            frames=(),
+            grid_spec=grid_spec,
+        ),
+    )
+
+
+def append_decision_frame(
+    directory: Union[str, Path], dframe: DecisionFrame
+) -> WarehouseManifest:
+    """Publish one decision frame into an initialised warehouse.
+
+    The frame file lands first (atomic write, content-addressed name),
+    then the manifest is atomically republished with the revision
+    bumped — the ordering a concurrent reader relies on.  Overlapping
+    or out-of-range points are refused before anything is written.
+    """
+    directory = Path(directory)
+    manifest = read_warehouse_manifest(directory)
+    covered = {
+        index for entry in manifest.frames for index in entry.indices
+    }
+    for index in dframe.indices:
+        if index >= manifest.total_points:
+            raise WarehouseError(
+                f"frame carries point index {index}, outside the "
+                f"{manifest.total_points}-point grid"
+            )
+        if index in covered:
+            raise WarehouseError(
+                f"warehouse already covers point index {index}; "
+                f"appending the same shard twice?"
+            )
+    payload = frame_payload(
+        dframe,
+        fingerprint=manifest.fingerprint,
+        order_digest=manifest.order_digest,
+        total_points=manifest.total_points,
+    )
+    digest = frame_digest(payload)
+    name = frame_filename(digest)
+    _write_json_atomic(directory / name, payload)
+    entry = FrameEntry(
+        file=name,
+        digest=digest,
+        indices=dframe.indices,
+        rows=len(dframe),
+    )
+    return _publish_manifest(
+        directory,
+        replace(
+            manifest,
+            revision=manifest.revision + 1,
+            frames=manifest.frames + (entry,),
+        ),
+    )
+
+
+def append_shard_artifact(
+    directory: Union[str, Path], artifact: ShardArtifact
+) -> WarehouseManifest:
+    """Append one shard artifact's results to a warehouse."""
+    manifest = read_warehouse_manifest(directory)
+    if artifact.fingerprint != manifest.fingerprint:
+        raise WarehouseError(
+            f"shard artifact fingerprints grid {artifact.fingerprint}, "
+            f"but the warehouse holds {manifest.fingerprint}"
+        )
+    if artifact.order_digest != manifest.order_digest:
+        raise WarehouseError(
+            f"shard artifact enumerates the grid in a different point "
+            f"order (order digest {artifact.order_digest} vs "
+            f"{manifest.order_digest}); re-run the shard with "
+            f"identically-ordered axes"
+        )
+    if artifact.total_points != manifest.total_points:
+        raise WarehouseError(
+            f"shard artifact covers a {artifact.total_points}-point "
+            f"grid, but the warehouse holds {manifest.total_points} "
+            f"points"
+        )
+    return append_decision_frame(
+        directory, decision_frame_from_artifact(artifact)
+    )
+
+
+def ingest_shard_directory(
+    directory: Union[str, Path], shard_dir: Union[str, Path]
+) -> tuple[WarehouseManifest, list[str], list[str]]:
+    """Bulk-append every shard artifact from a queue/shard run.
+
+    Initialises the warehouse from the first artifact's grid identity
+    when no manifest exists yet.  Artifacts whose points are already
+    fully covered are skipped (so re-running the ingest after a crash
+    is idempotent); partially-overlapping or foreign artifacts are
+    refused.  Returns ``(manifest, appended, skipped)`` with the
+    artifact filenames in each bucket.
+    """
+    directory = Path(directory)
+    paths = find_shard_artifacts(shard_dir)
+    if not paths:
+        raise WarehouseError(
+            f"no shard artifacts (shard-*.json) in {shard_dir}"
+        )
+    artifacts = [read_shard_artifact(path) for path in paths]
+    if not manifest_path(directory).exists():
+        first = artifacts[0]
+        _publish_manifest(
+            directory,
+            WarehouseManifest(
+                fingerprint=first.fingerprint,
+                order_digest=first.order_digest,
+                total_points=first.total_points,
+                revision=1,
+                frames=(),
+            ),
+        )
+    manifest = read_warehouse_manifest(directory)
+    appended: list[str] = []
+    skipped: list[str] = []
+    for path, artifact in zip(paths, artifacts):
+        covered = {
+            index for entry in manifest.frames for index in entry.indices
+        }
+        if set(artifact.indices) <= covered:
+            # Fully covered (or legitimately empty) artifact: nothing
+            # new to publish.
+            skipped.append(path.name)
+            continue
+        manifest = append_shard_artifact(directory, artifact)
+        appended.append(path.name)
+    return manifest, appended, skipped
+
+
+def build_warehouse(
+    directory: Union[str, Path],
+    grid: Union[SweepGrid, Iterable[DesignPoint]],
+    candidate_factory,
+    reference: int = 0,
+    weights: Optional[FomWeights] = None,
+    cache: Optional[EvaluationCache] = None,
+    executor=None,
+    grid_spec: Optional[dict] = None,
+) -> WarehouseManifest:
+    """Run a sweep and materialise it as a one-frame warehouse.
+
+    The offline indexing tier in one call: evaluates the grid through
+    :func:`~repro.core.sweep.run_design_sweep` (any engine — identical
+    rows either way) and publishes the result.  For incremental builds
+    from many hosts, run a shard queue instead and ingest the artifact
+    directory (:func:`ingest_shard_directory`).
+    """
+    points = _resolve_points(grid)
+    report = run_design_sweep(
+        points,
+        candidate_factory,
+        reference=reference,
+        weights=weights,
+        cache=cache,
+        executor=executor,
+    )
+    init_warehouse(directory, points, grid_spec=grid_spec)
+    return append_decision_frame(
+        directory,
+        decision_frame_for_cells(report.cells, range(len(points))),
+    )
+
+
+# -- the reader -------------------------------------------------------
+
+
+class FrameCache:
+    """Thread-safe LRU of hot, memory-loaded frame files.
+
+    Keyed by ``(resolved path, content digest)``.  Because frame files
+    are immutable and content-addressed, a cached entry can *never* be
+    stale — eviction exists only to bound memory.  Loads happen outside
+    the lock (two threads racing the same cold frame may both parse it;
+    both get correct data and one copy wins), so a slow disk read never
+    blocks cache hits.
+    """
+
+    def __init__(self, capacity: int = 8) -> None:
+        if (
+            isinstance(capacity, bool)
+            or not isinstance(capacity, int)
+            or capacity < 1
+        ):
+            raise WarehouseError(
+                f"frame cache capacity must be a positive integer, "
+                f"got {capacity!r}"
+            )
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[tuple[str, str], DecisionFrame]" = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, path: Union[str, Path], digest: str) -> DecisionFrame:
+        """The frame at ``path`` (verified against ``digest``)."""
+        key = (str(Path(path).resolve()), digest)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return entry
+        dframe = read_warehouse_frame(path, expected_digest=digest)
+        with self._lock:
+            self.misses += 1
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                return self._entries[key]
+            self._entries[key] = dframe
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        return dframe
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+def load_warehouse(
+    directory: Union[str, Path],
+    manifest: Optional[WarehouseManifest] = None,
+    cache: Optional[FrameCache] = None,
+) -> DecisionFrame:
+    """The warehouse's frames merged into one canonical decision frame.
+
+    Reads the manifest fresh (unless one is passed in), resolves every
+    frame file — through the :class:`FrameCache` when given — and
+    merges into canonical point order.  Because the manifest names
+    frame files by content digest, the result is consistent even while
+    a writer is appending: whichever manifest revision was read, all
+    its frame files are already durable.
+    """
+    directory = Path(directory)
+    if manifest is None:
+        manifest = read_warehouse_manifest(directory)
+    frames = []
+    for entry in manifest.frames:
+        path = directory / entry.file
+        if cache is not None:
+            frames.append(cache.get(path, entry.digest))
+        else:
+            frames.append(
+                read_warehouse_frame(path, expected_digest=entry.digest)
+            )
+    return merge_decision_frames(frames)

@@ -21,6 +21,7 @@ from ..core.methodology import (
 from ..core.figure_of_merit import FomWeights
 from ..core.queue import QueueWorkerReport, run_queue_worker
 from ..core.sharding import ShardArtifact, run_shard
+from ..core.warehouse import WarehouseManifest, build_warehouse
 from ..core.sweep import (
     DesignPoint,
     EvaluationCache,
@@ -369,6 +370,37 @@ def run_gps_queue_worker(
         weights=weights,
         executor=executor,
         **queue_options,
+    )
+
+
+def build_gps_warehouse(
+    directory,
+    grid: SweepGrid | Iterable[DesignPoint],
+    chip_costs: Optional[data.ChipCosts] = None,
+    weights: Optional[FomWeights] = None,
+    nre_scenario: Optional[Mapping[int, float]] = None,
+    executor=None,
+    grid_spec=None,
+) -> "WarehouseManifest":
+    """Sweep the GPS grid and materialise it as a frame warehouse.
+
+    The offline half of the decision service: runs the sweep (any
+    engine) and publishes the result as content-addressed frame files
+    plus a manifest under ``directory``
+    (:mod:`repro.core.warehouse`), ready for O(ms) queries through
+    :class:`~repro.core.queryservice.QueryService` or ``repro-gps
+    warehouse serve``.  ``grid_spec`` is an optional JSON-able record
+    of how the grid was specified (the CLI stores its axis flags) —
+    documentation for readers of the manifest, not used for lookup.
+    """
+    return build_warehouse(
+        directory,
+        grid,
+        GpsSweepFactory(chip_costs=chip_costs, nre_scenario=nre_scenario),
+        reference=0,
+        weights=weights,
+        executor=executor,
+        grid_spec=grid_spec,
     )
 
 

@@ -1,0 +1,504 @@
+"""The decision query service, locked by a differential harness.
+
+The load-bearing property, checked with hypothesis: for *any* user
+FoM weight vector, re-ranking the warehouse's stored frame
+(:func:`~repro.core.queryservice.rerank_frame`) is **byte-identical**
+to re-running the whole sweep through ``evaluate_cell`` with those
+weights as the sweep-wide default — including on grids that carry
+their own ``fom_weights`` axis, where non-``paper`` points must keep
+their per-point ranking.  Equality is asserted on the JSON column
+serialisation, so equal means equal IEEE doubles, not "close".
+
+Around it: the query semantics of all six kinds, the contradictory-ask
+matrix (every bad request is a :class:`QueryError`, never a
+traceback), the stdlib HTTP surface, and the concurrency satellite —
+reader threads hammering mixed queries while a writer appends a shard
+must only ever observe complete, canonical warehouse states.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.area.footprint import Footprint, MountKind
+from repro.area.substrate import PCB_RULE
+from repro.core.figure_of_merit import FomWeights
+from repro.core.methodology import CandidateBuildUp
+from repro.core.queryservice import (
+    QUERY_KINDS,
+    QueryError,
+    QueryService,
+    parse_fom_weights,
+    rerank_frame,
+    response_bytes,
+    serve_warehouse,
+    weighted_fom,
+)
+from repro.core.sharding import run_shard
+from repro.core.sweep import DesignPoint, SweepGrid, run_design_sweep
+from repro.core.warehouse import (
+    append_shard_artifact,
+    build_warehouse,
+    decision_frame_for_cells,
+    init_warehouse,
+    load_warehouse,
+)
+from repro.cost.moe.flow import ProductionFlow
+from repro.cost.moe.nodes import CarrierStep, TestStep
+from repro.errors import SpecificationError
+
+#: The differential grid carries a fom_weights *axis* on purpose: the
+#: non-``paper`` point must keep its own ranking under every re-rank.
+GRID = SweepGrid(
+    volumes=(1e3, 5e3, 1e4, 1e5),
+    fom_weights=(None, FomWeights(performance=2.0, cost=0.5)),
+)
+
+
+def _flow(area_cm2: float) -> ProductionFlow:
+    flow = ProductionFlow(name="toy")
+    flow.add(CarrierStep("ID1", "carrier", unit_cost=10.0 + area_cm2))
+    flow.add(TestStep("ID2", "test", test_cost=1.0))
+    return flow
+
+
+def fixed_candidates(point: DesignPoint) -> list[CandidateBuildUp]:
+    footprints = [Footprint("chip", 25.0, MountKind.PACKAGED)]
+    return [
+        CandidateBuildUp(
+            name="ref",
+            footprints=footprints,
+            substrate_rule=PCB_RULE,
+            flow_factory=_flow,
+            fixed_performance=1.0,
+        ),
+        CandidateBuildUp(
+            name="alt",
+            footprints=footprints * 2,
+            substrate_rule=PCB_RULE,
+            flow_factory=_flow,
+            fixed_performance=0.9,
+        ),
+    ]
+
+
+@pytest.fixture(scope="module")
+def warehouse_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("warehouse") / "wh"
+    build_warehouse(directory, GRID, fixed_candidates)
+    return directory
+
+
+@pytest.fixture(scope="module")
+def stored(warehouse_dir):
+    return load_warehouse(warehouse_dir)
+
+
+@pytest.fixture(scope="module")
+def service(warehouse_dir):
+    return QueryService(warehouse_dir)
+
+
+#: Exponents stay in a band where FoM values neither overflow nor
+#: denormalise — the regime the paper's weighting study lives in.
+weight_values = st.floats(
+    min_value=0.0,
+    max_value=4.0,
+    allow_nan=False,
+    allow_infinity=False,
+)
+
+
+class TestDifferentialRerank:
+    """The harness the tentpole is locked by."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        performance=weight_values,
+        size=weight_values,
+        cost=weight_values,
+    )
+    def test_rerank_equals_fresh_sweep_byte_for_byte(
+        self, stored, performance, size, cost
+    ):
+        weights = FomWeights(
+            performance=performance, size=size, cost=cost
+        )
+        fresh = run_design_sweep(
+            GRID, fixed_candidates, weights=weights
+        )
+        reranked = rerank_frame(stored, weights)
+        assert reranked.to_json_columns() == (
+            fresh.frame.to_json_columns()
+        )
+
+    def test_paper_weights_are_the_identity(self, stored):
+        reranked = rerank_frame(stored, FomWeights())
+        assert reranked.to_json_columns() == (
+            stored.frame.to_json_columns()
+        )
+
+    def test_weighted_fom_matches_the_scalar_formula(self, stored):
+        from repro.core.figure_of_merit import figure_of_merit
+
+        weights = FomWeights(performance=1.7, size=0.3, cost=2.9)
+        vector = weighted_fom(
+            stored.frame.column("performance"),
+            stored.size_ratio,
+            stored.cost_ratio,
+            weights,
+        )
+        scalar = [
+            figure_of_merit(p, s, c, weights)
+            for p, s, c in zip(
+                stored.frame.column("performance").tolist(),
+                stored.size_ratio.tolist(),
+                stored.cost_ratio.tolist(),
+            )
+        ]
+        assert vector.tolist() == scalar
+
+
+class TestParseFomWeights:
+    def test_string_forms(self):
+        weights = parse_fom_weights("2:1:0.5")
+        assert (weights.performance, weights.size, weights.cost) == (
+            2.0,
+            1.0,
+            0.5,
+        )
+        assert parse_fom_weights("paper") == FomWeights()
+
+    def test_list_form(self):
+        assert parse_fom_weights([2, 1, 0.5]) == parse_fom_weights(
+            "2:1:0.5"
+        )
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "1:2",
+            "a:b:c",
+            "-1:1:1",
+            "inf:1:1",
+            [1, 2],
+            [1, 2, True],
+            {"performance": 1},
+            None,
+        ],
+    )
+    def test_bad_values_raise_query_errors(self, bad):
+        with pytest.raises(QueryError):
+            parse_fom_weights(bad)
+
+
+class TestQueryKinds:
+    def test_manifest_reports_coverage(self, service):
+        payload = service.execute({"kind": "manifest"})
+        assert payload["complete"] is True
+        assert payload["covered_points"] == 8
+        assert payload["total_points"] == 8
+
+    def test_pareto_returns_only_front_rows(self, service, stored):
+        payload = service.execute({"kind": "pareto"})
+        front = stored.frame.filter(
+            stored.frame.column("on_pareto_front")
+        )
+        assert payload["rows"] == front.to_json_columns()
+        assert payload["count"] == len(front)
+
+    def test_where_filters_compose(self, service, stored):
+        payload = service.execute(
+            {
+                "kind": "pareto",
+                "where": {"volume": 1e4, "candidate": "ref"},
+            }
+        )
+        for volume in payload["rows"]["volume"]:
+            assert volume == 1e4
+        for name in payload["rows"]["candidate"]:
+            assert name == "ref"
+
+    def test_winners_counts_match_the_frame(self, service, stored):
+        payload = service.execute({"kind": "winners"})
+        assert payload["winner_counts"] == (
+            stored.frame.winner_counts()
+        )
+        assert payload["points"] == 8
+
+    def test_best_is_the_argmax_row(self, service, stored):
+        payload = service.execute({"kind": "best"})
+        best = stored.frame.row(stored.frame.best_index()).as_dict()
+        assert payload["best"] == best
+
+    def test_rerank_response_carries_ranking_artifacts(self, service):
+        payload = service.execute(
+            {"kind": "rerank", "fom_weights": "2:1:0.5"}
+        )
+        fresh = run_design_sweep(
+            GRID,
+            fixed_candidates,
+            weights=FomWeights(performance=2.0, size=1.0, cost=0.5),
+        )
+        assert payload["rows"] == fresh.frame.to_json_columns()
+        assert payload["winner_counts"] == (
+            fresh.frame.winner_counts()
+        )
+        assert payload["best"] == fresh.frame.row(
+            fresh.frame.best_index()
+        ).as_dict()
+
+    def test_sensitivity_slices_one_point_each(self, service):
+        payload = service.execute(
+            {
+                "kind": "sensitivity",
+                "axis": "volume",
+                "where": {"weights": "paper"},
+            }
+        )
+        assert [s["value"] for s in payload["slices"]] == [
+            1e3,
+            5e3,
+            1e4,
+            1e5,
+        ]
+        for entry in payload["slices"]:
+            assert entry["winner"] in entry["fom"]
+            assert set(entry["fom"]) == {"ref", "alt"}
+
+    def test_sensitivity_under_user_weights(self, service):
+        payload = service.execute(
+            {
+                "kind": "sensitivity",
+                "axis": "volume",
+                "where": {"weights": "paper"},
+                "fom_weights": "0:0:1",
+            }
+        )
+        fresh = run_design_sweep(
+            GRID,
+            fixed_candidates,
+            weights=FomWeights(performance=0.0, size=0.0, cost=1.0),
+        )
+        mask = fresh.frame.column("weights") == "paper"
+        sub = fresh.frame.filter(mask)
+        for entry in payload["slices"]:
+            vmask = sub.column("volume") == entry["value"]
+            winners = sub.column("candidate")[
+                vmask & sub.column("is_winner")
+            ]
+            assert entry["winner"] == winners[0]
+
+
+class TestBadAsks:
+    @pytest.mark.parametrize(
+        "request_payload",
+        [
+            "not an object",
+            {"kind": "nope"},
+            {},
+            {"kind": "pareto", "surprise": 1},
+            {"kind": "pareto", "fom_weights": "2:1:1"},
+            {"kind": "rerank"},
+            {"kind": "rerank", "fom_weights": "1:2"},
+            {"kind": "manifest", "where": {"volume": 1e3}},
+            {"kind": "manifest", "fom_weights": "1:1:1"},
+            {"kind": "winners", "axis": "volume"},
+            {"kind": "sensitivity"},
+            {"kind": "sensitivity", "axis": "candidate"},
+            {
+                "kind": "sensitivity",
+                "axis": "volume",
+                "where": {"volume": 1e3},
+            },
+            {"kind": "sensitivity", "axis": "volume"},
+            {"kind": "pareto", "where": {"bogus": 1}},
+            {"kind": "pareto", "where": {"volume": "lots"}},
+            {"kind": "pareto", "where": {"volume": True}},
+            {"kind": "pareto", "where": {"candidate": 7}},
+            {"kind": "pareto", "where": "volume=1e3"},
+            {"kind": "best", "where": {"volume": 77.0}},
+        ],
+    )
+    def test_exit_contract_is_a_query_error(
+        self, service, request_payload
+    ):
+        with pytest.raises(QueryError):
+            service.execute(request_payload)
+
+    def test_sensitivity_multi_point_slice_names_the_fix(
+        self, service
+    ):
+        # Without pinning the weights axis, each volume slice covers
+        # two grid points — ambiguous, and the error says how to fix.
+        with pytest.raises(QueryError) as excinfo:
+            service.execute({"kind": "sensitivity", "axis": "volume"})
+        assert "pin the remaining" in str(excinfo.value)
+
+    def test_missing_warehouse_is_a_specification_error(
+        self, tmp_path
+    ):
+        with pytest.raises(SpecificationError):
+            QueryService(tmp_path / "nowhere").execute(
+                {"kind": "manifest"}
+            )
+
+
+class TestHttpSurface:
+    @pytest.fixture(scope="class")
+    def server(self, warehouse_dir):
+        server = serve_warehouse(warehouse_dir)
+        thread = threading.Thread(
+            target=server.serve_forever, daemon=True
+        )
+        thread.start()
+        yield server
+        server.shutdown()
+        server.server_close()
+
+    def _post(self, server, payload):
+        host, port = server.server_address[:2]
+        request = urllib.request.Request(
+            f"http://{host}:{port}/query",
+            data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request) as response:
+            return response.read()
+
+    def test_query_bytes_match_in_process_execution(
+        self, server, service
+    ):
+        for request_payload in (
+            {"kind": "manifest"},
+            {"kind": "winners"},
+            {"kind": "rerank", "fom_weights": "2:1:0.5"},
+        ):
+            assert self._post(server, request_payload) == (
+                response_bytes(service.execute(request_payload))
+            )
+
+    def test_get_manifest_and_health(self, server, service):
+        host, port = server.server_address[:2]
+        with urllib.request.urlopen(
+            f"http://{host}:{port}/manifest"
+        ) as response:
+            assert response.read() == response_bytes(
+                service.execute({"kind": "manifest"})
+            )
+        with urllib.request.urlopen(
+            f"http://{host}:{port}/health"
+        ) as response:
+            payload = json.loads(response.read())
+        assert payload["status"] == "ok"
+
+    def test_bad_asks_are_http_400(self, server):
+        host, port = server.server_address[:2]
+        for body in (b"{torn", json.dumps({"kind": "rerank"}).encode()):
+            request = urllib.request.Request(
+                f"http://{host}:{port}/query", data=body
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request)
+            assert excinfo.value.code == 400
+            assert "error" in json.loads(excinfo.value.read())
+
+    def test_unknown_path_is_http_404(self, server):
+        host, port = server.server_address[:2]
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"http://{host}:{port}/pareto")
+        assert excinfo.value.code == 404
+
+
+class TestConcurrentAppendAndQuery:
+    """The torn-state satellite: readers during a writer append."""
+
+    N_THREADS = 6
+    N_QUERIES = 25
+
+    def test_queries_only_see_complete_canonical_states(
+        self, tmp_path
+    ):
+        grid = SweepGrid(volumes=(1e3, 2e3, 5e3, 1e4))
+        artifacts = [
+            run_shard(grid, fixed_candidates, shards=4, shard_index=i)
+            for i in range(4)
+        ]
+        init_warehouse(tmp_path, grid)
+        for artifact in artifacts[:3]:
+            append_shard_artifact(tmp_path, artifact)
+
+        # The only two states any reader may ever observe.
+        def canonical(service):
+            return {
+                "winners": response_bytes(
+                    service.execute({"kind": "winners"})
+                ),
+                "rerank": response_bytes(
+                    service.execute(
+                        {"kind": "rerank", "fom_weights": "2:1:0.5"}
+                    )
+                ),
+            }
+
+        before = canonical(QueryService(tmp_path))
+        probe = tmp_path / ".probe"
+        probe.mkdir()
+        init_warehouse(probe, grid)
+        for artifact in artifacts:
+            append_shard_artifact(probe, artifact)
+        # The probe's revision (init + 4 appends = 5) equals what the
+        # shared warehouse reports after its own 4th append, so its
+        # response bytes are exactly the expected "after" state.
+        after = canonical(QueryService(probe))
+
+        service = QueryService(tmp_path)
+        failures: list = []
+        seen_after = threading.Event()
+        start = threading.Barrier(self.N_THREADS + 1)
+
+        def hammer():
+            start.wait()
+            for index in range(self.N_QUERIES):
+                kind = ("winners", "rerank")[index % 2]
+                request_payload = (
+                    {"kind": kind}
+                    if kind == "winners"
+                    else {"kind": kind, "fom_weights": "2:1:0.5"}
+                )
+                try:
+                    body = response_bytes(
+                        service.execute(request_payload)
+                    )
+                except Exception as exc:  # noqa: BLE001
+                    failures.append(repr(exc))
+                    continue
+                if body == after[kind]:
+                    seen_after.set()
+                elif body != before[kind]:
+                    failures.append(
+                        f"non-canonical {kind} response: {body[:120]!r}"
+                    )
+
+        threads = [
+            threading.Thread(target=hammer)
+            for _ in range(self.N_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        start.wait()
+        append_shard_artifact(tmp_path, artifacts[3])
+        for thread in threads:
+            thread.join()
+        assert not failures, failures[:5]
+        # After the append every new query reports the full grid.
+        final = response_bytes(service.execute({"kind": "winners"}))
+        assert final == after["winners"]

@@ -1,0 +1,354 @@
+"""The frame warehouse: content-addressed sweep materialisation.
+
+The warehouse's contract is the queue fabric's, one level up: frame
+files are immutable (their name *is* their content hash), the manifest
+is the single mutable object and flips atomically, and existence means
+completeness.  These tests pin the writer half — building, appending
+shard artifacts, torn-file rejection, overlap refusal — plus the
+:class:`~repro.core.warehouse.FrameCache` LRU the query tier leans on.
+The reader/query semantics live in ``test_queryservice.py``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.area.footprint import Footprint, MountKind
+from repro.area.substrate import PCB_RULE
+from repro.core.executors import SerialExecutor
+from repro.core.figure_of_merit import FomWeights
+from repro.core.methodology import CandidateBuildUp
+from repro.core.sharding import (
+    payload_to_artifact,
+    artifact_to_payload,
+    run_shard,
+    shard_filename,
+    write_shard_artifact,
+)
+from repro.core.sweep import DesignPoint, SweepGrid, run_design_sweep
+from repro.core.warehouse import (
+    FrameCache,
+    WarehouseError,
+    append_shard_artifact,
+    build_warehouse,
+    canonical_json,
+    decision_frame_for_cells,
+    decision_frame_from_artifact,
+    frame_digest,
+    frame_filename,
+    frame_payload,
+    ingest_shard_directory,
+    init_warehouse,
+    load_warehouse,
+    manifest_path,
+    merge_decision_frames,
+    read_warehouse_frame,
+    read_warehouse_manifest,
+)
+from repro.cost.moe.flow import ProductionFlow
+from repro.cost.moe.nodes import CarrierStep, TestStep
+
+GRID = SweepGrid(volumes=(1e3, 2e3, 5e3, 1e4, 5e4, 1e5))
+
+
+def _flow(area_cm2: float) -> ProductionFlow:
+    flow = ProductionFlow(name="toy")
+    flow.add(CarrierStep("ID1", "carrier", unit_cost=10.0 + area_cm2))
+    flow.add(TestStep("ID2", "test", test_cost=1.0))
+    return flow
+
+
+def fixed_candidates(point: DesignPoint) -> list[CandidateBuildUp]:
+    """Cheap two-candidate factory (no MNA), shared by every test."""
+    footprints = [Footprint("chip", 25.0, MountKind.PACKAGED)]
+    return [
+        CandidateBuildUp(
+            name="ref",
+            footprints=footprints,
+            substrate_rule=PCB_RULE,
+            flow_factory=_flow,
+            fixed_performance=1.0,
+        ),
+        CandidateBuildUp(
+            name="alt",
+            footprints=footprints * 2,
+            substrate_rule=PCB_RULE,
+            flow_factory=_flow,
+            fixed_performance=0.9,
+        ),
+    ]
+
+
+@pytest.fixture(scope="module")
+def serial_report():
+    return run_design_sweep(
+        GRID, fixed_candidates, executor=SerialExecutor()
+    )
+
+
+@pytest.fixture(scope="module")
+def artifacts():
+    return [
+        run_shard(GRID, fixed_candidates, shards=3, shard_index=i)
+        for i in range(3)
+    ]
+
+
+class TestDecisionFrame:
+    def test_from_cells_carries_ratio_columns(self, serial_report):
+        dframe = decision_frame_for_cells(
+            serial_report.cells, range(len(serial_report.cells))
+        )
+        assert len(dframe) == len(serial_report.frame)
+        assert dframe.size_ratio.dtype == np.float64
+        assert not dframe.size_ratio.flags.writeable
+        assert np.all(dframe.size_ratio > 0)
+        assert np.all(dframe.cost_ratio > 0)
+        # The stored FoM must be reproducible from the stored inputs:
+        # fom == perf**1 * (1/size)**1 * (1/cost)**1 at paper weights.
+        recomputed = np.asarray(
+            [
+                p * (1.0 / s) * (1.0 / c)
+                for p, s, c in zip(
+                    dframe.frame.column("performance").tolist(),
+                    dframe.size_ratio.tolist(),
+                    dframe.cost_ratio.tolist(),
+                )
+            ]
+        )
+        assert recomputed.tolist() == (
+            dframe.frame.column("figure_of_merit").tolist()
+        )
+
+    def test_point_of_row_repeats_indices(self, serial_report):
+        dframe = decision_frame_for_cells(
+            serial_report.cells, range(len(serial_report.cells))
+        )
+        point = dframe.point_of_row()
+        assert point.shape == (len(dframe),)
+        # Two candidates per point, canonical order.
+        assert point.tolist() == [
+            index // 2 for index in range(len(dframe))
+        ]
+
+    def test_from_artifact_needs_ratios(self, artifacts):
+        payload = artifact_to_payload(artifacts[0])
+        del payload["ratios"]
+        legacy = payload_to_artifact(payload)
+        assert legacy.ratios is None
+        with pytest.raises(WarehouseError) as excinfo:
+            decision_frame_from_artifact(legacy)
+        assert "re-run" in str(excinfo.value)
+
+    def test_merge_is_order_independent(self, artifacts, serial_report):
+        frames = [decision_frame_from_artifact(a) for a in artifacts]
+        merged = merge_decision_frames(frames)
+        shuffled = merge_decision_frames(frames[::-1])
+        assert merged == shuffled
+        assert merged.frame.to_json_columns() == (
+            serial_report.frame.to_json_columns()
+        )
+
+    def test_merge_rejects_overlap(self, artifacts):
+        frame = decision_frame_from_artifact(artifacts[0])
+        with pytest.raises(WarehouseError) as excinfo:
+            merge_decision_frames([frame, frame])
+        assert "overlap" in str(excinfo.value)
+
+
+class TestFrameFiles:
+    def test_payload_round_trips(self, artifacts, tmp_path):
+        dframe = decision_frame_from_artifact(artifacts[0])
+        payload = frame_payload(
+            dframe,
+            fingerprint="f" * 16,
+            order_digest="o" * 16,
+            total_points=6,
+        )
+        digest = frame_digest(payload)
+        path = tmp_path / frame_filename(digest)
+        path.write_text(canonical_json(payload) + "\n")
+        loaded = read_warehouse_frame(path, expected_digest=digest)
+        assert loaded == dframe
+
+    def test_digest_mismatch_is_refused(self, artifacts, tmp_path):
+        dframe = decision_frame_from_artifact(artifacts[0])
+        payload = frame_payload(
+            dframe,
+            fingerprint="f" * 16,
+            order_digest="o" * 16,
+            total_points=6,
+        )
+        path = tmp_path / "frame-bad.json"
+        path.write_text(canonical_json(payload) + "\n")
+        with pytest.raises(WarehouseError) as excinfo:
+            read_warehouse_frame(path, expected_digest="0" * 16)
+        assert "tampered or mispaired" in str(excinfo.value)
+
+    def test_torn_file_is_refused(self, artifacts, tmp_path):
+        dframe = decision_frame_from_artifact(artifacts[0])
+        payload = frame_payload(
+            dframe,
+            fingerprint="f" * 16,
+            order_digest="o" * 16,
+            total_points=6,
+        )
+        text = canonical_json(payload)
+        path = tmp_path / "frame-torn.json"
+        path.write_bytes(text.encode()[: len(text) // 2])
+        with pytest.raises(WarehouseError):
+            read_warehouse_frame(path)
+
+
+class TestWriter:
+    def test_build_matches_serial_sweep(self, tmp_path, serial_report):
+        manifest = build_warehouse(
+            tmp_path / "wh", GRID, fixed_candidates
+        )
+        assert manifest.complete
+        assert manifest.covered_points == 6
+        dframe = load_warehouse(tmp_path / "wh")
+        assert dframe.frame.to_json_columns() == (
+            serial_report.frame.to_json_columns()
+        )
+
+    def test_init_refuses_reinitialisation(self, tmp_path):
+        init_warehouse(tmp_path, GRID)
+        with pytest.raises(WarehouseError) as excinfo:
+            init_warehouse(tmp_path, GRID)
+        assert "already initialised" in str(excinfo.value)
+
+    def test_shard_appends_reach_the_serial_frame(
+        self, tmp_path, artifacts, serial_report
+    ):
+        init_warehouse(tmp_path, GRID)
+        revisions = []
+        for artifact in artifacts:
+            manifest = append_shard_artifact(tmp_path, artifact)
+            revisions.append(manifest.revision)
+        assert revisions == [2, 3, 4]
+        assert manifest.complete
+        dframe = load_warehouse(tmp_path)
+        assert dframe.frame.to_json_columns() == (
+            serial_report.frame.to_json_columns()
+        )
+
+    def test_double_append_is_refused(self, tmp_path, artifacts):
+        init_warehouse(tmp_path, GRID)
+        append_shard_artifact(tmp_path, artifacts[0])
+        with pytest.raises(WarehouseError) as excinfo:
+            append_shard_artifact(tmp_path, artifacts[0])
+        assert "already covers point index" in str(excinfo.value)
+
+    def test_foreign_artifact_is_refused(self, tmp_path):
+        init_warehouse(tmp_path, GRID)
+        foreign = run_shard(
+            SweepGrid(volumes=(123.0,)),
+            fixed_candidates,
+            shards=1,
+            shard_index=0,
+        )
+        with pytest.raises(WarehouseError) as excinfo:
+            append_shard_artifact(tmp_path, foreign)
+        assert "fingerprint" in str(excinfo.value)
+
+    def test_manifest_flip_is_atomic(self, tmp_path, artifacts):
+        """No intermediate manifest state is ever on disk: the bytes
+        at the manifest path always parse and always validate."""
+        init_warehouse(tmp_path, GRID)
+        path = manifest_path(tmp_path)
+        before = path.read_bytes()
+        append_shard_artifact(tmp_path, artifacts[0])
+        after = path.read_bytes()
+        assert before != after
+        for raw in (before, after):
+            json.loads(raw)  # both snapshots are complete documents
+        # The referenced frame file landed before the manifest flipped.
+        manifest = read_warehouse_manifest(tmp_path)
+        for entry in manifest.frames:
+            assert (tmp_path / entry.file).is_file()
+
+    def test_ingest_directory_is_resumable(
+        self, tmp_path, artifacts, serial_report
+    ):
+        shard_dir = tmp_path / "shards"
+        shard_dir.mkdir()
+        for artifact in artifacts[:2]:
+            write_shard_artifact(
+                shard_dir / shard_filename(3, artifact.shard_index),
+                artifact,
+            )
+        wh = tmp_path / "wh"
+        manifest, appended, skipped = ingest_shard_directory(
+            wh, shard_dir
+        )
+        assert len(appended) == 2 and not skipped
+        assert not manifest.complete
+        write_shard_artifact(
+            shard_dir / shard_filename(3, artifacts[2].shard_index),
+            artifacts[2],
+        )
+        manifest, appended, skipped = ingest_shard_directory(
+            wh, shard_dir
+        )
+        assert len(appended) == 1 and len(skipped) == 2
+        assert manifest.complete
+        dframe = load_warehouse(wh)
+        assert dframe.frame.to_json_columns() == (
+            serial_report.frame.to_json_columns()
+        )
+
+    def test_ingest_empty_directory_is_an_error(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(WarehouseError):
+            ingest_shard_directory(tmp_path / "wh", empty)
+
+
+class TestFrameCache:
+    def test_hits_and_misses(self, tmp_path, artifacts):
+        init_warehouse(tmp_path, GRID)
+        append_shard_artifact(tmp_path, artifacts[0])
+        cache = FrameCache(capacity=4)
+        first = load_warehouse(tmp_path, cache=cache)
+        second = load_warehouse(tmp_path, cache=cache)
+        assert first == second
+        assert cache.misses == 1
+        assert cache.hits == 1
+
+    def test_capacity_one_evicts(self, tmp_path, artifacts):
+        init_warehouse(tmp_path, GRID)
+        for artifact in artifacts[:2]:
+            append_shard_artifact(tmp_path, artifact)
+        cache = FrameCache(capacity=1)
+        load_warehouse(tmp_path, cache=cache)
+        assert len(cache) == 1
+        assert cache.misses == 2
+        # Reloading re-reads at least the evicted frame.
+        load_warehouse(tmp_path, cache=cache)
+        assert cache.misses >= 3
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(WarehouseError):
+            FrameCache(capacity=0)
+        with pytest.raises(WarehouseError):
+            FrameCache(capacity=True)
+
+
+class TestRerankWeightRespectsPointAxis:
+    def test_warehouse_of_weighted_grid_round_trips(self, tmp_path):
+        """A grid with its own fom_weights axis builds and reloads
+        byte-identically — the stored per-point ranking survives."""
+        grid = SweepGrid(
+            volumes=(1e3, 1e4),
+            fom_weights=(None, FomWeights(performance=2.0)),
+        )
+        build_warehouse(tmp_path / "wh", grid, fixed_candidates)
+        dframe = load_warehouse(tmp_path / "wh")
+        fresh = run_design_sweep(grid, fixed_candidates)
+        assert dframe.frame.to_json_columns() == (
+            fresh.frame.to_json_columns()
+        )

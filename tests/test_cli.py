@@ -1089,3 +1089,342 @@ class TestGatherCli:
             == 1
         )
         assert "timed out" in capsys.readouterr().err
+
+
+class TestWarehouseCli:
+    """The warehouse verbs: every bad ask exits 2 with a one-line
+    message on stderr (never a traceback), and the happy paths emit
+    the query tier's canonical JSON on stdout."""
+
+    def _build(self, tmp_path, capsys):
+        directory = tmp_path / "wh"
+        assert (
+            main(
+                [
+                    "warehouse",
+                    "build",
+                    str(directory),
+                    "--volumes",
+                    "1e3,1e4",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "2/2 points" in out
+        assert "(complete)" in out
+        return directory
+
+    def test_build_then_query_round_trips(self, tmp_path, capsys):
+        import json
+
+        directory = self._build(tmp_path, capsys)
+        assert (
+            main(
+                [
+                    "warehouse",
+                    "query",
+                    str(directory),
+                    "--kind",
+                    "winners",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "winners"
+        assert payload["points"] == 2
+        assert sum(payload["winner_counts"].values()) == 2
+
+    def test_query_output_is_the_servers_bytes(self, tmp_path, capsys):
+        from repro.core.queryservice import QueryService, response_bytes
+
+        directory = self._build(tmp_path, capsys)
+        assert (
+            main(
+                [
+                    "warehouse",
+                    "query",
+                    str(directory),
+                    "--kind",
+                    "rerank",
+                    "--fom-weights",
+                    "2:1:0.5",
+                    "--volume",
+                    "1e4",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        expected = response_bytes(
+            QueryService(directory).execute(
+                {
+                    "kind": "rerank",
+                    "fom_weights": "2:1:0.5",
+                    "where": {"volume": 1e4},
+                }
+            )
+        )
+        assert out.encode() == expected
+
+    def test_missing_manifest_exits_2(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "warehouse",
+                    "query",
+                    str(tmp_path / "nowhere"),
+                    "--kind",
+                    "winners",
+                ]
+            )
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "cannot read warehouse manifest" in err
+        assert "Traceback" not in err
+
+    def test_bad_fingerprint_exits_2(self, tmp_path, capsys):
+        directory = self._build(tmp_path, capsys)
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "warehouse",
+                    "query",
+                    str(directory),
+                    "--kind",
+                    "winners",
+                    "--fingerprint",
+                    "deadbeefdeadbeef",
+                ]
+            )
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "deadbeefdeadbeef" in err
+        assert "Traceback" not in err
+
+    def test_rebuild_into_existing_warehouse_exits_2(
+        self, tmp_path, capsys
+    ):
+        directory = self._build(tmp_path, capsys)
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "warehouse",
+                    "build",
+                    str(directory),
+                    "--volumes",
+                    "1e3,1e4",
+                ]
+            )
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "already initialised" in err
+        assert "Traceback" not in err
+
+    def test_from_shards_rejects_grid_axis_flags(
+        self, tmp_path, capsys
+    ):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "warehouse",
+                    "build",
+                    str(tmp_path / "wh"),
+                    "--from-shards",
+                    str(tmp_path),
+                    "--volumes",
+                    "1e3",
+                ]
+            )
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--volumes" in err
+        assert "Traceback" not in err
+
+    def test_from_shards_rejects_engine_flags(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "warehouse",
+                    "build",
+                    str(tmp_path / "wh"),
+                    "--from-shards",
+                    str(tmp_path),
+                    "--engine",
+                    "process",
+                ]
+            )
+        assert excinfo.value.code == 2
+        assert "--engine" in capsys.readouterr().err
+
+    def test_from_shards_empty_directory_exits_2(
+        self, tmp_path, capsys
+    ):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "warehouse",
+                    "build",
+                    str(tmp_path / "wh"),
+                    "--from-shards",
+                    str(empty),
+                ]
+            )
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "no shard artifacts" in err
+        assert "Traceback" not in err
+
+    def test_rerank_query_requires_weights(self, tmp_path, capsys):
+        directory = self._build(tmp_path, capsys)
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "warehouse",
+                    "query",
+                    str(directory),
+                    "--kind",
+                    "rerank",
+                ]
+            )
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "fom_weights" in err
+        assert "Traceback" not in err
+
+    def test_pareto_query_rejects_weights(self, tmp_path, capsys):
+        directory = self._build(tmp_path, capsys)
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "warehouse",
+                    "query",
+                    str(directory),
+                    "--kind",
+                    "pareto",
+                    "--fom-weights",
+                    "2:1:1",
+                ]
+            )
+        assert excinfo.value.code == 2
+        assert "weight-independent" in capsys.readouterr().err
+
+    def test_sensitivity_query_requires_axis(self, tmp_path, capsys):
+        directory = self._build(tmp_path, capsys)
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "warehouse",
+                    "query",
+                    str(directory),
+                    "--kind",
+                    "sensitivity",
+                ]
+            )
+        assert excinfo.value.code == 2
+        assert "axis" in capsys.readouterr().err
+
+    def test_unknown_kind_rejected_by_argparse(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "warehouse",
+                    "query",
+                    str(tmp_path),
+                    "--kind",
+                    "everything",
+                ]
+            )
+        assert excinfo.value.code == 2
+
+    def test_warehouse_requires_a_subcommand(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["warehouse"])
+        assert excinfo.value.code == 2
+
+    def test_serve_refuses_missing_warehouse(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "warehouse",
+                    "serve",
+                    str(tmp_path / "nowhere"),
+                    "--port",
+                    "0",
+                ]
+            )
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "cannot read warehouse manifest" in err
+        assert "Traceback" not in err
+
+    def test_queue_to_warehouse_walkthrough(self, tmp_path, capsys):
+        """The documented flow: queue-init, worker, build
+        --from-shards twice (append, then skip), query."""
+        import json
+
+        manifest = tmp_path / "queue.json"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--queue-init",
+                    str(manifest),
+                    "--shards",
+                    "2",
+                    "--volumes",
+                    "1e3,1e4",
+                ]
+            )
+            == 0
+        )
+        assert main(["sweep", "--queue", str(manifest)]) == 0
+        directory = tmp_path / "wh"
+        assert (
+            main(
+                [
+                    "warehouse",
+                    "build",
+                    str(directory),
+                    "--from-shards",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert out.count("appended") == 2
+        assert (
+            main(
+                [
+                    "warehouse",
+                    "build",
+                    str(directory),
+                    "--from-shards",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert out.count("skipped") == 2
+        assert (
+            main(
+                [
+                    "warehouse",
+                    "query",
+                    str(directory),
+                    "--kind",
+                    "best",
+                    "--volume",
+                    "1e4",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["best"]["volume"] == 1e4
+        assert payload["best"]["is_winner"] is True
