@@ -35,6 +35,7 @@ import argparse
 import math
 import os
 import sys
+import tempfile
 from pathlib import Path
 from typing import Optional, Sequence
 
@@ -48,8 +49,22 @@ from .core.executors import (
     shards_from_env,
 )
 from .core.figure_of_merit import FomWeights
-from .core.gather import GatherError, gather_directory, watch_directory
+from .core.framestore import (
+    MANIFEST_NAME as STORE_MANIFEST_NAME,
+    MAX_ROWS_ENV,
+    ChunkedFrameStore,
+    max_rows_from_env,
+    merge_artifacts_to_store,
+    store_matches,
+)
+from .core.gather import (
+    GatherError,
+    gather_directory,
+    gather_directory_to_store,
+    watch_directory,
+)
 from .core.queue import manifest_for_grid, read_manifest, write_manifest
+from .core.resultframe import ResultFrame
 from .core.sharding import (
     ShardedExecutor,
     ShardMergeError,
@@ -62,7 +77,12 @@ from .core.sharding import (
     shard_filename,
     write_shard_artifact,
 )
-from .core.sweep import BATCH_FILL_ENV, SweepGrid, batch_fill_enabled
+from .core.sweep import (
+    BATCH_FILL_ENV,
+    SweepGrid,
+    SweepReport,
+    batch_fill_enabled,
+)
 from .core.queryservice import (
     QUERY_KINDS,
     SENSITIVITY_AXES,
@@ -87,6 +107,7 @@ from .gps.study import (
     run_gps_shard,
     run_gps_study,
     run_gps_sweep,
+    spill_gps_sweep,
 )
 from .passives.thin_film import THIN_FILM_PROCESSES
 from .passives.tolerance import TOLERANCE_CLASSES
@@ -170,6 +191,21 @@ def _positive_int(raw: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(
             f"need a positive worker count, got {value}"
+        )
+    return value
+
+
+def _positive_row_budget(raw: str) -> int:
+    """Parse the --max-rows-in-memory budget (a strictly positive int)."""
+    try:
+        value = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"{raw!r} is not an integer"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"need a positive row budget, got {value}"
         )
     return value
 
@@ -388,6 +424,106 @@ def _print_sweep_report(report, n_points: int, args) -> None:
         _print_cache_stats(report.cache_stats)
 
 
+def _resolve_max_rows(args: argparse.Namespace, error) -> Optional[int]:
+    """The out-of-core row budget: --max-rows-in-memory, else the env.
+
+    ``None`` means in-RAM (the reference path).  A malformed
+    ``$REPRO_SWEEP_MAX_ROWS`` exits 2 through ``error`` — the same
+    contract as every other bad ``REPRO_SWEEP_*`` default.
+    """
+    if args.max_rows_in_memory is not None:
+        return args.max_rows_in_memory
+    try:
+        return max_rows_from_env()
+    except SpecificationError as exc:
+        raise error(str(exc)) from None
+
+
+def _print_store_report(
+    store: ChunkedFrameStore, n_points: Optional[int], args
+) -> None:
+    """Render a chunked frame store, byte-identical to the in-RAM path.
+
+    CSV streams the store chunk by chunk — stdout is the same byte
+    stream :func:`_print_sweep_report` produces, without ever holding
+    the whole frame.  The table needs winner counts and the best row
+    anyway, so it crosses the identity bridge
+    (:meth:`~repro.core.framestore.ChunkedFrameStore.to_frame`) and
+    reuses the in-RAM renderer.
+    """
+    if args.csv:
+        print(ResultFrame.csv_header())
+        for line in store.csv_lines():
+            print(line)
+        if args.cache_stats:
+            stats = store.meta.get("cache_stats", {})
+            print(
+                "cache: "
+                + " ".join(
+                    f"{table}={tally['hits']}h/{tally['misses']}m"
+                    for table, tally in stats.get("tables", {}).items()
+                ),
+                file=sys.stderr,
+            )
+        return
+    frame = store.to_frame()
+    report = SweepReport(
+        cells=(),
+        frame=frame,
+        cache_stats=store.meta.get("cache_stats", {}),
+    )
+    if n_points is None:
+        # Every grid point has exactly one winning row.
+        n_points = int(frame.column("is_winner").sum())
+    _print_sweep_report(report, n_points, args)
+
+
+def _reuse_or_create_store(
+    directory,
+    *,
+    fingerprint: str,
+    order_digest: str,
+    total_points: int,
+    build,
+) -> ChunkedFrameStore:
+    """A complete matching store at ``directory``, or a fresh one.
+
+    The ``--spill-dir`` contract, same discipline as ``--resume``: an
+    existing store is re-read only when it is complete and holds
+    exactly this grid (fingerprint, canonical order, size).  Anything
+    else — a half-written store, a foreign grid — is a typed refusal;
+    silently clobbering or silently re-reading the wrong results would
+    both be worse.
+    """
+    directory = Path(directory)
+    if (directory / STORE_MANIFEST_NAME).exists():
+        store = ChunkedFrameStore.open(directory)
+        if not store.complete:
+            raise SpecificationError(
+                f"spill directory {directory} holds an incomplete "
+                f"frame store (crashed run?); remove it and re-run"
+            )
+        if not store_matches(
+            store,
+            fingerprint=fingerprint,
+            order_digest=order_digest,
+            total_points=total_points,
+        ):
+            raise SpecificationError(
+                f"spill directory {directory} holds a frame store for "
+                f"a different grid; remove it or pick another "
+                f"--spill-dir"
+            )
+        # Reuse is chatter, not output: stdout stays pure table/CSV.
+        print(
+            f"reusing spilled frame store at {directory} "
+            f"({store.chunk_count} chunks, {store.total_rows} rows)",
+            file=sys.stderr,
+        )
+        return store
+    return build(directory)
+
+
 #: Grid-axis flags and their parser defaults: --merge takes the grid
 #: from the artifacts and --queue takes it from the manifest, so
 #: overriding any of these alongside either is a contradiction worth
@@ -564,6 +700,12 @@ def _cmd_sweep_queue_init(args: argparse.Namespace) -> int:
             "--queue-init evaluates nothing; give --engine/--jobs to "
             "the workers (sweep --queue)"
         )
+    if args.max_rows_in_memory is not None or args.spill_dir is not None:
+        raise _sweep_error(
+            "--queue-init evaluates nothing; --max-rows-in-memory/"
+            "--spill-dir apply where the report is produced "
+            "(sweep --merge or gather)"
+        )
     try:
         shards = (
             args.shards if args.shards is not None else shards_from_env()
@@ -642,6 +784,12 @@ def _cmd_sweep_queue(args: argparse.Namespace) -> int:
         raise _sweep_error(
             "--lease-ttl/--max-attempts are set at --queue-init time; "
             "the manifest already records the queue policy"
+        )
+    if args.max_rows_in_memory is not None or args.spill_dir is not None:
+        raise _sweep_error(
+            "a queue worker writes shard artifacts, not a report; "
+            "--max-rows-in-memory/--spill-dir apply where the report "
+            "is produced (sweep --merge or gather)"
         )
     try:
         manifest = read_manifest(args.queue)
@@ -734,12 +882,46 @@ def _cmd_sweep_merge(args: argparse.Namespace) -> int:
         raise _sweep_error(
             "--merge does not evaluate anything; drop --engine/--jobs"
         )
+    max_rows = _resolve_max_rows(args, _sweep_error)
+    if args.spill_dir is not None and max_rows is None:
+        raise _sweep_error(
+            f"--spill-dir needs a row budget; give "
+            f"--max-rows-in-memory (or ${MAX_ROWS_ENV})"
+        )
     try:
         paths = find_shard_artifacts(args.merge)
         if not paths:
             raise _sweep_error(
                 f"no shard artifacts (shard-*.json) in {args.merge}"
             )
+        if max_rows is not None:
+            # Out-of-core merge: spill to a chunked frame store and
+            # stream it out — byte-identical stdout, bounded memory.
+            first = read_shard_artifact(paths[0])
+            identity = {
+                "fingerprint": first.fingerprint,
+                "order_digest": first.order_digest,
+                "total_points": first.total_points,
+            }
+            del first
+            if args.spill_dir is not None:
+                store = _reuse_or_create_store(
+                    args.spill_dir,
+                    **identity,
+                    build=lambda directory: merge_artifacts_to_store(
+                        paths, directory, max_rows
+                    ),
+                )
+                _print_store_report(store, None, args)
+            else:
+                with tempfile.TemporaryDirectory(
+                    prefix="repro-spill-"
+                ) as scratch:
+                    store = merge_artifacts_to_store(
+                        paths, Path(scratch) / "store", max_rows
+                    )
+                    _print_store_report(store, None, args)
+            return 0
         report = merge_shard_artifacts(paths)
     except SpecificationError as exc:
         raise _sweep_error(str(exc)) from None
@@ -816,6 +998,12 @@ def _cmd_sweep_resolved(args: argparse.Namespace) -> int:
 
     if args.shard_index is not None:
         # Cross-host mode: evaluate one shard, write its artifact.
+        if args.max_rows_in_memory is not None or args.spill_dir is not None:
+            raise _sweep_error(
+                "a shard run writes its artifact, not a report; "
+                "--max-rows-in-memory/--spill-dir apply where the "
+                "report is produced (sweep --merge or gather)"
+            )
         if shards is None:
             raise _sweep_error(
                 f"--shard-index requires --shards (or ${SHARDS_ENV})"
@@ -884,6 +1072,48 @@ def _cmd_sweep_resolved(args: argparse.Namespace) -> int:
             executor = ShardedExecutor(shards, inner=executor)
         except SpecificationError as exc:
             raise _sweep_error(str(exc)) from None
+
+    max_rows = _resolve_max_rows(args, _sweep_error)
+    if args.spill_dir is not None and max_rows is None:
+        raise _sweep_error(
+            f"--spill-dir needs a row budget; give "
+            f"--max-rows-in-memory (or ${MAX_ROWS_ENV})"
+        )
+    if max_rows is not None:
+        # Out-of-core mode: spill completed rows to a chunked frame
+        # store as the sweep streams, then render from the store —
+        # stdout is byte-identical to the in-RAM path below.
+        points = grid.points()
+        identity = {
+            "fingerprint": grid_fingerprint(points),
+            "order_digest": grid_order_digest(points),
+            "total_points": len(points),
+        }
+        try:
+            if args.spill_dir is not None:
+                store = _reuse_or_create_store(
+                    args.spill_dir,
+                    **identity,
+                    build=lambda directory: spill_gps_sweep(
+                        grid, directory, max_rows, executor=executor
+                    ),
+                )
+                _print_store_report(store, len(grid), args)
+            else:
+                with tempfile.TemporaryDirectory(
+                    prefix="repro-spill-"
+                ) as scratch:
+                    store = spill_gps_sweep(
+                        grid,
+                        Path(scratch) / "store",
+                        max_rows,
+                        executor=executor,
+                    )
+                    _print_store_report(store, len(grid), args)
+        except SpecificationError as exc:
+            raise _sweep_error(str(exc)) from None
+        return 0
+
     report = run_gps_sweep(grid, executor=executor)
     _print_sweep_report(report, len(grid), args)
     return 0
@@ -912,6 +1142,19 @@ def _cmd_gather(args: argparse.Namespace) -> int:
         if args.timeout is not None:
             raise _gather_error(
                 "--timeout bounds the watch loop; it needs --watch"
+            )
+    elif args.max_rows_in_memory is not None or args.spill_dir is not None:
+        raise _gather_error(
+            "--watch merges incrementally in memory; "
+            "--max-rows-in-memory/--spill-dir need the one-shot gather"
+        )
+    max_rows = None
+    if not args.watch:
+        max_rows = _resolve_max_rows(args, _gather_error)
+        if args.spill_dir is not None and max_rows is None:
+            raise _gather_error(
+                f"--spill-dir needs a row budget; give "
+                f"--max-rows-in-memory (or ${MAX_ROWS_ENV})"
             )
     expected = None
     if args.manifest is not None:
@@ -950,6 +1193,9 @@ def _cmd_gather(args: argparse.Namespace) -> int:
         # final table/CSV.
         print(line, file=sys.stderr)
 
+    if max_rows is not None:
+        return _gather_spilled(args, expected, max_rows)
+
     try:
         if args.watch:
             report = watch_directory(
@@ -967,6 +1213,68 @@ def _cmd_gather(args: argparse.Namespace) -> int:
     # Every grid point has exactly one winning row.
     n_points = int(report.frame.column("is_winner").sum())
     _print_sweep_report(report, n_points, args)
+    return 0
+
+
+def _gather_spilled(args: argparse.Namespace, expected, max_rows: int) -> int:
+    """The out-of-core gather: merge the directory through a store.
+
+    Exit codes keep the gather contract: a directory that is not done
+    yet (missing shards, rejected artifacts) exits 1, while a broken
+    spill store — wrong grid, corrupt chunk — is *asking wrong* and
+    exits 2.  Stdout is byte-identical to the in-RAM gather.
+    """
+    try:
+        if args.spill_dir is not None:
+            if expected is not None:
+                identity = {
+                    "fingerprint": expected.fingerprint,
+                    "order_digest": expected.order_digest,
+                    "total_points": expected.total_points,
+                }
+            else:
+                paths = find_shard_artifacts(args.directory)
+                if not paths:
+                    raise GatherError(
+                        f"no shard artifacts (shard-*.json) in "
+                        f"{args.directory}"
+                    )
+                first = read_shard_artifact(paths[0])
+                identity = {
+                    "fingerprint": first.fingerprint,
+                    "order_digest": first.order_digest,
+                    "total_points": first.total_points,
+                }
+                del first
+            store = _reuse_or_create_store(
+                args.spill_dir,
+                **identity,
+                build=lambda directory: gather_directory_to_store(
+                    args.directory, directory, max_rows, expected=expected
+                ),
+            )
+            _print_store_report(store, None, args)
+        else:
+            with tempfile.TemporaryDirectory(
+                prefix="repro-spill-"
+            ) as scratch:
+                store = gather_directory_to_store(
+                    args.directory,
+                    Path(scratch) / "store",
+                    max_rows,
+                    expected=expected,
+                )
+                _print_store_report(store, None, args)
+    except GatherError as exc:
+        print(f"repro-gps gather: {exc}", file=sys.stderr)
+        return 1
+    except ShardMergeError as exc:
+        # Listing/reading the shard directory fails the same way it
+        # would in the in-RAM gather: not done yet, exit 1.
+        print(f"repro-gps gather: {exc}", file=sys.stderr)
+        return 1
+    except SpecificationError as exc:
+        raise _gather_error(str(exc)) from None
     return 0
 
 
@@ -1363,6 +1671,30 @@ def build_parser() -> argparse.ArgumentParser:
             "across workers"
         ),
     )
+    sweep.add_argument(
+        "--max-rows-in-memory",
+        type=_positive_row_budget,
+        default=None,
+        metavar="N",
+        help=(
+            "out-of-core mode: spill result rows to a chunked frame "
+            "store, never holding more than N of them in memory "
+            "(output byte-identical to the in-RAM path; default: "
+            "$REPRO_SWEEP_MAX_ROWS)"
+        ),
+    )
+    sweep.add_argument(
+        "--spill-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "directory the out-of-core chunk store lives in (default: "
+            "a temporary directory); a complete store already spilled "
+            "there for this exact grid is re-read instead of "
+            "re-evaluated — needs --max-rows-in-memory or "
+            "$REPRO_SWEEP_MAX_ROWS"
+        ),
+    )
     sweep.set_defaults(func=_cmd_sweep)
 
     gather = sub.add_parser(
@@ -1420,6 +1752,30 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "print per-table EvaluationCache hits/misses, merged "
             "across workers"
+        ),
+    )
+    gather.add_argument(
+        "--max-rows-in-memory",
+        type=_positive_row_budget,
+        default=None,
+        metavar="N",
+        help=(
+            "out-of-core mode: merge the artifacts through a chunked "
+            "frame store, never holding more than one artifact plus N "
+            "buffered rows (output byte-identical; default: "
+            "$REPRO_SWEEP_MAX_ROWS; one-shot gather only)"
+        ),
+    )
+    gather.add_argument(
+        "--spill-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "directory the out-of-core chunk store lives in (default: "
+            "a temporary directory); a complete store already spilled "
+            "there for this exact grid is re-read instead of "
+            "re-merged — needs --max-rows-in-memory or "
+            "$REPRO_SWEEP_MAX_ROWS"
         ),
     )
     gather.set_defaults(func=_cmd_gather)

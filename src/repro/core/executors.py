@@ -159,6 +159,31 @@ class SerialExecutor:
             points, candidate_factory, reference, weights, cache
         )
 
+    def iter_cells(
+        self,
+        points: Sequence[DesignPoint],
+        candidate_factory: CandidateFactory,
+        reference: int,
+        weights: FomWeights,
+        cache: EvaluationCache,
+    ):
+        """Stream ``(index, cell)`` pairs in canonical order.
+
+        The streaming surface constant-memory consumers (the chunked
+        frame store's :func:`~repro.core.framestore.spill_design_sweep`)
+        rely on: one point is evaluated per step, so no cell outlives
+        its yield.  Both fills produce bit-identical cells point by
+        point, and the batched fill's :meth:`EvaluationCache.count_reuse`
+        discipline keeps per-point cache stats equal to the whole-run
+        tally — so the streamed sweep matches :meth:`run_sweep` rows
+        *and* stats exactly.
+        """
+        for index, point in enumerate(points):
+            (cell,) = evaluate_cells(
+                [point], candidate_factory, reference, weights, cache
+            )
+            yield index, cell
+
 
 def _split_runs(points: Sequence[DesignPoint], parts: int) -> list[list]:
     """Split points into at most ``parts`` contiguous, near-even runs.

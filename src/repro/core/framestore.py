@@ -1,0 +1,915 @@
+"""Out-of-core sweep results: the chunked frame store tier.
+
+:class:`~repro.core.resultframe.ResultFrame` is columnar but fully
+RAM-resident — fine up to ~1M rows, memory-bound long before it is
+compute-bound beyond that.  This module adds the spill tier the
+ROADMAP names ("Out-of-core + adaptive sweeps: beyond 1M rows"): sweep
+results stream through a bounded in-memory buffer into
+content-addressed chunk files, and every downstream operation — merge,
+CSV export, Pareto ranking — walks the chunks one at a time instead of
+materialising the whole frame.
+
+Design rules, all inherited from the existing tiers:
+
+* **Byte identity.**  The in-RAM path stays the reference: a store's
+  chunks concatenated (:meth:`ChunkedFrameStore.to_frame`), its
+  streamed CSV (:meth:`ChunkedFrameStore.csv_lines`) and its chunked
+  Pareto mask (:func:`chunked_nondominated_mask`) are bit-identical to
+  the equivalent single-frame operations, for every chunk size.  The
+  differential suite in ``tests/core/test_framestore.py`` locks this
+  under hypothesis.
+* **Atomic publication.**  Chunk files use the shard-artifact write
+  protocol (tmp sibling + fsync + :func:`os.replace`), and the store
+  manifest is republished atomically *after* each chunk lands — so a
+  writer killed at any instant leaves a directory whose manifest
+  references only complete chunks: absent-or-previous, never torn.
+* **Content addressing.**  Every chunk file name carries the SHA-256
+  digest of its canonical-JSON payload, re-verified on read; a
+  truncated, foreign or mispaired chunk file is a loud
+  :class:`FrameStoreError` (exit 2 from the CLI), mirroring the
+  :class:`~repro.core.sharding.ShardMergeError` contract.
+* **Bounded memory.**  The writer never buffers more than
+  ``max_rows_in_memory`` rows; the streaming merge
+  (:func:`merge_artifacts_to_store`) holds one source artifact plus
+  the buffer; the chunked Pareto kernel holds one block plus the
+  carried front (which is the answer itself, so it must fit).
+
+CLI surface: ``repro-gps sweep/gather --max-rows-in-memory N`` (or
+``$REPRO_SWEEP_MAX_ROWS``) with ``--spill-dir`` choosing where chunks
+land; see ``docs/sweep-guide.md``, "Sweeping beyond RAM".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Iterable, Iterator, Optional, Sequence, Union
+
+import numpy as np
+
+from ..errors import SpecificationError
+from .executors import CandidateFactory, Executor, SerialExecutor
+from .figure_of_merit import FomWeights
+from .pareto import nondominated_mask
+from .queue import _write_json_atomic
+from .resultframe import ResultFrame
+from .sharding import (
+    ArtifactLike,
+    ShardMergeError,
+    _load,
+    _summarise_indices,
+    grid_fingerprint,
+    grid_order_digest,
+    merge_cache_states,
+)
+from .sweep import (
+    DesignPoint,
+    EvaluationCache,
+    SweepGrid,
+    stream_design_sweep,
+)
+from .warehouse import canonical_json
+
+#: Store manifest format identifier; bumped on incompatible changes.
+STORE_FORMAT = "repro-framestore/1"
+
+#: Chunk file format identifier.
+CHUNK_FORMAT = "repro-framestore-chunk/1"
+
+#: The manifest filename inside a frame store directory.
+MANIFEST_NAME = "framestore.json"
+
+#: Environment switch for the out-of-core row budget (unset: in-RAM).
+MAX_ROWS_ENV = "REPRO_SWEEP_MAX_ROWS"
+
+#: Upper bound on the transient boolean buffers of the blocked
+#: front-vs-block dominance sweep (same budget as ``pareto.py``).
+_BLOCK_BUDGET = 4_000_000
+
+
+class FrameStoreError(SpecificationError):
+    """A chunked frame store cannot be (safely) read or written."""
+
+
+def max_rows_from_env() -> Optional[int]:
+    """The :envvar:`REPRO_SWEEP_MAX_ROWS` row budget, validated.
+
+    Unset or empty means "no budget" (the in-RAM path); anything else
+    must be a positive integer — the same loud-or-nothing discipline as
+    :func:`~repro.core.sweep.batch_fill_enabled`, so a typo exits the
+    CLI with status 2 instead of silently sweeping in RAM.
+    """
+    raw = os.environ.get(MAX_ROWS_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        value = 0
+    if value < 1:
+        raise SpecificationError(
+            f"{MAX_ROWS_ENV} must be a positive integer row budget, "
+            f"got {os.environ[MAX_ROWS_ENV]!r}"
+        )
+    return value
+
+
+def chunk_digest(payload: dict) -> str:
+    """Content digest of a chunk payload (canonical-JSON SHA-256)."""
+    return hashlib.sha256(
+        canonical_json(payload).encode("utf-8")
+    ).hexdigest()[:16]
+
+
+def chunk_filename(sequence: int, digest: str) -> str:
+    """Canonical content-addressed chunk filename."""
+    return f"chunk-{sequence:06d}-{digest}.json"
+
+
+@dataclass(frozen=True)
+class ChunkEntry:
+    """One chunk file as the store manifest records it."""
+
+    file: str
+    digest: str
+    rows: int
+
+
+def _require_positive_rows(max_rows_in_memory) -> int:
+    if (
+        not isinstance(max_rows_in_memory, int)
+        or isinstance(max_rows_in_memory, bool)
+        or max_rows_in_memory < 1
+    ):
+        raise FrameStoreError(
+            f"max_rows_in_memory must be a positive integer, got "
+            f"{max_rows_in_memory!r}"
+        )
+    return max_rows_in_memory
+
+
+class ChunkedFrameStore:
+    """Sweep rows spilled to disk in bounded, content-addressed chunks.
+
+    Write side: :meth:`create` an empty store, :meth:`append` frames in
+    canonical row order (the writer flushes a chunk file every
+    ``max_rows_in_memory`` rows — chunk boundaries depend only on the
+    budget, never on append granularity), :meth:`finish` to flush the
+    remainder and mark the store complete.  Read side: :meth:`open` an
+    existing directory and stream :meth:`iter_chunks` /
+    :meth:`csv_lines` / :meth:`pareto_mask`, or bridge back to RAM with
+    :meth:`to_frame` (the bit-identity reference).
+
+    Durability matches the shard-artifact protocol: every chunk file is
+    atomically published *before* the manifest that references it, so a
+    writer killed mid-chunk leaves the previous manifest intact —
+    readers observe absent-or-previous, never a torn store.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        *,
+        max_rows_in_memory: int,
+        entries: Sequence[ChunkEntry],
+        complete: bool,
+        meta: dict,
+        revision: int,
+    ) -> None:
+        self._directory = Path(directory)
+        self._max_rows = _require_positive_rows(max_rows_in_memory)
+        self._entries: list[ChunkEntry] = list(entries)
+        self._complete = bool(complete)
+        self._meta = dict(meta)
+        self._revision = int(revision)
+        self._buffer: list[ResultFrame] = []
+        self._buffered_rows = 0
+
+    # -- construction -------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        directory: Union[str, Path],
+        *,
+        max_rows_in_memory: int,
+        meta: Optional[dict] = None,
+    ) -> "ChunkedFrameStore":
+        """Initialise an empty store (revision 1, no chunks).
+
+        Refuses a directory that already holds a store manifest or
+        stray chunk files: silently adopting or shadowing them would
+        turn a crashed previous run into wrong rows.
+        """
+        directory = Path(directory)
+        _require_positive_rows(max_rows_in_memory)
+        manifest = directory / MANIFEST_NAME
+        if manifest.exists():
+            raise FrameStoreError(
+                f"frame store already exists at {manifest}; open() it "
+                f"or spill into a fresh directory"
+            )
+        if directory.is_dir():
+            stray = sorted(directory.glob("chunk-*.json"))
+            if stray:
+                raise FrameStoreError(
+                    f"directory {directory} holds {len(stray)} chunk "
+                    f"file(s) but no store manifest (crashed writer?); "
+                    f"remove them or spill into a fresh directory"
+                )
+        store = cls(
+            directory,
+            max_rows_in_memory=max_rows_in_memory,
+            entries=(),
+            complete=False,
+            meta=meta or {},
+            revision=0,
+        )
+        store._publish()
+        return store
+
+    @classmethod
+    def open(cls, directory: Union[str, Path]) -> "ChunkedFrameStore":
+        """Load an existing store's manifest (chunks stay on disk)."""
+        directory = Path(directory)
+        path = directory / MANIFEST_NAME
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except OSError as exc:
+            raise FrameStoreError(
+                f"cannot read frame store manifest {path}: {exc}"
+            ) from None
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise FrameStoreError(
+                f"frame store manifest {path} is not valid JSON "
+                f"(truncated write?): {exc}"
+            ) from None
+        if not isinstance(payload, dict):
+            raise FrameStoreError(
+                f"frame store manifest {path} is not an object"
+            )
+        declared = payload.get("format")
+        if declared != STORE_FORMAT:
+            raise FrameStoreError(
+                f"{path}: unsupported frame store format {declared!r} "
+                f"(expected {STORE_FORMAT!r})"
+            )
+        try:
+            entries = [
+                ChunkEntry(
+                    file=str(chunk["file"]),
+                    digest=str(chunk["digest"]),
+                    rows=int(chunk["rows"]),
+                )
+                for chunk in payload["chunks"]
+            ]
+            store = cls(
+                directory,
+                max_rows_in_memory=payload["max_rows_in_memory"],
+                entries=entries,
+                complete=payload["complete"],
+                meta=payload.get("meta", {}),
+                revision=payload["revision"],
+            )
+        except (KeyError, TypeError, ValueError, SpecificationError) as exc:
+            raise FrameStoreError(
+                f"{path}: malformed frame store manifest ({exc})"
+            ) from None
+        declared_rows = payload.get("total_rows")
+        if declared_rows != store.total_rows:
+            raise FrameStoreError(
+                f"{path}: manifest total_rows {declared_rows!r} does "
+                f"not match the {store.total_rows} chunk rows it lists"
+            )
+        return store
+
+    # -- basic protocol ----------------------------------------------
+
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    @property
+    def max_rows_in_memory(self) -> int:
+        return self._max_rows
+
+    @property
+    def complete(self) -> bool:
+        """True once :meth:`finish` published the final manifest."""
+        return self._complete
+
+    @property
+    def meta(self) -> dict:
+        """The manifest's free-form metadata (a copy)."""
+        return dict(self._meta)
+
+    @property
+    def chunk_count(self) -> int:
+        return len(self._entries)
+
+    @property
+    def total_rows(self) -> int:
+        """Rows published to chunks plus rows still buffered."""
+        return (
+            sum(entry.rows for entry in self._entries)
+            + self._buffered_rows
+        )
+
+    def __len__(self) -> int:
+        return self.total_rows
+
+    def __repr__(self) -> str:
+        state = "complete" if self._complete else "writing"
+        return (
+            f"ChunkedFrameStore({self.total_rows} rows in "
+            f"{len(self._entries)} chunks, {state})"
+        )
+
+    # -- write side ---------------------------------------------------
+
+    def _manifest_payload(self) -> dict:
+        return {
+            "format": STORE_FORMAT,
+            "max_rows_in_memory": self._max_rows,
+            "revision": self._revision,
+            "complete": self._complete,
+            "total_rows": sum(entry.rows for entry in self._entries),
+            "meta": self._meta,
+            "chunks": [
+                {
+                    "file": entry.file,
+                    "digest": entry.digest,
+                    "rows": entry.rows,
+                }
+                for entry in self._entries
+            ],
+        }
+
+    def _publish(self) -> None:
+        self._revision += 1
+        _write_json_atomic(
+            self._directory / MANIFEST_NAME, self._manifest_payload()
+        )
+
+    def _take_buffered(self, count: int) -> ResultFrame:
+        """Pop exactly ``count`` rows off the head of the buffer."""
+        taken: list[ResultFrame] = []
+        need = count
+        while need > 0:
+            frame = self._buffer[0]
+            n = len(frame)
+            if n <= need:
+                taken.append(self._buffer.pop(0))
+                need -= n
+            else:
+                taken.append(frame.take(np.arange(need)))
+                self._buffer[0] = frame.take(np.arange(need, n))
+                need = 0
+        self._buffered_rows -= count
+        return ResultFrame.concat(taken)
+
+    def _flush_chunk(self, rows: int) -> None:
+        chunk = self._take_buffered(rows)
+        payload = {
+            "format": CHUNK_FORMAT,
+            "sequence": len(self._entries),
+            "rows": len(chunk),
+            "columns": chunk.to_json_columns(),
+        }
+        digest = chunk_digest(payload)
+        name = chunk_filename(len(self._entries), digest)
+        # The chunk file lands (atomically) before the manifest that
+        # references it: a crash between the two leaves an orphan chunk
+        # file and the previous manifest — never a dangling reference.
+        _write_json_atomic(self._directory / name, payload)
+        self._entries.append(
+            ChunkEntry(file=name, digest=digest, rows=len(chunk))
+        )
+        self._publish()
+
+    def append(self, frame: ResultFrame) -> None:
+        """Buffer rows in canonical order, spilling full chunks.
+
+        Every chunk except the last holds exactly
+        ``max_rows_in_memory`` rows, whatever granularity the frames
+        arrive in — so the chunk layout (and hence every chunk digest)
+        is a pure function of the row stream and the budget.
+        """
+        if self._complete:
+            raise FrameStoreError(
+                f"frame store at {self._directory} is complete; "
+                f"appending would corrupt published results"
+            )
+        if len(frame) == 0:
+            return
+        self._buffer.append(frame)
+        self._buffered_rows += len(frame)
+        while self._buffered_rows >= self._max_rows:
+            self._flush_chunk(self._max_rows)
+
+    def finish(self, meta: Optional[dict] = None) -> "ChunkedFrameStore":
+        """Flush the remainder chunk and publish the final manifest."""
+        if self._complete:
+            raise FrameStoreError(
+                f"frame store at {self._directory} is already complete"
+            )
+        if self._buffered_rows:
+            self._flush_chunk(self._buffered_rows)
+        if meta:
+            self._meta.update(meta)
+        self._complete = True
+        self._publish()
+        return self
+
+    # -- read side ----------------------------------------------------
+
+    def _read_chunk(self, entry: ChunkEntry) -> ResultFrame:
+        path = self._directory / entry.file
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except OSError as exc:
+            raise FrameStoreError(
+                f"cannot read frame chunk {path}: {exc}"
+            ) from None
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise FrameStoreError(
+                f"frame chunk {path} is not valid JSON "
+                f"(truncated write?): {exc}"
+            ) from None
+        if not isinstance(payload, dict):
+            raise FrameStoreError(f"frame chunk {path} is not an object")
+        declared = payload.get("format")
+        if declared != CHUNK_FORMAT:
+            raise FrameStoreError(
+                f"{path}: unsupported frame chunk format {declared!r} "
+                f"(expected {CHUNK_FORMAT!r})"
+            )
+        actual = chunk_digest(payload)
+        if actual != entry.digest:
+            raise FrameStoreError(
+                f"{path}: chunk content digest {actual} does not match "
+                f"the manifest's {entry.digest} (tampered or mispaired "
+                f"chunk file)"
+            )
+        try:
+            frame = ResultFrame.from_json_columns(payload["columns"])
+        except (KeyError, TypeError, ValueError, SpecificationError) as exc:
+            raise FrameStoreError(
+                f"{path}: malformed frame chunk ({exc})"
+            ) from None
+        if len(frame) != entry.rows:
+            raise FrameStoreError(
+                f"{path}: chunk carries {len(frame)} rows but the "
+                f"manifest records {entry.rows}"
+            )
+        return frame
+
+    def _check_readable(self) -> None:
+        if self._buffered_rows:
+            raise FrameStoreError(
+                f"frame store at {self._directory} still buffers "
+                f"{self._buffered_rows} unflushed row(s); call "
+                f"finish() before reading"
+            )
+
+    def iter_chunks(self) -> Iterator[ResultFrame]:
+        """The chunks in row order, digest-verified, one at a time."""
+        self._check_readable()
+        for entry in self._entries:
+            yield self._read_chunk(entry)
+
+    def to_frame(self) -> ResultFrame:
+        """The whole store as one in-RAM frame (the identity bridge).
+
+        Materialises every row — use only when the result is known to
+        fit; the streaming surfaces (:meth:`csv_lines`,
+        :meth:`pareto_mask`, :meth:`winner_points`) exist so nothing
+        else has to.
+        """
+        return ResultFrame.concat(list(self.iter_chunks()))
+
+    def csv_lines(self) -> Iterator[str]:
+        """One CSV line per row, streamed chunk by chunk.
+
+        Byte-identical to :meth:`ResultFrame.csv_lines` over
+        :meth:`to_frame`: CSV rendering is row-local, so chunking
+        cannot change a single byte.
+        """
+        for chunk in self.iter_chunks():
+            yield from chunk.csv_lines()
+
+    def write_csv(self, handle: IO[str]) -> int:
+        """Stream header + rows to a text handle; returns rows written."""
+        handle.write(ResultFrame.csv_header() + "\n")
+        rows = 0
+        for line in self.csv_lines():
+            handle.write(line + "\n")
+            rows += 1
+        return rows
+
+    def winner_points(self) -> int:
+        """How many rows carry ``is_winner`` (one per grid point)."""
+        return sum(
+            int(chunk.column("is_winner").sum())
+            for chunk in self.iter_chunks()
+        )
+
+    def pareto_mask(self) -> np.ndarray:
+        """Global Pareto mask over all rows, computed chunk-at-a-time.
+
+        Byte-identical to :meth:`ResultFrame.pareto_mask` over
+        :meth:`to_frame` (see :func:`chunked_nondominated_mask`), while
+        holding only one chunk plus the carried front in memory.
+        """
+        return chunked_nondominated_mask(
+            (
+                chunk.column("performance"),
+                chunk.column("area_percent"),
+                chunk.column("cost_percent"),
+            )
+            for chunk in self.iter_chunks()
+        )
+
+
+def store_matches(
+    store: ChunkedFrameStore,
+    *,
+    fingerprint: str,
+    order_digest: str,
+    total_points: int,
+) -> bool:
+    """Does a complete store hold exactly this grid's results?
+
+    The ``--spill-dir`` reuse predicate: a store spilled from the same
+    grid in the same canonical order can be re-read instead of
+    re-merged, the same discipline as
+    :func:`~repro.core.sharding.artifact_matches`.
+    """
+    meta = store.meta
+    return (
+        store.complete
+        and meta.get("fingerprint") == fingerprint
+        and meta.get("order_digest") == order_digest
+        and meta.get("total_points") == total_points
+    )
+
+
+# -- chunked Pareto ---------------------------------------------------
+
+
+def _dominated_by(candidates: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """Which ``targets`` rows some ``candidates`` row dominates.
+
+    Both arrays are ``(k, 3)`` / ``(m, 3)`` objective matrices already
+    oriented for *minimisation* on every column.  Evaluated in blocks
+    of target columns so the transient boolean buffers stay under the
+    same few-megabyte budget as :func:`repro.core.pareto.first_dominators`;
+    NaN rows neither dominate nor are dominated (every comparison is
+    False), exactly like the in-RAM kernels.
+    """
+    k = candidates.shape[0]
+    m = targets.shape[0]
+    out = np.zeros(m, dtype=bool)
+    if k == 0 or m == 0:
+        return out
+    cp = candidates[:, 0]
+    cs = candidates[:, 1]
+    cc = candidates[:, 2]
+    block = max(1, min(m, _BLOCK_BUDGET // k))
+    for start in range(0, m, block):
+        stop = min(start + block, m)
+        tp = targets[start:stop, 0]
+        ts = targets[start:stop, 1]
+        tc = targets[start:stop, 2]
+        at_least = (
+            (cp[:, None] <= tp[None, :])
+            & (cs[:, None] <= ts[None, :])
+            & (cc[:, None] <= tc[None, :])
+        )
+        strictly = (
+            (cp[:, None] < tp[None, :])
+            | (cs[:, None] < ts[None, :])
+            | (cc[:, None] < tc[None, :])
+        )
+        out[start:stop] = (at_least & strictly).any(axis=0)
+    return out
+
+
+def chunked_nondominated_mask(blocks) -> np.ndarray:
+    """Global non-dominated mask over blocks of objective arrays.
+
+    ``blocks`` yields ``(performance, size, cost)`` triples (performance
+    maximised, size and cost minimised — the
+    :func:`~repro.core.pareto.nondominated_mask` orientation); the
+    concatenated result is bit-identical to running the in-RAM kernel
+    over the concatenated arrays, while only one block plus the carried
+    front is ever resident.
+
+    The algorithm carries the exact Pareto front of everything seen so
+    far.  Per block: (1) points some front member dominates are marked
+    dominated — complete, because strict dominance is transitive, so
+    any dominated point has a *maximal* dominator, which by the
+    invariant sits on the carried front; (2) the survivors are
+    self-filtered with the in-RAM kernel (a survivor dominated only by
+    a dominated in-block point would, by transitivity, be dominated by
+    that point's front-member dominator and already be gone); (3) front
+    members the block's new front points dominate are retired — their
+    already-emitted mask bit is rewritten to False — and the front is
+    extended with the block's new points.  Duplicates across blocks
+    both survive and NaN rows survive, exactly as in-RAM.
+    """
+    masks: list[np.ndarray] = []
+    front = np.empty((0, 3), dtype=np.float64)
+    front_pos: list[tuple[int, int]] = []
+    for block_no, (performance, size, cost) in enumerate(blocks):
+        perf = np.asarray(performance, dtype=np.float64)
+        size = np.asarray(size, dtype=np.float64)
+        cost = np.asarray(cost, dtype=np.float64)
+        if (
+            not (perf.shape == size.shape == cost.shape)
+            or perf.ndim != 1
+        ):
+            raise SpecificationError(
+                "dominance needs three equally-long 1-D objective "
+                f"arrays, got shapes {perf.shape}, {size.shape}, "
+                f"{cost.shape}"
+            )
+        objectives = np.column_stack([-perf, size, cost])
+        n = objectives.shape[0]
+        mask = np.zeros(n, dtype=bool)
+        survivors = ~_dominated_by(front, objectives)
+        local = objectives[survivors]
+        keep = nondominated_mask(-local[:, 0], local[:, 1], local[:, 2])
+        indices = np.flatnonzero(survivors)[keep]
+        mask[indices] = True
+        block_front = objectives[indices]
+        fallen = _dominated_by(block_front, front)
+        for position in np.flatnonzero(fallen):
+            owner, row = front_pos[position]
+            masks[owner][row] = False
+        masks.append(mask)
+        alive = ~fallen
+        front = np.concatenate([front[alive], block_front])
+        front_pos = [
+            pos for pos, ok in zip(front_pos, alive) if ok
+        ] + [(block_no, int(row)) for row in indices]
+    if not masks:
+        return np.zeros(0, dtype=bool)
+    return np.concatenate(masks)
+
+
+# -- streaming merge of shard artifacts -------------------------------
+
+
+def merge_artifacts_to_store(
+    artifacts: Iterable[ArtifactLike],
+    directory: Union[str, Path],
+    max_rows_in_memory: int,
+    meta: Optional[dict] = None,
+) -> ChunkedFrameStore:
+    """Spill-to-disk merge: shard artifacts to a chunked frame store.
+
+    The out-of-core twin of
+    :func:`~repro.core.sharding.merge_shard_artifacts` — same
+    validation (same :class:`~repro.core.sharding.ShardMergeError`
+    messages for foreign grids, wrong orders, duplicated or missing
+    indices), same canonical result: the store's row stream is
+    byte-identical to the in-RAM merge's frame.  The stable in-RAM sort
+    groups rows by ascending canonical point index with each point's
+    rows in artifact order; every point lives in exactly one artifact,
+    so replaying the points in ascending order and copying each point's
+    row run reproduces that order exactly.
+
+    Memory never holds more than one source artifact's frame plus the
+    store's ``max_rows_in_memory`` buffer: validation scans the sources
+    one at a time keeping only their index metadata, and the copy pass
+    reloads one artifact at a time.  Path sources are read twice
+    (validate, then copy); in-memory artifacts are kept by reference.
+    """
+    sources = list(artifacts)
+    if not sources:
+        raise ShardMergeError("no shard artifacts to merge")
+
+    records: list[tuple[ArtifactLike, tuple[int, ...], tuple[int, ...]]] = []
+    states: list[dict] = []
+    reference: Optional[dict] = None
+    for source in sources:
+        artifact = _load(source)
+        if reference is None:
+            reference = {
+                "fingerprint": artifact.fingerprint,
+                "order_digest": artifact.order_digest,
+                "total_points": artifact.total_points,
+                "shards": artifact.shards,
+                "shard_index": artifact.shard_index,
+            }
+        else:
+            if artifact.fingerprint != reference["fingerprint"]:
+                raise ShardMergeError(
+                    f"shard artifacts fingerprint different grids: "
+                    f"{reference['fingerprint']} (shard "
+                    f"{reference['shard_index']}/{reference['shards']}) "
+                    f"vs {artifact.fingerprint} (shard "
+                    f"{artifact.shard_index}/{artifact.shards})"
+                )
+            if artifact.order_digest != reference["order_digest"]:
+                raise ShardMergeError(
+                    f"shard artifacts enumerate the same grid in a "
+                    f"different point order (order digest "
+                    f"{reference['order_digest']} vs "
+                    f"{artifact.order_digest}): re-run the shards with "
+                    f"identically-ordered axes"
+                )
+            if artifact.total_points != reference["total_points"]:
+                raise ShardMergeError(
+                    f"shard artifacts disagree on the grid size: "
+                    f"{reference['total_points']} vs "
+                    f"{artifact.total_points} points"
+                )
+        total = reference["total_points"]
+        indices = np.asarray(artifact.indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= total):
+            outside = int(indices[(indices < 0) | (indices >= total)][0])
+            raise ShardMergeError(
+                f"shard {artifact.shard_index}/{artifact.shards} "
+                f"carries point index {outside}, outside the "
+                f"{total}-point grid"
+            )
+        records.append(
+            (
+                source if isinstance(source, (str, Path)) else artifact,
+                tuple(artifact.indices),
+                tuple(artifact.row_counts),
+            )
+        )
+        states.append(artifact.cache_state)
+        del artifact  # free the frame before loading the next source
+
+    total = reference["total_points"]
+    all_indices = np.concatenate(
+        [np.asarray(indices, dtype=np.int64) for _, indices, _ in records]
+    ) if records else np.empty(0, dtype=np.int64)
+    covered, counts = np.unique(all_indices, return_counts=True)
+    duplicates = covered[counts > 1]
+    if duplicates.size:
+        raise ShardMergeError(
+            f"duplicated point indices across shard artifacts: "
+            f"{_summarise_indices(duplicates.tolist())} "
+            f"(the same shard was merged twice?)"
+        )
+    if covered.size != total:
+        coverage = np.zeros(total, dtype=bool)
+        coverage[covered] = True
+        missing = np.flatnonzero(~coverage).tolist()
+        raise ShardMergeError(
+            f"missing point indices {_summarise_indices(missing)} of "
+            f"{total}: a shard artifact was not merged"
+        )
+
+    # The merge plan, one int64 per point instead of a dict of Python
+    # tuples (which would cost ~200 bytes/point — more than the rows
+    # it schedules): which record holds the point, where its rows
+    # start in that record's frame, and how many there are.
+    point_record = np.empty(total, dtype=np.int64)
+    point_offset = np.empty(total, dtype=np.int64)
+    point_count = np.empty(total, dtype=np.int64)
+    for record_index, (_, indices, row_counts) in enumerate(records):
+        idx = np.asarray(indices, dtype=np.int64)
+        cnt = np.asarray(row_counts, dtype=np.int64)
+        point_record[idx] = record_index
+        point_count[idx] = cnt
+        point_offset[idx] = np.cumsum(cnt) - cnt
+
+    store = ChunkedFrameStore.create(
+        directory,
+        max_rows_in_memory=max_rows_in_memory,
+        meta={
+            **(meta or {}),
+            "fingerprint": reference["fingerprint"],
+            "order_digest": reference["order_digest"],
+            "total_points": total,
+        },
+    )
+
+    # Copy pass: walk points in canonical order, coalescing maximal
+    # same-artifact contiguous row runs (with contiguous sharding each
+    # artifact is exactly one run), loading one artifact at a time.
+    loaded_index: Optional[int] = None
+    loaded_frame: Optional[ResultFrame] = None
+
+    def _frame_of(record_index: int) -> ResultFrame:
+        nonlocal loaded_index, loaded_frame
+        if loaded_index != record_index:
+            loaded_frame = _load(records[record_index][0]).frame
+            loaded_index = record_index
+        return loaded_frame
+
+    def _copy_run(record_index: int, start: int, stop: int) -> None:
+        frame = _frame_of(record_index)
+        budget = store.max_rows_in_memory
+        for piece_start in range(start, stop, budget):
+            piece_stop = min(piece_start + budget, stop)
+            store.append(frame.take(np.arange(piece_start, piece_stop)))
+
+    if total:
+        # Run boundaries, vectorised: a new run starts where the record
+        # changes or the next point's rows are not the continuation of
+        # the previous point's.
+        breaks = (
+            np.flatnonzero(
+                (point_record[1:] != point_record[:-1])
+                | (
+                    point_offset[1:]
+                    != point_offset[:-1] + point_count[:-1]
+                )
+            )
+            + 1
+        )
+        starts = np.concatenate([[0], breaks])
+        stops = np.concatenate([breaks, [total]])
+        for first, last in zip(starts.tolist(), stops.tolist()):
+            _copy_run(
+                int(point_record[first]),
+                int(point_offset[first]),
+                int(point_offset[last - 1] + point_count[last - 1]),
+            )
+
+    return store.finish(meta={"cache_stats": merge_cache_states(states)})
+
+
+# -- streaming sweep to a store ---------------------------------------
+
+
+def spill_design_sweep(
+    grid: Union[SweepGrid, Iterable[DesignPoint]],
+    candidate_factory: CandidateFactory,
+    directory: Union[str, Path],
+    max_rows_in_memory: int,
+    reference: int = 0,
+    weights: Optional[FomWeights] = None,
+    cache: Optional[EvaluationCache] = None,
+    executor: Optional[Executor] = None,
+    meta: Optional[dict] = None,
+) -> ChunkedFrameStore:
+    """Run a design sweep, spilling completed cells to a chunk store.
+
+    The out-of-core surface of
+    :func:`~repro.core.sweep.run_design_sweep`: the row stream (and
+    hence the store's chunks, CSV and Pareto mask) is byte-identical
+    to the in-RAM report's frame, with never more than
+    ``max_rows_in_memory`` rows buffered.  Cells stream out of
+    :func:`~repro.core.sweep.stream_design_sweep` through a reorder
+    window, so any engine works: a streaming engine's completion order
+    is rewound to canonical order before rows touch the store.  The
+    default engine here is the serial one — it streams cells in
+    canonical order, keeping the reorder window at one cell.
+
+    The finished store's ``meta`` carries the grid identity
+    (fingerprint, order digest, point count — see
+    :func:`store_matches`) and the sweep's ``cache_stats``.
+    """
+    points = grid.points() if isinstance(grid, SweepGrid) else list(grid)
+    if not points:
+        raise SpecificationError("design sweep needs at least one point")
+    if weights is None:
+        weights = FomWeights()
+    if cache is None:
+        cache = EvaluationCache()
+    if executor is None:
+        executor = SerialExecutor()
+
+    store = ChunkedFrameStore.create(
+        directory,
+        max_rows_in_memory=max_rows_in_memory,
+        meta={
+            **(meta or {}),
+            "fingerprint": grid_fingerprint(points),
+            "order_digest": grid_order_digest(points),
+            "total_points": len(points),
+        },
+    )
+    pending: dict[int, ResultFrame] = {}
+    next_index = 0
+    for streamed in stream_design_sweep(
+        points,
+        candidate_factory,
+        reference=reference,
+        weights=weights,
+        cache=cache,
+        executor=executor,
+    ):
+        pending[streamed.index] = streamed.frame
+        while next_index in pending:
+            store.append(pending.pop(next_index))
+            next_index += 1
+    if next_index != len(points) or pending:
+        raise FrameStoreError(
+            f"streamed sweep delivered {next_index + len(pending)} of "
+            f"{len(points)} points"
+        )
+    return store.finish(meta={"cache_stats": cache.stats()})

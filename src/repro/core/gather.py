@@ -322,6 +322,73 @@ def gather_directory(
     return gather.report()
 
 
+def gather_directory_to_store(
+    directory: Union[str, Path],
+    store_dir: Union[str, Path],
+    max_rows_in_memory: int,
+    expected: Optional[QueueManifest] = None,
+):
+    """Strict one-shot gather spilled to a chunked frame store.
+
+    The out-of-core twin of :func:`gather_directory`: the finished
+    shard directory is merged through
+    :func:`~repro.core.framestore.merge_artifacts_to_store`, never
+    holding more than one artifact plus the store's row buffer — the
+    store's row stream is byte-identical to the in-RAM gather's frame.
+    With ``expected`` (a queue manifest) the first artifact is checked
+    against the pinned grid identity up front, the same discipline as
+    :class:`IncrementalGather`; cross-artifact consistency, duplicate
+    and gap detection come from the merge itself.  Every failure is a
+    :class:`GatherError` naming the cause.
+    """
+    from .framestore import merge_artifacts_to_store  # cycle-free here
+
+    directory = Path(directory)
+    try:
+        paths = find_shard_artifacts(directory)
+    except ShardMergeError as exc:
+        raise GatherError(str(exc)) from None
+    if not paths:
+        raise GatherError(
+            f"no shard artifacts (shard-*.json) in {directory}"
+        )
+    if expected is not None:
+        try:
+            first = _load(paths[0])
+        except ShardMergeError as exc:
+            raise GatherError(str(exc)) from None
+        source = paths[0].name
+        if first.fingerprint != expected.fingerprint:
+            raise GatherError(
+                f"{source}: artifact fingerprints a different grid "
+                f"({first.fingerprint} vs {expected.fingerprint})"
+            )
+        if first.order_digest != expected.order_digest:
+            raise GatherError(
+                f"{source}: artifact enumerates the grid in a "
+                f"different point order (order digest "
+                f"{first.order_digest} vs {expected.order_digest})"
+            )
+        if first.total_points != expected.total_points:
+            raise GatherError(
+                f"{source}: artifact disagrees on the grid size "
+                f"({first.total_points} vs {expected.total_points} "
+                f"points)"
+            )
+        if first.shards != expected.shards:
+            raise GatherError(
+                f"{source}: artifact cut from a different partition "
+                f"({first.shards} vs {expected.shards} shards)"
+            )
+        del first
+    try:
+        return merge_artifacts_to_store(
+            paths, store_dir, max_rows_in_memory
+        )
+    except ShardMergeError as exc:
+        raise GatherError(str(exc)) from None
+
+
 def watch_directory(
     directory: Union[str, Path],
     expected: Optional[QueueManifest] = None,

@@ -719,6 +719,14 @@ def ingest_shard_directory(
     is idempotent); partially-overlapping or foreign artifacts are
     refused.  Returns ``(manifest, appended, skipped)`` with the
     artifact filenames in each bucket.
+
+    Artifacts are read **one at a time** — only the artifact currently
+    being appended is ever resident, so ingesting a thousand-shard run
+    costs one artifact of memory, not the whole sweep.  A malformed
+    artifact therefore surfaces when its turn comes, after earlier
+    artifacts were already published; re-running the ingest after
+    fixing it skips those and continues — the idempotency the
+    covered-points check provides.
     """
     directory = Path(directory)
     paths = find_shard_artifacts(shard_dir)
@@ -726,9 +734,8 @@ def ingest_shard_directory(
         raise WarehouseError(
             f"no shard artifacts (shard-*.json) in {shard_dir}"
         )
-    artifacts = [read_shard_artifact(path) for path in paths]
     if not manifest_path(directory).exists():
-        first = artifacts[0]
+        first = read_shard_artifact(paths[0])
         _publish_manifest(
             directory,
             WarehouseManifest(
@@ -739,10 +746,12 @@ def ingest_shard_directory(
                 frames=(),
             ),
         )
+        del first
     manifest = read_warehouse_manifest(directory)
     appended: list[str] = []
     skipped: list[str] = []
-    for path, artifact in zip(paths, artifacts):
+    for path in paths:
+        artifact = read_shard_artifact(path)
         covered = {
             index for entry in manifest.frames for index in entry.indices
         }

@@ -306,6 +306,40 @@ def stream_gps_sweep(
     )
 
 
+def spill_gps_sweep(
+    grid: SweepGrid | Iterable[DesignPoint],
+    directory,
+    max_rows_in_memory: int,
+    chip_costs: Optional[data.ChipCosts] = None,
+    weights: Optional[FomWeights] = None,
+    nre_scenario: Optional[Mapping[int, float]] = None,
+    cache: Optional[EvaluationCache] = None,
+    executor=None,
+) -> "ChunkedFrameStore":
+    """Out-of-core variant of :func:`run_gps_sweep`.
+
+    Evaluates the grid while spilling completed cells into a
+    :class:`~repro.core.framestore.ChunkedFrameStore` under
+    ``directory``, never buffering more than ``max_rows_in_memory``
+    rows — the store's row stream (chunks, CSV, Pareto mask) is
+    byte-identical to :func:`run_gps_sweep`'s in-RAM frame.  The CLI
+    flow is ``repro-gps sweep --max-rows-in-memory N [--spill-dir
+    DIR]`` (or ``$REPRO_SWEEP_MAX_ROWS``).
+    """
+    from ..core.framestore import spill_design_sweep
+
+    return spill_design_sweep(
+        grid,
+        GpsSweepFactory(chip_costs=chip_costs, nre_scenario=nre_scenario),
+        directory,
+        max_rows_in_memory,
+        reference=0,
+        weights=weights,
+        cache=cache,
+        executor=executor,
+    )
+
+
 def run_gps_shard(
     grid: SweepGrid | Iterable[DesignPoint],
     shards: int,

@@ -38,6 +38,7 @@ from repro.gps.study import (
     run_gps_queue_worker,
     run_gps_shard,
     run_gps_sweep,
+    spill_gps_sweep,
 )
 from repro.passives.tolerance import PRECISION_CLASS
 
@@ -120,6 +121,41 @@ class TestEngineMatrix:
             for scenario, report in serial_reports.items()
         }
         assert len(set(performances.values())) == len(performances)
+
+
+class TestChunkedStoreMatrix:
+    """The out-of-core column: spilling through the chunked frame
+    store under every engine x scenario must stream back the exact
+    serial bytes — frame, CSV lines and cache statistics alike."""
+
+    @pytest.mark.parametrize("engine", sorted(ENGINES))
+    @pytest.mark.parametrize("scenario", sorted(SCENARIO_GRIDS))
+    def test_spilled_store_byte_identical_to_serial(
+        self, serial_reports, engine, scenario, tmp_path
+    ):
+        store = spill_gps_sweep(
+            SCENARIO_GRIDS[scenario],
+            tmp_path / "store",
+            max_rows_in_memory=3,
+            executor=ENGINES[engine](),
+        )
+        reference = serial_reports[scenario]
+        assert store.to_frame() == reference.frame
+        assert list(store.csv_lines()) == reference.frame.csv_lines()
+
+    @pytest.mark.parametrize("scenario", sorted(SCENARIO_GRIDS))
+    def test_serial_spill_matches_cache_stats(
+        self, serial_reports, scenario, tmp_path
+    ):
+        store = spill_gps_sweep(
+            SCENARIO_GRIDS[scenario],
+            tmp_path / "store",
+            max_rows_in_memory=1,
+            executor=make_executor("serial"),
+        )
+        reference = serial_reports[scenario]
+        assert store.to_frame() == reference.frame
+        assert store.meta["cache_stats"] == reference.cache_stats
 
 
 class TestCrossHostMatrix:

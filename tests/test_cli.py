@@ -1428,3 +1428,261 @@ class TestWarehouseCli:
         payload = json.loads(capsys.readouterr().out)
         assert payload["best"]["volume"] == 1e4
         assert payload["best"]["is_winner"] is True
+
+
+class TestOutOfCoreCli:
+    """The --max-rows-in-memory / --spill-dir surface.
+
+    The contract under test: spilling through the chunked frame store
+    never changes a single stdout byte — CSV and table alike — and
+    every misuse (bad budget, budget-less --spill-dir, spill flags on
+    artifact-writing paths, a corrupt spill store) exits 2 with a
+    one-line message.
+    """
+
+    GRID = ["--volumes", "1e3,1e4", "--tolerances", "paper,precision"]
+
+    def _reference_csv(self, capsys, monkeypatch) -> str:
+        monkeypatch.delenv("REPRO_SWEEP_MAX_ROWS", raising=False)
+        assert main(["sweep", *self.GRID, "--csv"]) == 0
+        return capsys.readouterr().out
+
+    def test_spill_flag_csv_is_byte_identical(self, capsys, monkeypatch):
+        reference = self._reference_csv(capsys, monkeypatch)
+        assert (
+            main(
+                ["sweep", *self.GRID, "--csv", "--max-rows-in-memory", "5"]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out == reference
+
+    def test_spill_env_csv_is_byte_identical(self, capsys, monkeypatch):
+        reference = self._reference_csv(capsys, monkeypatch)
+        monkeypatch.setenv("REPRO_SWEEP_MAX_ROWS", "3")
+        assert main(["sweep", *self.GRID, "--csv"]) == 0
+        assert capsys.readouterr().out == reference
+
+    def test_spill_table_is_byte_identical(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_MAX_ROWS", raising=False)
+        assert main(["sweep", *self.GRID, "--cache-stats"]) == 0
+        reference = capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "sweep",
+                    *self.GRID,
+                    "--cache-stats",
+                    "--max-rows-in-memory",
+                    "4",
+                ]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out == reference
+
+    def test_csv_cache_stats_line_matches(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_MAX_ROWS", raising=False)
+        assert main(["sweep", *self.GRID, "--csv", "--cache-stats"]) == 0
+        reference = capsys.readouterr()
+        assert (
+            main(
+                [
+                    "sweep",
+                    *self.GRID,
+                    "--csv",
+                    "--cache-stats",
+                    "--max-rows-in-memory",
+                    "5",
+                ]
+            )
+            == 0
+        )
+        spilled = capsys.readouterr()
+        assert spilled.out == reference.out
+        assert spilled.err == reference.err
+
+    def test_bad_env_budget_exits_2(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_MAX_ROWS", "zero")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", *self.GRID, "--csv"])
+        assert excinfo.value.code == 2
+        assert "REPRO_SWEEP_MAX_ROWS" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("raw", ["0", "-2", "many"])
+    def test_bad_flag_budget_exits_2(self, capsys, raw):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--max-rows-in-memory", raw])
+        assert excinfo.value.code == 2
+
+    def test_spill_dir_without_budget_exits_2(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.delenv("REPRO_SWEEP_MAX_ROWS", raising=False)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--spill-dir", str(tmp_path / "sp")])
+        assert excinfo.value.code == 2
+        assert "row budget" in capsys.readouterr().err
+
+    def test_spill_dir_reuse_is_byte_identical(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        reference = self._reference_csv(capsys, monkeypatch)
+        spill = ["--max-rows-in-memory", "5", "--spill-dir", str(tmp_path / "sp")]
+        assert main(["sweep", *self.GRID, "--csv", *spill]) == 0
+        first = capsys.readouterr()
+        assert first.out == reference
+        assert main(["sweep", *self.GRID, "--csv", *spill]) == 0
+        second = capsys.readouterr()
+        assert second.out == reference
+        assert "reusing spilled frame store" in second.err
+
+    def test_spill_dir_foreign_grid_exits_2(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.delenv("REPRO_SWEEP_MAX_ROWS", raising=False)
+        spill = ["--max-rows-in-memory", "5", "--spill-dir", str(tmp_path / "sp")]
+        assert main(["sweep", *self.GRID, "--csv", *spill]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--volumes", "1e3", "--csv", *spill])
+        assert excinfo.value.code == 2
+        assert "different grid" in capsys.readouterr().err
+
+    def test_corrupt_spill_chunk_exits_2(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import json
+
+        monkeypatch.delenv("REPRO_SWEEP_MAX_ROWS", raising=False)
+        spill = ["--max-rows-in-memory", "5", "--spill-dir", str(tmp_path / "sp")]
+        assert main(["sweep", *self.GRID, "--csv", *spill]) == 0
+        capsys.readouterr()
+        chunk = sorted((tmp_path / "sp").glob("chunk-*.json"))[0]
+        payload = json.loads(chunk.read_text(encoding="utf-8"))
+        payload["columns"]["volume"][0] = 1e9
+        chunk.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", *self.GRID, "--csv", *spill])
+        assert excinfo.value.code == 2
+        assert "digest" in capsys.readouterr().err
+
+    def _shard_directory(self, tmp_path, capsys):
+        directory = tmp_path / "shards"
+        for index in range(3):
+            assert (
+                main(
+                    [
+                        "sweep",
+                        *self.GRID,
+                        "--shards",
+                        "3",
+                        "--shard-index",
+                        str(index),
+                        "--shard-dir",
+                        str(directory),
+                    ]
+                )
+                == 0
+            )
+        capsys.readouterr()
+        return directory
+
+    def test_merge_spill_is_byte_identical(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.delenv("REPRO_SWEEP_MAX_ROWS", raising=False)
+        directory = self._shard_directory(tmp_path, capsys)
+        assert main(["sweep", "--merge", str(directory), "--csv"]) == 0
+        reference = capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--merge",
+                    str(directory),
+                    "--csv",
+                    "--max-rows-in-memory",
+                    "4",
+                ]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out == reference
+
+    def test_gather_spill_is_byte_identical(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.delenv("REPRO_SWEEP_MAX_ROWS", raising=False)
+        directory = self._shard_directory(tmp_path, capsys)
+        assert main(["gather", str(directory), "--csv", "--cache-stats"]) == 0
+        reference = capsys.readouterr()
+        assert (
+            main(
+                [
+                    "gather",
+                    str(directory),
+                    "--csv",
+                    "--cache-stats",
+                    "--max-rows-in-memory",
+                    "4",
+                ]
+            )
+            == 0
+        )
+        spilled = capsys.readouterr()
+        assert spilled.out == reference.out
+        assert spilled.err == reference.err
+
+    def test_gather_spill_dir_reuse(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_MAX_ROWS", raising=False)
+        directory = self._shard_directory(tmp_path, capsys)
+        spill = [
+            "--max-rows-in-memory",
+            "4",
+            "--spill-dir",
+            str(tmp_path / "gsp"),
+        ]
+        assert main(["gather", str(directory), "--csv", *spill]) == 0
+        first = capsys.readouterr()
+        assert main(["gather", str(directory), "--csv", *spill]) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out
+        assert "reusing spilled frame store" in second.err
+
+    def test_gather_missing_directory_still_exits_1(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.delenv("REPRO_SWEEP_MAX_ROWS", raising=False)
+        assert (
+            main(
+                [
+                    "gather",
+                    str(tmp_path / "nope"),
+                    "--max-rows-in-memory",
+                    "4",
+                ]
+            )
+            == 1
+        )
+        assert "repro-gps gather:" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["sweep", "--queue-init", "q.json", "--shards", "2",
+             "--max-rows-in-memory", "4"],
+            ["sweep", "--queue", "q.json", "--max-rows-in-memory", "4"],
+            ["sweep", "--shards", "2", "--shard-index", "0",
+             "--max-rows-in-memory", "4"],
+            ["sweep", "--shards", "2", "--shard-index", "0",
+             "--spill-dir", "sp"],
+            ["gather", "dir", "--watch", "--max-rows-in-memory", "4"],
+            ["gather", "dir", "--watch", "--spill-dir", "sp"],
+        ],
+    )
+    def test_spill_flags_refused_on_artifact_paths(self, capsys, argv):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        assert "error" in capsys.readouterr().err
