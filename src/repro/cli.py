@@ -103,10 +103,12 @@ from .gps.study import (
     NRE_SCENARIOS,
     build_gps_warehouse,
     paper_comparison,
+    run_adaptive_gps_sweep,
     run_gps_queue_worker,
     run_gps_shard,
     run_gps_study,
     run_gps_sweep,
+    spill_adaptive_gps_sweep,
     spill_gps_sweep,
 )
 from .passives.thin_film import THIN_FILM_PROCESSES
@@ -236,6 +238,36 @@ def _nonnegative_int(raw: str) -> int:
     if value < 0:
         raise argparse.ArgumentTypeError(
             f"need a non-negative index, got {value}"
+        )
+    return value
+
+
+def _nonnegative_float(raw: str) -> float:
+    """Parse a non-negative, finite float argument (dominance margins)."""
+    try:
+        value = float(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"{raw!r} is not a number"
+        ) from None
+    if not math.isfinite(value) or value < 0:
+        raise argparse.ArgumentTypeError(
+            f"need a non-negative finite number, got {raw!r}"
+        )
+    return value
+
+
+def _coarse_rank_count(raw: str) -> int:
+    """Parse the --coarse rank count (an integer of at least 2)."""
+    try:
+        value = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"{raw!r} is not an integer"
+        ) from None
+    if value < 2:
+        raise argparse.ArgumentTypeError(
+            f"the coarse pass needs at least 2 ranks per axis, got {value}"
         )
     return value
 
@@ -931,6 +963,118 @@ def _cmd_sweep_merge(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_adaptive_summary(report, args) -> None:
+    """Render the per-pass adaptive counters.
+
+    Chatter in CSV mode (stdout stays pure rows), part of the report in
+    table mode — the counters are what make the evaluation-savings
+    claim observable, so they always print somewhere.
+    """
+    out = sys.stderr if args.csv else sys.stdout
+    status = ["stable front" if report.stable else "front not converged"]
+    if report.budget_exhausted:
+        status.append("budget exhausted")
+    print(
+        f"Adaptive sweep: {report.total_evaluations} of "
+        f"{report.grid_points} grid points evaluated "
+        f"({report.savings:.1f}x fewer), " + ", ".join(status),
+        file=out,
+    )
+    for record in report.passes:
+        print(
+            f"  pass {record.index}: {record.evaluated}/"
+            f"{record.proposed} proposed points evaluated "
+            f"({record.cumulative_evaluations} cumulative), "
+            f"front {record.front_size} (+{record.front_added}/"
+            f"-{record.front_removed}), cache {record.cache_hits}h/"
+            f"{record.cache_misses}m",
+            file=out,
+        )
+
+
+def _cmd_sweep_adaptive(
+    args: argparse.Namespace, grid: SweepGrid, executor
+) -> int:
+    """The --adaptive arm of the sweep subcommand.
+
+    Runs the coarse → zoom driver and renders the merged canonical
+    frame through the same table/CSV/store renderers as an exhaustive
+    sweep — the rows are byte-identical to the exhaustive rows of the
+    evaluated points, so downstream CSV consumers need no changes.
+    """
+    refine_margin = (
+        args.refine_margin if args.refine_margin is not None else 0.0
+    )
+    coarse = args.coarse if args.coarse is not None else 4
+    max_rows = _resolve_max_rows(args, _sweep_error)
+    if args.spill_dir is not None and max_rows is None:
+        raise _sweep_error(
+            f"--spill-dir needs a row budget; give "
+            f"--max-rows-in-memory (or ${MAX_ROWS_ENV})"
+        )
+    if args.spill_dir is not None and (
+        Path(args.spill_dir) / STORE_MANIFEST_NAME
+    ).exists():
+        # The exhaustive spill can verify reuse against the grid
+        # identity; an adaptive run cannot — which points were
+        # evaluated depends on the refinement itself.
+        raise _sweep_error(
+            f"spill directory {args.spill_dir} already holds a frame "
+            f"store; an adaptive run cannot verify reuse (the "
+            f"evaluated subgrid depends on the refinement) — remove "
+            f"it or pick another --spill-dir"
+        )
+    try:
+        if max_rows is not None:
+            if args.spill_dir is not None:
+                store, report = spill_adaptive_gps_sweep(
+                    grid,
+                    Path(args.spill_dir),
+                    max_rows,
+                    executor=executor,
+                    passes=args.passes,
+                    budget=args.budget,
+                    refine_margin=refine_margin,
+                    coarse=coarse,
+                )
+                _print_adaptive_summary(report, args)
+                _print_store_report(
+                    store, report.total_evaluations, args
+                )
+            else:
+                with tempfile.TemporaryDirectory(
+                    prefix="repro-spill-"
+                ) as scratch:
+                    store, report = spill_adaptive_gps_sweep(
+                        grid,
+                        Path(scratch) / "store",
+                        max_rows,
+                        executor=executor,
+                        passes=args.passes,
+                        budget=args.budget,
+                        refine_margin=refine_margin,
+                        coarse=coarse,
+                    )
+                    _print_adaptive_summary(report, args)
+                    _print_store_report(
+                        store, report.total_evaluations, args
+                    )
+            return 0
+        report = run_adaptive_gps_sweep(
+            grid,
+            executor=executor,
+            passes=args.passes,
+            budget=args.budget,
+            refine_margin=refine_margin,
+            coarse=coarse,
+        )
+    except SpecificationError as exc:
+        raise _sweep_error(str(exc)) from None
+    _print_adaptive_summary(report, args)
+    _print_sweep_report(report.report, report.total_evaluations, args)
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.fill is None:
         return _cmd_sweep_resolved(args)
@@ -952,6 +1096,28 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep_resolved(args: argparse.Namespace) -> int:
+    if not args.adaptive:
+        for value, flag in (
+            (args.passes, "--passes"),
+            (args.budget, "--budget"),
+            (args.refine_margin, "--refine-margin"),
+            (args.coarse, "--coarse"),
+        ):
+            if value is not None:
+                raise _sweep_error(
+                    f"{flag} tunes the adaptive driver; it needs "
+                    f"--adaptive"
+                )
+    elif (
+        args.merge is not None
+        or args.queue_init is not None
+        or args.queue is not None
+    ):
+        raise _sweep_error(
+            "--adaptive runs a fresh refinement sweep; it contradicts "
+            "--merge/--queue-init/--queue, which replay or coordinate "
+            "exhaustive-grid artifacts"
+        )
     if args.merge is not None:
         return _cmd_sweep_merge(args)
     if args.queue_init is not None:
@@ -994,6 +1160,12 @@ def _cmd_sweep_resolved(args: argparse.Namespace) -> int:
         raise _sweep_error(
             "--resume needs a shard run to resume; give "
             "--shard-index (and --shards)"
+        )
+
+    if args.adaptive and args.shard_index is not None:
+        raise _sweep_error(
+            "--adaptive proposes its own subgrids; cross-host shard "
+            "artifacts (--shard-index) cover the exhaustive grid"
         )
 
     if args.shard_index is not None:
@@ -1072,6 +1244,9 @@ def _cmd_sweep_resolved(args: argparse.Namespace) -> int:
             executor = ShardedExecutor(shards, inner=executor)
         except SpecificationError as exc:
             raise _sweep_error(str(exc)) from None
+
+    if args.adaptive:
+        return _cmd_sweep_adaptive(args, grid, executor)
 
     max_rows = _resolve_max_rows(args, _sweep_error)
     if args.spill_dir is not None and max_rows is None:
@@ -1693,6 +1868,59 @@ def build_parser() -> argparse.ArgumentParser:
             "there for this exact grid is re-read instead of "
             "re-evaluated — needs --max-rows-in-memory or "
             "$REPRO_SWEEP_MAX_ROWS"
+        ),
+    )
+    sweep.add_argument(
+        "--adaptive",
+        action="store_true",
+        help=(
+            "adaptive refinement: evaluate a coarse subsample of the "
+            "grid, then zoom the continuous axes (volume, tan=<x> Q "
+            "models, FoM weight triples) around Pareto-front members "
+            "only — typically >=10x fewer cell evaluations with the "
+            "front byte-identical over the evaluated points"
+        ),
+    )
+    sweep.add_argument(
+        "--passes",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help=(
+            "with --adaptive: maximum refinement passes, the coarse "
+            "pass included (default: run until the front is stable)"
+        ),
+    )
+    sweep.add_argument(
+        "--budget",
+        type=_positive_int,
+        default=None,
+        metavar="K",
+        help=(
+            "with --adaptive: hard cap on total cell evaluations "
+            "across all passes (a pass that would overrun is "
+            "truncated in canonical order)"
+        ),
+    )
+    sweep.add_argument(
+        "--refine-margin",
+        type=_nonnegative_float,
+        default=None,
+        metavar="X",
+        help=(
+            "with --adaptive: also refine around cells within this "
+            "relative dominance margin of the front (0 = exact front "
+            "members only, the default)"
+        ),
+    )
+    sweep.add_argument(
+        "--coarse",
+        type=_coarse_rank_count,
+        default=None,
+        metavar="C",
+        help=(
+            "with --adaptive: values the coarse pass keeps per "
+            "refinable axis, endpoints always included (default 4)"
         ),
     )
     sweep.set_defaults(func=_cmd_sweep)

@@ -162,6 +162,69 @@ def first_dominators(
     return dominator
 
 
+def margin_dominators(
+    performance, size, cost, margin: float = 0.0
+) -> np.ndarray:
+    """Index of the first point dominating a margin-boosted copy (``-1``: none).
+
+    Generalises :func:`first_dominators` for near-front queries: each
+    column point *j* is replaced by a fictitious improved copy — its
+    performance scaled up by ``1 + margin`` and its size and cost ratios
+    scaled down by the same factor — and that copy is tested against the
+    *original* points.  A point whose boosted copy is still dominated
+    sits decisively behind the front; a point that survives is on the
+    front or within the relative margin of it.  With ``margin = 0`` the
+    boost is the identity (multiplying and dividing by exactly ``1.0``)
+    and the verdicts coincide with :func:`first_dominators` bit for bit.
+
+    Objectives are assumed non-negative, as everywhere in the study
+    (performance figures and percent ratios); the margin is a relative
+    factor, so it composes with the log-scale volume axis the adaptive
+    driver refines.
+    """
+    if not np.isfinite(margin) or margin < 0.0:
+        raise SpecificationError(
+            f"dominance margin must be a finite non-negative factor, got {margin!r}"
+        )
+    perf = np.ascontiguousarray(performance, dtype=np.float64)
+    size = np.ascontiguousarray(size, dtype=np.float64)
+    cost = np.ascontiguousarray(cost, dtype=np.float64)
+    if not (perf.shape == size.shape == cost.shape) or perf.ndim != 1:
+        raise SpecificationError(
+            "dominance needs three equally-long 1-D objective arrays, "
+            f"got shapes {perf.shape}, {size.shape}, {cost.shape}"
+        )
+    boost = 1.0 + margin
+    n = perf.shape[0]
+    dominator = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return dominator
+    block = max(1, min(n, _BLOCK_BUDGET // n))
+    for start in range(0, n, block):
+        stop = min(start + block, n)
+        p = perf[start:stop] * boost
+        s = size[start:stop] / boost
+        c = cost[start:stop] / boost
+        # dominates[i, j]: original point i dominates the boosted copy
+        # of column point start+j.
+        at_least = (
+            (perf[:, None] >= p[None, :])
+            & (size[:, None] <= s[None, :])
+            & (cost[:, None] <= c[None, :])
+        )
+        strictly = (
+            (perf[:, None] > p[None, :])
+            | (size[:, None] < s[None, :])
+            | (cost[:, None] < c[None, :])
+        )
+        dominates = at_least & strictly
+        found = dominates.any(axis=0)
+        first = dominates.argmax(axis=0)
+        view = dominator[start:stop]
+        view[found] = first[found]
+    return dominator
+
+
 def nondominated_mask(performance, size, cost) -> np.ndarray:
     """Boolean mask of the Pareto-optimal points (vectorised).
 

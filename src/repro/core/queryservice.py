@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import json
 import threading
+from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Mapping, Optional, Union
@@ -280,6 +281,10 @@ def _where_mask(frame: ResultFrame, where: dict) -> np.ndarray:
     return mask
 
 
+#: Re-ranked frames the service keeps per warehouse revision set.
+RERANK_CACHE_CAPACITY = 16
+
+
 class QueryService:
     """Answer decision queries against one warehouse directory.
 
@@ -289,18 +294,38 @@ class QueryService:
     manifest's content-addressed frame list, backed by the
     :class:`~repro.core.warehouse.FrameCache` LRU for the per-file
     loads.  All query work on the hot path is numpy column ops.
+
+    Re-ranked frames are memoised too: the scalar ``pow`` loop in
+    :func:`rerank_frame` is the one non-vectorised step on the query
+    path, and dashboards ask the same handful of weight triples over
+    and over.  The LRU key is the canonical weight triple plus the
+    manifest's content-addressed frame list (the same identity the
+    base-frame memo uses), so a warehouse append invalidates naturally;
+    hit/miss counters surface in ``GET /health``.
     """
 
     def __init__(
         self,
         directory: Union[str, Path],
         cache: Optional[FrameCache] = None,
+        rerank_cache_capacity: int = RERANK_CACHE_CAPACITY,
     ) -> None:
+        if rerank_cache_capacity < 1:
+            raise SpecificationError(
+                f"rerank cache capacity must be positive, got "
+                f"{rerank_cache_capacity}"
+            )
         self.directory = Path(directory)
         self.cache = cache if cache is not None else FrameCache()
         self._lock = threading.Lock()
         self._memo_key: Optional[tuple] = None
         self._memo: Optional[DecisionFrame] = None
+        self._rerank_capacity = rerank_cache_capacity
+        self._rerank_cache: "OrderedDict[tuple, ResultFrame]" = (
+            OrderedDict()
+        )
+        self._rerank_hits = 0
+        self._rerank_misses = 0
 
     def state(self) -> tuple[WarehouseManifest, DecisionFrame]:
         """The current manifest and its merged decision frame."""
@@ -318,6 +343,44 @@ class QueryService:
             self._memo_key = key
             self._memo = dframe
         return manifest, dframe
+
+    def _reranked_frame(
+        self,
+        manifest: WarehouseManifest,
+        dframe: DecisionFrame,
+        weights: FomWeights,
+    ) -> ResultFrame:
+        """LRU-memoised :func:`rerank_frame` over the current frames."""
+        key = (
+            tuple(
+                (entry.file, entry.digest) for entry in manifest.frames
+            ),
+            (weights.performance, weights.size, weights.cost),
+        )
+        with self._lock:
+            cached = self._rerank_cache.get(key)
+            if cached is not None:
+                self._rerank_cache.move_to_end(key)
+                self._rerank_hits += 1
+                return cached
+            self._rerank_misses += 1
+        frame = rerank_frame(dframe, weights)
+        with self._lock:
+            self._rerank_cache[key] = frame
+            self._rerank_cache.move_to_end(key)
+            while len(self._rerank_cache) > self._rerank_capacity:
+                self._rerank_cache.popitem(last=False)
+        return frame
+
+    def rerank_cache_stats(self) -> dict:
+        """Hit/miss tallies of the re-rank LRU (the ``/health`` view)."""
+        with self._lock:
+            return {
+                "hits": self._rerank_hits,
+                "misses": self._rerank_misses,
+                "entries": len(self._rerank_cache),
+                "capacity": self._rerank_capacity,
+            }
 
     # -- request handling ---------------------------------------------
 
@@ -374,7 +437,7 @@ class QueryService:
             else None
         )
         effective = (
-            rerank_frame(dframe, weights)
+            self._reranked_frame(manifest, dframe, weights)
             if weights is not None
             else dframe.frame
         )
@@ -567,7 +630,14 @@ class _QueryHandler(BaseHTTPRequestHandler):
                 self._send(500, {"status": "error", "error": str(exc)})
                 return
             self._send(
-                200, {"status": "ok", "revision": manifest.revision}
+                200,
+                {
+                    "status": "ok",
+                    "revision": manifest.revision,
+                    "rerank_cache": (
+                        self.server.service.rerank_cache_stats()
+                    ),
+                },
             )
         elif self.path == "/manifest":
             self._dispatch({"kind": "manifest"})

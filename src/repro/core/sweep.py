@@ -178,6 +178,20 @@ class DesignPoint:
         return " ".join(parts)
 
 
+def _dedupe_axis(values) -> tuple:
+    """Order-preserving removal of equal axis values.
+
+    Equality-based (not hash-based) so axis values only need ``__eq__``
+    — the scenario axes carry arbitrary objects — and a linear scan per
+    value, which is irrelevant at axis lengths.
+    """
+    kept: list = []
+    for value in values:
+        if not any(value == existing for existing in kept):
+            kept.append(value)
+    return tuple(kept)
+
+
 @dataclass(frozen=True)
 class SweepGrid:
     """Cartesian product of per-axis value lists.
@@ -207,8 +221,17 @@ class SweepGrid:
             "nres",
             "fom_weights",
         ):
-            if not getattr(self, name):
+            values = getattr(self, name)
+            if not values:
                 raise SpecificationError(f"grid axis {name!r} is empty")
+            # Duplicate axis values would double-evaluate and
+            # double-count the same cell (and adaptive zoom passes
+            # naturally re-propose coordinates they already hold), so
+            # each axis keeps only the first occurrence of equal
+            # values — equality, not identity, so 1e4 and 10000.0
+            # collapse.  Order-preserving: the surviving values keep
+            # their original relative order.
+            object.__setattr__(self, name, _dedupe_axis(values))
 
     def __len__(self) -> int:
         return (

@@ -340,6 +340,90 @@ def spill_gps_sweep(
     )
 
 
+def run_adaptive_gps_sweep(
+    grid: SweepGrid,
+    chip_costs: Optional[data.ChipCosts] = None,
+    weights: Optional[FomWeights] = None,
+    nre_scenario: Optional[Mapping[int, float]] = None,
+    cache: Optional[EvaluationCache] = None,
+    executor=None,
+    *,
+    passes: Optional[int] = None,
+    budget: Optional[int] = None,
+    refine_margin: float = 0.0,
+    coarse: int = 4,
+) -> "AdaptiveReport":
+    """Adaptive (coarse → zoom) variant of :func:`run_gps_sweep`.
+
+    Evaluates a coarse subsample of the grid, then refines the
+    continuous axes only around Pareto-front members
+    (:func:`~repro.core.adaptive.run_adaptive_sweep`) — typically an
+    order of magnitude fewer cell evaluations than the exhaustive grid
+    with a byte-identical front over the evaluated points.  The
+    returned :class:`~repro.core.adaptive.AdaptiveReport` carries the
+    merged canonical frame plus the per-pass counters behind that
+    claim; its ``report`` property is an ordinary
+    :class:`~repro.core.sweep.SweepReport`.  CLI flow:
+    ``repro-gps sweep --adaptive [--passes N --budget K
+    --refine-margin X --coarse C]``.
+    """
+    from ..core.adaptive import run_adaptive_sweep
+
+    return run_adaptive_sweep(
+        grid,
+        GpsSweepFactory(chip_costs=chip_costs, nre_scenario=nre_scenario),
+        reference=0,
+        weights=weights,
+        cache=cache,
+        executor=executor,
+        passes=passes,
+        budget=budget,
+        refine_margin=refine_margin,
+        coarse=coarse,
+    )
+
+
+def spill_adaptive_gps_sweep(
+    grid: SweepGrid,
+    directory,
+    max_rows_in_memory: int,
+    chip_costs: Optional[data.ChipCosts] = None,
+    weights: Optional[FomWeights] = None,
+    nre_scenario: Optional[Mapping[int, float]] = None,
+    cache: Optional[EvaluationCache] = None,
+    executor=None,
+    *,
+    passes: Optional[int] = None,
+    budget: Optional[int] = None,
+    refine_margin: float = 0.0,
+    coarse: int = 4,
+):
+    """Adaptive GPS sweep spilled to a chunk store.
+
+    Combines :func:`run_adaptive_gps_sweep` with the out-of-core store
+    (:func:`~repro.core.adaptive.spill_adaptive_sweep`): the merged
+    canonical frame lands chunked under ``directory`` with the
+    evaluated-subgrid identity and adaptive counters in the manifest
+    meta.  Returns ``(store, report)``.
+    """
+    from ..core.adaptive import spill_adaptive_sweep
+
+    return spill_adaptive_sweep(
+        grid,
+        GpsSweepFactory(chip_costs=chip_costs, nre_scenario=nre_scenario),
+        directory,
+        max_rows_in_memory,
+        reference=0,
+        weights=weights,
+        cache=cache,
+        executor=executor,
+        passes=passes,
+        budget=budget,
+        refine_margin=refine_margin,
+        coarse=coarse,
+    )
+
+
 def run_gps_shard(
     grid: SweepGrid | Iterable[DesignPoint],
     shards: int,

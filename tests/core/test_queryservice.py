@@ -400,6 +400,27 @@ class TestHttpSurface:
             payload = json.loads(response.read())
         assert payload["status"] == "ok"
 
+    def test_health_exposes_rerank_cache_counters(self, server):
+        host, port = server.server_address[:2]
+
+        def health():
+            with urllib.request.urlopen(
+                f"http://{host}:{port}/health"
+            ) as response:
+                return json.loads(response.read())["rerank_cache"]
+
+        before = health()
+        assert set(before) == {"hits", "misses", "entries", "capacity"}
+        self._post(
+            server, {"kind": "rerank", "fom_weights": "3:1:0.25"}
+        )
+        self._post(
+            server, {"kind": "winners", "fom_weights": "3:1:0.25"}
+        )
+        after = health()
+        assert after["misses"] >= before["misses"] + 1
+        assert after["hits"] >= before["hits"] + 1
+
     def test_bad_asks_are_http_400(self, server):
         host, port = server.server_address[:2]
         for body in (b"{torn", json.dumps({"kind": "rerank"}).encode()):
@@ -502,3 +523,51 @@ class TestConcurrentAppendAndQuery:
         # After the append every new query reports the full grid.
         final = response_bytes(service.execute({"kind": "winners"}))
         assert final == after["winners"]
+
+
+class TestRerankCache:
+    """The re-rank LRU satellite: repeated weights skip the pow kernel."""
+
+    def test_repeat_weights_hit_and_responses_stay_identical(
+        self, warehouse_dir
+    ):
+        fresh = QueryService(warehouse_dir)
+        request = {"kind": "rerank", "fom_weights": "2:1:0.5"}
+        first = response_bytes(fresh.execute(request))
+        stats = fresh.rerank_cache_stats()
+        assert stats["misses"] == 1 and stats["hits"] == 0
+        second = response_bytes(fresh.execute(request))
+        stats = fresh.rerank_cache_stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert second == first
+
+    def test_cache_is_shared_across_query_kinds(self, warehouse_dir):
+        fresh = QueryService(warehouse_dir)
+        fresh.execute({"kind": "rerank", "fom_weights": "2:1:1"})
+        fresh.execute({"kind": "winners", "fom_weights": "2:1:1"})
+        fresh.execute({"kind": "best", "fom_weights": "2:1:1"})
+        stats = fresh.rerank_cache_stats()
+        assert stats["misses"] == 1 and stats["hits"] == 2
+
+    def test_distinct_weights_miss_and_lru_evicts(self, warehouse_dir):
+        fresh = QueryService(warehouse_dir, rerank_cache_capacity=2)
+        for cost in ("0.5", "1.5", "2.5"):
+            fresh.execute(
+                {"kind": "rerank", "fom_weights": f"1:1:{cost}"}
+            )
+        stats = fresh.rerank_cache_stats()
+        assert stats["misses"] == 3 and stats["entries"] == 2
+        # The oldest entry (cost 0.5) was evicted: asking again misses.
+        fresh.execute({"kind": "rerank", "fom_weights": "1:1:0.5"})
+        assert fresh.rerank_cache_stats()["misses"] == 4
+
+    def test_unweighted_queries_bypass_the_cache(self, warehouse_dir):
+        fresh = QueryService(warehouse_dir)
+        fresh.execute({"kind": "winners"})
+        fresh.execute({"kind": "pareto"})
+        stats = fresh.rerank_cache_stats()
+        assert stats["hits"] == 0 and stats["misses"] == 0
+
+    def test_bad_capacity_rejected(self, warehouse_dir):
+        with pytest.raises(SpecificationError):
+            QueryService(warehouse_dir, rerank_cache_capacity=0)

@@ -61,6 +61,25 @@ class TestGrid:
         with pytest.raises(SpecificationError):
             SweepGrid(volumes=())
 
+    def test_duplicate_axis_values_deduped(self):
+        # Duplicates would double-evaluate and double-count the same
+        # cell; the first occurrence wins, order preserved.
+        grid = SweepGrid(volumes=(1e4, 1e3, 1e4, 1e3))
+        assert grid.volumes == (1e4, 1e3)
+        assert len(grid) == 2
+
+    def test_dedup_uses_equality_not_repr(self):
+        # 10000.0 and 1e4 are the same coordinate however spelled.
+        grid = SweepGrid(volumes=(10_000.0, 1e4, 10_000.000001))
+        assert grid.volumes == (10_000.0, 10_000.000001)
+
+    def test_dedup_on_object_axes(self):
+        grid = SweepGrid(
+            tolerances=(None, PRECISION_CLASS, None, PRECISION_CLASS)
+        )
+        assert grid.tolerances == (None, PRECISION_CLASS)
+        assert len(grid.points()) == 2
+
     def test_nonpositive_volume_rejected(self):
         with pytest.raises(SpecificationError):
             DesignPoint(volume=0.0)
